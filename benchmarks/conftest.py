@@ -1,0 +1,75 @@
+"""Shared infrastructure for the reproduction benchmarks.
+
+Every benchmark regenerates one table or figure of the paper over the full
+five-domain, 20-interface evaluation set. Pipeline runs are expensive, so a
+session-scoped :class:`RunCache` memoises them; each benchmark then times
+its own core regeneration step honestly (via ``benchmark.pedantic`` with a
+single round) and prints a paper-vs-measured table.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import pytest
+
+from repro.core.pipeline import WebIQConfig, WebIQMatcher, WebIQRunResult
+from repro.datasets import DOMAINS, DomainDataset, build_domain_dataset
+
+#: the seed every benchmark uses; change to probe robustness
+BENCH_SEED = 1
+
+#: named pipeline configurations used across figures
+CONFIGS: Dict[str, WebIQConfig] = {
+    "baseline": WebIQConfig(enable_surface=False, enable_attr_deep=False,
+                            enable_attr_surface=False),
+    "surface": WebIQConfig(enable_surface=True, enable_attr_deep=False,
+                           enable_attr_surface=False),
+    "surface+deep": WebIQConfig(enable_surface=True, enable_attr_deep=True,
+                                enable_attr_surface=False),
+    "webiq": WebIQConfig(),
+    "webiq+threshold": WebIQConfig(threshold=0.1),
+}
+
+
+class RunCache:
+    """Memoised pipeline runs keyed by (domain, config name)."""
+
+    def __init__(self) -> None:
+        self._datasets: Dict[str, DomainDataset] = {}
+        self._runs: Dict[Tuple[str, str], WebIQRunResult] = {}
+
+    def dataset(self, domain: str) -> DomainDataset:
+        if domain not in self._datasets:
+            self._datasets[domain] = build_domain_dataset(
+                domain, n_interfaces=20, seed=BENCH_SEED)
+        return self._datasets[domain]
+
+    def run(self, domain: str, config_name: str) -> WebIQRunResult:
+        key = (domain, config_name)
+        if key not in self._runs:
+            matcher = WebIQMatcher(CONFIGS[config_name])
+            self._runs[key] = matcher.run(self.dataset(domain))
+        return self._runs[key]
+
+
+@pytest.fixture(scope="session")
+def cache() -> RunCache:
+    return RunCache()
+
+
+def print_table(title: str, header, rows) -> None:
+    """Render one reproduction table to stdout (visible with ``-s``)."""
+    widths = [max(len(str(header[i])),
+                  max((len(str(r[i])) for r in rows), default=0))
+              for i in range(len(header))]
+    line = "  ".join(str(h).ljust(w) for h, w in zip(header, widths))
+    print(f"\n=== {title} ===")
+    print(line)
+    print("-" * len(line))
+    for row in rows:
+        print("  ".join(str(c).ljust(w) for c, w in zip(row, widths)))

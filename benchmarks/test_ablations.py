@@ -1,0 +1,226 @@
+"""Ablation benches for the design choices DESIGN.md calls out.
+
+These are not paper figures; they regenerate the evidence behind choices
+the paper argues for in prose:
+
+- PMI vs raw hit counts for validation (§2.2 rejects raw counts for their
+  "potential bias towards popular instances");
+- the outlier-removal phase "greatly reduces the number of validation
+  queries posed to search engines";
+- donor selectivity in borrowing (§5 restricts donors "to minimize
+  overhead");
+- the clustering linkage and threshold (τ) behaviour around the paper's
+  manual τ = 0.1.
+"""
+
+import pytest
+
+from repro.core.acquisition import AcquisitionConfig, InstanceAcquirer
+from repro.core.pipeline import WebIQConfig, WebIQMatcher
+from repro.core.surface import SurfaceConfig, SurfaceDiscoverer
+from repro.datasets import build_domain_dataset, vocab
+from repro.deepweb.models import Attribute
+from repro.matching import IceQMatcher, evaluate_matches
+from repro.matching.clustering import views_from_interfaces
+from repro.matching.threshold import search_threshold
+
+from .conftest import BENCH_SEED, print_table
+
+
+@pytest.fixture(scope="module")
+def auto_ds():
+    return build_domain_dataset("auto", n_interfaces=12, seed=BENCH_SEED)
+
+
+def _instance_quality(instances, truth_values):
+    truth = {v.lower() for v in truth_values}
+    if not instances:
+        return 0.0
+    return sum(1 for i in instances if i.lower() in truth) / len(instances)
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_ablation_pmi_vs_raw_hits(benchmark):
+    """Validation scoring: the paper's PMI vs raw joint hit counts.
+
+    Controlled corpus: rare true makes co-occur with "make" a couple of
+    times each, while the hugely popular junk phrase "best deals" co-occurs
+    with "make" *more often in absolute terms* ("best deals on every make").
+    Raw joint counts rank the junk first; PMI discounts its popularity.
+    """
+    from repro.surfaceweb.document import Document
+    from repro.surfaceweb.engine import SearchEngine
+
+    docs = []
+    makes = ["Saab", "Isuzu", "Daewoo", "Plymouth", "Oldsmobile", "Packard"]
+    i = 0
+    for _ in range(4):  # junk co-occurs with the label MORE often...
+        docs.append(Document(i, f"u{i}", "t",
+                             "Best car site. Make best deals happen today "
+                             "with our makes such as best deals pages."))
+        i += 1
+    for make in makes:
+        docs.append(Document(i, f"u{i}", "t",
+                             f"Welcome to the best car site. Makes such "
+                             f"as {make} are listed. Make: {make}."))
+        i += 1
+    for _ in range(60):  # ...because it is everywhere on the Web
+        docs.append(Document(i, f"u{i}", "t",
+                             "Huge best deals pages this week on the site."))
+        i += 1
+    engine = SearchEngine(docs)
+    attr = Attribute(name="x", label="Make")
+
+    def run(scoring):
+        discoverer = SurfaceDiscoverer(
+            engine, SurfaceConfig(scoring=scoring, k=5))
+        return discoverer.discover(attr, ("car",), "car")
+
+    pmi_result = run("pmi")
+    hits_result = benchmark.pedantic(run, args=("hits",), rounds=1,
+                                     iterations=1)
+
+    q_pmi = _instance_quality(pmi_result.instances, makes)
+    q_hits = _instance_quality(hits_result.instances, makes)
+    print_table(
+        "Ablation — validation scoring under a popular junk phrase",
+        ("scoring", "top-5 instances", "quality"),
+        [("pmi", ", ".join(pmi_result.instances[:5]), f"{q_pmi:.2f}"),
+         ("raw hits", ", ".join(hits_result.instances[:5]), f"{q_hits:.2f}")],
+    )
+    assert q_pmi == 1.0                       # PMI rejects the junk
+    assert any("best deals" in x.lower() for x in hits_result.instances)
+    assert q_pmi > q_hits                     # the paper's argument
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_ablation_outlier_phase_reduces_validation_queries(benchmark):
+    """§2.2: outlier removal cuts candidates before costly validation.
+
+    Controlled corpus: a price list polluted with one absurd price and one
+    rambling string candidate. Discordancy tests drop them before Web
+    validation, saving their validation queries.
+    """
+    from repro.surfaceweb.document import Document
+    from repro.surfaceweb.engine import SearchEngine
+
+    prices = ["$10", "$12", "$15", "$14", "$11", "$13", "$16", "$17",
+              "$18", "$19", "$20", "$21"]
+    engine = SearchEngine([
+        Document(0, "u0", "t",
+                 "Great book deals. Prices such as " + ", ".join(prices[:6])
+                 + " are typical here. Price: $12."),
+        Document(1, "u1", "t",
+                 "Great book deals. Prices such as " + ", ".join(prices[6:])
+                 + ", and $90,000 appear on this page."),
+    ])
+    attr = Attribute(name="x", label="Price")
+
+    def run(enabled):
+        engine.reset_query_count()
+        discoverer = SurfaceDiscoverer(
+            engine,
+            SurfaceConfig(enable_outlier_removal=enabled,
+                          max_validated_candidates=1000),
+        )
+        return discoverer.discover(attr, ("book",), "book")
+
+    with_outliers = run(True)
+    without = benchmark.pedantic(run, args=(False,), rounds=1, iterations=1)
+
+    print_table(
+        "Ablation — outlier phase on a polluted price list",
+        ("outlier removal", "queries", "outliers removed"),
+        [("on", with_outliers.queries_used, len(with_outliers.outliers)),
+         ("off", without.queries_used, len(without.outliers))],
+    )
+    assert any("$90,000" in o for o in with_outliers.outliers)
+    assert with_outliers.queries_used < without.queries_used
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_ablation_donor_selectivity(benchmark, auto_ds):
+    """§5's donor restrictions bound Deep-Web probing."""
+    def acquire(config):
+        auto_ds.clear_acquired()
+        auto_ds.reset_counters()
+        acquirer = InstanceAcquirer(auto_ds.engine, auto_ds.sources, config)
+        return acquirer.acquire(
+            auto_ds.interfaces, auto_ds.spec.keyword_terms(),
+            auto_ds.spec.object_name)
+
+    selective = acquire(AcquisitionConfig())
+    permissive = benchmark.pedantic(
+        acquire,
+        args=(AcquisitionConfig(label_sim_threshold=0.0, max_donors=10),),
+        rounds=1, iterations=1,
+    )
+    print_table(
+        "Ablation — borrow-donor selectivity (auto, 12 interfaces)",
+        ("policy", "deep probes", "final success %"),
+        [("paper (label-gated)", selective.attr_deep_probes,
+          f"{selective.final_success_rate:.1f}"),
+         ("permissive", permissive.attr_deep_probes,
+          f"{permissive.final_success_rate:.1f}")],
+    )
+    # Selectivity spends fewer probes without losing acquisition success.
+    assert selective.attr_deep_probes <= permissive.attr_deep_probes
+    assert selective.final_success_rate >= permissive.final_success_rate - 5.0
+    auto_ds.clear_acquired()
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_ablation_linkage(benchmark, cache):
+    """Clustering linkage: the average-linkage default vs alternatives."""
+    dataset = cache.dataset("airfare")
+    cache.run("airfare", "webiq")  # ensure instances are acquired
+    truth = dataset.ground_truth.match_pairs()
+
+    def f1_for(linkage):
+        result = WebIQMatcher(WebIQConfig(linkage=linkage)).run(dataset)
+        return 100.0 * result.metrics.f1
+
+    average = f1_for("average")
+    single = f1_for("single")
+    complete = benchmark.pedantic(f1_for, args=("complete",), rounds=1,
+                                  iterations=1)
+    print_table(
+        "Ablation — clustering linkage (airfare F-1 %)",
+        ("linkage", "F-1"),
+        [("average (default)", f"{average:.1f}"),
+         ("single", f"{single:.1f}"),
+         ("complete", f"{complete:.1f}")],
+    )
+    assert average >= single - 1e-9
+    assert average >= complete - 1e-9
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_ablation_threshold_sweep(benchmark, cache):
+    """τ sweep around the paper's manual 0.1, plus the automatic search."""
+    dataset = cache.dataset("job")
+    cache.run("job", "webiq")  # acquire instances once
+    views = views_from_interfaces(dataset.interfaces)
+    truth = dataset.ground_truth.match_pairs()
+    matcher = IceQMatcher()
+
+    grid = (0.0, 0.05, 0.1, 0.2, 0.3)
+    rows = []
+    for tau in grid:
+        result = matcher.match_views(views, threshold=tau)
+        metrics = evaluate_matches(result.match_pairs(), truth)
+        rows.append((f"{tau:.2f}", f"{100 * metrics.precision:.1f}",
+                     f"{100 * metrics.recall:.1f}",
+                     f"{100 * metrics.f1:.1f}"))
+    best_tau, best_f1 = benchmark.pedantic(
+        search_threshold, args=(matcher, views, truth, grid),
+        rounds=1, iterations=1)
+    rows.append((f"auto={best_tau:.2f}", "", "", f"{100 * best_f1:.1f}"))
+    print_table("Ablation — threshold sweep (job, after WebIQ)",
+                ("tau", "P", "R", "F-1"), rows)
+
+    f1s = [float(r[3]) for r in rows[:-1]]
+    assert best_f1 * 100 == pytest.approx(max(f1s))
+    # Precision is monotone non-decreasing in tau.
+    precisions = [float(r[1]) for r in rows[:-1]]
+    assert all(b >= a - 0.5 for a, b in zip(precisions, precisions[1:]))

@@ -1,0 +1,58 @@
+"""Extra context bench: a ladder of matchers from naive to full WebIQ.
+
+Not a paper figure — it situates the paper's numbers: exact-label matching
+(no linguistics), label-only clustering (He & Chang-style "only the
+statistics on the labels"), IceQ with native instances (the paper's
+baseline), and IceQ + WebIQ. Each rung quantifies what the next piece of
+evidence buys.
+"""
+
+import pytest
+
+from repro.datasets import DOMAINS
+from repro.matching import evaluate_matches, label_only_matcher
+from repro.matching.baselines import ExactLabelMatcher
+
+from .conftest import print_table
+
+
+@pytest.mark.benchmark(group="baselines")
+def test_matcher_ladder(benchmark, cache):
+    rows = []
+    averages = [0.0, 0.0, 0.0, 0.0]
+    for domain in DOMAINS:
+        dataset = cache.dataset(domain)
+        dataset.clear_acquired()
+        truth = dataset.ground_truth.match_pairs()
+
+        exact = evaluate_matches(
+            ExactLabelMatcher().match(dataset.interfaces).match_pairs(),
+            truth).f1
+        label_only = evaluate_matches(
+            label_only_matcher().match(dataset.interfaces).match_pairs(),
+            truth).f1
+        iceq = cache.run(domain, "baseline").metrics.f1
+        webiq = cache.run(domain, "webiq").metrics.f1
+
+        scores = (exact, label_only, iceq, webiq)
+        for i, score in enumerate(scores):
+            averages[i] += 100 * score / len(DOMAINS)
+        rows.append((domain,) + tuple(f"{100 * s:.1f}" for s in scores))
+
+    benchmark.pedantic(
+        lambda: ExactLabelMatcher().match(cache.dataset("airfare").interfaces),
+        rounds=1, iterations=1,
+    )
+
+    rows.append(("average",) + tuple(f"{a:.1f}" for a in averages))
+    print_table(
+        "Matcher ladder — F-1 % (context, not a paper figure)",
+        ("domain", "exact-label", "label-only", "IceQ", "IceQ+WebIQ"),
+        rows,
+    )
+
+    # The ladder must be monotone on average: each evidence source helps.
+    assert averages[0] <= averages[1] + 1.0
+    assert averages[1] <= averages[2] + 1.0
+    assert averages[2] <= averages[3] + 1.0
+    assert averages[3] >= 95.0

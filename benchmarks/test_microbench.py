@@ -1,0 +1,99 @@
+"""Substrate micro-benchmarks (multi-round timing of the hot paths).
+
+The figure benches run each expensive pipeline once; these measure the
+substrate operations that dominate those runs with proper statistics, so
+performance regressions are visible at the operation level:
+
+- inverted-index construction over a domain corpus,
+- phrase queries and hit counting,
+- snippet extraction from one result,
+- pairwise similarity evaluation and full constrained clustering,
+- a Deep-Web probe round trip.
+"""
+
+import pytest
+
+from repro.core.surface import ExtractionQueryBuilder, SnippetExtractor
+from repro.datasets import build_domain_dataset
+from repro.datasets.corpus import build_corpus
+from repro.matching import IceQMatcher
+from repro.matching.clustering import views_from_interfaces
+from repro.matching.similarity import attribute_similarity
+from repro.surfaceweb.engine import SearchEngine
+from repro.text.labels import analyze_label
+
+from .conftest import BENCH_SEED
+
+
+@pytest.fixture(scope="module")
+def auto_docs():
+    return build_corpus("auto", seed=BENCH_SEED)
+
+
+@pytest.fixture(scope="module")
+def auto_engine(auto_docs):
+    return SearchEngine(auto_docs)
+
+
+@pytest.fixture(scope="module")
+def airfare_views():
+    dataset = build_domain_dataset("airfare", n_interfaces=20,
+                                   seed=BENCH_SEED)
+    return views_from_interfaces(dataset.interfaces)
+
+
+@pytest.mark.benchmark(group="micro-index")
+def test_index_build(benchmark, auto_docs):
+    engine = benchmark(lambda: SearchEngine(auto_docs))
+    assert engine.n_documents == len(auto_docs)
+
+
+@pytest.mark.benchmark(group="micro-query")
+def test_phrase_search(benchmark, auto_engine):
+    results = benchmark(
+        lambda: auto_engine.search('"makes such as" +auto +car'))
+    assert results
+
+
+@pytest.mark.benchmark(group="micro-query")
+def test_num_hits(benchmark, auto_engine):
+    hits = benchmark(lambda: auto_engine.num_hits('"honda"'))
+    assert hits > 0
+
+
+@pytest.mark.benchmark(group="micro-query")
+def test_proximity_hits(benchmark, auto_engine):
+    benchmark(lambda: auto_engine.num_hits_proximity("make", "honda"))
+
+
+@pytest.mark.benchmark(group="micro-extract")
+def test_snippet_extraction(benchmark, auto_engine):
+    query = ExtractionQueryBuilder().build(
+        analyze_label("Make"), ("auto", "car"), "car")[0]
+    snippet = auto_engine.search(query.query)[0].snippet
+    extractor = SnippetExtractor()
+    candidates = benchmark(lambda: extractor.extract(snippet, query))
+    assert candidates
+
+
+@pytest.mark.benchmark(group="micro-match")
+def test_pairwise_similarity(benchmark, airfare_views):
+    a, b = airfare_views[0], airfare_views[25]
+    benchmark(lambda: attribute_similarity(a, b))
+
+
+@pytest.mark.benchmark(group="micro-match")
+def test_full_clustering(benchmark, airfare_views):
+    matcher = IceQMatcher()
+    result = benchmark.pedantic(
+        lambda: matcher.match_views(airfare_views), rounds=3, iterations=1)
+    assert result.clusters
+
+
+@pytest.mark.benchmark(group="micro-deepweb")
+def test_probe_roundtrip(benchmark):
+    dataset = build_domain_dataset("airfare", n_interfaces=5, seed=BENCH_SEED)
+    source = next(iter(dataset.sources.values()))
+    attr = source.interface.attributes[0].name
+    page = benchmark(lambda: source.submit({attr: "Boston"}))
+    assert page.text

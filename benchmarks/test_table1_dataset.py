@@ -1,0 +1,64 @@
+"""Table 1, columns 1-5: characteristics of the five evaluation data sets.
+
+Regenerates the dataset-characteristic columns of the paper's Table 1:
+attributes per interface, % of interfaces containing no-instance attributes,
+% of attributes without instances on those interfaces, and the % of
+no-instance attributes whose instances can be expected on the Web.
+
+The benchmark times building one complete domain environment (interfaces +
+ground truth + Surface-Web corpus + sources).
+"""
+
+import pytest
+
+from repro.datasets import DOMAINS, build_domain_dataset, dataset_statistics
+
+from .conftest import BENCH_SEED, print_table
+
+#: Table 1 columns 2-5 as printed in the paper.
+PAPER = {
+    "airfare": (10.7, 85, 32.2, 100.0),
+    "auto": (5.1, 95, 28.1, 100.0),
+    "book": (5.4, 85, 38.6, 98.0),
+    "job": (4.6, 100, 74.6, 83.1),
+    "realestate": (6.5, 95, 30.0, 66.7),
+}
+
+
+@pytest.mark.benchmark(group="table1")
+def test_table1_dataset_characteristics(benchmark, cache):
+    stats = {d: dataset_statistics(cache.dataset(d)) for d in DOMAINS}
+
+    benchmark.pedantic(
+        build_domain_dataset, args=("auto",),
+        kwargs={"n_interfaces": 20, "seed": BENCH_SEED},
+        rounds=1, iterations=1,
+    )
+
+    rows = []
+    for domain in DOMAINS:
+        s = stats[domain]
+        p = PAPER[domain]
+        rows.append((
+            domain,
+            f"{s.avg_attributes:.1f} ({p[0]})",
+            f"{s.pct_interfaces_no_inst:.0f} ({p[1]})",
+            f"{s.pct_attrs_no_inst:.1f} ({p[2]})",
+            f"{s.pct_expected_findable:.1f} ({p[3]})",
+        ))
+    print_table(
+        "Table 1 cols 2-5 — measured (paper)",
+        ("domain", "#Attr", "IntNoInst%", "AttrNoInst%", "ExpInst%"),
+        rows,
+    )
+
+    # Shape assertions: the per-domain ordering the paper reports.
+    attrs = {d: stats[d].avg_attributes for d in DOMAINS}
+    assert max(attrs, key=attrs.get) == "airfare"
+    no_inst = {d: stats[d].pct_attrs_no_inst for d in DOMAINS}
+    assert max(no_inst, key=no_inst.get) == "job"
+    findable = {d: stats[d].pct_expected_findable for d in DOMAINS}
+    assert findable["airfare"] == findable["auto"] == 100.0
+    assert min(findable, key=findable.get) == "realestate"
+    for domain in DOMAINS:
+        assert stats[domain].pct_interfaces_no_inst >= 80.0

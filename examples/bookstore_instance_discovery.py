@@ -1,0 +1,75 @@
+"""Instance discovery step by step, on a bookstore attribute (paper §2).
+
+Walks the Surface component through each stage for the label ``Author``:
+label-syntax analysis, extraction-query formulation, snippet retrieval and
+candidate extraction, outlier removal, and PMI validation — printing the
+intermediate artifacts the paper describes.
+
+Run:  python examples/bookstore_instance_discovery.py
+"""
+
+from repro import build_domain_dataset
+from repro.core.surface import (
+    ExtractionQueryBuilder,
+    SnippetExtractor,
+    SurfaceDiscoverer,
+    WebValidator,
+)
+from repro.deepweb.models import Attribute
+from repro.text.labels import analyze_label
+
+
+def main() -> None:
+    dataset = build_domain_dataset("book", n_interfaces=20, seed=1)
+    engine = dataset.engine
+    keywords = dataset.spec.keyword_terms()
+    label = "Author"
+
+    # 1. label syntax analysis
+    analysis = analyze_label(label)
+    np = analysis.noun_phrases[0]
+    print(f"1. Label {label!r}: form={analysis.form.value}, "
+          f"noun phrase={np.text!r}, plural={np.plural!r}")
+
+    # 2. extraction queries (patterns s1-s4, g1-g4 of Figure 4)
+    builder = ExtractionQueryBuilder()
+    queries = builder.build(analysis, keywords, dataset.spec.object_name)
+    print("\n2. Extraction queries:")
+    for query in queries:
+        print(f"   {query.pattern}: {query.query}")
+
+    # 3. pose one query, extract candidates from snippets
+    extractor = SnippetExtractor()
+    s1 = queries[0]
+    results = engine.search(s1.query, max_results=3)
+    print(f"\n3. Top snippets for {s1.query}:")
+    for hit in results:
+        candidates = extractor.extract(hit.snippet, s1)
+        print(f"   snippet: {hit.snippet[:76]}...")
+        print(f"   -> candidates: {candidates}")
+
+    # 4-5. the full two-phase pipeline: extraction + verification
+    discoverer = SurfaceDiscoverer(engine)
+    result = discoverer.discover(Attribute(name="author", label=label),
+                                 keywords, dataset.spec.object_name)
+    print(f"\n4. Extraction produced {len(result.raw_candidates)} distinct "
+          f"candidates; {len(result.outliers)} removed as outliers/wrong type")
+
+    validator = WebValidator(engine)
+    phrases = validator.validation_phrases(label)
+    print(f"\n5. Validation phrases: {phrases}")
+    print("   validation scores (mean PMI):")
+    for value in result.instances[:5]:
+        score = validator.confidence(phrases, value)
+        print(f"     {value:28} {score:.5f}")
+    for junk in ("free shipping", "Economy"):
+        score = validator.confidence(phrases, junk)
+        print(f"     {junk:28} {score:.5f}   (non-instance)")
+
+    print(f"\nFinal top-{len(result.instances)} instances for {label!r}:")
+    print("  " + ", ".join(result.instances))
+    print(f"(search-engine queries consumed: {result.queries_used})")
+
+
+if __name__ == "__main__":
+    main()

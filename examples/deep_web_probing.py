@@ -1,0 +1,83 @@
+"""Borrowing instances and validating them via the Deep Web (paper §3-§4).
+
+The paper's example: while both "from January" and "from Chicago" occur on
+the Surface Web, an airfare source answers a probe with ``from=Chicago``
+with real results and a probe with ``from=January`` with an error page.
+This example shows both probes, the response pages, the ≥1/3 acceptance
+rule, and the validation-based classifier accepting a borrowed European
+carrier for an ``Airline`` attribute.
+
+Run:  python examples/deep_web_probing.py
+"""
+
+from repro import build_domain_dataset
+from repro.core.attr_deep import AttrDeepValidator
+from repro.core.attr_surface import AttrSurfaceValidator
+from repro.core.surface import WebValidator
+from repro.deepweb.models import AttributeKind
+from repro.deepweb.response import analyze_response
+
+
+def main() -> None:
+    dataset = build_domain_dataset("airfare", n_interfaces=20, seed=1)
+
+    # find an interface with a free-text origin attribute
+    target = None
+    for gen in dataset.generated:
+        for attr in gen.interface.attributes:
+            if (gen.concept_of[attr.name] == "origin_city"
+                    and attr.kind is AttributeKind.TEXT):
+                target = (gen.interface, attr)
+                break
+        if target:
+            break
+    interface, attr = target
+    source = dataset.sources[interface.interface_id]
+
+    print(f"Probing source {interface.interface_id!r}, attribute "
+          f"{attr.label!r}:")
+    for value in ("Chicago", "January"):
+        page = source.submit({attr.name: value})
+        verdict = analyze_response(page.text)
+        first_line = page.text.splitlines()[1] if "\n" in page.text else page.text
+        print(f"\n  {attr.label} = {value!r}")
+        print(f"    page: {first_line[:70]}")
+        print(f"    verdict: success={verdict.success} ({verdict.reason})")
+
+    print("\nThe >=1/3 rule on a borrowed set:")
+    validator = AttrDeepValidator(dataset.sources)
+    borrowed = ["Boston", "Chicago", "Miami", "January", "Economy", "Honda"]
+    result = validator.validate(interface.interface_id, attr.name, borrowed)
+    print(f"  borrowed {borrowed}")
+    print(f"  {result.successes}/{result.probes_issued} probes succeeded "
+          f"-> accepted {len(result.accepted)} values")
+
+    # Attr-Surface: borrow a European carrier into a NA airline SELECT
+    print("\nValidation-based classifier (Attr-Surface):")
+    for gen in dataset.generated:
+        for a in gen.interface.attributes:
+            if a.label == "Airline" and a.kind is AttributeKind.SELECT:
+                web_validator = WebValidator(dataset.engine)
+                attr_surface = AttrSurfaceValidator(web_validator)
+                classifier = attr_surface.build_classifier(a, gen.interface)
+                if classifier is None:
+                    continue
+                print(f"  attribute 'Airline' on {gen.interface.interface_id} "
+                      f"with instances {a.instances[:3]}...")
+                for candidate in ("Alitalia", "KLM", "Aer Lingus",
+                                  "Economy", "Jan"):
+                    if candidate in a.all_instances():
+                        continue
+                    verdict = classifier.predict(candidate)
+                    posterior = classifier.posterior(candidate)
+                    print(f"    is {candidate!r} an Airline instance? "
+                          f"{verdict} (posterior {posterior:.2f})")
+                print("    (borrowed carriers with very low Web popularity "
+                      "can fall below the learned\n     thresholds — the "
+                      "paper notes borrowed instances score lower than "
+                      "existing ones)")
+                return
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+Kept so that ``pip install -e . --no-use-pep517`` works in offline
+environments that lack the ``wheel`` package (the PEP-517 editable build
+requires it). All project metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,134 @@
+"""Match error analysis: where did a matching run go wrong, and why?
+
+Evaluation metrics say *how much* went wrong; integration work needs to
+know *what*. This module diffs a matching result against expert truth and
+aggregates the errors by label pair — the unit a person debugging a
+matcher actually thinks in ("`Departure city` keeps merging with
+`Departure date`").
+
+Example::
+
+    from repro.analysis import analyze_errors
+
+    report = analyze_errors(run.match_result, dataset)
+    for error in report.top_missed(5):
+        print(error)
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from repro.datasets.dataset import DomainDataset
+from repro.matching.clustering import MatchResult
+from repro.matching.metrics import MatchMetrics, evaluate_matches
+
+__all__ = ["LabelPairErrors", "ErrorReport", "analyze_errors"]
+
+AttrKey = Tuple[str, str]
+Pair = FrozenSet[AttrKey]
+
+
+@dataclass(frozen=True)
+class LabelPairErrors:
+    """All errors between one unordered pair of labels."""
+
+    labels: Tuple[str, str]
+    count: int
+    kind: str  # "missed" or "wrong"
+    #: example attribute pairs (capped), for drilling down
+    examples: Tuple[Tuple[AttrKey, AttrKey], ...]
+
+    def __str__(self) -> str:
+        a, b = self.labels
+        verb = "missed" if self.kind == "missed" else "wrongly merged"
+        return f"{verb} {self.count}x: {a!r} <-> {b!r}"
+
+
+@dataclass
+class ErrorReport:
+    """The full diff of one matching run against the ground truth."""
+
+    metrics: MatchMetrics
+    missed: List[LabelPairErrors]
+    wrong: List[LabelPairErrors]
+    #: missed pairs where at least one side has no instances at all — the
+    #: paper's core failure mode, and the share WebIQ is meant to erase
+    missed_involving_no_instances: int
+
+    def top_missed(self, n: int = 10) -> List[LabelPairErrors]:
+        return self.missed[:n]
+
+    def top_wrong(self, n: int = 10) -> List[LabelPairErrors]:
+        return self.wrong[:n]
+
+    @property
+    def total_missed(self) -> int:
+        return sum(e.count for e in self.missed)
+
+    @property
+    def total_wrong(self) -> int:
+        return sum(e.count for e in self.wrong)
+
+
+def analyze_errors(
+    match_result: MatchResult,
+    dataset: DomainDataset,
+    max_examples: int = 3,
+) -> ErrorReport:
+    """Diff ``match_result`` against ``dataset``'s ground truth."""
+    truth = dataset.ground_truth.match_pairs()
+    predicted = match_result.match_pairs()
+
+    labels: Dict[AttrKey, str] = {}
+    instance_counts: Dict[AttrKey, int] = {}
+    for interface in dataset.interfaces:
+        for attribute in interface.attributes:
+            key = (interface.interface_id, attribute.name)
+            labels[key] = attribute.label
+            instance_counts[key] = len(attribute.all_instances())
+
+    missed_pairs = truth - predicted
+    wrong_pairs = predicted - truth
+
+    missed_no_inst = sum(
+        1 for pair in missed_pairs
+        if any(instance_counts.get(key, 0) == 0 for key in pair)
+    )
+
+    return ErrorReport(
+        metrics=evaluate_matches(predicted, truth),
+        missed=_group(missed_pairs, labels, "missed", max_examples),
+        wrong=_group(wrong_pairs, labels, "wrong", max_examples),
+        missed_involving_no_instances=missed_no_inst,
+    )
+
+
+def _group(
+    pairs: Set[Pair],
+    labels: Dict[AttrKey, str],
+    kind: str,
+    max_examples: int,
+) -> List[LabelPairErrors]:
+    counts: Counter = Counter()
+    examples: Dict[Tuple[str, str], List[Tuple[AttrKey, AttrKey]]] = {}
+    for pair in pairs:
+        a, b = sorted(pair)
+        label_pair = tuple(sorted((labels.get(a, "?"), labels.get(b, "?"))))
+        counts[label_pair] += 1
+        bucket = examples.setdefault(label_pair, [])
+        if len(bucket) < max_examples:
+            bucket.append((a, b))
+    grouped = [
+        LabelPairErrors(
+            labels=label_pair,
+            count=count,
+            kind=kind,
+            examples=tuple(examples[label_pair]),
+        )
+        for label_pair, count in counts.items()
+    ]
+    grouped.sort(key=lambda e: (-e.count, e.labels))
+    return grouped

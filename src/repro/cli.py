@@ -1,0 +1,237 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+- ``stats``     — Table-1-style dataset characteristics for one/all domains
+- ``run``       — full pipeline on a domain; prints accuracy, acquisition
+  success, and overhead; optional JSON export of the run
+- ``discover``  — Surface instance discovery for a single label (the §2
+  pipeline, verbose)
+- ``export``    — snapshot a generated dataset to JSON
+
+Everything is deterministic in ``--seed``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from repro.core.pipeline import WebIQConfig, WebIQMatcher
+from repro.core.surface import SurfaceDiscoverer
+from repro.datasets import DOMAINS, build_domain_dataset, dataset_statistics
+from repro.deepweb.models import Attribute
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="WebIQ reproduction: match Deep-Web query interfaces "
+                    "with Web-acquired instances.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    stats = sub.add_parser("stats", help="dataset characteristics (Table 1)")
+    _common(stats)
+
+    run = sub.add_parser("run", help="run the WebIQ + IceQ pipeline")
+    _common(run)
+    run.add_argument("--baseline", action="store_true",
+                     help="disable all WebIQ components (IceQ alone)")
+    run.add_argument("--threshold", type=float, default=0.0,
+                     help="clustering threshold tau (default 0.0)")
+    run.add_argument("--no-surface", action="store_true")
+    run.add_argument("--no-attr-deep", action="store_true")
+    run.add_argument("--no-attr-surface", action="store_true")
+    run.add_argument("--json", metavar="PATH",
+                     help="write the full run result as JSON")
+
+    discover = sub.add_parser(
+        "discover", help="Surface instance discovery for one label")
+    _common(discover)
+    discover.add_argument("label", help='attribute label, e.g. "Departure city"')
+
+    export = sub.add_parser("export", help="snapshot a dataset to JSON")
+    _common(export)
+    export.add_argument("path", help="output JSON path")
+
+    analyze = sub.add_parser(
+        "analyze", help="error analysis of a matching run")
+    _common(analyze)
+    analyze.add_argument("--baseline", action="store_true",
+                         help="analyse IceQ alone instead of IceQ+WebIQ")
+    analyze.add_argument("--top", type=int, default=8,
+                         help="error groups to show per kind")
+
+    figure = sub.add_parser(
+        "figure", help="regenerate one of the paper's tables/figures")
+    figure.add_argument("id", choices=(
+        "table1", "table1-acquisition", "figure6", "figure7", "figure8"))
+    figure.add_argument("--interfaces", type=int, default=20)
+    figure.add_argument("--seed", type=int, default=1)
+    return parser
+
+
+def _common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--domain", choices=DOMAINS + ("all",),
+                        default="airfare")
+    parser.add_argument("--interfaces", type=int, default=20)
+    parser.add_argument("--seed", type=int, default=1)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "stats": _cmd_stats,
+        "run": _cmd_run,
+        "discover": _cmd_discover,
+        "export": _cmd_export,
+        "figure": _cmd_figure,
+        "analyze": _cmd_analyze,
+    }
+    return handlers[args.command](args)
+
+
+def _domains(args) -> List[str]:
+    return list(DOMAINS) if args.domain == "all" else [args.domain]
+
+
+def _cmd_stats(args) -> int:
+    print(f"{'domain':11} {'#attr':>6} {'IntNoInst%':>11} "
+          f"{'AttrNoInst%':>12} {'ExpInst%':>9}")
+    for domain in _domains(args):
+        dataset = build_domain_dataset(domain, args.interfaces, args.seed)
+        s = dataset_statistics(dataset)
+        print(f"{domain:11} {s.avg_attributes:6.1f} "
+              f"{s.pct_interfaces_no_inst:11.1f} "
+              f"{s.pct_attrs_no_inst:12.1f} {s.pct_expected_findable:9.1f}")
+    return 0
+
+
+def _cmd_run(args) -> int:
+    config = WebIQConfig(
+        enable_surface=not (args.baseline or args.no_surface),
+        enable_attr_deep=not (args.baseline or args.no_attr_deep),
+        enable_attr_surface=not (args.baseline or args.no_attr_surface),
+        threshold=args.threshold,
+    )
+    for domain in _domains(args):
+        dataset = build_domain_dataset(domain, args.interfaces, args.seed)
+        result = WebIQMatcher(config).run(dataset)
+        m = result.metrics
+        line = (f"{domain:11} P={m.precision:.3f} R={m.recall:.3f} "
+                f"F1={m.f1:.3f}")
+        if result.acquisition is not None:
+            line += (f"  surface%={result.acquisition.surface_success_rate:.1f}"
+                     f" final%={result.acquisition.final_success_rate:.1f}")
+        print(line)
+        if args.json:
+            from repro.io import dump_run_result
+            path = args.json if args.domain != "all" else \
+                f"{args.json}.{domain}.json"
+            dump_run_result(result, path)
+            print(f"  wrote {path}")
+    return 0
+
+
+def _cmd_discover(args) -> int:
+    if args.domain == "all":
+        print("discover needs a single --domain", file=sys.stderr)
+        return 2
+    dataset = build_domain_dataset(args.domain, args.interfaces, args.seed)
+    discoverer = SurfaceDiscoverer(dataset.engine)
+    result = discoverer.discover(
+        Attribute(name="cli", label=args.label),
+        dataset.spec.keyword_terms(), dataset.spec.object_name,
+    )
+    print(f"label: {args.label!r} (domain {args.domain})")
+    print(f"raw candidates: {len(result.raw_candidates)}")
+    print(f"removed (type/outlier): {len(result.outliers)}")
+    print(f"numeric domain: {result.numeric_domain}")
+    print(f"queries used: {result.queries_used}")
+    if result.instances:
+        print("instances:")
+        for value in result.instances:
+            print(f"  {value}")
+    else:
+        print("instances: (none — extraction failed or nothing validated)")
+    return 0
+
+
+def _cmd_export(args) -> int:
+    if args.domain == "all":
+        print("export needs a single --domain", file=sys.stderr)
+        return 2
+    from repro.io import dump_dataset
+    dataset = build_domain_dataset(args.domain, args.interfaces, args.seed)
+    dump_dataset(dataset, args.path)
+    print(f"wrote {args.path} ({len(dataset.interfaces)} interfaces)")
+    return 0
+
+
+def _cmd_analyze(args) -> int:
+    if args.domain == "all":
+        print("analyze needs a single --domain", file=sys.stderr)
+        return 2
+    from repro.analysis import analyze_errors
+
+    config = WebIQConfig(
+        enable_surface=not args.baseline,
+        enable_attr_deep=not args.baseline,
+        enable_attr_surface=not args.baseline,
+    )
+    dataset = build_domain_dataset(args.domain, args.interfaces, args.seed)
+    result = WebIQMatcher(config).run(dataset)
+    report = analyze_errors(result.match_result, dataset)
+    m = report.metrics
+    print(f"{args.domain}: P={m.precision:.3f} R={m.recall:.3f} F1={m.f1:.3f}")
+    print(f"missed pairs: {report.total_missed} "
+          f"({report.missed_involving_no_instances} involve a no-instance "
+          f"attribute); wrong pairs: {report.total_wrong}")
+    if report.missed:
+        print("top missed:")
+        for error in report.top_missed(args.top):
+            print(f"  {error}")
+    if report.wrong:
+        print("top wrong:")
+        for error in report.top_wrong(args.top):
+            print(f"  {error}")
+    return 0
+
+
+def _cmd_figure(args) -> int:
+    from repro.experiments import ExperimentSuite, render_rows
+
+    suite = ExperimentSuite(seed=args.seed, n_interfaces=args.interfaces)
+    tables = {
+        "table1": (
+            ("domain", "#attr", "IntNoInst%", "AttrNoInst%", "ExpInst%"),
+            suite.table1_characteristics,
+        ),
+        "table1-acquisition": (
+            ("domain", "Surface%", "Surface+Deep%"),
+            suite.table1_acquisition,
+        ),
+        "figure6": (
+            ("domain", "baseline", "+WebIQ", "+threshold"),
+            suite.figure6,
+        ),
+        "figure7": (
+            ("domain", "baseline", "+Surface", "+Attr-Deep", "+Attr-Surface"),
+            suite.figure7,
+        ),
+        "figure8": (
+            ("domain", "matching", "Surface", "Attr-Surface", "Attr-Deep"),
+            suite.figure8,
+        ),
+    }
+    header, producer = tables[args.id]
+    print(render_rows(header, producer()))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

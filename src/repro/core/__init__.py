@@ -1,0 +1,53 @@
+"""WebIQ proper: instance acquisition from the Surface and Deep Web.
+
+The three components of the paper:
+
+- :mod:`repro.core.surface` — **Surface** (§2): discovers instances for an
+  attribute from the Surface Web by formulating extraction queries from its
+  label's syntax, extracting candidates from result snippets, removing
+  statistical outliers, and validating the rest by PMI co-occurrence.
+- :mod:`repro.core.attr_surface` — **Attr-Surface** (§3): borrows instances
+  from other attributes and validates them with a validation-based naive
+  Bayes classifier trained fully automatically.
+- :mod:`repro.core.attr_deep` — **Attr-Deep** (§4): validates borrowed
+  instances by probing the attribute's own Deep-Web source.
+
+:mod:`repro.core.acquisition` orchestrates them per the policy of §5, and
+:mod:`repro.core.pipeline` couples acquisition with the IceQ matcher to form
+the complete WebIQ + IceQ system evaluated in §6.
+"""
+
+from repro.core.surface import (
+    ExtractionQueryBuilder,
+    SnippetExtractor,
+    SurfaceConfig,
+    SurfaceDiscoverer,
+    WebValidator,
+)
+from repro.core.attr_surface import AttrSurfaceValidator, ValidationClassifier
+from repro.core.attr_deep import AttrDeepValidator
+from repro.core.acquisition import (
+    AcquisitionConfig,
+    AcquisitionRecord,
+    AcquisitionReport,
+    InstanceAcquirer,
+)
+from repro.core.pipeline import WebIQConfig, WebIQMatcher, WebIQRunResult
+
+__all__ = [
+    "ExtractionQueryBuilder",
+    "SnippetExtractor",
+    "SurfaceConfig",
+    "SurfaceDiscoverer",
+    "WebValidator",
+    "AttrSurfaceValidator",
+    "ValidationClassifier",
+    "AttrDeepValidator",
+    "AcquisitionConfig",
+    "AcquisitionRecord",
+    "AcquisitionReport",
+    "InstanceAcquirer",
+    "WebIQConfig",
+    "WebIQMatcher",
+    "WebIQRunResult",
+]

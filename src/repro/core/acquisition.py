@@ -1,0 +1,366 @@
+"""Instance-acquisition orchestration (paper §5, "Instance Acquisition").
+
+For every attribute ``X1`` across all interfaces:
+
+1. If ``X1`` has **no** instances: gather from the Surface Web (Surface).
+   a. If at least ``k`` instances were gathered, stop.
+   b. Otherwise borrow from other attributes and validate via the Deep Web
+      (Attr-Deep) — not via the Surface Web, which already failed.
+2. If ``X1`` has pre-defined instances: borrow and validate via the Surface
+   Web (Attr-Surface) — the Deep Web cannot be used because a SELECT widget
+   physically rejects foreign values.
+
+Borrowing is restricted to donors "whose domains are deemed potentially
+similar": in case 1, donors with similar labels whose domain differs from
+every other attribute on ``X1``'s interface; in case 2, donors sharing at
+least two very similar values with ``X1``.
+
+Implementation note: the paper iterates attributes one by one; we run the
+Surface step for *all* attributes before any borrowing, so that every
+Surface-acquired instance set is available as a donor regardless of
+iteration order. This keeps results order-independent and matches the
+paper's intent (donors in its examples already have instances).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.core.attr_deep import AttrDeepValidator
+from repro.core.attr_surface import AttrSurfaceValidator, ClassifierConfig
+from repro.core.surface import SurfaceConfig, SurfaceDiscoverer, WebValidator
+from repro.deepweb.models import Attribute, QueryInterface
+from repro.deepweb.source import DeepWebSource
+from repro.matching.similarity import label_similarity, value_similarity, values_similar
+from repro.surfaceweb.engine import SearchEngine
+
+__all__ = [
+    "AcquisitionConfig",
+    "AcquisitionRecord",
+    "AcquisitionReport",
+    "InstanceAcquirer",
+]
+
+AttrKey = Tuple[str, str]
+
+
+@dataclass(frozen=True)
+class AcquisitionConfig:
+    """Policy knobs of §5."""
+
+    #: success bar: "if WebIQ obtains at least 10 instances, then the
+    #: acquisition process is deemed successful"
+    k: int = 10
+    #: minimum label similarity for a case-1 donor
+    label_sim_threshold: float = 0.3
+    #: a case-1 donor is rejected if its domain overlaps any other attribute
+    #: of X1's interface more than this
+    domain_dissimilar_max: float = 0.3
+    #: case-2 condition: "at least two values, one from each domain, which
+    #: are very similar"
+    min_similar_values: int = 2
+    #: donors tried per attribute (bounds probing/validation cost)
+    max_donors: int = 4
+    #: donors tried per pre-defined attribute in case 2 (each costs many
+    #: validation queries: Attr-Surface is the most query-hungry component)
+    case2_max_donors: int = 2
+    #: a case-2 donor whose domain already overlaps X1's this much is skipped:
+    #: borrowing from it cannot make the domains noticeably more similar
+    case2_skip_overlap: float = 0.5
+    #: cap on values added to a pre-defined attribute by Attr-Surface
+    max_borrow_enrichment: int = 12
+    surface: SurfaceConfig = field(default_factory=SurfaceConfig)
+    classifier: ClassifierConfig = field(default_factory=ClassifierConfig)
+
+
+@dataclass
+class AcquisitionRecord:
+    """What happened for one attribute during acquisition."""
+
+    interface_id: str
+    attribute: str
+    label: str
+    had_instances: bool
+    n_after_surface: int = 0
+    n_after_borrow: int = 0
+    surface_attempted: bool = False
+    borrow_deep_attempted: bool = False
+    borrow_surface_attempted: bool = False
+
+    def success(self, k: int) -> bool:
+        return self.n_after_borrow >= k
+
+    def surface_success(self, k: int) -> bool:
+        return self.n_after_surface >= k
+
+
+@dataclass
+class AcquisitionReport:
+    """Per-attribute records plus per-component query accounting."""
+
+    records: List[AcquisitionRecord] = field(default_factory=list)
+    surface_queries: int = 0
+    attr_surface_queries: int = 0
+    attr_deep_probes: int = 0
+    k: int = 10
+
+    def record_for(self, interface_id: str, attribute: str) -> AcquisitionRecord:
+        for record in self.records:
+            if record.interface_id == interface_id and record.attribute == attribute:
+                return record
+        raise KeyError((interface_id, attribute))
+
+    def _no_instance_records(self) -> List[AcquisitionRecord]:
+        return [r for r in self.records if not r.had_instances]
+
+    @property
+    def surface_success_rate(self) -> float:
+        """Table 1 column 6: Surface-only success over no-instance attributes."""
+        targets = self._no_instance_records()
+        if not targets:
+            return 0.0
+        return 100.0 * sum(r.surface_success(self.k) for r in targets) / len(targets)
+
+    @property
+    def final_success_rate(self) -> float:
+        """Table 1 column 7: Surface + Deep success over no-instance attributes."""
+        targets = self._no_instance_records()
+        if not targets:
+            return 0.0
+        return 100.0 * sum(r.success(self.k) for r in targets) / len(targets)
+
+
+class InstanceAcquirer:
+    """Runs the §5 acquisition policy over a set of interfaces."""
+
+    def __init__(
+        self,
+        engine: SearchEngine,
+        sources: Dict[str, DeepWebSource],
+        config: AcquisitionConfig = AcquisitionConfig(),
+    ) -> None:
+        self.engine = engine
+        self.sources = sources
+        self.config = config
+        self._interfaces: List[QueryInterface] = []
+        self._discoverer = SurfaceDiscoverer(engine, config.surface)
+        self._web_validator = WebValidator(engine)
+        self._attr_surface = AttrSurfaceValidator(
+            self._web_validator, config.classifier
+        )
+        self._attr_deep = AttrDeepValidator(sources)
+
+    def acquire(
+        self,
+        interfaces: Sequence[QueryInterface],
+        domain_keywords: Sequence[str] = (),
+        object_name: str = "object",
+        enable_surface: bool = True,
+        enable_attr_deep: bool = True,
+        enable_attr_surface: bool = True,
+    ) -> AcquisitionReport:
+        """Acquire instances for every attribute; mutates ``attr.acquired``."""
+        self._interfaces = list(interfaces)
+        report = AcquisitionReport(k=self.config.k)
+        for interface in interfaces:
+            for attribute in interface.attributes:
+                report.records.append(
+                    AcquisitionRecord(
+                        interface_id=interface.interface_id,
+                        attribute=attribute.name,
+                        label=attribute.label,
+                        had_instances=attribute.has_instances,
+                    )
+                )
+
+        if enable_surface:
+            self._surface_phase(interfaces, domain_keywords, object_name, report)
+        else:
+            for record in report.records:
+                record.n_after_surface = 0
+        if enable_attr_deep:
+            self._borrow_deep_phase(interfaces, report)
+        if enable_attr_surface:
+            self._borrow_surface_phase(interfaces, report)
+
+        # Final instance counts for attributes no borrowing phase touched.
+        for interface in interfaces:
+            for attribute in interface.attributes:
+                record = report.record_for(interface.interface_id, attribute.name)
+                record.n_after_borrow = max(
+                    record.n_after_borrow, self._acquired_count(attribute)
+                )
+        return report
+
+    # ------------------------------------------------------------ phase 1
+    def _surface_phase(self, interfaces, domain_keywords, object_name,
+                       report: AcquisitionReport) -> None:
+        before = self.engine.query_count
+        for interface in interfaces:
+            for attribute in interface.attributes:
+                if attribute.has_instances:
+                    continue
+                record = report.record_for(interface.interface_id, attribute.name)
+                record.surface_attempted = True
+                result = self._discoverer.discover(
+                    attribute, domain_keywords, object_name
+                )
+                attribute.acquired.extend(result.instances)
+                record.n_after_surface = self._acquired_count(attribute)
+        report.surface_queries += self.engine.query_count - before
+
+    # ------------------------------------------------------------ phase 2
+    def _borrow_deep_phase(self, interfaces, report: AcquisitionReport) -> None:
+        probes_before = self._total_probes()
+        for interface in interfaces:
+            for attribute in interface.attributes:
+                if attribute.has_instances:
+                    continue  # pre-defined values: handled by Attr-Surface
+                record = report.record_for(interface.interface_id, attribute.name)
+                if record.n_after_surface >= self.config.k:
+                    record.n_after_borrow = record.n_after_surface
+                    continue  # step 1.a succeeded
+                record.borrow_deep_attempted = True
+                self._borrow_via_deep(interface, attribute)
+                record.n_after_borrow = self._acquired_count(attribute)
+        report.attr_deep_probes += self._total_probes() - probes_before
+
+    def _borrow_via_deep(self, interface: QueryInterface,
+                         attribute: Attribute) -> None:
+        donors = self._case1_donors(interface, attribute)
+        have = {v.lower() for v in attribute.all_instances()}
+        for donor in donors[: self.config.max_donors]:
+            if len(have) >= self.config.k:
+                break
+            values = [
+                v for v in donor.all_instances() if v.lower() not in have
+            ]
+            result = self._attr_deep.validate(
+                interface.interface_id, attribute.name, values
+            )
+            for value in result.accepted:
+                if value.lower() not in have:
+                    have.add(value.lower())
+                    attribute.acquired.append(value)
+
+    def _case1_donors(self, interface: QueryInterface,
+                      attribute: Attribute) -> List[Attribute]:
+        """Donors for a no-instance attribute (§5 case 1).
+
+        The donor's label must be similar to X1's, and its domain must
+        differ from every *other* attribute on X1's interface ("if Y and X1
+        have similar domains, it is very unlikely that Y has some
+        pre-defined values while X1 does not"). Note the rationale is about
+        *pre-defined* values, so only Y's pre-defined instances participate:
+        instances Y itself acquired from the Web say nothing about what the
+        interface designer pre-defined.
+        """
+        others = [
+            y for y in interface.attributes
+            if y.name != attribute.name and y.instances
+        ]
+        scored: List[Tuple[float, Attribute]] = []
+        for other_interface, donor in self._donor_candidates(interface):
+            sim = label_similarity(attribute.label, donor.label)
+            if sim < self.config.label_sim_threshold:
+                continue
+            donor_values = donor.all_instances()
+            if any(
+                value_similarity(donor_values, list(y.instances))
+                > self.config.domain_dissimilar_max
+                for y in others
+            ):
+                continue
+            scored.append((sim, donor))
+        scored.sort(key=lambda pair: (-pair[0], pair[1].label.lower()))
+        return [donor for _, donor in scored]
+
+    # ------------------------------------------------------------ phase 3
+    def _borrow_surface_phase(self, interfaces, report: AcquisitionReport) -> None:
+        before = self.engine.query_count
+        for interface in interfaces:
+            for attribute in interface.attributes:
+                if not attribute.has_instances:
+                    continue
+                record = report.record_for(interface.interface_id, attribute.name)
+                record.borrow_surface_attempted = True
+                self._borrow_via_surface(interface, attribute)
+                record.n_after_borrow = self._acquired_count(attribute)
+        report.attr_surface_queries += self.engine.query_count - before
+
+    def _borrow_via_surface(self, interface: QueryInterface,
+                            attribute: Attribute) -> None:
+        donors = self._case2_donors(interface, attribute)
+        if not donors:
+            return
+        classifier = self._attr_surface.build_classifier(attribute, interface)
+        if classifier is None:
+            return
+        have = {v.lower() for v in attribute.all_instances()}
+        added = 0
+        for donor in donors[: self.config.case2_max_donors]:
+            if added >= self.config.max_borrow_enrichment:
+                break
+            fresh = [v for v in donor.all_instances() if v.lower() not in have]
+            for value in self._attr_surface.validate(classifier, fresh):
+                if added >= self.config.max_borrow_enrichment:
+                    break
+                have.add(value.lower())
+                attribute.acquired.append(value)
+                added += 1
+
+    def _case2_donors(self, interface: QueryInterface,
+                      attribute: Attribute) -> List[Attribute]:
+        """Donors for a pre-defined attribute (§5 case 2): the domains share
+        at least ``min_similar_values`` very similar values."""
+        own = attribute.all_instances()
+        scored: List[Tuple[int, Attribute]] = []
+        for other_interface, donor in self._donor_candidates(interface):
+            donor_values = donor.all_instances()
+            if not donor_values:
+                continue
+            if (
+                value_similarity(own, donor_values)
+                >= self.config.case2_skip_overlap
+            ):
+                continue  # domains already similar: nothing to gain
+            overlap = _count_similar_values(own, donor_values)
+            if overlap >= self.config.min_similar_values:
+                scored.append((overlap, donor))
+        scored.sort(key=lambda pair: (-pair[0], pair[1].label.lower()))
+        return [donor for _, donor in scored]
+
+    # ------------------------------------------------------------- helpers
+    def _donor_candidates(self, interface: QueryInterface):
+        """Attributes whose instance sets are trustworthy donor domains.
+
+        Pre-defined SELECT values always qualify (however few — the
+        interface designer vouches for them). Acquired instance sets only
+        qualify when the acquisition *succeeded* (reached ``k``): a handful
+        of leftover candidates from a failed extraction is mostly noise and
+        would crowd out genuine donors.
+        """
+        for other in self._interfaces:
+            if other.interface_id == interface.interface_id:
+                continue
+            for donor in other.attributes:
+                if donor.has_instances or len(donor.acquired) >= self.config.k:
+                    yield other, donor
+
+    @staticmethod
+    def _acquired_count(attribute: Attribute) -> int:
+        return len(attribute.all_instances()) if not attribute.has_instances \
+            else len(attribute.acquired)
+
+    def _total_probes(self) -> int:
+        return sum(s.probe_count for s in self.sources.values())
+
+
+def _count_similar_values(values_a: Sequence[str], values_b: Sequence[str]) -> int:
+    """How many of ``values_a`` have a very similar partner in ``values_b``."""
+    count = 0
+    for a in values_a:
+        if any(values_similar(a, b) for b in values_b):
+            count += 1
+    return count

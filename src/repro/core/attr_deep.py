@@ -1,0 +1,95 @@
+"""Attr-Deep: validate borrowed instances via the Deep Web (paper §4).
+
+To verify that borrowed value ``x`` belongs to attribute ``A``, submit a
+probing query to ``A``'s source with ``A`` set to ``x`` and all other
+attributes at their defaults (empty), then analyse the response page. "In
+many cases the Deep-Web source will be able to distinguish instances of an
+attribute from non-instances even if the Surface Web cannot."
+
+To bound the number of probes, only a sample of the donor's instances is
+probed; "if the submission is successful for at least one third of the
+instances of B, then we assume that all instances of B are instances of A."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from repro.deepweb.response import analyze_response
+from repro.deepweb.source import DeepWebSource
+
+__all__ = ["AttrDeepResult", "AttrDeepValidator"]
+
+
+@dataclass(frozen=True)
+class AttrDeepResult:
+    """Outcome of validating one borrowed instance set against one source."""
+
+    accepted: List[str]
+    #: form submissions actually sent (cached repeats are free)
+    probes_issued: int
+    successes: int
+    #: borrowed values whose membership was checked (probed or cached)
+    sampled: int = 0
+
+    @property
+    def success_ratio(self) -> float:
+        return self.successes / self.sampled if self.sampled else 0.0
+
+
+class AttrDeepValidator:
+    """Probes Deep-Web sources to validate borrowed instance sets."""
+
+    def __init__(
+        self,
+        sources: Dict[str, DeepWebSource],
+        max_probes: int = 6,
+        accept_ratio: float = 1.0 / 3.0,
+    ) -> None:
+        if not 0.0 < accept_ratio <= 1.0:
+            raise ValueError("accept_ratio must be in (0, 1]")
+        self._sources = sources
+        self._max_probes = max_probes
+        self._accept_ratio = accept_ratio
+        # Probe memo: multiple donors offer overlapping value sets, and a
+        # form submission is idempotent, so each (source, attribute, value)
+        # probe is paid for once.
+        self._probe_cache: Dict[tuple, bool] = {}
+
+    def validate(
+        self,
+        interface_id: str,
+        attribute_name: str,
+        borrowed: Sequence[str],
+    ) -> AttrDeepResult:
+        """All-or-nothing validation of a donor's instance set.
+
+        Probes up to ``max_probes`` of the borrowed values; if the success
+        ratio reaches ``accept_ratio``, the whole set is accepted (paper's
+        ≥1/3 rule), otherwise nothing is.
+        """
+        borrowed = [b for b in borrowed if b and b.strip()]
+        if not borrowed:
+            return AttrDeepResult([], 0, 0, 0)
+        source = self._sources.get(interface_id)
+        if source is None:
+            return AttrDeepResult([], 0, 0, 0)
+
+        sample = borrowed[: self._max_probes]
+        successes = 0
+        probes_issued = 0
+        for value in sample:
+            key = (interface_id, attribute_name, value.lower())
+            if key not in self._probe_cache:
+                page = source.submit({attribute_name: value})
+                probes_issued += 1
+                self._probe_cache[key] = analyze_response(page.text).success
+            if self._probe_cache[key]:
+                successes += 1
+        accepted = (
+            list(borrowed)
+            if successes / len(sample) >= self._accept_ratio
+            else []
+        )
+        return AttrDeepResult(accepted, probes_issued, successes, len(sample))

@@ -1,0 +1,501 @@
+"""The Surface component: discover instances from the Surface Web (paper §2).
+
+Pipeline (Figure 3): analyse the label's syntax → formulate extraction
+queries → pose them to the search engine and extract instance candidates
+from result snippets → remove statistical outliers → validate the remaining
+candidates by their Web co-occurrence with the label (PMI) → return the
+top-k.
+
+Instance discovery is treated as question answering: an extraction query is
+an incomplete sentence ("departure cities such as") that the Web completes
+with instances.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.deepweb.models import Attribute, QueryInterface
+from repro.stats.outliers import discordancy_outliers, parse_numeric
+from repro.stats.pmi import mean_pmi, pmi
+from repro.surfaceweb.engine import SearchEngine
+from repro.text.labels import LabelAnalysis, NounPhrase, analyze_label, clean_label
+from repro.text.postag import BrillTagger, TaggedToken, default_tagger
+
+__all__ = [
+    "SurfaceConfig",
+    "ExtractionQuery",
+    "ExtractionQueryBuilder",
+    "SnippetExtractor",
+    "WebValidator",
+    "SurfaceDiscoverer",
+    "SurfaceResult",
+]
+
+
+class Completion(enum.Enum):
+    """Where a pattern's completion sits relative to its cue phrase."""
+
+    AFTER = "after"
+    BEFORE = "before"
+
+
+@dataclass(frozen=True)
+class ExtractionQuery:
+    """One materialised extraction query.
+
+    ``query`` is the full search-engine string (quoted cue + ``+keywords``);
+    ``cue_words`` the lower-cased cue-phrase words the extraction rule will
+    look for in snippets; ``is_set`` distinguishes set patterns (s1-s4, list
+    completions) from singleton patterns (g1-g4, one NP).
+    """
+
+    query: str
+    cue_words: Tuple[str, ...]
+    completion: Completion
+    is_set: bool
+    pattern: str
+
+
+@dataclass(frozen=True)
+class SurfaceConfig:
+    """Knobs of the Surface component (paper defaults where stated)."""
+
+    #: target number of instances ("returns up to k instances"; §6 counts an
+    #: acquisition successful when at least 10 instances are obtained)
+    k: int = 10
+    #: snippets downloaded per extraction query ("top k snippets")
+    snippets_per_query: int = 10
+    #: discordancy threshold in standard deviations
+    sigma: float = 3.0
+    #: fraction of candidates that must be numeric to call the domain numeric
+    numeric_majority: float = 0.8
+    #: minimum mean-PMI validation score for a candidate to survive
+    min_score: float = 0.0
+    #: longest candidate accepted (characters); guards against parse runaway
+    max_candidate_chars: int = 40
+    #: maximum NPs read off one completion list
+    max_list_items: int = 8
+    #: at most this many candidates enter Web validation (each one costs
+    #: several search-engine queries); extras are dropped in extraction order
+    max_validated_candidates: int = 25
+    #: disable the discordancy-test stage (ablation; the paper keeps it on)
+    enable_outlier_removal: bool = True
+    #: candidate scoring: "pmi" (the paper's) or "hits" (raw joint hit
+    #: counts — the alternative the paper rejects for its popularity bias)
+    scoring: str = "pmi"
+
+
+# ---------------------------------------------------------------------------
+# Extraction-query formulation (paper §2.1, Figure 4)
+# ---------------------------------------------------------------------------
+
+class ExtractionQueryBuilder:
+    """Materialises the extraction patterns for an attribute's noun phrases.
+
+    Set patterns::
+
+        s1: Ls such as NP1, ..., NPn      s3: Ls including NP1, ..., NPn
+        s2: such Ls as NP1, ..., NPn      s4: NP1, ..., NPn, and other Ls
+
+    Singleton patterns::
+
+        g1: the L of the O is NP          g3: NP is the L of the O
+        g2: the L is NP                   g4: NP is the L
+
+    Domain information (the domain and object names, per §2.1) is attached
+    as ``+keyword`` filters to narrow the queries' scope.
+    """
+
+    def build(
+        self,
+        analysis: LabelAnalysis,
+        domain_keywords: Sequence[str] = (),
+        object_name: str = "object",
+    ) -> List[ExtractionQuery]:
+        """All extraction queries for a label analysis (empty if no NP)."""
+        queries: List[ExtractionQuery] = []
+        suffix = "".join(f" +{kw}" for kw in domain_keywords)
+        for np in analysis.noun_phrases:
+            plural = np.plural
+            singular = np.text
+            cues = [
+                (f"{plural} such as", Completion.AFTER, True, "s1"),
+                (f"such {plural} as", Completion.AFTER, True, "s2"),
+                (f"{plural} including", Completion.AFTER, True, "s3"),
+                (f"and other {plural}", Completion.BEFORE, True, "s4"),
+                (f"the {singular} of the {object_name} is",
+                 Completion.AFTER, False, "g1"),
+                (f"the {singular} is", Completion.AFTER, False, "g2"),
+                (f"is the {singular} of the {object_name}",
+                 Completion.BEFORE, False, "g3"),
+                (f"is the {singular}", Completion.BEFORE, False, "g4"),
+            ]
+            for cue, completion, is_set, pattern in cues:
+                queries.append(
+                    ExtractionQuery(
+                        query=f'"{cue}"{suffix}',
+                        cue_words=tuple(cue.lower().split()),
+                        completion=completion,
+                        is_set=is_set,
+                        pattern=pattern,
+                    )
+                )
+        return queries
+
+
+# ---------------------------------------------------------------------------
+# Snippet extraction rules (paper §2.1, "Extract Instances")
+# ---------------------------------------------------------------------------
+
+_LIST_SEPARATORS = {",", ";"}
+_LIST_CONJUNCTIONS = {"and", "or"}
+#: words that end a completion list even where an NP could syntactically start
+_LIST_STOPWORDS = {"other", "such", "more", "many", "all", "these", "those"}
+
+
+class SnippetExtractor:
+    """Applies an extraction rule to one snippet: find the cue phrase, then
+    read the completion NP (or NP list) off the surrounding text."""
+
+    def __init__(self, tagger: Optional[BrillTagger] = None) -> None:
+        self._tagger = tagger or default_tagger()
+
+    def extract(self, snippet: str, query: ExtractionQuery) -> List[str]:
+        """Instance candidates from ``snippet`` for ``query`` (may be empty)."""
+        tokens = self._tagger.tag(snippet)
+        positions = _find_cue(tokens, query.cue_words)
+        candidates: List[str] = []
+        for pos in positions:
+            if query.completion is Completion.AFTER:
+                start = pos + len(query.cue_words)
+                candidates.extend(
+                    self._read_list(tokens, start)
+                    if query.is_set
+                    else self._read_one(tokens, start)
+                )
+            else:
+                candidates.extend(self._read_before(tokens, pos))
+        return candidates
+
+    # -------------------------------------------------------------- helpers
+    def _read_list(self, tokens: Sequence[TaggedToken], start: int,
+                   max_items: int = 8) -> List[str]:
+        from repro.text.chunker import noun_phrase_at
+
+        out: List[str] = []
+        i = start
+        n = len(tokens)
+        while i < n and len(out) < max_items:
+            if tokens[i].word.lower() in _LIST_STOPWORDS:
+                break
+            np = noun_phrase_at(tokens, i, allow_postmodifier=False)
+            if np is None:
+                break
+            out.append(" ".join(t.word for t in tokens[np.start:np.end]))
+            i = np.end
+            # A list continues over ", " and "and"/"or" separators only.
+            progressed = False
+            if i < n and tokens[i].word in _LIST_SEPARATORS:
+                i += 1
+                progressed = True
+            if i < n and tokens[i].word.lower() in _LIST_CONJUNCTIONS:
+                i += 1
+                progressed = True
+            if not progressed:
+                break
+        return out
+
+    def _read_one(self, tokens: Sequence[TaggedToken], start: int) -> List[str]:
+        from repro.text.chunker import noun_phrase_at
+
+        np = noun_phrase_at(tokens, start, allow_postmodifier=False)
+        if np is None:
+            return []
+        return [" ".join(t.word for t in tokens[np.start:np.end])]
+
+    def _read_before(self, tokens: Sequence[TaggedToken], cue_start: int) -> List[str]:
+        """The NP that ends right where the cue phrase begins (s4/g3/g4).
+
+        A trailing comma before the cue is tolerated: s4's surface form is
+        "NP1, ..., NPn, and other Ls".
+        """
+        from repro.text.chunker import noun_phrase_at
+
+        end = cue_start
+        if end > 0 and tokens[end - 1].word == ",":
+            end -= 1
+        for start in range(max(0, end - 6), end):
+            np = noun_phrase_at(tokens, start, allow_postmodifier=False)
+            if np is not None and np.end == end:
+                return [" ".join(t.word for t in tokens[np.start:np.end])]
+        return []
+
+
+def _find_cue(tokens: Sequence[TaggedToken], cue: Tuple[str, ...]) -> List[int]:
+    """Start indices of the cue word sequence in the token stream.
+
+    Matching skips nothing: the cue must appear as consecutive word tokens
+    (punctuation between cue words breaks the match, as it should).
+    """
+    words = [t.word.lower() for t in tokens]
+    hits = []
+    for i in range(len(words) - len(cue) + 1):
+        if all(words[i + j] == cue[j] for j in range(len(cue))):
+            hits.append(i)
+    return hits
+
+
+# ---------------------------------------------------------------------------
+# Web validation (paper §2.2, "Validate Instances via Surface Web")
+# ---------------------------------------------------------------------------
+
+class WebValidator:
+    """PMI-based validation of instance candidates against their attribute.
+
+    For candidate ``x`` of attribute ``A`` with validation phrases
+    ``V1..Vn``::
+
+        PMI(Vi, x) = NumHits(Vi + x) / (NumHits(Vi) * NumHits(x))
+
+    and the confidence score is the mean over the phrases. Phrase types:
+
+    - the *proximity pattern* "L x" — the label immediately followed by the
+      candidate ("make honda"), posed as an exact phrase query;
+    - *cue-phrase patterns* "Ls such as x" / "such Ls as x", posed as a
+      phrase-plus-keyword co-occurrence query (``"Ls such as" +x`` with a
+      small window) — the candidate may sit anywhere in the completion list
+      that follows the cue, not only in first position.
+
+    Marginal hit counts are cached per phrase and per candidate, which is a
+    large part of why the two-phase design "greatly reduces the number of
+    validation queries posed to search engines".
+    """
+
+    #: window (words) within which a cue phrase and a candidate must co-occur
+    CUE_WINDOW = 12
+
+    def __init__(self, engine: SearchEngine, scoring: str = "pmi") -> None:
+        if scoring not in ("pmi", "hits"):
+            raise ValueError(f"unknown scoring {scoring!r}")
+        self._engine = engine
+        self.scoring = scoring
+        self._phrase_hits: Dict[str, int] = {}
+        self._candidate_hits: Dict[str, int] = {}
+        self._joint_hits: Dict[Tuple[str, str, int], int] = {}
+
+    def validation_phrases(self, label: str,
+                           analysis: Optional[LabelAnalysis] = None) -> List[str]:
+        """The validation phrases of an attribute.
+
+        The first phrase is always the (cleaned) label — the proximity
+        pattern; subsequent phrases are cue phrases built from the label's
+        first noun phrase.
+        """
+        analysis = analysis or analyze_label(label)
+        phrases = [clean_label(label).lower()]
+        if analysis.noun_phrases:
+            plural = analysis.noun_phrases[0].plural
+            phrases.append(f"{plural} such as")
+            phrases.append(f"such {plural} as")
+        return [p for p in phrases if p]
+
+    def score_vector(self, phrases: Sequence[str], candidate: str) -> List[float]:
+        """PMI of ``candidate`` against each validation phrase.
+
+        The first phrase (the label) is scored with the adjacency query
+        "L x"; the cue phrases are scored with windowed co-occurrence.
+        """
+        hits_x = self.candidate_hits(candidate)
+        vector = []
+        for i, phrase in enumerate(phrases):
+            hits_v = self._hits_phrase(phrase)
+            joint = self._joint(phrase, candidate, proximity=i != 0)
+            if self.scoring == "hits":
+                vector.append(float(joint))
+            else:
+                vector.append(pmi(joint, hits_v, hits_x))
+        return vector
+
+    def _joint(self, phrase: str, candidate: str, proximity: bool) -> int:
+        """Cached joint hit count for one validation query.
+
+        The same (phrase, candidate) queries recur constantly — every
+        classifier trained for the same concept scores the same popular
+        instances — so joints are cached like the marginals. A deployed
+        system would cache these search-engine round trips identically.
+        """
+        key = (phrase, candidate.lower(), int(proximity))
+        if key not in self._joint_hits:
+            if proximity:
+                count = self._engine.num_hits_proximity(
+                    phrase, candidate, window=self.CUE_WINDOW)
+            else:
+                count = self._engine.num_hits(f'"{phrase} {candidate}"')
+            self._joint_hits[key] = count
+        return self._joint_hits[key]
+
+    def confidence(self, phrases: Sequence[str], candidate: str) -> float:
+        """Mean PMI across phrases — the candidate's validation score."""
+        return mean_pmi(self.score_vector(phrases, candidate))
+
+    def _hits_phrase(self, phrase: str) -> int:
+        if phrase not in self._phrase_hits:
+            self._phrase_hits[phrase] = self._engine.num_hits(f'"{phrase}"')
+        return self._phrase_hits[phrase]
+
+    def candidate_hits(self, candidate: str) -> int:
+        """Cached NumHits of a candidate (its popularity marginal)."""
+        low = candidate.lower()
+        if low not in self._candidate_hits:
+            self._candidate_hits[low] = self._engine.num_hits(f'"{low}"')
+        return self._candidate_hits[low]
+
+
+# ---------------------------------------------------------------------------
+# The Surface discoverer: the full two-phase pipeline of Figure 3
+# ---------------------------------------------------------------------------
+
+@dataclass
+class SurfaceResult:
+    """Outcome of Surface discovery for one attribute."""
+
+    attribute_label: str
+    instances: List[str]
+    #: candidates after extraction, before any pruning
+    raw_candidates: List[str]
+    #: candidates removed as the wrong type or as discordant outliers
+    outliers: List[str]
+    #: search-engine queries consumed (extraction + validation)
+    queries_used: int
+    numeric_domain: bool
+
+    @property
+    def succeeded(self) -> bool:
+        """Did discovery find anything at all?"""
+        return bool(self.instances)
+
+
+class SurfaceDiscoverer:
+    """End-to-end Surface instance discovery for interface attributes."""
+
+    def __init__(
+        self,
+        engine: SearchEngine,
+        config: SurfaceConfig = SurfaceConfig(),
+        tagger: Optional[BrillTagger] = None,
+    ) -> None:
+        self.engine = engine
+        self.config = config
+        self._builder = ExtractionQueryBuilder()
+        self._extractor = SnippetExtractor(tagger)
+        self._validator = WebValidator(engine, scoring=config.scoring)
+
+    def discover(
+        self,
+        attribute: Attribute,
+        domain_keywords: Sequence[str] = (),
+        object_name: str = "object",
+    ) -> SurfaceResult:
+        """Run extraction + verification for one attribute's label."""
+        queries_before = self.engine.query_count
+        analysis = analyze_label(attribute.label)
+        if not analysis.has_noun_phrase:
+            # §2.1: "If the label does not contain noun phrases, the
+            # extraction phase terminates and returns an empty set."
+            return SurfaceResult(attribute.label, [], [], [], 0, False)
+
+        candidates = self._extract(analysis, domain_keywords, object_name)
+        numeric = self._is_numeric_domain(candidates)
+        if self.config.enable_outlier_removal:
+            typed = self._filter_type(candidates, numeric)
+            result = discordancy_outliers(typed, numeric, self.config.sigma)
+            survivors = list(result.inliers)
+        else:
+            survivors = list(candidates)
+        removed = [c for c in candidates if c not in survivors]
+
+        instances = self._validate(attribute.label, analysis, survivors)
+        return SurfaceResult(
+            attribute_label=attribute.label,
+            instances=instances,
+            raw_candidates=candidates,
+            outliers=removed,
+            queries_used=self.engine.query_count - queries_before,
+            numeric_domain=numeric,
+        )
+
+    # ------------------------------------------------------------ internals
+    def _extract(self, analysis: LabelAnalysis,
+                 domain_keywords: Sequence[str], object_name: str) -> List[str]:
+        seen: Set[str] = set()
+        ordered: List[str] = []
+        label_low = clean_label(analysis.label).lower()
+        for query in self._builder.build(analysis, domain_keywords, object_name):
+            results = self.engine.search(
+                query.query, max_results=self.config.snippets_per_query
+            )
+            for hit in results:
+                for candidate in self._extractor.extract(hit.snippet, query):
+                    cleaned = candidate.strip()
+                    low = cleaned.lower()
+                    if (
+                        not cleaned
+                        or len(cleaned) > self.config.max_candidate_chars
+                        or low == label_low
+                        or low in seen
+                    ):
+                        continue
+                    seen.add(low)
+                    ordered.append(cleaned)
+        return ordered
+
+    def _is_numeric_domain(self, candidates: Sequence[str]) -> bool:
+        if not candidates:
+            return False
+        numeric = sum(1 for c in candidates if _is_numeric(c))
+        return numeric / len(candidates) >= self.config.numeric_majority
+
+    def _filter_type(self, candidates: Sequence[str], numeric: bool) -> List[str]:
+        if not numeric:
+            return list(candidates)
+        return [c for c in candidates if _is_numeric(c)]
+
+    def _validate(self, label: str, analysis: LabelAnalysis,
+                  candidates: Sequence[str]) -> List[str]:
+        candidates = self._cap_candidates(candidates)
+        phrases = self._validator.validation_phrases(label, analysis)
+        scored = [
+            (self._validator.confidence(phrases, c), c) for c in candidates
+        ]
+        scored = [(s, c) for s, c in scored if s > self.config.min_score]
+        scored.sort(key=lambda pair: (-pair[0], pair[1].lower()))
+        return [c for _, c in scored[: self.config.k]]
+
+    def _cap_candidates(self, candidates: Sequence[str]) -> List[str]:
+        """Bound the validation workload to the most popular candidates.
+
+        Each validated candidate costs several search-engine queries, so
+        only ``max_validated_candidates`` enter validation. Popularity
+        (cached hit counts — one query per *distinct* candidate across the
+        whole run) decides who makes the cut, keeping the candidate subset
+        stable across differently-labelled attributes of one concept.
+        """
+        candidates = list(candidates)
+        if len(candidates) <= self.config.max_validated_candidates:
+            return candidates
+        by_popularity = sorted(
+            candidates,
+            key=lambda c: (-self._validator.candidate_hits(c), c.lower()),
+        )
+        return by_popularity[: self.config.max_validated_candidates]
+
+
+def _is_numeric(value: str) -> bool:
+    try:
+        parse_numeric(value)
+    except ValueError:
+        return False
+    return True

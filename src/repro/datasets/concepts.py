@@ -1,0 +1,610 @@
+"""Per-domain concept definitions: the semantic classes attributes belong to.
+
+A *concept* is one semantic attribute class of a domain — "origin city",
+"airline", "car make". Every generated interface attribute instantiates a
+concept by sampling one of its label variants and (with the concept's
+``select_prob``) a SELECT widget carrying pre-defined values. Two attributes
+match in the ground truth iff they share a concept.
+
+The concept parameters are the levers that reproduce the paper's per-domain
+difficulty profile (Table 1 and §6):
+
+- ``label_variants`` control *label syntax*: a weight-0.3 variant ``From``
+  yields a bare preposition that defeats extraction-query formulation, which
+  is why the airfare domain's Surface success rate is lowest;
+- ``select_prob`` controls how often attributes come with pre-defined
+  instances (Table 1 columns 3-4);
+- ``findable`` marks attributes whose instances one cannot expect on the Web
+  (generic fields like ``keywords``; Table 1 column 5);
+- ``web_richness``/``pollution`` control how many Hearst-pattern sentences
+  the synthetic corpus carries for the concept and how noisy they are
+  (ambiguous labels like ``zip`` get poor, polluted coverage);
+- ``value_pools`` split a concept's value domain across interfaces (the
+  paper's North-American vs European airline example).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.datasets import vocab
+from repro.util.errors import UnknownDomainError
+
+__all__ = ["LabelVariant", "Concept", "DomainSpec", "domain_concepts", "DOMAINS",
+           "domain_spec"]
+
+#: The five ICQ domains, in the paper's order.
+DOMAINS: Tuple[str, ...] = ("airfare", "auto", "book", "job", "realestate")
+
+
+@dataclass(frozen=True)
+class LabelVariant:
+    """One way interfaces spell a concept's label, with a sampling weight.
+
+    ``select_prob``, when set, overrides the concept-level SELECT probability
+    for attributes carrying this label. Variants with ``select_prob = 0.0``
+    are always free-text: they model the paper's hard cases — labels like
+    ``Carrier`` or ``Brand`` that share no word with their concept-mates and
+    come with no instances, so only acquired instances can link them.
+    """
+
+    label: str
+    weight: float = 1.0
+    select_prob: Optional[float] = None
+    #: pin this variant's SELECT values to one value pool (the paper's
+    #: "Carrier lists mostly European airliners" bias); None = random pool
+    pool: Optional[int] = None
+
+
+@dataclass(frozen=True)
+class Concept:
+    """One semantic attribute class of a domain (see module docstring)."""
+
+    name: str
+    values: Tuple[str, ...]
+    label_variants: Tuple[LabelVariant, ...]
+    numeric: bool = False
+    #: probability the concept appears on a generated interface
+    presence: float = 1.0
+    #: probability an occurrence is a SELECT widget with pre-defined values
+    select_prob: float = 0.0
+    #: (min, max) number of pre-defined values a SELECT occurrence shows
+    select_count: Tuple[int, int] = (5, 9)
+    #: optional per-interface value pools (e.g. NA vs EU airlines); when set,
+    #: each SELECT occurrence samples from one pool, while the recognised
+    #: domain stays the union
+    value_pools: Optional[Tuple[Tuple[str, ...], ...]] = None
+    #: can instances reasonably be found on the (real) Web? (Table 1 col. 5)
+    findable: bool = True
+    #: pattern documents generated per extraction phrase (0 = none)
+    web_richness: int = 8
+    #: fraction of pattern sentences whose completions are distractor junk
+    pollution: float = 0.0
+    #: "Label: value" listing documents generated for the concept
+    proximity_docs: int = 6
+    #: singular extraction phrases with no Hearst-pattern coverage on the
+    #: synthetic Web (e.g. "employer": people rarely write "employers such
+    #: as IBM"); extraction queries for them come back empty, so attributes
+    #: with only these phrases must be rescued by borrowing
+    poor_phrases: Tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.values:
+            raise ValueError(f"concept {self.name} has no values")
+        if not self.label_variants:
+            raise ValueError(f"concept {self.name} has no label variants")
+        if not 0.0 <= self.presence <= 1.0:
+            raise ValueError(f"presence out of range for {self.name}")
+        if not 0.0 <= self.select_prob <= 1.0:
+            raise ValueError(f"select_prob out of range for {self.name}")
+        if not 0.0 <= self.pollution <= 1.0:
+            raise ValueError(f"pollution out of range for {self.name}")
+
+    def pool_values(self, pool_index: int) -> Tuple[str, ...]:
+        """Values of one pool (or the whole domain when pools are unused)."""
+        if self.value_pools is None:
+            return self.values
+        return self.value_pools[pool_index % len(self.value_pools)]
+
+
+@dataclass(frozen=True)
+class DomainSpec:
+    """A domain: its name, queried object, and concept inventory.
+
+    ``display_name`` is the human phrase used in corpus text and as the
+    domain keyword of extraction queries ("real estate" for the
+    ``realestate`` domain).
+    """
+
+    name: str
+    object_name: str
+    concepts: Tuple[Concept, ...]
+    display_name: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.display_name:
+            object.__setattr__(self, "display_name", self.name)
+
+    def keyword_terms(self) -> Tuple[str, ...]:
+        """Domain-information keywords for extraction queries (paper §2.1)."""
+        terms = []
+        for word in (self.display_name + " " + self.object_name).split():
+            low = word.lower()
+            if low not in terms:
+                terms.append(low)
+        return tuple(terms)
+
+    def concept(self, name: str) -> Concept:
+        for concept in self.concepts:
+            if concept.name == name:
+                return concept
+        raise KeyError(f"no concept {name!r} in domain {self.name}")
+
+
+def _lv(*pairs) -> Tuple[LabelVariant, ...]:
+    """Build label variants from (label, weight[, select_prob]) tuples."""
+    return tuple(LabelVariant(*pair) for pair in pairs)
+
+
+# ---------------------------------------------------------------------------
+# Airfare: many attributes are free-text with prepositional / verbal labels
+# ("From", "Depart from"), which defeats Surface extraction (19% success in
+# the paper) but is rescued by Deep-Web validation (81.1%).
+# ---------------------------------------------------------------------------
+
+# Origins and destinations draw on overlapping but differently-ranked city
+# vocabularies: the Web talks about departure cities in home-city terms
+# (Boston, Chicago, ...) and about destinations in vacation terms (London,
+# Cancun, ...). The rank order drives the Zipf popularity of corpus
+# sampling, so the *acquired* top-k instance sets of the two concepts end
+# up distinct — matching reality, and keeping the concepts separable.
+_ORIGIN_CITIES = vocab.US_CITIES + vocab.WORLD_CITIES[:10]
+_DESTINATION_CITIES = vocab.WORLD_CITIES + vocab.US_CITIES[:20]
+
+# Departure dates skew to month names, return dates to month-day strings —
+# the same rank-order trick keeps the two date concepts separable once
+# instances are acquired.
+_DEPARTURE_DATES = tuple(vocab.date_values())
+_RETURN_DATES = tuple(reversed(vocab.date_values()))
+
+# Shared airlines appear in both pools so that step 2's "at least two very
+# similar values" borrowing condition can fire (paper §5, case 2).
+_SHARED_AIRLINES = (
+    "United Airlines", "Lufthansa", "British Airways", "Air France",
+    "American Airlines", "Virgin Atlantic",
+)
+_NA_POOL = tuple(
+    dict.fromkeys(vocab.NORTH_AMERICAN_AIRLINES + _SHARED_AIRLINES)
+)
+_EU_POOL = tuple(
+    dict.fromkeys(vocab.EUROPEAN_AIRLINES + _SHARED_AIRLINES)
+)
+def _interleave(*pools):
+    """Merge pools alternating ranks: Web popularity is not continent-sorted,
+    so the corpus popularity order mixes NA and EU carriers."""
+    out = []
+    for rank in range(max(len(p) for p in pools)):
+        for pool in pools:
+            if rank < len(pool) and pool[rank] not in out:
+                out.append(pool[rank])
+    return tuple(out)
+
+
+_ALL_AIRLINES = _interleave(_NA_POOL, _EU_POOL)
+
+_AIRFARE = DomainSpec(
+    name="airfare",
+    object_name="flight",
+    concepts=(
+        Concept(
+            "origin_city", _ORIGIN_CITIES,
+            _lv(("From", 0.38), ("Leaving from", 0.17), ("Depart from", 0.13),
+                ("Origin", 0.10), ("Departure city", 0.08), ("From city", 0.14)),
+            presence=1.0, select_prob=0.0, web_richness=10, proximity_docs=10,
+        ),
+        Concept(
+            "destination_city", _DESTINATION_CITIES,
+            _lv(("To", 0.38), ("Going to", 0.17), ("Arrive at", 0.10),
+                ("Destination", 0.11), ("Arrival city", 0.10),
+                ("To city", 0.14)),
+            presence=1.0, select_prob=0.0, web_richness=10, proximity_docs=10,
+        ),
+        Concept(
+            "departure_date", _DEPARTURE_DATES,
+            _lv(("Depart on", 0.36), ("Departing", 0.26), ("Leave on", 0.20),
+                ("Departure date", 0.11), ("Departure", 0.07)),
+            presence=1.0, select_prob=0.5, select_count=(6, 12),
+            web_richness=5, proximity_docs=8,
+        ),
+        Concept(
+            "return_date", _RETURN_DATES,
+            _lv(("Return on", 0.38), ("Returning", 0.26), ("Come back on", 0.18),
+                ("Return date", 0.11), ("Return", 0.07)),
+            presence=0.95, select_prob=0.5, select_count=(6, 12),
+            web_richness=5, proximity_docs=8,
+        ),
+        Concept(
+            "passengers", tuple(vocab.count_values(1, 6)),
+            _lv(("Passengers", 0.35), ("Number of passengers", 0.25),
+                ("Adults", 0.25), ("Travelers", 0.15)),
+            numeric=True, presence=0.95, select_prob=0.97, select_count=(4, 6),
+            web_richness=2, proximity_docs=4,
+        ),
+        Concept(
+            "children", tuple(vocab.count_values(0, 5)),
+            _lv(("Children", 0.6), ("Number of children", 0.4)),
+            numeric=True, presence=0.7, select_prob=0.97, select_count=(4, 6),
+            web_richness=1, proximity_docs=3,
+        ),
+        Concept(
+            "cabin_class", vocab.CABIN_CLASSES,
+            _lv(("Class", 0.3), ("Class of service", 0.3), ("Cabin", 0.2),
+                ("Service class", 0.2)),
+            presence=0.95, select_prob=0.97, select_count=(3, 5),
+            web_richness=4, proximity_docs=6,
+        ),
+        Concept(
+            "airline", _ALL_AIRLINES,
+            (LabelVariant("Airline", 0.45, pool=0),
+             LabelVariant("Carrier", 0.3, pool=1),
+             LabelVariant("Preferred airline", 0.25, pool=0)),
+            presence=0.9, select_prob=0.85, select_count=(9, 13),
+            value_pools=(_NA_POOL, _EU_POOL),
+            web_richness=10, proximity_docs=10,
+        ),
+        Concept(
+            "trip_type", vocab.TRIP_TYPES,
+            _lv(("Trip type", 0.5), ("Type of trip", 0.3), ("Itinerary", 0.2)),
+            presence=0.95, select_prob=0.97, select_count=(2, 3),
+            web_richness=2, proximity_docs=4,
+        ),
+        Concept(
+            "departure_time", vocab.TIMES_OF_DAY,
+            _lv(("Departure time", 0.4), ("Time", 0.3),
+                ("Preferred time", 0.3)),
+            presence=0.85, select_prob=0.97, select_count=(4, 6),
+            web_richness=2, proximity_docs=4,
+        ),
+        Concept(
+            "seniors", tuple(vocab.count_values(0, 4)),
+            _lv(("Seniors", 0.6), ("Number of seniors", 0.4)),
+            numeric=True, presence=0.5, select_prob=0.97, select_count=(4, 5),
+            web_richness=1, proximity_docs=2,
+        ),
+        Concept(
+            "stops", ("Nonstop", "1 stop", "2 stops", "Any"),
+            _lv(("Stops", 0.55), ("Number of stops", 0.45)),
+            presence=0.55, select_prob=0.97, select_count=(2, 4),
+            web_richness=1, proximity_docs=2,
+        ),
+        Concept(
+            "airport", vocab.AIRPORT_CODES,
+            _lv(("Airport", 0.4), ("Departure airport", 0.3),
+                ("From airport", 0.3)),
+            presence=0.4, select_prob=0.45, select_count=(5, 9),
+            web_richness=7, proximity_docs=6,
+        ),
+    ),
+)
+
+# ---------------------------------------------------------------------------
+# Auto: short, sometimes ambiguous labels ("zip"); mid Surface success
+# (58.7%) rescued substantially by the Deep Web (82.2%).
+# ---------------------------------------------------------------------------
+
+_AUTO = DomainSpec(
+    name="auto",
+    object_name="car",
+    concepts=(
+        Concept(
+            "make", vocab.CAR_MAKES,
+            _lv(("Make", 0.45), ("Car make", 0.15), ("Manufacturer", 0.22),
+                ("Brand", 0.18, 0.0)),
+            presence=1.0, select_prob=0.8, select_count=(8, 14),
+            web_richness=10, proximity_docs=10,
+        ),
+        Concept(
+            "model", vocab.CAR_MODELS,
+            _lv(("Model", 0.7), ("Car model", 0.3)),
+            presence=0.95, select_prob=0.55, select_count=(6, 10),
+            web_richness=9, proximity_docs=8,
+        ),
+        Concept(
+            "year", tuple(vocab.year_values()),
+            _lv(("Year", 0.5), ("Model year", 0.3), ("Year of car", 0.2)),
+            numeric=True, presence=0.7, select_prob=0.85, select_count=(6, 12),
+            web_richness=3, proximity_docs=6,
+        ),
+        Concept(
+            "price", tuple(vocab.price_values(2000, 40000, 2000)),
+            _lv(("Price", 0.4), ("Price range", 0.3), ("Maximum price", 0.3)),
+            numeric=True, presence=0.7, select_prob=0.85, select_count=(5, 10),
+            web_richness=3, proximity_docs=6,
+        ),
+        # "zip" is the paper's example of an ambiguous label that defeats
+        # Surface extraction: barely any pattern coverage, and what exists
+        # is polluted.
+        Concept(
+            "zip", vocab.ZIP_CODES,
+            _lv(("Zip", 0.45), ("Zip code", 0.35), ("Near zip", 0.2)),
+            presence=0.55, select_prob=0.2, select_count=(10, 14),
+            web_richness=1, pollution=0.8, proximity_docs=2,
+        ),
+        Concept(
+            "mileage", tuple(str(n) for n in range(10000, 150001, 10000)),
+            _lv(("Mileage", 0.55), ("Maximum mileage", 0.45)),
+            numeric=True, presence=0.35, select_prob=0.7, select_count=(5, 9),
+            web_richness=1, pollution=0.5, proximity_docs=3,
+        ),
+        Concept(
+            "color", vocab.CAR_COLORS,
+            _lv(("Color", 0.6), ("Exterior color", 0.4)),
+            presence=0.3, select_prob=0.7, select_count=(6, 10),
+            web_richness=7, proximity_docs=6,
+        ),
+        Concept(
+            "body_style", vocab.BODY_STYLES,
+            _lv(("Body style", 0.5), ("Body type", 0.5)),
+            presence=0.25, select_prob=0.8, select_count=(5, 8),
+            web_richness=5, proximity_docs=4,
+        ),
+        Concept(
+            "state", vocab.US_STATES,
+            _lv(("State", 0.6), ("Location", 0.4)),
+            presence=0.3, select_prob=0.7, select_count=(8, 15),
+            web_richness=8, proximity_docs=6,
+        ),
+        Concept(
+            "transmission", vocab.TRANSMISSIONS,
+            _lv(("Transmission", 1.0),),
+            presence=0.2, select_prob=0.85, select_count=(2, 3),
+            web_richness=3, proximity_docs=3,
+        ),
+    ),
+)
+
+# ---------------------------------------------------------------------------
+# Book: clean noun-phrase labels; the easiest domain for Surface extraction
+# (84.4% success, and the Deep step adds nothing).
+# ---------------------------------------------------------------------------
+
+_BOOK = DomainSpec(
+    name="book",
+    object_name="book",
+    concepts=(
+        Concept(
+            "title", vocab.BOOK_TITLES,
+            _lv(("Title", 0.6), ("Book title", 0.4)),
+            presence=1.0, select_prob=0.0, web_richness=11, proximity_docs=10,
+        ),
+        Concept(
+            "author", vocab.AUTHORS,
+            _lv(("Author", 0.5), ("Author name", 0.2), ("Writer", 0.15, 0.0),
+                ("Written by", 0.15, 0.0)),
+            presence=1.0, select_prob=0.45, select_count=(6, 10),
+            web_richness=10, proximity_docs=10,
+        ),
+        Concept(
+            "publisher", vocab.PUBLISHERS,
+            _lv(("Publisher", 0.8), ("Publisher name", 0.2)),
+            presence=0.75, select_prob=0.7, select_count=(6, 10),
+            web_richness=9, proximity_docs=8,
+        ),
+        Concept(
+            "subject", vocab.BOOK_SUBJECTS,
+            _lv(("Subject", 0.4), ("Category", 0.35), ("Genre", 0.25, 0.0)),
+            presence=0.75, select_prob=0.85, select_count=(8, 14),
+            web_richness=8, proximity_docs=6,
+        ),
+        Concept(
+            "format", vocab.BOOK_FORMATS,
+            _lv(("Format", 0.55), ("Binding", 0.45)),
+            presence=0.5, select_prob=0.9, select_count=(3, 6),
+            web_richness=4, proximity_docs=4,
+        ),
+        Concept(
+            "isbn", tuple(f"0{n:09d}" for n in range(387513628, 387513658)),
+            _lv(("ISBN", 1.0),),
+            presence=0.35, select_prob=0.0, web_richness=6, proximity_docs=5,
+        ),
+        Concept(
+            "price", tuple(vocab.price_values(5, 95, 10)),
+            _lv(("Price", 0.5), ("Price range", 0.5)),
+            numeric=True, presence=0.4, select_prob=0.9, select_count=(4, 8),
+            web_richness=3, proximity_docs=4,
+        ),
+        Concept(
+            "keyword", vocab.DISTRACTORS,  # values are junk: nothing coherent
+            _lv(("Keywords", 0.6), ("Keyword", 0.4)),
+            presence=0.15, select_prob=0.0, findable=False,
+            web_richness=2, pollution=1.0, proximity_docs=0,
+        ),
+        Concept(
+            "condition", vocab.BOOK_CONDITIONS,
+            _lv(("Condition", 1.0),),
+            presence=0.3, select_prob=0.85, select_count=(2, 4),
+            web_richness=4, proximity_docs=3,
+        ),
+    ),
+)
+
+# ---------------------------------------------------------------------------
+# Job: almost everything is free text (74.6% of attributes lack instances),
+# but labels are clean nouns, so Surface succeeds often (72.2%); generic
+# fields (keywords, description) are unfindable (column 5 = 83.1%).
+# ---------------------------------------------------------------------------
+
+_JOB = DomainSpec(
+    name="job",
+    object_name="job",
+    concepts=(
+        Concept(
+            "job_title", vocab.JOB_TITLES,
+            _lv(("Job title", 0.55), ("Title", 0.3), ("Position", 0.15)),
+            presence=0.95, select_prob=0.05, select_count=(6, 10),
+            web_richness=9, proximity_docs=9,
+        ),
+        Concept(
+            "category", vocab.JOB_CATEGORIES,
+            _lv(("Job category", 0.4), ("Category", 0.3), ("Occupation", 0.3, 0.0)),
+            presence=0.7, select_prob=0.3, select_count=(8, 14),
+            web_richness=9, proximity_docs=8,
+        ),
+        Concept(
+            "company", vocab.COMPANIES,
+            _lv(("Company name", 0.4), ("Company", 0.3),
+                ("Employer", 0.15, 0.0), ("Employer name", 0.15, 0.0)),
+            presence=0.7, select_prob=0.0,
+            web_richness=9, proximity_docs=9,
+            poor_phrases=("employer", "employer name"),
+        ),
+        Concept(
+            "city", vocab.US_CITIES,
+            _lv(("City", 0.65), ("Job location", 0.35)),
+            presence=0.7, select_prob=0.05, select_count=(6, 12),
+            web_richness=9, proximity_docs=8,
+        ),
+        Concept(
+            "state", vocab.US_STATES,
+            _lv(("State", 1.0),),
+            presence=0.4, select_prob=0.5, select_count=(8, 16),
+            web_richness=7, proximity_docs=6,
+        ),
+        Concept(
+            "salary", tuple(vocab.price_values(20000, 150000, 10000)),
+            _lv(("Salary", 0.5), ("Salary range", 0.3), ("Minimum salary", 0.2)),
+            numeric=True, presence=0.4, select_prob=0.3, select_count=(6, 10),
+            web_richness=1, pollution=0.5, proximity_docs=4,
+        ),
+        Concept(
+            "keywords", vocab.DISTRACTORS,
+            _lv(("Keywords", 0.55), ("Search keywords", 0.25),
+                ("Description", 0.2)),
+            presence=0.6, select_prob=0.0, findable=False,
+            web_richness=2, pollution=1.0, proximity_docs=0,
+        ),
+        Concept(
+            "experience", vocab.EXPERIENCE_LEVELS,
+            _lv(("Experience", 0.5), ("Years of experience", 0.3),
+                ("Experience level", 0.2)),
+            presence=0.3, select_prob=0.45, select_count=(4, 8),
+            web_richness=4, proximity_docs=4,
+        ),
+        Concept(
+            "degree", vocab.DEGREES,
+            _lv(("Education", 0.5), ("Degree", 0.3), ("Education level", 0.2)),
+            presence=0.25, select_prob=0.5, select_count=(4, 7),
+            web_richness=4, proximity_docs=4,
+        ),
+        Concept(
+            "job_type", vocab.JOB_TYPES,
+            _lv(("Job type", 0.6), ("Employment type", 0.4)),
+            presence=0.25, select_prob=0.7, select_count=(3, 6),
+            web_richness=4, proximity_docs=3,
+        ),
+    ),
+)
+
+# ---------------------------------------------------------------------------
+# Real estate: measurement-unit attributes (square feet, acreage) defeat the
+# extraction patterns; several unfindable bookkeeping fields (MLS number)
+# lower column 5 to 66.7%. Surface 49.1% -> 56.3% with the Deep Web.
+# ---------------------------------------------------------------------------
+
+_REALESTATE = DomainSpec(
+    name="realestate",
+    object_name="home",
+    display_name="real estate",
+    concepts=(
+        Concept(
+            "city", vocab.US_CITIES,
+            _lv(("City", 0.6), ("City name", 0.2), ("Town", 0.2, 0.0)),
+            presence=1.0, select_prob=0.45, select_count=(6, 12),
+            web_richness=9, proximity_docs=9,
+        ),
+        Concept(
+            "state", vocab.US_STATES,
+            _lv(("State", 1.0),),
+            presence=0.85, select_prob=0.75, select_count=(8, 16),
+            web_richness=7, proximity_docs=6,
+        ),
+        Concept(
+            "price", tuple(vocab.price_values(50000, 950000, 50000)),
+            _lv(("Price range", 0.4), ("Maximum price", 0.3), ("Price", 0.3)),
+            numeric=True, presence=0.9, select_prob=0.85, select_count=(6, 10),
+            web_richness=3, proximity_docs=6,
+        ),
+        Concept(
+            "bedrooms", tuple(vocab.count_values(1, 6)),
+            _lv(("Bedrooms", 0.6), ("Number of bedrooms", 0.4)),
+            numeric=True, presence=0.85, select_prob=0.95, select_count=(4, 6),
+            web_richness=2, proximity_docs=4,
+        ),
+        Concept(
+            "bathrooms", tuple(vocab.count_values(1, 5)),
+            _lv(("Bathrooms", 0.65), ("Number of bathrooms", 0.35)),
+            numeric=True, presence=0.6, select_prob=0.95, select_count=(3, 5),
+            web_richness=2, proximity_docs=3,
+        ),
+        Concept(
+            "property_type", vocab.PROPERTY_TYPES,
+            _lv(("Property type", 0.45), ("Home type", 0.3),
+                ("Style", 0.25, 0.0)),
+            presence=0.7, select_prob=0.8, select_count=(5, 10),
+            web_richness=9, proximity_docs=8,
+        ),
+        # Measurement units: "the extraction patterns are not as effective".
+        Concept(
+            "square_feet", tuple(vocab.sqft_values()),
+            _lv(("Square feet", 0.55), ("Min square feet", 0.25),
+                ("Square footage", 0.2)),
+            numeric=True, presence=0.5, select_prob=0.5, select_count=(4, 8),
+            web_richness=1, pollution=0.6, proximity_docs=3,
+        ),
+        Concept(
+            "acreage", tuple(vocab.acreage_values()),
+            _lv(("Acreage", 0.6), ("Lot size", 0.4)),
+            numeric=True, presence=0.35, select_prob=0.5, select_count=(4, 7),
+            web_richness=1, pollution=0.6, proximity_docs=2,
+        ),
+        Concept(
+            "zip", vocab.ZIP_CODES,
+            _lv(("Zip code", 0.6), ("Zip", 0.4)),
+            presence=0.25, select_prob=0.15, select_count=(10, 14),
+            web_richness=1, pollution=0.8, proximity_docs=2,
+        ),
+        Concept(
+            "mls_number", tuple(f"MLS{n:06d}" for n in range(100000, 100040)),
+            _lv(("MLS number", 0.6), ("Listing ID", 0.4)),
+            presence=0.4, select_prob=0.0, findable=False,
+            web_richness=1, pollution=1.0, proximity_docs=0,
+        ),
+        Concept(
+            "agent", vocab.DISTRACTORS,
+            _lv(("Agent name", 0.5), ("Keywords", 0.5)),
+            presence=0.25, select_prob=0.0, findable=False,
+            web_richness=1, pollution=1.0, proximity_docs=0,
+        ),
+    ),
+)
+
+_SPECS: Dict[str, DomainSpec] = {
+    spec.name: spec
+    for spec in (_AIRFARE, _AUTO, _BOOK, _JOB, _REALESTATE)
+}
+
+
+def domain_spec(domain: str) -> DomainSpec:
+    """The full :class:`DomainSpec` of one of the five ICQ domains."""
+    try:
+        return _SPECS[domain]
+    except KeyError:
+        raise UnknownDomainError(
+            f"unknown domain {domain!r}; expected one of {DOMAINS}"
+        ) from None
+
+
+def domain_concepts(domain: str) -> Tuple[Concept, ...]:
+    """The concept inventory of ``domain``."""
+    return domain_spec(domain).concepts

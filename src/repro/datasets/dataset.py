@@ -1,0 +1,87 @@
+"""The dataset facade: one call builds a domain's whole experimental world.
+
+``build_domain_dataset("airfare")`` yields the 20 query interfaces with
+ground truth, the synthetic Surface Web behind a search engine, and the
+probe-able Deep-Web sources — everything the WebIQ pipeline and the
+benchmarks consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.datasets.concepts import DomainSpec, domain_spec
+from repro.datasets.corpus import CorpusConfig, build_corpus
+from repro.datasets.interfaces import (
+    GeneratedInterface,
+    GroundTruth,
+    generate_interfaces,
+)
+from repro.datasets.sources import SourceConfig, build_sources
+from repro.deepweb.models import QueryInterface
+from repro.deepweb.source import DeepWebSource
+from repro.surfaceweb.engine import SearchEngine
+
+__all__ = ["DomainDataset", "build_domain_dataset"]
+
+
+@dataclass
+class DomainDataset:
+    """A domain's complete evaluation environment."""
+
+    domain: str
+    spec: DomainSpec
+    generated: List[GeneratedInterface]
+    ground_truth: GroundTruth
+    engine: SearchEngine
+    sources: Dict[str, DeepWebSource]
+    seed: int
+
+    @property
+    def interfaces(self) -> List[QueryInterface]:
+        return [g.interface for g in self.generated]
+
+    def concept_of(self, interface_id: str, attribute_name: str) -> str:
+        for gen in self.generated:
+            if gen.interface.interface_id == interface_id:
+                return gen.concept_of[attribute_name]
+        raise KeyError(interface_id)
+
+    def clear_acquired(self) -> None:
+        """Remove all WebIQ-acquired instances (restore the pristine dataset)."""
+        for interface in self.interfaces:
+            interface.clear_acquired()
+
+    def reset_counters(self) -> None:
+        """Zero the engine's query counter and every source's probe counter."""
+        self.engine.reset_query_count()
+        for source in self.sources.values():
+            source.probe_count = 0
+
+
+def build_domain_dataset(
+    domain: str,
+    n_interfaces: int = 20,
+    seed: int = 0,
+    corpus_config: CorpusConfig = CorpusConfig(),
+    source_config: SourceConfig = SourceConfig(),
+) -> DomainDataset:
+    """Build the full evaluation environment for ``domain``.
+
+    Deterministic in all arguments; two calls with equal arguments yield
+    interchangeable datasets (same interfaces, corpus and sources).
+    """
+    spec = domain_spec(domain)
+    generated, truth = generate_interfaces(domain, n_interfaces, seed)
+    engine = SearchEngine(build_corpus(domain, seed, corpus_config))
+    sources = build_sources(generated, domain, seed, source_config)
+    return DomainDataset(
+        domain=domain,
+        spec=spec,
+        generated=generated,
+        ground_truth=truth,
+        engine=engine,
+        sources=sources,
+        seed=seed,
+    )

@@ -1,0 +1,74 @@
+"""Self-documenting datasets: render a domain's design as Markdown.
+
+The concept inventories in :mod:`repro.datasets.concepts` *are* the dataset
+documentation; this module renders them human-readable, so the generated
+reference stays in lockstep with the code. ``python -m repro`` is not
+needed — call :func:`describe_domain` from anywhere, or regenerate the full
+``docs/DATASETS.md`` with :func:`describe_all`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.datasets.concepts import DOMAINS, domain_spec
+from repro.text.labels import analyze_label
+
+__all__ = ["describe_domain", "describe_all"]
+
+
+def describe_domain(domain: str) -> str:
+    """Markdown description of one domain's concept inventory."""
+    spec = domain_spec(domain)
+    lines = [
+        f"## {spec.display_name} (object: {spec.object_name})",
+        "",
+        f"{len(spec.concepts)} concepts; extraction-query keywords: "
+        f"`{' '.join('+' + k for k in spec.keyword_terms())}`.",
+        "",
+        "| concept | labels (weight) | presence | select | values | "
+        "web richness | notes |",
+        "|---|---|---|---|---|---|---|",
+    ]
+    for concept in spec.concepts:
+        labels = ", ".join(
+            f"{v.label} ({v.weight:g})" for v in concept.label_variants)
+        notes: List[str] = []
+        if not concept.findable:
+            notes.append("unfindable")
+        if concept.pollution > 0:
+            notes.append(f"pollution {concept.pollution:g}")
+        if concept.value_pools:
+            notes.append(f"{len(concept.value_pools)} value pools")
+        if concept.poor_phrases:
+            notes.append("poor phrases: " + ", ".join(concept.poor_phrases))
+        no_np = [
+            v.label for v in concept.label_variants
+            if not analyze_label(v.label).has_noun_phrase
+        ]
+        if no_np:
+            notes.append("no-NP labels: " + ", ".join(no_np))
+        lines.append(
+            f"| {concept.name} | {labels} | {concept.presence:g} "
+            f"| {concept.select_prob:g} | {len(concept.values)} "
+            f"| {concept.web_richness} | {'; '.join(notes) or '—'} |"
+        )
+    return "\n".join(lines)
+
+
+def describe_all(domains: Sequence[str] = DOMAINS) -> str:
+    """Markdown for all domains, suitable for ``docs/DATASETS.md``."""
+    parts = [
+        "# Datasets — generated domain reference",
+        "",
+        "Rendered from `repro.datasets.concepts` by "
+        "`repro.datasets.describe.describe_all`; regenerate after editing "
+        "the concept inventories. Per-concept columns: label variants with "
+        "sampling weights, probability of appearing on an interface, "
+        "probability of being a SELECT widget, value-domain size, and "
+        "Hearst-pattern pages per extraction phrase in the synthetic "
+        "Surface Web.",
+        "",
+    ]
+    parts.extend(describe_domain(domain) + "\n" for domain in domains)
+    return "\n".join(parts).rstrip() + "\n"

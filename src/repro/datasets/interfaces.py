@@ -1,0 +1,150 @@
+"""Interface-set generation with ground truth.
+
+Generates the ICQ-style evaluation set: ``n`` query interfaces per domain
+(20 in the paper), each instantiating a subset of the domain's concepts with
+a sampled label variant and widget. The ground truth is by construction:
+two attributes match iff they instantiate the same concept — the machine
+analogue of the paper's "matches given by domain experts".
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Sequence, Set, Tuple
+
+from repro.datasets.concepts import Concept, DomainSpec, domain_spec
+from repro.deepweb.models import Attribute, AttributeKind, QueryInterface
+from repro.util.rng import derive_rng
+
+__all__ = ["GeneratedInterface", "GroundTruth", "generate_interfaces"]
+
+#: Minimum attributes per interface; real interfaces always have a few.
+_MIN_ATTRIBUTES = 3
+
+
+@dataclass(frozen=True)
+class GeneratedInterface:
+    """A generated interface plus its generation metadata."""
+
+    interface: QueryInterface
+    #: attribute name -> concept name (attribute names equal concept names,
+    #: but consumers must treat this mapping as the ground truth, not names)
+    concept_of: Dict[str, str]
+    #: attribute name -> index of the value pool its SELECT values came from
+    pool_of: Dict[str, int]
+
+
+@dataclass
+class GroundTruth:
+    """Expert matches: the partition of all attributes into concept clusters."""
+
+    #: concept name -> set of (interface_id, attribute_name)
+    clusters: Dict[str, Set[Tuple[str, str]]] = field(default_factory=dict)
+
+    def add(self, concept: str, interface_id: str, attribute: str) -> None:
+        self.clusters.setdefault(concept, set()).add((interface_id, attribute))
+
+    def concept_of(self, interface_id: str, attribute: str) -> str:
+        for concept, members in self.clusters.items():
+            if (interface_id, attribute) in members:
+                return concept
+        raise KeyError((interface_id, attribute))
+
+    def match_pairs(self) -> Set[FrozenSet[Tuple[str, str]]]:
+        """All unordered matching attribute pairs (the evaluation target)."""
+        pairs: Set[FrozenSet[Tuple[str, str]]] = set()
+        for members in self.clusters.values():
+            for a, b in itertools.combinations(sorted(members), 2):
+                pairs.add(frozenset((a, b)))
+        return pairs
+
+    @property
+    def n_attributes(self) -> int:
+        return sum(len(m) for m in self.clusters.values())
+
+
+def generate_interfaces(
+    domain: str,
+    n_interfaces: int = 20,
+    seed: int = 0,
+) -> Tuple[List[GeneratedInterface], GroundTruth]:
+    """Generate ``n_interfaces`` interfaces for ``domain`` plus ground truth.
+
+    Generation is deterministic in ``(domain, n_interfaces, seed)``. Every
+    concept with ``presence == 1.0`` appears on every interface; others
+    appear with their presence probability, re-drawn until the interface has
+    at least :data:`_MIN_ATTRIBUTES` attributes.
+    """
+    spec = domain_spec(domain)
+    truth = GroundTruth()
+    generated: List[GeneratedInterface] = []
+
+    for i in range(n_interfaces):
+        rng = derive_rng(seed, "interface", domain, i)
+        chosen = _choose_concepts(spec, rng)
+        attributes: List[Attribute] = []
+        concept_of: Dict[str, str] = {}
+        pool_of: Dict[str, int] = {}
+        interface_id = f"{domain}-{i:02d}"
+
+        for concept in chosen:
+            variant = _sample_variant(concept, rng)
+            label = variant.label
+            select_prob = (
+                concept.select_prob
+                if variant.select_prob is None
+                else variant.select_prob
+            )
+            n_pools = len(concept.value_pools) if concept.value_pools else 1
+            pool_index = (
+                variant.pool % n_pools
+                if variant.pool is not None
+                else rng.randrange(n_pools)
+            )
+            if rng.random() < select_prob:
+                lo, hi = concept.select_count
+                pool = list(concept.pool_values(pool_index))
+                count = min(rng.randint(lo, hi), len(pool))
+                values = tuple(rng.sample(pool, count))
+                attribute = Attribute(
+                    name=concept.name, label=label,
+                    kind=AttributeKind.SELECT, instances=values,
+                )
+            else:
+                attribute = Attribute(
+                    name=concept.name, label=label, kind=AttributeKind.TEXT,
+                )
+            attributes.append(attribute)
+            concept_of[concept.name] = concept.name
+            pool_of[concept.name] = pool_index
+            truth.add(concept.name, interface_id, concept.name)
+
+        interface = QueryInterface(
+            interface_id=interface_id,
+            domain=domain,
+            object_name=spec.object_name,
+            attributes=attributes,
+        )
+        generated.append(GeneratedInterface(interface, concept_of, pool_of))
+
+    return generated, truth
+
+
+def _choose_concepts(spec: DomainSpec, rng) -> List[Concept]:
+    """Sample the concept subset for one interface (≥ _MIN_ATTRIBUTES)."""
+    while True:
+        chosen = [c for c in spec.concepts if rng.random() < c.presence]
+        if len(chosen) >= _MIN_ATTRIBUTES:
+            return chosen
+
+
+def _sample_variant(concept: Concept, rng) -> "LabelVariant":
+    total = sum(v.weight for v in concept.label_variants)
+    pick = rng.random() * total
+    acc = 0.0
+    for variant in concept.label_variants:
+        acc += variant.weight
+        if pick <= acc:
+            return variant
+    return concept.label_variants[-1]

@@ -1,0 +1,111 @@
+"""Dataset perturbation utilities for robustness studies.
+
+The paper evaluates on one fixed snapshot of each domain; a reproduction
+can do better and ask *how sensitive* the result is to messier inputs.
+These helpers mutate a generated interface set in controlled, realistic
+ways:
+
+- :func:`add_label_noise` — typos and decoration ("Departure city" ->
+  "Departure ciity:*"), the way hand-built forms actually look;
+- :func:`drop_select_instances` — thin out pre-defined values, pushing the
+  dataset toward the paper's instance-starved regime;
+- :func:`shuffle_attribute_order` — form layout order is meaningless and
+  nothing downstream may depend on it.
+
+All functions mutate in place (datasets are cheap to rebuild from the seed)
+and are deterministic in their ``seed``.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Sequence
+
+from repro.datasets.dataset import DomainDataset
+from repro.deepweb.models import Attribute, AttributeKind
+from repro.util.rng import derive_rng
+
+__all__ = [
+    "add_label_noise",
+    "drop_select_instances",
+    "shuffle_attribute_order",
+]
+
+_DECORATIONS = (":", ":*", "*", " :", "?")
+
+
+def _typo(word: str, rng: random.Random) -> str:
+    """One character-level typo: duplication, swap, or drop."""
+    if len(word) < 3:
+        return word
+    i = rng.randrange(1, len(word) - 1)
+    kind = rng.randrange(3)
+    if kind == 0:  # duplicate
+        return word[:i] + word[i] + word[i:]
+    if kind == 1:  # swap
+        return word[:i] + word[i + 1] + word[i] + word[i + 2:]
+    return word[:i] + word[i + 1:]  # drop
+
+
+def add_label_noise(
+    dataset: DomainDataset,
+    rate: float = 0.2,
+    seed: int = 0,
+) -> int:
+    """Decorate or typo a fraction of labels; returns how many changed.
+
+    Decoration (the common case — real forms append colons and asterisks)
+    is applied twice as often as typos.
+    """
+    if not 0.0 <= rate <= 1.0:
+        raise ValueError("rate must be in [0, 1]")
+    rng = derive_rng(seed, "perturb-labels", dataset.domain)
+    changed = 0
+    for interface in dataset.interfaces:
+        for attribute in interface.attributes:
+            if rng.random() >= rate:
+                continue
+            if rng.random() < 2 / 3:
+                attribute.label = attribute.label + rng.choice(_DECORATIONS)
+            else:
+                words = attribute.label.split()
+                index = rng.randrange(len(words))
+                words[index] = _typo(words[index], rng)
+                attribute.label = " ".join(words)
+            changed += 1
+    return changed
+
+
+def drop_select_instances(
+    dataset: DomainDataset,
+    rate: float = 0.5,
+    seed: int = 0,
+) -> int:
+    """Convert a fraction of SELECT attributes to empty text inputs.
+
+    Returns the number of attributes stripped. This pushes the dataset
+    toward the paper's worst case (everything instance-less) — useful for
+    measuring how WebIQ's gain grows as instances vanish.
+    """
+    if not 0.0 <= rate <= 1.0:
+        raise ValueError("rate must be in [0, 1]")
+    rng = derive_rng(seed, "perturb-selects", dataset.domain)
+    stripped = 0
+    for interface in dataset.interfaces:
+        for i, attribute in enumerate(interface.attributes):
+            if attribute.kind is not AttributeKind.SELECT:
+                continue
+            if rng.random() >= rate:
+                continue
+            replacement = Attribute(name=attribute.name,
+                                    label=attribute.label)
+            interface.attributes[i] = replacement
+            stripped += 1
+    return stripped
+
+
+def shuffle_attribute_order(dataset: DomainDataset, seed: int = 0) -> None:
+    """Shuffle each interface's attribute order (layout is meaningless)."""
+    rng = derive_rng(seed, "perturb-order", dataset.domain)
+    for interface in dataset.interfaces:
+        rng.shuffle(interface.attributes)

@@ -1,0 +1,70 @@
+"""Dataset characteristics — Table 1, columns 2-5.
+
+For each domain the paper reports: the average number of attributes per
+interface, the percentage of interfaces containing attributes without
+instances, the percentage of attributes without instances on those
+interfaces, and (column 5) the percentage of those no-instance attributes
+for which instances can reasonably be expected on the Web (judged manually
+in the paper; encoded here in each concept's ``findable`` flag).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.datasets.dataset import DomainDataset
+
+__all__ = ["DatasetStatistics", "dataset_statistics"]
+
+
+@dataclass(frozen=True)
+class DatasetStatistics:
+    """Columns 2-5 of Table 1 for one domain."""
+
+    domain: str
+    n_interfaces: int
+    avg_attributes: float            # column 2 (#Attr)
+    pct_interfaces_no_inst: float    # column 3 (IntNoInst %)
+    pct_attrs_no_inst: float         # column 4 (AttrNoInst %)
+    pct_expected_findable: float     # column 5 (ExpInst %)
+
+
+def dataset_statistics(dataset: DomainDataset) -> DatasetStatistics:
+    """Compute Table 1 columns 2-5 from a built dataset."""
+    n_interfaces = len(dataset.generated)
+    total_attrs = 0
+    interfaces_with_no_inst = 0
+    attrs_on_those = 0
+    no_inst_on_those = 0
+    findable = 0
+    total_no_inst = 0
+
+    for gen in dataset.generated:
+        attrs = gen.interface.attributes
+        total_attrs += len(attrs)
+        missing = [a for a in attrs if not a.has_instances]
+        if missing:
+            interfaces_with_no_inst += 1
+            attrs_on_those += len(attrs)
+            no_inst_on_those += len(missing)
+        for attribute in missing:
+            total_no_inst += 1
+            concept = dataset.spec.concept(gen.concept_of[attribute.name])
+            if concept.findable:
+                findable += 1
+
+    return DatasetStatistics(
+        domain=dataset.domain,
+        n_interfaces=n_interfaces,
+        avg_attributes=total_attrs / n_interfaces if n_interfaces else 0.0,
+        pct_interfaces_no_inst=(
+            100.0 * interfaces_with_no_inst / n_interfaces if n_interfaces else 0.0
+        ),
+        pct_attrs_no_inst=(
+            100.0 * no_inst_on_those / attrs_on_those if attrs_on_those else 0.0
+        ),
+        pct_expected_findable=(
+            100.0 * findable / total_no_inst if total_no_inst else 0.0
+        ),
+    )

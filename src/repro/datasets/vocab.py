@@ -1,0 +1,323 @@
+"""Value vocabularies for the five ICQ domains.
+
+These lists play the role of the real world: interface SELECT widgets sample
+their pre-defined values from them, Deep-Web sources recognise them, backing
+records are drawn from them, and the synthetic Surface-Web corpus embeds
+them in pattern sentences. Names are real-world values (cities, airlines,
+car makes, ...) so the type-specific outlier statistics (capitalisation,
+word counts, lengths) behave as they would on real data.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+__all__ = [name for name in dir() if name.isupper()]  # populated below
+
+US_CITIES: Tuple[str, ...] = (
+    "Boston", "Chicago", "New York", "Los Angeles", "San Francisco",
+    "Seattle", "Denver", "Miami", "Atlanta", "Dallas", "Houston",
+    "Phoenix", "Philadelphia", "Detroit", "Minneapolis", "St. Louis",
+    "Baltimore", "Charlotte", "Portland", "Las Vegas", "San Diego",
+    "Orlando", "Tampa", "Austin", "Nashville", "Memphis", "Cleveland",
+    "Pittsburgh", "Cincinnati", "Kansas City", "Sacramento", "Columbus",
+    "Indianapolis", "Milwaukee", "Albuquerque", "Tucson", "Omaha",
+    "Oakland", "Raleigh", "Honolulu", "Anchorage", "Salt Lake City",
+    "Buffalo", "Hartford", "Providence", "Richmond", "Louisville",
+    "Oklahoma City", "Jacksonville", "San Antonio", "El Paso", "Fresno",
+    "Tulsa", "Wichita", "Spokane", "Boise", "Des Moines", "Madison",
+    "Savannah", "Charleston",
+)
+
+WORLD_CITIES: Tuple[str, ...] = (
+    "London", "Paris", "Rome", "Madrid", "Berlin", "Amsterdam", "Dublin",
+    "Vienna", "Zurich", "Brussels", "Lisbon", "Prague", "Athens",
+    "Stockholm", "Copenhagen", "Oslo", "Helsinki", "Toronto", "Vancouver",
+    "Montreal", "Tokyo", "Osaka", "Seoul", "Beijing", "Shanghai",
+    "Hong Kong", "Singapore", "Sydney", "Melbourne", "Auckland",
+    "Mexico City", "Sao Paulo", "Buenos Aires", "Cancun", "Frankfurt",
+    "Munich", "Milan", "Barcelona", "Geneva", "Istanbul",
+)
+
+AIRPORT_CODES: Tuple[str, ...] = (
+    "LAX", "ORD", "JFK", "BOS", "SFO", "SEA", "DEN", "MIA", "ATL", "DFW",
+    "IAH", "PHX", "PHL", "DTW", "MSP", "STL", "BWI", "CLT", "PDX", "LAS",
+    "SAN", "MCO", "TPA", "AUS", "BNA", "LGA", "EWR", "IAD", "DCA", "SLC",
+)
+
+NORTH_AMERICAN_AIRLINES: Tuple[str, ...] = (
+    "Air Canada", "American Airlines", "United Airlines", "Delta Air Lines",
+    "Continental Airlines", "Northwest Airlines", "US Airways",
+    "Southwest Airlines", "Alaska Airlines", "America West",
+    "JetBlue Airways", "AirTran Airways", "Frontier Airlines",
+    "Spirit Airlines", "Hawaiian Airlines", "Midwest Airlines",
+    "ATA Airlines", "WestJet",
+)
+
+EUROPEAN_AIRLINES: Tuple[str, ...] = (
+    "Aer Lingus", "British Airways", "Lufthansa", "Air France", "KLM",
+    "Alitalia", "Iberia", "Swiss International", "Austrian Airlines",
+    "SAS Scandinavian", "Finnair", "Virgin Atlantic", "TAP Portugal",
+    "Olympic Airlines", "LOT Polish Airlines", "Czech Airlines",
+)
+
+MONTHS: Tuple[str, ...] = (
+    "January", "February", "March", "April", "May", "June", "July",
+    "August", "September", "October", "November", "December",
+)
+
+MONTH_ABBREVS: Tuple[str, ...] = (
+    "Jan", "Feb", "Mar", "Apr", "May", "Jun", "Jul", "Aug", "Sep", "Oct",
+    "Nov", "Dec",
+)
+
+CABIN_CLASSES: Tuple[str, ...] = (
+    "Economy", "Premium Economy", "Business", "First Class", "Coach",
+)
+
+TRIP_TYPES: Tuple[str, ...] = ("Round trip", "One way", "Multi-city")
+
+TIMES_OF_DAY: Tuple[str, ...] = (
+    "Morning", "Afternoon", "Evening", "Night", "Anytime", "Early morning",
+)
+
+CAR_MAKES: Tuple[str, ...] = (
+    "Honda", "Toyota", "Ford", "Chevrolet", "Nissan", "BMW", "Mercedes-Benz",
+    "Volkswagen", "Audi", "Mazda", "Subaru", "Hyundai", "Kia", "Volvo",
+    "Jeep", "Dodge", "Chrysler", "Pontiac", "Buick", "Cadillac", "Lexus",
+    "Acura", "Infiniti", "Mitsubishi", "Saturn", "Lincoln", "Mercury",
+    "Porsche", "Jaguar", "Saab",
+)
+
+CAR_MODELS: Tuple[str, ...] = (
+    "Accord", "Civic", "Camry", "Corolla", "Mustang", "Explorer", "Focus",
+    "Taurus", "Malibu", "Impala", "Altima", "Maxima", "Sentra", "Passat",
+    "Jetta", "Golf", "Outback", "Forester", "Elantra", "Sonata", "Odyssey",
+    "Pilot", "Highlander", "Sienna", "Tahoe", "Silverado", "Ranger",
+    "Wrangler", "Grand Cherokee", "Durango",
+)
+
+CAR_COLORS: Tuple[str, ...] = (
+    "Black", "White", "Silver", "Red", "Blue", "Green", "Gray", "Gold",
+    "Beige", "Brown", "Maroon", "Yellow", "Orange", "Burgundy", "Champagne",
+)
+
+BODY_STYLES: Tuple[str, ...] = (
+    "Sedan", "Coupe", "Convertible", "Hatchback", "Wagon", "SUV",
+    "Pickup truck", "Minivan", "Van", "Crossover",
+)
+
+TRANSMISSIONS: Tuple[str, ...] = ("Automatic", "Manual", "Semi-automatic")
+
+US_STATES: Tuple[str, ...] = (
+    "Alabama", "Alaska", "Arizona", "Arkansas", "California", "Colorado",
+    "Connecticut", "Delaware", "Florida", "Georgia", "Hawaii", "Idaho",
+    "Illinois", "Indiana", "Iowa", "Kansas", "Kentucky", "Louisiana",
+    "Maine", "Maryland", "Massachusetts", "Michigan", "Minnesota",
+    "Mississippi", "Missouri", "Montana", "Nebraska", "Nevada",
+    "New Hampshire", "New Jersey", "New Mexico", "New York",
+    "North Carolina", "North Dakota", "Ohio", "Oklahoma", "Oregon",
+    "Pennsylvania", "Rhode Island", "South Carolina", "South Dakota",
+    "Tennessee", "Texas", "Utah", "Vermont", "Virginia", "Washington",
+    "West Virginia", "Wisconsin", "Wyoming",
+)
+
+AUTHORS: Tuple[str, ...] = (
+    "Mark Twain", "Jane Austen", "Charles Dickens", "Ernest Hemingway",
+    "William Faulkner", "John Steinbeck", "Toni Morrison", "Stephen King",
+    "Agatha Christie", "J.K. Rowling", "George Orwell", "Harper Lee",
+    "F. Scott Fitzgerald", "Virginia Woolf", "James Joyce", "Leo Tolstoy",
+    "Fyodor Dostoevsky", "Gabriel Garcia Marquez", "Isabel Allende",
+    "Kurt Vonnegut", "Ray Bradbury", "Isaac Asimov", "Arthur Clarke",
+    "Philip Roth", "John Updike", "Saul Bellow", "Joyce Carol Oates",
+    "Margaret Atwood", "Salman Rushdie", "Umberto Eco", "Don DeLillo",
+    "Thomas Pynchon", "Cormac McCarthy", "Annie Proulx", "Michael Crichton",
+    "Tom Clancy", "John Grisham", "Danielle Steel", "Nora Roberts",
+    "Dan Brown", "Anne Rice", "Dean Koontz",
+)
+
+BOOK_TITLES: Tuple[str, ...] = (
+    "Pride and Prejudice", "Great Expectations", "Moby Dick",
+    "War and Peace", "Crime and Punishment", "The Great Gatsby",
+    "To Kill a Mockingbird", "The Grapes of Wrath", "Brave New World",
+    "The Catcher in the Rye", "Lord of the Flies", "Animal Farm",
+    "Jane Eyre", "Wuthering Heights", "The Odyssey", "Don Quixote",
+    "The Sun Also Rises", "A Farewell to Arms", "East of Eden",
+    "The Sound and the Fury", "Invisible Man", "Beloved", "The Stranger",
+    "One Hundred Years of Solitude", "Fahrenheit 451", "Slaughterhouse-Five",
+    "Catch-22", "The Old Man and the Sea", "Of Mice and Men",
+    "A Tale of Two Cities",
+)
+
+PUBLISHERS: Tuple[str, ...] = (
+    "Random House", "Penguin Books", "HarperCollins", "Simon Schuster",
+    "Macmillan", "Houghton Mifflin", "Scholastic", "Oxford University Press",
+    "Cambridge University Press", "McGraw-Hill", "Wiley", "Pearson",
+    "Addison-Wesley", "O'Reilly Media", "Prentice Hall", "Vintage Books",
+    "Bantam Books", "Doubleday", "Knopf", "Norton", "Little Brown",
+    "Farrar Straus Giroux",
+)
+
+BOOK_SUBJECTS: Tuple[str, ...] = (
+    "Fiction", "Mystery", "Science Fiction", "Fantasy", "Romance",
+    "Biography", "History", "Science", "Travel", "Cooking", "Poetry",
+    "Drama", "Philosophy", "Religion", "Self-help", "Business",
+    "Computers", "Art", "Music", "Sports", "Health", "Children",
+    "Reference", "Thriller", "Horror", "Western",
+)
+
+BOOK_FORMATS: Tuple[str, ...] = (
+    "Hardcover", "Paperback", "Audiobook", "Mass market paperback",
+    "Large print", "Library binding",
+)
+
+BOOK_CONDITIONS: Tuple[str, ...] = ("New", "Used", "Like new", "Collectible")
+
+JOB_CATEGORIES: Tuple[str, ...] = (
+    "Accounting", "Administrative", "Advertising", "Banking",
+    "Construction", "Consulting", "Customer Service", "Education",
+    "Engineering", "Finance", "Government", "Healthcare",
+    "Human Resources", "Information Technology", "Insurance", "Legal",
+    "Manufacturing", "Marketing", "Nursing", "Pharmaceutical",
+    "Real Estate", "Retail", "Sales", "Telecommunications",
+    "Transportation", "Hospitality", "Journalism", "Biotechnology",
+)
+
+JOB_TITLES: Tuple[str, ...] = (
+    "Software Engineer", "Project Manager", "Sales Representative",
+    "Account Manager", "Registered Nurse", "Financial Analyst",
+    "Administrative Assistant", "Marketing Manager", "Graphic Designer",
+    "Database Administrator", "Systems Analyst", "Web Developer",
+    "Customer Service Representative", "Business Analyst",
+    "Human Resources Manager", "Operations Manager", "Staff Accountant",
+    "Executive Assistant", "Network Engineer", "Product Manager",
+    "Technical Writer", "Quality Assurance Engineer", "Office Manager",
+    "Mechanical Engineer", "Electrical Engineer",
+)
+
+COMPANIES: Tuple[str, ...] = (
+    "IBM", "Microsoft", "General Electric", "Intel", "Motorola",
+    "Boeing", "Lockheed Martin", "Oracle", "Cisco Systems", "Dell",
+    "Hewlett-Packard", "Accenture", "Deloitte", "Pfizer", "Merck",
+    "Johnson Johnson", "Procter Gamble", "Citigroup", "JPMorgan Chase",
+    "Bank of America", "Wells Fargo", "Verizon", "Sprint", "FedEx",
+    "United Parcel Service", "Target", "Walgreens", "Kaiser Permanente",
+)
+
+INDUSTRIES: Tuple[str, ...] = (
+    "Aerospace", "Agriculture", "Automotive", "Chemicals", "Defense",
+    "Electronics", "Energy", "Entertainment", "Food and Beverage",
+    "Media", "Mining", "Publishing", "Software", "Textiles", "Utilities",
+    "Pharmaceuticals", "Semiconductors", "Logistics",
+)
+
+DEGREES: Tuple[str, ...] = (
+    "High school diploma", "Associate degree", "Bachelor's degree",
+    "Master's degree", "Doctorate", "MBA", "Professional certification",
+    "Vocational training", "Juris Doctor", "Medical degree",
+    "Engineering degree", "Nursing degree", "Teaching credential",
+)
+
+EXPERIENCE_LEVELS: Tuple[str, ...] = (
+    "Entry level", "Mid level", "Senior level", "Executive", "Internship",
+    "1-2 years", "3-5 years", "5-10 years", "10+ years", "No experience",
+    "Student", "Manager level", "Director level",
+)
+
+JOB_TYPES: Tuple[str, ...] = (
+    "Full-time", "Part-time", "Contract", "Temporary", "Internship",
+    "Freelance",
+)
+
+PROPERTY_TYPES: Tuple[str, ...] = (
+    "Single family home", "Condominium", "Townhouse", "Duplex",
+    "Apartment", "Mobile home", "Ranch", "Colonial", "Victorian",
+    "Bungalow", "Loft", "Farm", "Land",
+)
+
+NEIGHBORHOOD_FEATURES: Tuple[str, ...] = (
+    "Garage", "Pool", "Fireplace", "Basement", "Garden", "Waterfront",
+    "Central air", "Hardwood floors", "Deck", "Fenced yard",
+)
+
+ZIP_CODES: Tuple[str, ...] = (
+    "90210", "60601", "10001", "02108", "94102", "98101", "80202",
+    "33101", "30301", "75201", "77002", "85001", "19102", "48201",
+    "55401", "63101", "21201", "28202", "97201", "89101", "92101",
+    "32801", "33602", "78701", "37201", "44101", "15201", "45201",
+    "64101", "95814",
+)
+
+#: General-English vocabulary for noise pages and sentence filler.
+NOISE_VOCAB: Tuple[str, ...] = (
+    "information", "service", "online", "website", "page", "home",
+    "contact", "about", "free", "best", "top", "guide", "help",
+    "support", "news", "review", "reviews", "compare", "deal", "deals",
+    "offer", "offers", "special", "today", "find", "search", "browse",
+    "welcome", "popular", "quality", "customer", "account", "member",
+    "sign", "link", "links", "site", "world", "people", "time", "year",
+    "day", "week", "report", "article", "story", "photo", "video",
+    "music", "game", "weather", "sports", "market", "money", "shop",
+    "shopping", "store", "order", "shipping", "delivery", "policy",
+    "privacy", "terms", "copyright", "community", "forum", "blog",
+    "question", "answer", "learn", "read", "click", "view", "visit",
+    "join", "start", "save", "easy", "fast", "simple", "secure",
+    "trusted", "official", "local", "national", "international",
+    "directory", "resource", "resources", "tool", "tools", "tips",
+    "advice", "history", "culture", "education", "research", "study",
+    "school", "college", "university", "government", "public", "private",
+)
+
+#: Frequent distractor strings: junk that pollution sentences insert after
+#: cue phrases. They also occur in many noise pages, so their hit-count
+#: marginals are large and their PMI with any attribute label is small —
+#: which is exactly how Web validation is meant to reject them.
+DISTRACTORS: Tuple[str, ...] = (
+    "free shipping", "best deals", "great prices", "top rated",
+    "new arrivals", "customer reviews", "special offers", "gift ideas",
+    "low prices", "fast delivery", "easy returns", "daily specials",
+    "hot items", "popular brands", "online coupons", "holiday sales",
+)
+
+
+def year_values(start: int = 1994, end: int = 2006) -> List[str]:
+    """Model-year style values, newest first."""
+    return [str(y) for y in range(end, start - 1, -1)]
+
+
+def price_values(low: int, high: int, step: int, monetary: bool = True) -> List[str]:
+    """Evenly spaced price points, optionally with a dollar sign.
+
+    >>> price_values(5000, 20000, 5000)
+    ['$5,000', '$10,000', '$15,000', '$20,000']
+    """
+    values = []
+    for amount in range(low, high + 1, step):
+        text = f"{amount:,}"
+        values.append(f"${text}" if monetary else text)
+    return values
+
+
+def date_values() -> List[str]:
+    """Travel-date style values mixing months and month-day strings."""
+    values = list(MONTHS)
+    for month in MONTH_ABBREVS:
+        for day in (1, 15):
+            values.append(f"{month} {day}")
+    return values
+
+
+def sqft_values() -> List[str]:
+    return [f"{n:,}" for n in range(800, 5001, 400)]
+
+
+def acreage_values() -> List[str]:
+    return ["0.25", "0.5", "0.75", "1", "1.5", "2", "3", "5", "10", "20",
+            "40", "80"]
+
+
+def count_values(low: int, high: int) -> List[str]:
+    return [str(n) for n in range(low, high + 1)]
+
+
+__all__ = [name for name in dir() if name.isupper() or name.endswith("_values")]

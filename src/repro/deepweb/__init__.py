@@ -1,0 +1,34 @@
+"""Simulated Deep Web: query interfaces and probe-able data sources.
+
+The paper's Attr-Deep component (§4) validates a borrowed instance ``x`` for
+attribute ``A`` by submitting a probing query to ``A``'s source — with ``A``
+set to ``x`` and every other attribute left at its default — and analysing
+the response page ("often querying the source with attribute `from` set to
+Chicago will yield some meaningful results, whereas querying with `from` set
+to January will not").
+
+This package supplies that substrate:
+
+- :mod:`repro.deepweb.models` — attributes, query interfaces, ground truth;
+- :mod:`repro.deepweb.source` — :class:`DeepWebSource`, a record database
+  behind a form-submission API that renders success/failure response pages
+  (including "no results" pages, validation-error pages and count markers);
+- :mod:`repro.deepweb.response` — the response-analysis heuristics
+  (a variant of those in Raghavan & Garcia-Molina's hidden-web crawler,
+  which the paper cites for this purpose).
+"""
+
+from repro.deepweb.models import Attribute, AttributeKind, QueryInterface, attr_key
+from repro.deepweb.response import ResponseAnalysis, analyze_response
+from repro.deepweb.source import DeepWebSource, ResponsePage
+
+__all__ = [
+    "Attribute",
+    "AttributeKind",
+    "QueryInterface",
+    "attr_key",
+    "DeepWebSource",
+    "ResponsePage",
+    "ResponseAnalysis",
+    "analyze_response",
+]

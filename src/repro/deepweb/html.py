@@ -1,0 +1,203 @@
+"""HTML form rendering and interface extraction.
+
+The paper takes query interfaces as given (the ICQ dataset ships them
+pre-extracted), but any deployment meets them as HTML forms first. This
+module closes that gap in both directions:
+
+- :func:`render_interface` — emit a query interface as a plain HTML form
+  (labels, text inputs, selects with options), useful for inspection and
+  for generating test fixtures;
+- :func:`parse_interface` — extract a :class:`QueryInterface` from form
+  HTML: pair each control with its label (explicit ``<label for=...>``,
+  wrapping ``<label>``, or nearest preceding text), read SELECT options as
+  pre-defined instances, and skip submit/hidden controls.
+
+The parser is a small regex-driven scanner, not a browser: it handles the
+well-formed-ish markup that search forms of the paper's era actually used
+(and whatever :func:`render_interface` emits round-trips losslessly).
+"""
+
+from __future__ import annotations
+
+import html as html_lib
+import re
+from typing import Dict, List, Optional, Tuple
+
+from repro.deepweb.models import Attribute, AttributeKind, QueryInterface
+
+__all__ = ["render_interface", "parse_interface"]
+
+
+# ---------------------------------------------------------------------------
+# rendering
+# ---------------------------------------------------------------------------
+
+def render_interface(interface: QueryInterface) -> str:
+    """Render ``interface`` as an HTML search form."""
+    lines = [
+        f'<form id="{_escape(interface.interface_id)}" method="get" '
+        f'action="/search">',
+        f"  <h2>{_escape(interface.domain)} {_escape(interface.object_name)} "
+        f"search</h2>",
+    ]
+    for attribute in interface.attributes:
+        name = _escape(attribute.name)
+        label = _escape(attribute.label)
+        lines.append(f'  <label for="{name}">{label}</label>')
+        if attribute.kind is AttributeKind.SELECT:
+            lines.append(f'  <select name="{name}" id="{name}">')
+            lines.append('    <option value=""></option>')
+            for value in attribute.instances:
+                escaped = _escape(value)
+                lines.append(f'    <option value="{escaped}">{escaped}</option>')
+            lines.append("  </select>")
+        else:
+            lines.append(f'  <input type="text" name="{name}" id="{name}">')
+    lines.append('  <input type="submit" value="Search">')
+    lines.append("</form>")
+    return "\n".join(lines)
+
+
+def _escape(text: str) -> str:
+    return html_lib.escape(text, quote=True)
+
+
+# ---------------------------------------------------------------------------
+# parsing
+# ---------------------------------------------------------------------------
+
+_TAG_RE = re.compile(
+    r"<(?P<close>/?)(?P<name>label|input|select|option|form)"
+    r"(?P<attrs>[^>]*)>",
+    re.IGNORECASE,
+)
+_ATTR_RE = re.compile(
+    r"""(?P<key>[a-zA-Z-]+)\s*=\s*(?:"(?P<dq>[^"]*)"|'(?P<sq>[^']*)'"""
+    r"""|(?P<bare>[^\s>]+))""",
+)
+_SKIPPED_INPUT_TYPES = frozenset({"submit", "hidden", "button", "image",
+                                  "reset"})
+
+
+def parse_interface(
+    html: str,
+    interface_id: str = "parsed",
+    domain: str = "unknown",
+    object_name: str = "object",
+) -> QueryInterface:
+    """Extract a :class:`QueryInterface` from form HTML.
+
+    Control-label pairing, in order of preference: a ``<label for="...">``
+    matching the control's id; a ``<label>`` element whose text immediately
+    precedes the control; otherwise the nearest non-empty text run before
+    the control. Radio/checkbox groups are treated as SELECTs of their
+    values; submit/hidden/button inputs are skipped.
+    """
+    labels_by_for: Dict[str, str] = {}
+    controls: List[Tuple[int, str, Dict[str, str], Optional[List[str]]]] = []
+
+    open_label_for: Optional[str] = None
+    label_text_start: Optional[int] = None
+    pending_select: Optional[Tuple[int, Dict[str, str], List[str]]] = None
+    pending_option_value: Optional[str] = None
+    radio_groups: Dict[str, Tuple[int, List[str]]] = {}
+
+    for match in _TAG_RE.finditer(html):
+        name = match.group("name").lower()
+        closing = bool(match.group("close"))
+        attrs = _parse_attrs(match.group("attrs"))
+
+        if name == "label" and not closing:
+            open_label_for = attrs.get("for")
+            label_text_start = match.end()
+        elif name == "label" and closing:
+            if label_text_start is not None:
+                text = _clean_text(html[label_text_start:match.start()])
+                key = open_label_for if open_label_for else f"@{match.start()}"
+                if text:
+                    labels_by_for[key] = text
+            open_label_for = None
+            label_text_start = None
+        elif name == "select" and not closing:
+            pending_select = (match.start(), attrs, [])
+        elif name == "option" and not closing:
+            pending_option_value = attrs.get("value")
+            if pending_select is not None and pending_option_value:
+                pending_select[2].append(html_lib.unescape(pending_option_value))
+        elif name == "select" and closing:
+            if pending_select is not None:
+                position, attrs_sel, options = pending_select
+                controls.append((position, "select", attrs_sel, options))
+                pending_select = None
+        elif name == "input" and not closing:
+            input_type = attrs.get("type", "text").lower()
+            if input_type in _SKIPPED_INPUT_TYPES:
+                continue
+            if input_type in ("radio", "checkbox"):
+                group = attrs.get("name", "")
+                value = attrs.get("value", "")
+                if group:
+                    position, values = radio_groups.setdefault(
+                        group, (match.start(), []))
+                    if value:
+                        values.append(html_lib.unescape(value))
+                continue
+            controls.append((match.start(), "text", attrs, None))
+
+    for group, (position, values) in radio_groups.items():
+        controls.append((position, "select", {"name": group, "id": group},
+                         values))
+    controls.sort(key=lambda c: c[0])
+
+    attributes: List[Attribute] = []
+    used_names: Dict[str, int] = {}
+    for position, kind, attrs, options in controls:
+        name = attrs.get("name") or attrs.get("id") or f"field{position}"
+        if name in used_names:  # de-duplicate (malformed forms reuse names)
+            used_names[name] += 1
+            name = f"{name}_{used_names[name]}"
+        else:
+            used_names[name] = 0
+        label = _find_label(html, position, attrs, labels_by_for)
+        if kind == "select":
+            attributes.append(Attribute(
+                name=name, label=label, kind=AttributeKind.SELECT,
+                instances=tuple(options or ()),
+            ))
+        else:
+            attributes.append(Attribute(name=name, label=label))
+
+    return QueryInterface(
+        interface_id=interface_id,
+        domain=domain,
+        object_name=object_name,
+        attributes=attributes,
+    )
+
+
+def _parse_attrs(raw: str) -> Dict[str, str]:
+    attrs = {}
+    for match in _ATTR_RE.finditer(raw):
+        value = match.group("dq") or match.group("sq") or match.group("bare")
+        attrs[match.group("key").lower()] = value or ""
+    return attrs
+
+
+def _clean_text(text: str) -> str:
+    text = re.sub(r"<[^>]*>", " ", text)
+    return " ".join(html_lib.unescape(text).split()).rstrip(": ").strip()
+
+
+def _find_label(html: str, position: int, attrs: Dict[str, str],
+                labels_by_for: Dict[str, str]) -> str:
+    control_id = attrs.get("id") or attrs.get("name")
+    if control_id and control_id in labels_by_for:
+        return labels_by_for[control_id]
+    # Fall back to the nearest non-empty text run before the control.
+    prefix = html[:position]
+    chunks = re.split(r"<[^>]*>", prefix)
+    for chunk in reversed(chunks):
+        text = " ".join(html_lib.unescape(chunk).split()).rstrip(": ").strip()
+        if text:
+            return text
+    return control_id or "unknown"

@@ -1,0 +1,107 @@
+"""Query-interface data model.
+
+A Deep-Web *query interface* (used interchangeably with "schema" in the
+paper) is an ordered list of attributes, each with a human-readable label
+and, for selection widgets, a list of pre-defined instances. Free-text
+inputs have no instances — these are the attributes whose pervasive lack of
+data motivates WebIQ.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+__all__ = ["AttributeKind", "Attribute", "QueryInterface", "attr_key"]
+
+
+class AttributeKind(enum.Enum):
+    """Widget kind of an interface attribute."""
+
+    #: free-text input — accepts arbitrary values, carries no instances
+    TEXT = "text"
+    #: selection list — only its pre-defined values can be submitted
+    SELECT = "select"
+
+
+@dataclass
+class Attribute:
+    """One attribute (form field) of a query interface.
+
+    ``instances`` are the pre-defined values visible on the interface
+    (non-empty only for SELECT attributes). ``acquired`` holds instances
+    added later by WebIQ; the matcher sees the union via
+    :meth:`all_instances`.
+    """
+
+    name: str
+    label: str
+    kind: AttributeKind = AttributeKind.TEXT
+    instances: Tuple[str, ...] = ()
+    acquired: List[str] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.kind is AttributeKind.TEXT and self.instances:
+            raise ValueError(
+                f"text attribute {self.name!r} cannot have pre-defined instances"
+            )
+        self.instances = tuple(self.instances)
+
+    @property
+    def has_instances(self) -> bool:
+        """Does the interface itself expose instances for this attribute?"""
+        return bool(self.instances)
+
+    def all_instances(self) -> List[str]:
+        """Pre-defined plus acquired instances, duplicates removed in order."""
+        seen = set()
+        merged = []
+        for value in list(self.instances) + self.acquired:
+            low = value.lower()
+            if low not in seen:
+                seen.add(low)
+                merged.append(value)
+        return merged
+
+    def clear_acquired(self) -> None:
+        self.acquired.clear()
+
+
+@dataclass
+class QueryInterface:
+    """A source's query interface (a "schema" in the paper's terminology)."""
+
+    interface_id: str
+    domain: str          # e.g. "airfare" — the name of the domain
+    object_name: str     # e.g. "flight" — the real-world entity queried
+    attributes: List[Attribute] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        names = [a.name for a in self.attributes]
+        if len(names) != len(set(names)):
+            raise ValueError(
+                f"duplicate attribute names on interface {self.interface_id}"
+            )
+
+    def attribute(self, name: str) -> Attribute:
+        for attr in self.attributes:
+            if attr.name == name:
+                return attr
+        raise KeyError(f"no attribute {name!r} on interface {self.interface_id}")
+
+    @property
+    def attribute_names(self) -> List[str]:
+        return [a.name for a in self.attributes]
+
+    def attributes_without_instances(self) -> List[Attribute]:
+        return [a for a in self.attributes if not a.has_instances]
+
+    def clear_acquired(self) -> None:
+        for attr in self.attributes:
+            attr.clear_acquired()
+
+
+def attr_key(interface: QueryInterface, attribute: Attribute) -> Tuple[str, str]:
+    """Globally unique key of an attribute: (interface_id, attribute name)."""
+    return (interface.interface_id, attribute.name)

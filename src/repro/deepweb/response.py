@@ -1,0 +1,95 @@
+"""Response-page analysis heuristics (paper §4, "Analyze the Response").
+
+The paper "applies several heuristics to analyze the response page from the
+source and determine if the submission was successful", citing the
+hidden-web crawler of Raghavan & Garcia-Molina for the technique. Our
+variant combines three signals over the page text:
+
+1. explicit failure markers ("no results", "not a valid", "error", ...);
+2. explicit success markers with a positive count ("found 23 matching
+   records", "showing 1 - 10 of 23");
+3. structural evidence of result rows (bullet lines with "key: value"
+   pairs).
+
+A page is deemed successful only when success evidence is present and
+failure markers are absent — conservative, because Attr-Deep's ≥1/3 rule
+amplifies any false positives into whole borrowed instance sets.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Optional
+
+__all__ = ["ResponseAnalysis", "analyze_response"]
+
+_FAILURE_MARKERS = (
+    "no results",
+    "0 results",
+    "zero results",
+    "no items matched",
+    "no matches",
+    "no records",
+    "not a valid",
+    "invalid",
+    "not found",
+    "try again",
+    "error",
+    "please fill in",
+    "please enter",
+)
+
+_COUNT_PATTERNS = (
+    re.compile(r"\bfound\s+(\d[\d,]*)\s+match", re.IGNORECASE),
+    re.compile(r"\b(\d[\d,]*)\s+(?:results|matches|records|listings)\b",
+               re.IGNORECASE),
+    re.compile(r"\bshowing\s+\d+\s*-\s*\d+\s+of\s+(\d[\d,]*)", re.IGNORECASE),
+)
+
+_RESULT_ROW_RE = re.compile(r"^\s*[*\-•]\s+\S+.*:\s*\S+", re.MULTILINE)
+
+
+@dataclass(frozen=True)
+class ResponseAnalysis:
+    """Verdict for one response page."""
+
+    success: bool
+    result_count: Optional[int]
+    reason: str
+
+
+def analyze_response(text: str) -> ResponseAnalysis:
+    """Decide whether a response page indicates a successful query.
+
+    >>> analyze_response("Found 23 matching records.").success
+    True
+    >>> analyze_response("Sorry, no results were found.").success
+    False
+    """
+    low = text.lower()
+
+    count = _extract_count(text)
+    if count == 0:
+        return ResponseAnalysis(False, 0, "zero result count")
+
+    for marker in _FAILURE_MARKERS:
+        if marker in low:
+            return ResponseAnalysis(False, count, f"failure marker {marker!r}")
+
+    if count is not None and count > 0:
+        return ResponseAnalysis(True, count, "positive result count")
+
+    rows = _RESULT_ROW_RE.findall(text)
+    if rows:
+        return ResponseAnalysis(True, len(rows), "result rows present")
+
+    return ResponseAnalysis(False, None, "no success evidence")
+
+
+def _extract_count(text: str) -> Optional[int]:
+    for pattern in _COUNT_PATTERNS:
+        match = pattern.search(text)
+        if match:
+            return int(match.group(1).replace(",", ""))
+    return None

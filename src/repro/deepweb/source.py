@@ -1,0 +1,161 @@
+"""A probe-able Deep-Web source backed by a record database.
+
+:class:`DeepWebSource` wraps a query interface together with (a) the
+recognised value domain of each attribute and (b) a set of backing records.
+Submitting a form produces a :class:`ResponsePage` whose *text* resembles a
+result page — Attr-Deep never sees the source's internals, only the page, and
+must decide success with the heuristics in :mod:`repro.deepweb.response`,
+exactly as the paper's component analyses real response pages.
+
+Semantics of a probe (mirroring real sources):
+
+- a filled value that the source does not recognise as belonging to the
+  attribute's domain yields a failure page ("no matches" or a validation
+  error, chosen per source);
+- recognised values yield a results page listing matching records with a
+  count marker; if the value is valid but no backing record matches, the
+  page is the "0 results" page — a *recognised-but-empty* outcome that makes
+  the analysis heuristics genuinely heuristic;
+- unfilled attributes default to the empty string and are ignored
+  ("many interfaces permit partial queries"); sources may declare required
+  attributes that fail empty submissions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Set
+
+from repro.deepweb.models import Attribute, AttributeKind, QueryInterface
+
+__all__ = ["ResponsePage", "DeepWebSource", "ValueRecognizer"]
+
+#: A recognizer decides whether a submitted string is a member of an
+#: attribute's value domain (e.g. "is this a known city?").
+ValueRecognizer = Callable[[str], bool]
+
+
+@dataclass(frozen=True)
+class ResponsePage:
+    """What the source returns for a form submission: a page of text."""
+
+    url: str
+    text: str
+
+
+@dataclass
+class DeepWebSource:
+    """One Deep-Web data source: an interface plus its hidden database."""
+
+    interface: QueryInterface
+    #: attribute name -> recognizer for its value domain
+    recognizers: Dict[str, ValueRecognizer]
+    #: the hidden records; each maps attribute name -> stored value
+    records: List[Dict[str, str]] = field(default_factory=list)
+    #: attributes that must be non-empty for any query to succeed
+    required_attributes: Set[str] = field(default_factory=set)
+    #: failure style: "no_results" or "validation_error" pages
+    failure_style: str = "no_results"
+    #: number of probes served (read by the pipeline for Figure 8 accounting)
+    probe_count: int = 0
+
+    def __post_init__(self) -> None:
+        known = set(self.interface.attribute_names)
+        unknown = set(self.recognizers) - known
+        if unknown:
+            raise ValueError(f"recognizers for unknown attributes: {unknown}")
+        if self.failure_style not in ("no_results", "validation_error"):
+            raise ValueError(f"unknown failure style {self.failure_style!r}")
+
+    # ------------------------------------------------------------------ API
+    def submit(self, values: Mapping[str, str]) -> ResponsePage:
+        """Submit the form with ``values`` (missing attributes default empty).
+
+        Returns the rendered response page. Never raises for bad values —
+        real sources answer bad input with pages, not exceptions; passing an
+        attribute name not on the interface is a programming error and does
+        raise ``KeyError``.
+        """
+        self.probe_count += 1
+        for name in values:
+            self.interface.attribute(name)  # KeyError on unknown name
+
+        filled = {k: v.strip() for k, v in values.items() if v and v.strip()}
+
+        for required in self.required_attributes:
+            if required not in filled:
+                return self._error_page(
+                    f"Please fill in the required field "
+                    f"'{self.interface.attribute(required).label}'."
+                )
+
+        for name, value in filled.items():
+            attribute = self.interface.attribute(name)
+            if not self._recognizes(attribute, value):
+                return self._failure_page(attribute, value)
+
+        matches = [r for r in self.records if self._record_matches(r, filled)]
+        return self._results_page(matches)
+
+    def recognizes(self, attribute_name: str, value: str) -> bool:
+        """Direct domain-membership oracle — for tests and dataset checks."""
+        return self._recognizes(self.interface.attribute(attribute_name), value)
+
+    # ------------------------------------------------------------- internals
+    def _recognizes(self, attribute: Attribute, value: str) -> bool:
+        if attribute.kind is AttributeKind.SELECT:
+            # Selection widgets physically cannot submit foreign values.
+            return value.lower() in {v.lower() for v in attribute.instances}
+        recognizer = self.recognizers.get(attribute.name)
+        if recognizer is None:
+            return True  # unconstrained free-text field (e.g. keywords)
+        return recognizer(value)
+
+    @staticmethod
+    def _record_matches(record: Dict[str, str], filled: Mapping[str, str]) -> bool:
+        for name, value in filled.items():
+            stored = record.get(name)
+            if stored is not None and stored.lower() != value.lower():
+                return False
+        return True
+
+    def _results_page(self, matches: Sequence[Dict[str, str]]) -> ResponsePage:
+        url = f"deep://{self.interface.interface_id}/results"
+        if not matches:
+            return ResponsePage(
+                url,
+                "Search results\n"
+                "Your search returned 0 results.\n"
+                "No items matched your query. Please refine your search.",
+            )
+        lines = [
+            "Search results",
+            f"Found {len(matches)} matching records. Showing 1 - "
+            f"{min(len(matches), 10)} of {len(matches)}.",
+        ]
+        for record in list(matches)[:10]:
+            rendered = ", ".join(f"{k}: {v}" for k, v in sorted(record.items()))
+            lines.append(f"  * {rendered}")
+        lines.append("Next page >>")
+        return ResponsePage(url, "\n".join(lines))
+
+    def _failure_page(self, attribute: Attribute, value: str) -> ResponsePage:
+        url = f"deep://{self.interface.interface_id}/error"
+        if self.failure_style == "validation_error":
+            return ResponsePage(
+                url,
+                f"Error: '{value}' is not a valid value for "
+                f"{attribute.label}.\nPlease go back and try again.",
+            )
+        return ResponsePage(
+            url,
+            "Search results\n"
+            "Sorry, no results were found matching your criteria.\n"
+            "Please modify your search and try again.",
+        )
+
+    def _error_page(self, message: str) -> ResponsePage:
+        return ResponsePage(
+            f"deep://{self.interface.interface_id}/error",
+            f"Error\n{message}",
+        )

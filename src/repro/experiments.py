@@ -1,0 +1,143 @@
+"""Programmatic experiment runner: regenerate the paper's tables anywhere.
+
+The pytest benchmarks under ``benchmarks/`` assert the paper's shapes; this
+module exposes the same regeneration logic as a plain library API (and via
+``python -m repro figure ...``), so the tables can be produced from
+notebooks, scripts, or CI without pytest.
+
+Example::
+
+    from repro.experiments import ExperimentSuite
+
+    suite = ExperimentSuite(seed=1, n_interfaces=20)
+    for row in suite.figure6():
+        print(row)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.pipeline import WebIQConfig, WebIQMatcher, WebIQRunResult
+from repro.datasets import (
+    DOMAINS,
+    DomainDataset,
+    build_domain_dataset,
+    dataset_statistics,
+)
+
+__all__ = ["ExperimentSuite", "render_rows"]
+
+#: the named configurations shared by figures 6 and 7
+_CONFIGS: Dict[str, WebIQConfig] = {
+    "baseline": WebIQConfig(enable_surface=False, enable_attr_deep=False,
+                            enable_attr_surface=False),
+    "surface": WebIQConfig(enable_surface=True, enable_attr_deep=False,
+                           enable_attr_surface=False),
+    "surface+deep": WebIQConfig(enable_surface=True, enable_attr_deep=True,
+                                enable_attr_surface=False),
+    "webiq": WebIQConfig(),
+    "webiq+threshold": WebIQConfig(threshold=0.1),
+}
+
+
+class ExperimentSuite:
+    """Memoised pipeline runs over the five domains, one seed."""
+
+    def __init__(
+        self,
+        seed: int = 1,
+        n_interfaces: int = 20,
+        domains: Sequence[str] = DOMAINS,
+    ) -> None:
+        self.seed = seed
+        self.n_interfaces = n_interfaces
+        self.domains = tuple(domains)
+        self._datasets: Dict[str, DomainDataset] = {}
+        self._runs: Dict[Tuple[str, str], WebIQRunResult] = {}
+
+    # ------------------------------------------------------------- plumbing
+    def dataset(self, domain: str) -> DomainDataset:
+        if domain not in self._datasets:
+            self._datasets[domain] = build_domain_dataset(
+                domain, self.n_interfaces, self.seed)
+        return self._datasets[domain]
+
+    def run(self, domain: str, config_name: str) -> WebIQRunResult:
+        key = (domain, config_name)
+        if key not in self._runs:
+            matcher = WebIQMatcher(_CONFIGS[config_name])
+            self._runs[key] = matcher.run(self.dataset(domain))
+        return self._runs[key]
+
+    # ----------------------------------------------------------- the tables
+    def table1_characteristics(self) -> List[Tuple]:
+        """Table 1 cols 2-5: (domain, #attr, int_no_inst%, attr_no_inst%,
+        findable%)."""
+        rows = []
+        for domain in self.domains:
+            s = dataset_statistics(self.dataset(domain))
+            rows.append((domain, round(s.avg_attributes, 1),
+                         round(s.pct_interfaces_no_inst, 1),
+                         round(s.pct_attrs_no_inst, 1),
+                         round(s.pct_expected_findable, 1)))
+        return rows
+
+    def table1_acquisition(self) -> List[Tuple]:
+        """Table 1 cols 6-7: (domain, surface%, surface+deep%)."""
+        rows = []
+        for domain in self.domains:
+            report = self.run(domain, "webiq").acquisition
+            rows.append((domain, round(report.surface_success_rate, 1),
+                         round(report.final_success_rate, 1)))
+        return rows
+
+    def figure6(self) -> List[Tuple]:
+        """(domain, baseline F1%, webiq F1%, webiq+threshold F1%)."""
+        rows = []
+        for domain in self.domains:
+            rows.append((domain,) + tuple(
+                round(100 * self.run(domain, name).metrics.f1, 1)
+                for name in ("baseline", "webiq", "webiq+threshold")))
+        return rows
+
+    def figure7(self) -> List[Tuple]:
+        """(domain, baseline, +Surface, +Attr-Deep, +Attr-Surface) F1%."""
+        rows = []
+        for domain in self.domains:
+            rows.append((domain,) + tuple(
+                round(100 * self.run(domain, name).metrics.f1, 1)
+                for name in ("baseline", "surface", "surface+deep", "webiq")))
+        return rows
+
+    def figure8(self) -> List[Tuple]:
+        """(domain, matching, surface, attr_surface, attr_deep) minutes."""
+        rows = []
+        for domain in self.domains:
+            stopwatch = self.run(domain, "webiq").stopwatch
+            rows.append((domain,) + tuple(
+                round(stopwatch.minutes(account), 1)
+                for account in ("matching", "surface", "attr_surface",
+                                "attr_deep")))
+        return rows
+
+    def all_tables(self) -> Dict[str, List[Tuple]]:
+        return {
+            "table1_characteristics": self.table1_characteristics(),
+            "table1_acquisition": self.table1_acquisition(),
+            "figure6": self.figure6(),
+            "figure7": self.figure7(),
+            "figure8": self.figure8(),
+        }
+
+
+def render_rows(header: Sequence[str], rows: Sequence[Tuple]) -> str:
+    """Render rows as an aligned text table (one string, no trailing \\n)."""
+    table = [tuple(str(c) for c in header)]
+    table += [tuple(str(c) for c in row) for row in rows]
+    widths = [max(len(row[i]) for row in table) for i in range(len(header))]
+    lines = ["  ".join(cell.ljust(w) for cell, w in zip(row, widths)).rstrip()
+             for row in table]
+    lines.insert(1, "-" * len(lines[0]))
+    return "\n".join(lines)

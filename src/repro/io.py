@@ -1,0 +1,174 @@
+"""JSON import/export for interfaces, ground truth and run results.
+
+A reproduction is only useful if its artifacts can leave the process:
+these helpers serialise generated interface sets (so a dataset can be
+inspected, diffed, or versioned), ground-truth clusters, acquisition
+reports and matching metrics. Everything round-trips losslessly except the
+corpus and sources, which are regenerated from the seed (recorded in the
+dataset payload) rather than stored.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List
+
+from repro.core.acquisition import AcquisitionReport
+from repro.core.pipeline import WebIQRunResult
+from repro.datasets.dataset import DomainDataset
+from repro.datasets.interfaces import GroundTruth
+from repro.deepweb.models import Attribute, AttributeKind, QueryInterface
+
+__all__ = [
+    "interface_to_dict",
+    "interface_from_dict",
+    "dataset_to_dict",
+    "ground_truth_to_dict",
+    "ground_truth_from_dict",
+    "acquisition_report_to_dict",
+    "run_result_to_dict",
+    "dump_dataset",
+    "dump_run_result",
+]
+
+
+def interface_to_dict(interface: QueryInterface) -> Dict[str, Any]:
+    """One interface, including any WebIQ-acquired instances."""
+    return {
+        "interface_id": interface.interface_id,
+        "domain": interface.domain,
+        "object_name": interface.object_name,
+        "attributes": [
+            {
+                "name": a.name,
+                "label": a.label,
+                "kind": a.kind.value,
+                "instances": list(a.instances),
+                "acquired": list(a.acquired),
+            }
+            for a in interface.attributes
+        ],
+    }
+
+
+def interface_from_dict(payload: Dict[str, Any]) -> QueryInterface:
+    """Inverse of :func:`interface_to_dict`."""
+    attributes = []
+    for item in payload["attributes"]:
+        attribute = Attribute(
+            name=item["name"],
+            label=item["label"],
+            kind=AttributeKind(item["kind"]),
+            instances=tuple(item["instances"]),
+        )
+        attribute.acquired.extend(item.get("acquired", ()))
+        attributes.append(attribute)
+    return QueryInterface(
+        interface_id=payload["interface_id"],
+        domain=payload["domain"],
+        object_name=payload["object_name"],
+        attributes=attributes,
+    )
+
+
+def ground_truth_to_dict(truth: GroundTruth) -> Dict[str, Any]:
+    return {
+        "clusters": {
+            concept: sorted([list(member) for member in members])
+            for concept, members in truth.clusters.items()
+        }
+    }
+
+
+def ground_truth_from_dict(payload: Dict[str, Any]) -> GroundTruth:
+    truth = GroundTruth()
+    for concept, members in payload["clusters"].items():
+        for interface_id, attribute in members:
+            truth.add(concept, interface_id, attribute)
+    return truth
+
+
+def dataset_to_dict(dataset: DomainDataset) -> Dict[str, Any]:
+    """Snapshot a dataset: interfaces, ground truth, and regeneration info.
+
+    The corpus and sources are deterministic functions of
+    ``(domain, n_interfaces, seed)`` and are not stored; the seed in the
+    payload regenerates them bit-identically.
+    """
+    return {
+        "domain": dataset.domain,
+        "seed": dataset.seed,
+        "n_interfaces": len(dataset.interfaces),
+        "n_documents": dataset.engine.n_documents,
+        "interfaces": [interface_to_dict(i) for i in dataset.interfaces],
+        "ground_truth": ground_truth_to_dict(dataset.ground_truth),
+    }
+
+
+def acquisition_report_to_dict(report: AcquisitionReport) -> Dict[str, Any]:
+    return {
+        "k": report.k,
+        "surface_queries": report.surface_queries,
+        "attr_surface_queries": report.attr_surface_queries,
+        "attr_deep_probes": report.attr_deep_probes,
+        "surface_success_rate": report.surface_success_rate,
+        "final_success_rate": report.final_success_rate,
+        "records": [
+            {
+                "interface_id": r.interface_id,
+                "attribute": r.attribute,
+                "label": r.label,
+                "had_instances": r.had_instances,
+                "n_after_surface": r.n_after_surface,
+                "n_after_borrow": r.n_after_borrow,
+                "surface_attempted": r.surface_attempted,
+                "borrow_deep_attempted": r.borrow_deep_attempted,
+                "borrow_surface_attempted": r.borrow_surface_attempted,
+            }
+            for r in report.records
+        ],
+    }
+
+
+def run_result_to_dict(result: WebIQRunResult) -> Dict[str, Any]:
+    """A full pipeline run: config, metrics, clusters, overhead."""
+    return {
+        "domain": result.domain,
+        "config": {
+            "enable_surface": result.config.enable_surface,
+            "enable_attr_deep": result.config.enable_attr_deep,
+            "enable_attr_surface": result.config.enable_attr_surface,
+            "threshold": result.config.threshold,
+            "linkage": result.config.linkage,
+        },
+        "metrics": {
+            "precision": result.metrics.precision,
+            "recall": result.metrics.recall,
+            "f1": result.metrics.f1,
+            "n_predicted": result.metrics.n_predicted,
+            "n_truth": result.metrics.n_truth,
+            "n_correct": result.metrics.n_correct,
+        },
+        "clusters": [
+            sorted([list(m.key) for m in cluster.members])
+            for cluster in result.match_result.clusters
+        ],
+        "overhead_seconds": dict(result.stopwatch.seconds_by_account),
+        "acquisition": (
+            acquisition_report_to_dict(result.acquisition)
+            if result.acquisition is not None
+            else None
+        ),
+    }
+
+
+def dump_dataset(dataset: DomainDataset, path: str) -> None:
+    """Write a dataset snapshot as JSON to ``path``."""
+    with open(path, "w") as handle:
+        json.dump(dataset_to_dict(dataset), handle, indent=2)
+
+
+def dump_run_result(result: WebIQRunResult, path: str) -> None:
+    """Write a pipeline run as JSON to ``path``."""
+    with open(path, "w") as handle:
+        json.dump(run_result_to_dict(result), handle, indent=2)

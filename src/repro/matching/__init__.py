@@ -1,0 +1,58 @@
+"""The IceQ interface-matching substrate (paper §5, citing Wu et al. 2004).
+
+IceQ clusters attributes across a domain's query interfaces; each final
+cluster contains the attributes that match. The similarity of attributes
+``A`` and ``B`` is::
+
+    Sim(A, B) = alpha * LabelSim(A, B) + beta * DomSim(A, B)
+
+with ``alpha = 0.6`` and ``beta = 0.4`` (the paper's constants). ``LabelSim``
+is the cosine of the labels' word vectors; ``DomSim`` compares the inferred
+types (integer, real, monetary, date, string) and the instance values — and
+is zero when either attribute has no instances, which is precisely why
+WebIQ's acquired instances raise accuracy.
+
+The paper runs the *automatic* version of IceQ with a manually set
+clustering threshold (0, then 0.1); this package implements that version:
+average-linkage agglomerative clustering under the cannot-link constraint
+that two attributes of the same interface never co-cluster.
+"""
+
+from repro.matching.types import DomainType, infer_type
+from repro.matching.similarity import (
+    AttributeView,
+    SimilarityConfig,
+    attribute_similarity,
+    domain_similarity,
+    label_similarity,
+    value_similarity,
+)
+from repro.matching.baselines import ExactLabelMatcher, label_only_matcher
+from repro.matching.clustering import Cluster, IceQMatcher, MatchResult
+from repro.matching.interactive import (
+    InteractiveThresholdLearner,
+    truth_oracle,
+)
+from repro.matching.metrics import MatchMetrics, evaluate_matches
+from repro.matching.threshold import search_threshold
+
+__all__ = [
+    "DomainType",
+    "infer_type",
+    "AttributeView",
+    "SimilarityConfig",
+    "attribute_similarity",
+    "domain_similarity",
+    "label_similarity",
+    "value_similarity",
+    "Cluster",
+    "IceQMatcher",
+    "MatchResult",
+    "MatchMetrics",
+    "evaluate_matches",
+    "search_threshold",
+    "ExactLabelMatcher",
+    "label_only_matcher",
+    "InteractiveThresholdLearner",
+    "truth_oracle",
+]

@@ -1,0 +1,57 @@
+"""Simpler matching baselines for context (extensions, not in the paper).
+
+The paper's baseline is the full IceQ (labels + instances). Related work it
+discusses includes purely label-driven matchers (He & Chang's statistical
+model "exploits only the statistics on the labels"). These two reference
+points let users quantify what instances buy at each level:
+
+- :class:`ExactLabelMatcher` — attributes match iff their normalised labels
+  are identical (the naivest plausible system);
+- :func:`label_only_matcher` — IceQ with β = 0: cosine label similarity
+  plus clustering, but no instance evidence at all.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.deepweb.models import QueryInterface
+from repro.matching.clustering import (
+    Cluster,
+    IceQMatcher,
+    MatchResult,
+    views_from_interfaces,
+)
+from repro.matching.similarity import AttributeView, SimilarityConfig
+
+__all__ = ["ExactLabelMatcher", "label_only_matcher"]
+
+
+class ExactLabelMatcher:
+    """Attributes match iff their labels are equal after normalisation.
+
+    Normalisation is lower-casing and whitespace collapsing — deliberately
+    not the full word-vector treatment, because this baseline models a
+    system with no linguistic machinery at all.
+    """
+
+    def match(self, interfaces: Sequence[QueryInterface]) -> MatchResult:
+        views = views_from_interfaces(interfaces)
+        return self.match_views(views)
+
+    def match_views(self, views: Sequence[AttributeView]) -> MatchResult:
+        groups: Dict[str, List[AttributeView]] = {}
+        for view in views:
+            key = " ".join(view.label.lower().split())
+            groups.setdefault(key, []).append(view)
+        clusters = [
+            Cluster(sorted(members, key=lambda v: v.key))
+            for _, members in sorted(groups.items())
+        ]
+        # Exact grouping needs no pairwise similarity evaluations at all.
+        return MatchResult(clusters, threshold=0.0, similarity_evaluations=0)
+
+
+def label_only_matcher(linkage: str = "average") -> IceQMatcher:
+    """An IceQ variant that ignores instances entirely (α=1, β=0)."""
+    return IceQMatcher(SimilarityConfig(alpha=1.0, beta=0.0), linkage=linkage)

@@ -1,0 +1,207 @@
+"""Interactive threshold learning — the full IceQ's user-in-the-loop mode.
+
+The paper runs "only the automatic version of IceQ" with a manually set
+threshold, noting that "during the clustering process IceQ can also
+interact with the user to automatically learn a thresholding value". This
+module implements that interactive mode against a pluggable oracle:
+
+1. run the agglomerative clustering once, recording the similarity of every
+   merge it performs;
+2. select the most *informative* merges — those whose similarities bracket
+   the current threshold estimate (binary search over the sorted merge
+   similarities);
+3. ask the oracle whether each selected merge was correct (a user would
+   eyeball the two attribute groups; tests use the ground truth);
+4. place τ between the lowest similarity of an approved merge and the
+   highest similarity of a rejected one.
+
+The question budget is logarithmic in the number of merges, mirroring the
+paper's claim that a little interaction suffices to set τ.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from repro.matching.clustering import Cluster, IceQMatcher, MatchResult
+from repro.matching.similarity import AttributeView
+
+__all__ = ["MergeQuestion", "InteractiveThresholdLearner", "truth_oracle"]
+
+AttrKey = Tuple[str, str]
+Pair = FrozenSet[AttrKey]
+
+#: An oracle answers: "do these two attribute groups describe the same
+#: thing?" — True for a correct merge.
+Oracle = Callable[[Cluster, Cluster], bool]
+
+
+@dataclass(frozen=True)
+class MergeQuestion:
+    """One question asked during learning, for audit/inspection."""
+
+    similarity: float
+    left_labels: Tuple[str, ...]
+    right_labels: Tuple[str, ...]
+    answer: bool
+
+
+def truth_oracle(truth_pairs: Set[Pair]) -> Oracle:
+    """A simulated user answering from expert ground truth.
+
+    A merge is "correct" when the majority of the cross pairs it creates
+    are true matches — the judgement a user makes when shown two groups.
+    """
+
+    def oracle(left: Cluster, right: Cluster) -> bool:
+        total = correct = 0
+        for a in left.members:
+            for b in right.members:
+                total += 1
+                if frozenset((a.key, b.key)) in truth_pairs:
+                    correct += 1
+        return total > 0 and correct / total >= 0.5
+
+    return oracle
+
+
+class InteractiveThresholdLearner:
+    """Learn the clustering threshold from a handful of oracle questions."""
+
+    def __init__(
+        self,
+        matcher: Optional[IceQMatcher] = None,
+        max_questions: int = 10,
+    ) -> None:
+        if max_questions < 1:
+            raise ValueError("need at least one question")
+        self.matcher = matcher or IceQMatcher()
+        self.max_questions = max_questions
+        self.questions: List[MergeQuestion] = []
+
+    def learn(self, views: Sequence[AttributeView], oracle: Oracle) -> float:
+        """Return a learned τ; records its questions in :attr:`questions`."""
+        merges = self._record_merges(views)
+        if not merges:
+            return 0.0
+        # Merges sorted by ascending similarity: correct merges concentrate
+        # at high similarity, wrong ones at low. Binary-search the boundary.
+        merges.sort(key=lambda m: m[0])
+        self.questions = []
+        lo, hi = 0, len(merges) - 1
+        lowest_good: Optional[float] = None
+        highest_bad: Optional[float] = None
+        asked = 0
+        while lo <= hi and asked < self.max_questions:
+            mid = (lo + hi) // 2
+            similarity, left, right = merges[mid]
+            answer = oracle(left, right)
+            asked += 1
+            self.questions.append(MergeQuestion(
+                similarity=similarity,
+                left_labels=tuple(m.label for m in left.members),
+                right_labels=tuple(m.label for m in right.members),
+                answer=answer,
+            ))
+            if answer:
+                lowest_good = similarity
+                hi = mid - 1
+            else:
+                highest_bad = similarity
+                lo = mid + 1
+        return self._place_threshold(lowest_good, highest_bad)
+
+    # ------------------------------------------------------------ internals
+    def _record_merges(
+        self, views: Sequence[AttributeView]
+    ) -> List[Tuple[float, Cluster, Cluster]]:
+        """Replay the clustering at τ=0, capturing each merge's operands."""
+        recorder = _MergeRecorder(self.matcher)
+        return recorder.run(views)
+
+    @staticmethod
+    def _place_threshold(lowest_good: Optional[float],
+                         highest_bad: Optional[float]) -> float:
+        if lowest_good is None and highest_bad is None:
+            return 0.0
+        if lowest_good is None:
+            # every inspected merge was wrong: cut above the worst
+            return highest_bad  # type: ignore[return-value]
+        if highest_bad is None:
+            # every inspected merge was right: keep everything
+            return 0.0
+        return (lowest_good + highest_bad) / 2.0
+
+
+class _MergeRecorder:
+    """Re-runs the agglomerative loop, emitting each merge's operands.
+
+    This mirrors :meth:`IceQMatcher.match_views` step for step (same
+    linkage updates, same cannot-link constraint, same tie-breaking) — the
+    one difference is that each merge's (similarity, clusters) triple is
+    recorded before the merge happens.
+    """
+
+    def __init__(self, matcher: IceQMatcher) -> None:
+        self.matcher = matcher
+
+    def run(self, views: Sequence[AttributeView]):
+        from repro.matching.similarity import attribute_similarity
+
+        n = len(views)
+        if n == 0:
+            return []
+        sim = [[0.0] * n for _ in range(n)]
+        for i in range(n):
+            for j in range(i + 1, n):
+                value = attribute_similarity(views[i], views[j],
+                                             self.matcher.config)
+                sim[i][j] = sim[j][i] = value
+
+        members = {i: [i] for i in range(n)}
+        ifaces = {i: {views[i].interface_id} for i in range(n)}
+        avg = {i: {j: sim[i][j] for j in range(n) if j != i} for i in range(n)}
+        active = set(range(n))
+        merges = []
+
+        while len(active) > 1:
+            best_pair = None
+            best_value = 0.0
+            for i in active:
+                for j, value in avg[i].items():
+                    if j <= i or j not in active:
+                        continue
+                    if value > best_value and not (ifaces[i] & ifaces[j]):
+                        best_value = value
+                        best_pair = (i, j)
+            if best_pair is None:
+                break
+            i, j = best_pair
+            merges.append((
+                best_value,
+                Cluster([views[x] for x in sorted(members[i])]),
+                Cluster([views[x] for x in sorted(members[j])]),
+            ))
+            size_i, size_j = len(members[i]), len(members[j])
+            for k in active:
+                if k in (i, j):
+                    continue
+                sim_ik = avg[i].get(k, 0.0)
+                sim_jk = avg[j].get(k, 0.0)
+                if self.matcher.linkage == "single":
+                    merged = max(sim_ik, sim_jk)
+                elif self.matcher.linkage == "complete":
+                    merged = min(sim_ik, sim_jk)
+                else:
+                    merged = (size_i * sim_ik + size_j * sim_jk) / (
+                        size_i + size_j)
+                avg[i][k] = merged
+                avg[k][i] = merged
+                avg[k].pop(j, None)
+            members[i].extend(members[j])
+            ifaces[i] |= ifaces[j]
+            del members[j], ifaces[j], avg[j]
+            avg[i].pop(j, None)
+            active.discard(j)
+        return merges

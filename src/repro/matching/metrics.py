@@ -1,0 +1,56 @@
+"""Matching accuracy metrics: precision, recall, F-1 (paper §6).
+
+"Precision P is the percentage of correct matches over all matches
+identified by the system, while recall R is the percentage of correct
+matches identified by the system over all matches given by domain experts.
+F-1 ... is computed as 2PR/(R+P)."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Set, Tuple
+
+__all__ = ["MatchMetrics", "evaluate_matches"]
+
+Pair = FrozenSet[Tuple[str, str]]
+
+
+@dataclass(frozen=True)
+class MatchMetrics:
+    """Precision / recall / F-1 of a predicted match-pair set."""
+
+    precision: float
+    recall: float
+    f1: float
+    n_predicted: int
+    n_truth: int
+    n_correct: int
+
+
+def evaluate_matches(predicted: Set[Pair], truth: Set[Pair]) -> MatchMetrics:
+    """Pairwise P/R/F-1 of ``predicted`` against expert ``truth``.
+
+    Conventions for empty sets: with no true matches, recall is 1 (nothing
+    was missed); with no predictions, precision is 1 (nothing was wrong).
+
+    >>> t = {frozenset([("i1","a"),("i2","a")])}
+    >>> evaluate_matches(t, t).f1
+    1.0
+    """
+    correct = len(predicted & truth)
+    precision = correct / len(predicted) if predicted else 1.0
+    recall = correct / len(truth) if truth else 1.0
+    f1 = (
+        2 * precision * recall / (precision + recall)
+        if precision + recall > 0
+        else 0.0
+    )
+    return MatchMetrics(
+        precision=precision,
+        recall=recall,
+        f1=f1,
+        n_predicted=len(predicted),
+        n_truth=len(truth),
+        n_correct=correct,
+    )

@@ -1,0 +1,197 @@
+"""Attribute similarity: ``Sim = alpha·LabelSim + beta·DomSim`` (paper §5).
+
+``LabelSim(A, B) = Cos(vec(A), vec(B))`` over word vectors of the labels,
+after light normalisation (lower-casing, de-pluralisation, dropping pure
+function words — but *not* prepositions like "from"/"to", which carry the
+entire meaning of airfare labels).
+
+``DomSim`` multiplies a type-compatibility factor by a value-overlap factor:
+numeric domains compare by range overlap, string/date domains by containment
+of normalised values. Attributes without instances have ``DomSim = 0`` —
+the root cause of the matching failures WebIQ exists to fix.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.matching.types import DomainType, infer_type
+from repro.stats.outliers import parse_numeric
+from repro.text.morphology import singularize
+from repro.text.tokenizer import words as word_tokens
+
+__all__ = [
+    "AttributeView",
+    "SimilarityConfig",
+    "label_similarity",
+    "value_similarity",
+    "domain_similarity",
+    "attribute_similarity",
+    "normalize_label_words",
+    "values_similar",
+]
+
+#: Function words dropped from label vectors. Deliberately tiny: "from" and
+#: "to" carry the whole meaning of airfare labels and are kept; "on"/"at"
+#: are grammatical filler ("Depart on", "Return on") whose overlap would
+#: link attributes of *different* date concepts.
+_LABEL_STOPWORDS = frozenset({"the", "a", "an", "please", "your", "enter",
+                              "select", "choose", "on", "at"})
+
+
+@dataclass(frozen=True)
+class SimilarityConfig:
+    """Weights and knobs of the combined similarity (paper: α=.6, β=.4)."""
+
+    alpha: float = 0.6
+    beta: float = 0.4
+    #: type factor for numeric-family mismatches (integer vs monetary, ...)
+    numeric_family_factor: float = 0.6
+
+
+@dataclass(frozen=True)
+class AttributeView:
+    """What the matcher sees of an attribute: identity, label, instances."""
+
+    interface_id: str
+    name: str
+    label: str
+    instances: Tuple[str, ...]
+
+    @property
+    def key(self) -> Tuple[str, str]:
+        return (self.interface_id, self.name)
+
+
+def normalize_label_words(label: str) -> List[str]:
+    """Lower-cased, de-pluralised, stopword-filtered words of a label.
+
+    >>> normalize_label_words("Departure Cities")
+    ['departure', 'city']
+    """
+    out = []
+    for word in word_tokens(label):
+        low = singularize(word.lower())
+        if low not in _LABEL_STOPWORDS:
+            out.append(low)
+    return out
+
+
+def label_similarity(label_a: str, label_b: str) -> float:
+    """Cosine similarity of two labels' word vectors.
+
+    >>> round(label_similarity("From city", "Departure city"), 3)
+    0.5
+    >>> label_similarity("Airline", "Carrier")
+    0.0
+    """
+    words_a = normalize_label_words(label_a)
+    words_b = normalize_label_words(label_b)
+    if not words_a or not words_b:
+        return 0.0
+    vec_a: Dict[str, int] = {}
+    vec_b: Dict[str, int] = {}
+    for w in words_a:
+        vec_a[w] = vec_a.get(w, 0) + 1
+    for w in words_b:
+        vec_b[w] = vec_b.get(w, 0) + 1
+    dot = sum(vec_a[w] * vec_b.get(w, 0) for w in vec_a)
+    norm = math.sqrt(sum(v * v for v in vec_a.values())) * math.sqrt(
+        sum(v * v for v in vec_b.values())
+    )
+    return dot / norm if norm else 0.0
+
+
+def values_similar(value_a: str, value_b: str) -> bool:
+    """Are two instance values "very similar" (paper §5, case 2)?
+
+    Case-insensitive equality, or a word-level Jaccard of at least 0.5
+    ("Delta Air Lines" ~ "Delta Airlines" fails, but "United Airlines" ~
+    "United" passes via the 0.5 overlap rule).
+    """
+    a = value_a.strip().lower()
+    b = value_b.strip().lower()
+    if a == b:
+        return True
+    set_a = set(a.split())
+    set_b = set(b.split())
+    if not set_a or not set_b:
+        return False
+    union = set_a | set_b
+    return len(set_a & set_b) / len(union) >= 0.5
+
+
+def value_similarity(values_a: Sequence[str], values_b: Sequence[str]) -> float:
+    """Containment overlap of two string-domain instance sets in [0, 1].
+
+    ``|A ∩ B| / min(|A|, |B|)`` with case-insensitive matching; containment
+    (rather than Jaccard) because interfaces expose different-sized samples
+    of the same underlying domain.
+    """
+    if not values_a or not values_b:
+        return 0.0
+    set_a = {v.strip().lower() for v in values_a}
+    set_b = {v.strip().lower() for v in values_b}
+    return len(set_a & set_b) / min(len(set_a), len(set_b))
+
+
+def _numeric_range(values: Sequence[str]) -> Optional[Tuple[float, float]]:
+    numbers = []
+    for value in values:
+        try:
+            numbers.append(parse_numeric(value))
+        except ValueError:
+            continue
+    if not numbers:
+        return None
+    return (min(numbers), max(numbers))
+
+
+def _range_overlap(a: Tuple[float, float], b: Tuple[float, float]) -> float:
+    lo = max(a[0], b[0])
+    hi = min(a[1], b[1])
+    if hi < lo:
+        return 0.0
+    span = max(a[1], b[1]) - min(a[0], b[0])
+    if span == 0:
+        return 1.0  # both ranges are the same single point
+    return (hi - lo) / span
+
+
+def domain_similarity(
+    values_a: Sequence[str],
+    values_b: Sequence[str],
+    config: SimilarityConfig = SimilarityConfig(),
+) -> float:
+    """DomSim: type compatibility times value overlap; 0 without instances."""
+    if not values_a or not values_b:
+        return 0.0
+    type_a = infer_type(values_a)
+    type_b = infer_type(values_b)
+    if type_a is type_b:
+        type_factor = 1.0
+    elif type_a.is_numeric and type_b.is_numeric:
+        type_factor = config.numeric_family_factor
+    else:
+        return 0.0
+    if type_a.is_numeric and type_b.is_numeric:
+        range_a = _numeric_range(values_a)
+        range_b = _numeric_range(values_b)
+        if range_a is None or range_b is None:
+            return 0.0
+        return type_factor * _range_overlap(range_a, range_b)
+    return type_factor * value_similarity(values_a, values_b)
+
+
+def attribute_similarity(
+    a: AttributeView,
+    b: AttributeView,
+    config: SimilarityConfig = SimilarityConfig(),
+) -> float:
+    """``Sim(A,B) = α·LabelSim + β·DomSim`` (paper's α=.6, β=.4 defaults)."""
+    return (
+        config.alpha * label_similarity(a.label, b.label)
+        + config.beta * domain_similarity(a.instances, b.instances, config)
+    )

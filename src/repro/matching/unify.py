@@ -1,0 +1,122 @@
+"""Build a unified query interface from match clusters.
+
+The paper's §1: "Once the interfaces have been matched, approaches such as
+[27] can be employed to construct a uniform query interface and to
+facilitate querying the data sources." This module provides that last step
+in a simple, deterministic form:
+
+- each cluster that spans enough interfaces becomes one unified attribute;
+- its label is the cluster's most frequent label (ties break to the
+  shortest, then lexicographic — users prefer terse canonical names);
+- its instances are the union of the members' values (pre-defined first),
+  capped and ordered by how many members carry each value (consensus
+  values first);
+- attributes are ordered by cluster coverage, so the unified form leads
+  with the fields every source understands.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.deepweb.models import Attribute, AttributeKind, QueryInterface
+from repro.matching.clustering import Cluster, MatchResult
+
+__all__ = ["UnifiedAttribute", "build_unified_interface"]
+
+
+@dataclass(frozen=True)
+class UnifiedAttribute:
+    """One attribute of the unified interface, with its provenance."""
+
+    label: str
+    instances: Tuple[str, ...]
+    #: interfaces contributing to this attribute
+    coverage: int
+    #: every (interface_id, attribute_name) merged into this attribute
+    members: Tuple[Tuple[str, str], ...]
+    #: member label -> count, for inspection
+    label_votes: Dict[str, int]
+
+
+def build_unified_interface(
+    match_result: MatchResult,
+    interface_id: str = "unified",
+    domain: str = "unified",
+    object_name: str = "object",
+    min_coverage: int = 2,
+    max_instances: int = 25,
+) -> Tuple[QueryInterface, List[UnifiedAttribute]]:
+    """Construct the uniform interface from a matching result.
+
+    Clusters covering fewer than ``min_coverage`` interfaces are dropped
+    (site-specific oddities do not belong on a uniform front end). Returns
+    the interface plus per-attribute provenance.
+    """
+    if min_coverage < 1:
+        raise ValueError("min_coverage must be at least 1")
+
+    unified: List[UnifiedAttribute] = []
+    for cluster in match_result.clusters:
+        coverage = len(cluster.interfaces)
+        if coverage < min_coverage:
+            continue
+        unified.append(_unify_cluster(cluster, coverage, max_instances))
+
+    # Highest-coverage attributes first; deterministic tie-breaks.
+    unified.sort(key=lambda u: (-u.coverage, u.label.lower()))
+
+    attributes = []
+    used: Dict[str, int] = {}
+    for u in unified:
+        name = "_".join(u.label.lower().split()) or "field"
+        if name in used:
+            used[name] += 1
+            name = f"{name}_{used[name]}"
+        else:
+            used[name] = 0
+        if u.instances:
+            attributes.append(Attribute(
+                name=name, label=u.label, kind=AttributeKind.SELECT,
+                instances=u.instances[:max_instances],
+            ))
+        else:
+            attributes.append(Attribute(name=name, label=u.label))
+
+    interface = QueryInterface(
+        interface_id=interface_id,
+        domain=domain,
+        object_name=object_name,
+        attributes=attributes,
+    )
+    return interface, unified
+
+
+def _unify_cluster(cluster: Cluster, coverage: int,
+                   max_instances: int) -> UnifiedAttribute:
+    label_votes = Counter(m.label for m in cluster.members)
+    # most frequent; ties -> shortest label -> lexicographic
+    label = min(
+        label_votes,
+        key=lambda l: (-label_votes[l], len(l), l.lower()),
+    )
+    value_votes: Counter = Counter()
+    spelling: Dict[str, str] = {}
+    for member in cluster.members:
+        for value in member.instances:
+            low = value.lower()
+            value_votes[low] += 1
+            spelling.setdefault(low, value)
+    ranked = sorted(
+        value_votes,
+        key=lambda v: (-value_votes[v], v),
+    )[:max_instances]
+    return UnifiedAttribute(
+        label=label,
+        instances=tuple(spelling[v] for v in ranked),
+        coverage=coverage,
+        members=tuple(sorted(m.key for m in cluster.members)),
+        label_votes=dict(label_votes),
+    )

@@ -1,0 +1,38 @@
+"""Statistical substrate: outlier tests, PMI, entropy, naive Bayes.
+
+These are the numeric building blocks of WebIQ's verification phase
+(paper §2.2) and the validation-based classifier (paper §3):
+
+- :mod:`repro.stats.outliers` — discordancy tests [Barnett & Lewis] with
+  type-specific test statistics and the 3-sigma rule;
+- :mod:`repro.stats.pmi` — pointwise mutual information over search-engine
+  hit counts;
+- :mod:`repro.stats.entropy` — entropy and information gain for threshold
+  estimation;
+- :mod:`repro.stats.naive_bayes` — a binary naive Bayes classifier over
+  boolean features with Laplacean smoothing.
+"""
+
+from repro.stats.entropy import binary_entropy, entropy, information_gain, best_threshold
+from repro.stats.naive_bayes import BinaryNaiveBayes
+from repro.stats.outliers import (
+    DiscordancyResult,
+    discordancy_outliers,
+    numeric_test_statistics,
+    string_test_statistics,
+)
+from repro.stats.pmi import pmi, mean_pmi
+
+__all__ = [
+    "binary_entropy",
+    "entropy",
+    "information_gain",
+    "best_threshold",
+    "BinaryNaiveBayes",
+    "DiscordancyResult",
+    "discordancy_outliers",
+    "numeric_test_statistics",
+    "string_test_statistics",
+    "pmi",
+    "mean_pmi",
+]

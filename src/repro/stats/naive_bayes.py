@@ -1,0 +1,117 @@
+"""Binary naive Bayes over boolean feature vectors (paper §3.1).
+
+Implements formula (1) of the paper: the posterior of class ``c`` for an
+object represented by boolean features ``f_1..f_n`` is::
+
+    P(c) * prod_i P(f_i | c)
+    ------------------------------------------------------------
+    P(c) * prod_i P(f_i | c)  +  P(~c) * prod_i P(f_i | ~c)
+
+with all probabilities estimated from counts under Laplacean smoothing
+(paper Figure 5.h: ``P(f1=1|+) = (2+1)/(2+2) = 3/4``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.util.errors import ValidationError
+
+__all__ = ["BinaryNaiveBayes"]
+
+
+@dataclass
+class _FeatureTable:
+    """P(f=1 | class) for one feature under both classes."""
+
+    p_one_given_pos: float
+    p_one_given_neg: float
+
+
+class BinaryNaiveBayes:
+    """Two-class naive Bayes classifier over boolean features.
+
+    >>> nb = BinaryNaiveBayes()
+    >>> nb.fit([((1, 1), True), ((1, 1), True), ((0, 0), False), ((0, 1), False)])
+    >>> nb.predict((1, 1))
+    True
+    >>> round(nb.posterior_positive((0, 0)), 3) < 0.5
+    True
+    """
+
+    def __init__(self) -> None:
+        self._features: List[_FeatureTable] = []
+        self._p_pos = 0.5
+        self._fitted = False
+
+    @property
+    def n_features(self) -> int:
+        return len(self._features)
+
+    @property
+    def prior_positive(self) -> float:
+        return self._p_pos
+
+    def fit(self, examples: Sequence[Tuple[Sequence[int], bool]]) -> None:
+        """Estimate priors and conditionals with Laplacean smoothing.
+
+        ``examples`` are ``(feature_vector, is_positive)`` pairs; all vectors
+        must share one length with 0/1 entries.
+        """
+        if not examples:
+            raise ValidationError("cannot train naive Bayes on an empty set")
+        n_features = len(examples[0][0])
+        if n_features == 0:
+            raise ValidationError("feature vectors must be non-empty")
+        for vector, _ in examples:
+            if len(vector) != n_features:
+                raise ValidationError("inconsistent feature vector lengths")
+            if any(v not in (0, 1) for v in vector):
+                raise ValidationError("features must be boolean (0/1)")
+
+        n_pos = sum(1 for _, label in examples if label)
+        n_neg = len(examples) - n_pos
+        # Laplace smoothing on the class prior as well, so that a training
+        # set that accidentally lost one class still yields usable estimates.
+        self._p_pos = (n_pos + 1) / (len(examples) + 2)
+
+        self._features = []
+        for j in range(n_features):
+            ones_pos = sum(v[j] for v, label in examples if label)
+            ones_neg = sum(v[j] for v, label in examples if not label)
+            self._features.append(
+                _FeatureTable(
+                    p_one_given_pos=(ones_pos + 1) / (n_pos + 2),
+                    p_one_given_neg=(ones_neg + 1) / (n_neg + 2),
+                )
+            )
+        self._fitted = True
+
+    def posterior_positive(self, vector: Sequence[int]) -> float:
+        """P(positive | vector), per formula (1)."""
+        if not self._fitted:
+            raise ValidationError("classifier has not been trained")
+        if len(vector) != self.n_features:
+            raise ValidationError(
+                f"expected {self.n_features} features, got {len(vector)}"
+            )
+        like_pos = self._p_pos
+        like_neg = 1.0 - self._p_pos
+        for value, table in zip(vector, self._features):
+            if value not in (0, 1):
+                raise ValidationError("features must be boolean (0/1)")
+            like_pos *= table.p_one_given_pos if value else 1 - table.p_one_given_pos
+            like_neg *= table.p_one_given_neg if value else 1 - table.p_one_given_neg
+        total = like_pos + like_neg
+        return like_pos / total if total > 0 else 0.5
+
+    def predict(self, vector: Sequence[int]) -> bool:
+        """Class prediction: positive iff the posterior exceeds one half."""
+        return self.posterior_positive(vector) > 0.5
+
+    def conditional(self, feature: int, value: int, positive: bool) -> float:
+        """P(f_feature = value | class) — exposed for tests and ablations."""
+        table = self._features[feature]
+        p_one = table.p_one_given_pos if positive else table.p_one_given_neg
+        return p_one if value else 1.0 - p_one

@@ -1,0 +1,123 @@
+"""Discordancy tests for outlier instance candidates (paper §2.2).
+
+The paper removes outlier candidates with "discordancy tests [4], with a set
+of test statistics, all assumed to be normally distributed. An instance
+candidate is considered to be an outlier if its test statistic is at least
+three standard deviations away from the average over all the candidates."
+
+For numeric instance domains the test statistic is the value itself; for
+string domains four statistics are used: word count, capital-letter count,
+character length, and the percentage of numerical characters.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+__all__ = [
+    "DiscordancyResult",
+    "discordancy_outliers",
+    "string_test_statistics",
+    "numeric_test_statistics",
+    "parse_numeric",
+    "STRING_STATISTIC_NAMES",
+]
+
+#: Names of the four type-specific statistics for string instances,
+#: in the order :func:`string_test_statistics` returns them.
+STRING_STATISTIC_NAMES: Tuple[str, ...] = (
+    "word_count",
+    "capital_letters",
+    "char_length",
+    "numeric_char_pct",
+)
+
+_NUMERIC_RE = re.compile(r"^\$?\s*-?\d[\d,]*(?:\.\d+)?$")
+
+
+def parse_numeric(value: str) -> float:
+    """Parse a numeric or monetary string ("$15,200" -> 15200.0).
+
+    Raises ``ValueError`` for non-numeric strings.
+    """
+    text = value.strip()
+    if not _NUMERIC_RE.match(text):
+        raise ValueError(f"not numeric: {value!r}")
+    return float(text.lstrip("$").replace(",", ""))
+
+
+def string_test_statistics(value: str) -> Tuple[float, float, float, float]:
+    """The four string-type test statistics of paper §2.2.
+
+    >>> string_test_statistics("Air Canada")
+    (2.0, 2.0, 10.0, 0.0)
+    """
+    n_chars = len(value)
+    n_words = float(len(value.split()))
+    n_caps = float(sum(1 for c in value if c.isupper()))
+    pct_digits = (
+        sum(1 for c in value if c.isdigit()) / n_chars if n_chars else 0.0
+    )
+    return (n_words, n_caps, float(n_chars), pct_digits)
+
+
+def numeric_test_statistics(value: str) -> Tuple[float]:
+    """The numeric-type test statistic: the value itself."""
+    return (parse_numeric(value),)
+
+
+@dataclass(frozen=True)
+class DiscordancyResult:
+    """Outcome of discordancy testing over a candidate set."""
+
+    inliers: Tuple[str, ...]
+    outliers: Tuple[str, ...]
+    #: statistic name -> (mean, std) actually used in the tests
+    statistics: Dict[str, Tuple[float, float]]
+
+
+def _mean_std(values: Sequence[float]) -> Tuple[float, float]:
+    n = len(values)
+    mean = sum(values) / n
+    variance = sum((v - mean) ** 2 for v in values) / n
+    return mean, math.sqrt(variance)
+
+
+def discordancy_outliers(
+    candidates: Sequence[str],
+    numeric: bool,
+    sigma: float = 3.0,
+) -> DiscordancyResult:
+    """Split ``candidates`` into inliers and outliers by the 3-sigma rule.
+
+    A candidate is discordant if *any* of its test statistics deviates from
+    the candidate-set mean by at least ``sigma`` standard deviations. With
+    fewer than three candidates the test is vacuous (no outliers): sample
+    moments from one or two points carry no discordancy information.
+    """
+    candidates = list(candidates)
+    if len(candidates) < 3:
+        return DiscordancyResult(tuple(candidates), (), {})
+
+    stat_fn = numeric_test_statistics if numeric else string_test_statistics
+    names = ("value",) if numeric else STRING_STATISTIC_NAMES
+    vectors: List[Tuple[float, ...]] = [stat_fn(c) for c in candidates]
+
+    stats: Dict[str, Tuple[float, float]] = {}
+    flags = [False] * len(candidates)
+    for j, name in enumerate(names):
+        column = [v[j] for v in vectors]
+        mean, std = _mean_std(column)
+        stats[name] = (mean, std)
+        if std == 0.0:
+            continue  # all identical on this statistic: nothing discordant
+        for i, v in enumerate(column):
+            if abs(v - mean) >= sigma * std:
+                flags[i] = True
+
+    inliers = tuple(c for c, f in zip(candidates, flags) if not f)
+    outliers = tuple(c for c, f in zip(candidates, flags) if f)
+    return DiscordancyResult(inliers, outliers, stats)

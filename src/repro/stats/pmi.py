@@ -1,0 +1,54 @@
+"""Pointwise mutual information over search-engine hit counts (paper §2.2).
+
+The paper measures the semantic connection between a validation phrase ``V``
+and an instance candidate ``x`` as::
+
+    PMI(V, x) = NumHits(V + x) / (NumHits(V) * NumHits(x))
+
+i.e. the co-occurrence count normalised by the individual popularity of the
+phrase and the candidate — removing "the potential bias towards popular
+instances (or non-instances)". The candidate's confidence score is the mean
+PMI over all of the attribute's validation phrases.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+__all__ = ["pmi", "mean_pmi"]
+
+
+def pmi(hits_joint: int, hits_phrase: int, hits_candidate: int) -> float:
+    """PMI of a validation phrase and a candidate from their hit counts.
+
+    Zero-hit marginals yield zero PMI: if the phrase or the candidate never
+    occurs, no co-occurrence evidence exists (the joint count is then also
+    zero, and 0/0 is resolved to 0).
+
+    >>> pmi(10, 100, 50)
+    0.002
+    >>> pmi(0, 100, 50)
+    0.0
+    >>> pmi(0, 0, 50)
+    0.0
+    """
+    if hits_joint < 0 or hits_phrase < 0 or hits_candidate < 0:
+        raise ValueError("hit counts must be non-negative")
+    denominator = hits_phrase * hits_candidate
+    if denominator == 0:
+        return 0.0
+    return hits_joint / denominator
+
+
+def mean_pmi(scores: Sequence[float]) -> float:
+    """Confidence score: average PMI across validation phrases.
+
+    >>> round(mean_pmi([0.2, 0.4]), 10)
+    0.3
+    >>> mean_pmi([])
+    0.0
+    """
+    scores = list(scores)
+    if not scores:
+        return 0.0
+    return sum(scores) / len(scores)

@@ -1,0 +1,31 @@
+"""A simulated Surface Web: corpus, inverted index and search engine.
+
+WebIQ consumes exactly three observables of a Web search engine:
+
+1. **result snippets** for extraction queries (to harvest instance
+   candidates from Hearst-pattern sentences),
+2. **hit counts** for validation queries (to compute PMI scores), and
+3. Google's query syntax — double-quoted phrases plus ``+keyword``
+   required-term filters.
+
+This package provides those observables over an in-memory corpus, replacing
+the Google Web API of the paper's experiments. Pages are plain
+:class:`~repro.surfaceweb.document.Document` objects; the
+:class:`~repro.surfaceweb.engine.SearchEngine` answers phrase/term queries
+from an inverted index with positional postings, generates snippets around
+phrase matches, and counts hits and proximity co-occurrences for PMI.
+"""
+
+from repro.surfaceweb.document import Document
+from repro.surfaceweb.index import InvertedIndex
+from repro.surfaceweb.query import ParsedQuery, QueryParser
+from repro.surfaceweb.engine import SearchEngine, SearchResult
+
+__all__ = [
+    "Document",
+    "InvertedIndex",
+    "ParsedQuery",
+    "QueryParser",
+    "SearchEngine",
+    "SearchResult",
+]

@@ -1,0 +1,69 @@
+"""Surface-Web page model.
+
+A :class:`Document` stores its raw text alongside two token views used by
+the index and the snippet generator: the full token sequence (words and
+punctuation, as produced by :func:`repro.text.tokenizer.tokenize`) and the
+word-only sequence that phrase matching runs over. Keeping both lets phrase
+queries ignore punctuation ("Make: Honda" matches the proximity query
+``make honda``) while snippets still render the original punctuation that
+the extraction rules rely on (comma-separated instance lists).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+from repro.text.tokenizer import tokenize
+
+__all__ = ["Document"]
+
+
+@dataclass
+class Document:
+    """One page of the simulated Surface Web."""
+
+    doc_id: int
+    url: str
+    title: str
+    text: str
+    #: full token list (words + punctuation), computed on construction
+    tokens: List[str] = field(init=False, repr=False)
+    #: lower-cased word tokens, the sequence phrase matching runs over
+    words: List[str] = field(init=False, repr=False)
+    #: for each word position, its index in :attr:`tokens`
+    word_token_index: List[int] = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        self.tokens = tokenize(self.text)
+        self.words = []
+        self.word_token_index = []
+        for i, tok in enumerate(self.tokens):
+            if tok[0].isalnum() or tok.startswith("$"):
+                self.words.append(tok.lower())
+                self.word_token_index.append(i)
+
+    def snippet_around(self, word_pos: int, width: int = 12) -> str:
+        """Render a snippet of the original tokens around ``word_pos``.
+
+        ``word_pos`` indexes :attr:`words`; the snippet spans ``width`` full
+        tokens on each side so that trailing instance lists (commas included)
+        survive into the snippet, as they do in real search results.
+        """
+        if not 0 <= word_pos < len(self.words):
+            raise IndexError(f"word position {word_pos} out of range")
+        center = self.word_token_index[word_pos]
+        lo = max(0, center - width)
+        hi = min(len(self.tokens), center + width + 1)
+        return _join_tokens(self.tokens[lo:hi])
+
+
+def _join_tokens(tokens: List[str]) -> str:
+    """Join tokens with spaces, attaching punctuation to the previous token."""
+    parts: List[str] = []
+    for tok in tokens:
+        if parts and not (tok[0].isalnum() or tok.startswith("$")):
+            parts[-1] += tok
+        else:
+            parts.append(tok)
+    return " ".join(parts)

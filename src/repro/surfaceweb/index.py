@@ -1,0 +1,130 @@
+"""Positional inverted index over :class:`~repro.surfaceweb.document.Document`.
+
+The index maps each term to postings ``{doc_id: [word positions]}``.
+Positions allow exact phrase matching (consecutive positions) and proximity
+co-occurrence tests, both of which the search engine needs: phrase matching
+for extraction/validation queries and proximity for the paper's
+"L x" proximity validation pattern.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.surfaceweb.document import Document
+
+__all__ = ["InvertedIndex"]
+
+
+class InvertedIndex:
+    """In-memory positional inverted index."""
+
+    def __init__(self) -> None:
+        self._postings: Dict[str, Dict[int, List[int]]] = {}
+        self._documents: Dict[int, Document] = {}
+
+    # ------------------------------------------------------------------ build
+    def add(self, document: Document) -> None:
+        """Index one document; re-adding a doc_id raises ``ValueError``."""
+        if document.doc_id in self._documents:
+            raise ValueError(f"duplicate doc_id {document.doc_id}")
+        self._documents[document.doc_id] = document
+        for pos, word in enumerate(document.words):
+            self._postings.setdefault(word, {}).setdefault(
+                document.doc_id, []
+            ).append(pos)
+
+    def add_all(self, documents: Iterable[Document]) -> None:
+        for document in documents:
+            self.add(document)
+
+    # ------------------------------------------------------------------ reads
+    @property
+    def n_documents(self) -> int:
+        return len(self._documents)
+
+    @property
+    def vocabulary_size(self) -> int:
+        return len(self._postings)
+
+    def document(self, doc_id: int) -> Document:
+        return self._documents[doc_id]
+
+    def documents_with_term(self, term: str) -> Set[int]:
+        """Doc-ids containing ``term`` (lower-cased exact match)."""
+        return set(self._postings.get(term.lower(), ()))
+
+    def term_frequency(self, term: str) -> int:
+        """Total occurrences of ``term`` across the corpus."""
+        return sum(len(v) for v in self._postings.get(term.lower(), {}).values())
+
+    def phrase_positions(self, phrase: Sequence[str], doc_id: int) -> List[int]:
+        """Start word-positions of exact occurrences of ``phrase`` in a doc."""
+        phrase = [w.lower() for w in phrase]
+        if not phrase:
+            return []
+        first = self._postings.get(phrase[0], {}).get(doc_id)
+        if first is None:
+            return []
+        rest = []
+        for offset, word in enumerate(phrase[1:], start=1):
+            positions = self._postings.get(word, {}).get(doc_id)
+            if positions is None:
+                return []
+            rest.append((offset, set(positions)))
+        return [
+            p for p in first
+            if all(p + off in positions for off, positions in rest)
+        ]
+
+    def documents_with_phrase(self, phrase: Sequence[str]) -> Set[int]:
+        """Doc-ids containing ``phrase`` as consecutive words."""
+        phrase = [w.lower() for w in phrase]
+        if not phrase:
+            return set()
+        if len(phrase) == 1:
+            return self.documents_with_term(phrase[0])
+        candidates: Optional[Set[int]] = None
+        for word in phrase:
+            docs = set(self._postings.get(word, ()))
+            candidates = docs if candidates is None else candidates & docs
+            if not candidates:
+                return set()
+        assert candidates is not None
+        return {d for d in candidates if self.phrase_positions(phrase, d)}
+
+    def cooccurrence_docs(
+        self,
+        phrase_a: Sequence[str],
+        phrase_b: Sequence[str],
+        window: int,
+    ) -> Set[int]:
+        """Doc-ids where both phrases occur within ``window`` words.
+
+        The distance is measured between the end of one phrase and the start
+        of the other (order-insensitive); ``window=0`` means adjacency.
+        """
+        docs_a = self.documents_with_phrase(phrase_a)
+        docs_b = self.documents_with_phrase(phrase_b)
+        result: Set[int] = set()
+        len_a, len_b = len(list(phrase_a)), len(list(phrase_b))
+        for doc_id in docs_a & docs_b:
+            pos_a = self.phrase_positions(phrase_a, doc_id)
+            pos_b = self.phrase_positions(phrase_b, doc_id)
+            if _within_window(pos_a, len_a, pos_b, len_b, window):
+                result.add(doc_id)
+        return result
+
+
+def _within_window(
+    pos_a: List[int], len_a: int, pos_b: List[int], len_b: int, window: int
+) -> bool:
+    """True if some occurrence pair is within ``window`` words of each other."""
+    for a in pos_a:
+        end_a = a + len_a - 1
+        for b in pos_b:
+            end_b = b + len_b - 1
+            gap = max(a - end_b, b - end_a) - 1
+            if gap <= window:
+                return True
+    return False

@@ -1,0 +1,91 @@
+"""Google-style query parsing.
+
+WebIQ formats its extraction queries "according to the query syntax of
+search engines", e.g.::
+
+    "authors such as" +book +title +isbn
+
+"double quotes enclose a phrase, while '+' signs request Google to ensure
+that the results contain the specified keywords" (paper §2.1). The parser
+understands exactly that dialect: quoted phrases, ``+required`` terms, and
+bare terms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+from repro.text.tokenizer import words as word_tokens
+from repro.util.errors import QuerySyntaxError
+
+__all__ = ["ParsedQuery", "QueryParser"]
+
+
+@dataclass(frozen=True)
+class ParsedQuery:
+    """A parsed search query.
+
+    ``phrases`` are tuples of lower-cased words that must occur consecutively;
+    ``required_terms`` and ``plain_terms`` are single lower-cased words that
+    must occur anywhere in the document (our engine is conjunctive for both,
+    which matches how WebIQ uses them).
+    """
+
+    phrases: Tuple[Tuple[str, ...], ...] = ()
+    required_terms: Tuple[str, ...] = ()
+    plain_terms: Tuple[str, ...] = ()
+
+    @property
+    def is_empty(self) -> bool:
+        return not (self.phrases or self.required_terms or self.plain_terms)
+
+    def all_terms(self) -> Tuple[str, ...]:
+        """Every individual term the query mentions (for index pre-filtering)."""
+        terms: List[str] = []
+        for phrase in self.phrases:
+            terms.extend(phrase)
+        terms.extend(self.required_terms)
+        terms.extend(self.plain_terms)
+        return tuple(terms)
+
+
+class QueryParser:
+    """Parse Google-dialect query strings into :class:`ParsedQuery`."""
+
+    def parse(self, query: str) -> ParsedQuery:
+        """Parse ``query``; raises :class:`QuerySyntaxError` on malformed input.
+
+        >>> QueryParser().parse('"authors such as" +book isbn').phrases
+        (('authors', 'such', 'as'),)
+        """
+        if query.count('"') % 2 != 0:
+            raise QuerySyntaxError(f"unbalanced quotes in {query!r}")
+        phrases: List[Tuple[str, ...]] = []
+        required: List[str] = []
+        plain: List[str] = []
+
+        rest: List[str] = []
+        inside = False
+        for i, chunk in enumerate(query.split('"')):
+            if inside:
+                phrase = tuple(w.lower() for w in word_tokens(chunk))
+                if phrase:
+                    phrases.append(phrase)
+            else:
+                rest.append(chunk)
+            inside = not inside
+
+        for piece in " ".join(rest).split():
+            if piece.startswith("+"):
+                terms = [w.lower() for w in word_tokens(piece[1:])]
+                if not terms:
+                    raise QuerySyntaxError(f"bare '+' in {query!r}")
+                required.extend(terms)
+            else:
+                plain.extend(w.lower() for w in word_tokens(piece))
+
+        parsed = ParsedQuery(tuple(phrases), tuple(required), tuple(plain))
+        if parsed.is_empty:
+            raise QuerySyntaxError(f"empty query: {query!r}")
+        return parsed

@@ -1,0 +1,39 @@
+"""Shallow natural-language processing substrate.
+
+WebIQ's extraction phase (paper §2.1) performs a *shallow syntactic analysis*
+of attribute labels: part-of-speech tagging with Brill's rule-based tagger
+followed by pattern matching that recognises noun phrases, prepositional
+phrases, verb phrases and noun-phrase conjunctions. This package implements
+that substrate from scratch:
+
+- :mod:`repro.text.tokenizer` — word/sentence tokenisation,
+- :mod:`repro.text.morphology` — pluralisation and singularisation,
+- :mod:`repro.text.postag` — a Brill-style POS tagger (lexicon + unknown-word
+  guessing + contextual transformation rules),
+- :mod:`repro.text.chunker` — POS-pattern chunking,
+- :mod:`repro.text.labels` — attribute-label syntax analysis used by the
+  Surface component to decide how to formulate extraction queries.
+"""
+
+from repro.text.tokenizer import tokenize, sentences, words
+from repro.text.morphology import pluralize, singularize
+from repro.text.postag import BrillTagger, TaggedToken, default_tagger
+from repro.text.chunker import Chunk, chunk_tags, find_noun_phrases
+from repro.text.labels import LabelAnalysis, LabelForm, analyze_label
+
+__all__ = [
+    "tokenize",
+    "sentences",
+    "words",
+    "pluralize",
+    "singularize",
+    "BrillTagger",
+    "TaggedToken",
+    "default_tagger",
+    "Chunk",
+    "chunk_tags",
+    "find_noun_phrases",
+    "LabelAnalysis",
+    "LabelForm",
+    "analyze_label",
+]

@@ -1,0 +1,169 @@
+"""POS-pattern chunking: noun phrases, prepositional phrases, conjunctions.
+
+Implements the paper's shallow pattern-matching stage (§2.1): "the pattern
+for noun phrases is: optional determiner + optional modifiers
+(adjectives/noun-adjectives) + noun + optional post-modifier (e.g.,
+prepositional phrase)". Such pattern matching over POS tags "has been shown
+to be more accurate in many applications than more sophisticated syntactic
+parsing" [17], and it is all WebIQ needs for short attribute labels and
+snippet completions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.text.postag import TaggedToken
+
+__all__ = ["Chunk", "chunk_tags", "find_noun_phrases", "noun_phrase_at"]
+
+_NOUN_TAGS = frozenset({"NN", "NNS", "NNP", "NNPS"})
+_MODIFIER_TAGS = frozenset({"JJ", "JJR", "JJS", "CD", "VBG", "VBN"}) | _NOUN_TAGS
+_DET_TAGS = frozenset({"DT", "PRP$"})
+
+
+@dataclass(frozen=True)
+class Chunk:
+    """A labelled span over a tagged token sequence.
+
+    ``kind`` is one of ``"NP"``, ``"PP"``, ``"VP"``; ``start``/``end`` are
+    token indices (end exclusive); ``head`` is the index of the head noun for
+    NP/PP chunks (the noun before any post-modifier).
+    """
+
+    kind: str
+    start: int
+    end: int
+    head: Optional[int] = None
+
+    def text(self, tokens: Sequence[TaggedToken]) -> str:
+        return " ".join(t.word for t in tokens[self.start:self.end])
+
+    def head_word(self, tokens: Sequence[TaggedToken]) -> Optional[str]:
+        return tokens[self.head].word if self.head is not None else None
+
+
+def noun_phrase_at(tokens: Sequence[TaggedToken], start: int,
+                   allow_postmodifier: bool = True) -> Optional[Chunk]:
+    """Match the paper's NP pattern beginning exactly at ``start``.
+
+    Pattern: optional determiner, zero or more modifiers (adjectives /
+    noun-adjectives / participles), a head noun, then optionally a
+    prepositional post-modifier ``IN + NP`` (without further recursion).
+    Returns ``None`` if no NP starts at ``start``.
+    """
+    i = start
+    n = len(tokens)
+    if i < n and tokens[i].tag in _DET_TAGS:
+        i += 1
+    # Greedily absorb modifier+noun runs; the head is the last noun in the run.
+    head = None
+    cd_head = None
+    while i < n and tokens[i].tag in _MODIFIER_TAGS:
+        if tokens[i].tag in _NOUN_TAGS:
+            head = i
+        elif tokens[i].tag == "CD":
+            cd_head = i
+        i += 1
+    if head is None:
+        # Bare numbers act as NPs in completions ("prices such as $5,000,
+        # $10,000"; "years such as 1994").
+        if cd_head is None:
+            return None
+        return Chunk("NP", start, cd_head + 1, head=cd_head)
+    end = head + 1
+    # Absorb trailing numbers into the NP ("Jan 15", "Boeing 747").
+    while end < n and tokens[end].tag == "CD":
+        end += 1
+    # Trailing modifiers after the last noun are not part of this NP; back up.
+    i = end
+    if allow_postmodifier and i < n and tokens[i].tag == "IN":
+        inner = noun_phrase_at(tokens, i + 1, allow_postmodifier=False)
+        if inner is not None:
+            end = inner.end
+    return Chunk("NP", start, end, head=head)
+
+
+def chunk_tags(tokens: Sequence[TaggedToken]) -> List[Chunk]:
+    """Greedy left-to-right chunking of a tagged sequence into NP/PP/VP.
+
+    Prepositional phrases are recognised as ``IN + NP``; verb phrases as a
+    verb optionally followed by a preposition and/or NP. Tokens that fit no
+    chunk are skipped.
+    """
+    chunks: List[Chunk] = []
+    i = 0
+    n = len(tokens)
+    while i < n:
+        tag = tokens[i].tag
+        if tag == "IN" or tag == "TO":
+            inner = noun_phrase_at(tokens, i + 1)
+            if inner is not None:
+                chunks.append(Chunk("PP", i, inner.end, head=inner.head))
+                i = inner.end
+                continue
+            # Bare preposition ("From") — still a PP span of one token.
+            chunks.append(Chunk("PP", i, i + 1, head=None))
+            i += 1
+            continue
+        if tag.startswith("VB") or tag == "MD":
+            end = i + 1
+            head = None
+            if end < n and tokens[end].tag in ("IN", "TO"):
+                end += 1
+            inner = noun_phrase_at(tokens, end)
+            if inner is not None:
+                end = inner.end
+                head = inner.head
+            chunks.append(Chunk("VP", i, end, head=head))
+            i = end
+            continue
+        np = noun_phrase_at(tokens, i)
+        if np is not None:
+            chunks.append(np)
+            i = np.end
+            continue
+        i += 1
+    return chunks
+
+
+def find_noun_phrases(tokens: Sequence[TaggedToken],
+                      max_phrases: Optional[int] = None) -> List[Chunk]:
+    """All maximal noun phrases in ``tokens``, left to right.
+
+    Used by the snippet extractor to read off the NP list that completes a
+    cue phrase ("... such as Boston, Chicago, and LAX").
+    """
+    phrases = [c for c in chunk_tags(tokens) if c.kind == "NP"]
+    return phrases if max_phrases is None else phrases[:max_phrases]
+
+
+def split_conjunction(tokens: Sequence[TaggedToken]) -> Optional[List[Chunk]]:
+    """Recognise a noun-phrase conjunction: ``NP (CC NP)+``.
+
+    Returns the component NPs when the *entire* sequence is a conjunction of
+    noun phrases joined by coordinating conjunctions (optionally with commas),
+    else ``None``. Example: "First name or last name".
+    """
+    parts: List[Chunk] = []
+    i = 0
+    n = len(tokens)
+    saw_cc = False
+    while i < n:
+        np = noun_phrase_at(tokens, i, allow_postmodifier=False)
+        if np is None:
+            return None
+        parts.append(np)
+        i = np.end
+        if i == n:
+            break
+        # separator: comma and/or CC
+        if tokens[i].tag == "PUNCT" and tokens[i].word == ",":
+            i += 1
+        if i < n and tokens[i].tag == "CC":
+            saw_cc = True
+            i += 1
+        elif i < n:
+            return None
+    return parts if saw_cc and len(parts) >= 2 else None

@@ -1,0 +1,164 @@
+"""Attribute-label syntax analysis (paper §2.1, "Analyze Label Syntax").
+
+Given an attribute label, determine its syntactic form — noun phrase,
+prepositional phrase (preposition + NP), noun-phrase conjunction, verb
+phrase, or other — and extract the noun phrase(s) that extraction queries
+will be built from:
+
+- for a prepositional phrase, "the noun phrase after the preposition is
+  obtained" (``From city`` -> ``city``);
+- for a conjunction, "all noun phrases in the conjunction are obtained"
+  (``First name or last name`` -> ``first name``, ``last name``);
+- if the label contains no noun phrase (e.g. a bare preposition ``From`` or
+  verb phrase ``Depart from``), extraction terminates with no instances.
+"""
+
+from __future__ import annotations
+
+import enum
+import re
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.text.chunker import chunk_tags, noun_phrase_at, split_conjunction
+from repro.text.morphology import pluralize_phrase
+from repro.text.postag import BrillTagger, TaggedToken, default_tagger
+
+__all__ = ["LabelForm", "NounPhrase", "LabelAnalysis", "analyze_label", "clean_label"]
+
+
+class LabelForm(enum.Enum):
+    """Syntactic form of an attribute label."""
+
+    NOUN_PHRASE = "noun_phrase"
+    PREPOSITIONAL_PHRASE = "prepositional_phrase"
+    NP_CONJUNCTION = "np_conjunction"
+    VERB_PHRASE = "verb_phrase"
+    OTHER = "other"
+    EMPTY = "empty"
+
+
+@dataclass(frozen=True)
+class NounPhrase:
+    """A noun phrase extracted from a label, ready for query formulation.
+
+    ``text`` is the phrase without determiners, lower-cased; ``head_index``
+    locates the head noun within ``text``'s words so the plural form inflects
+    the right word ("class of service" -> "classes of service").
+    """
+
+    text: str
+    head_index: int
+
+    @property
+    def head(self) -> str:
+        return self.text.split()[self.head_index]
+
+    @property
+    def plural(self) -> str:
+        return pluralize_phrase(self.text, self.head_index)
+
+
+@dataclass(frozen=True)
+class LabelAnalysis:
+    """Result of analysing one attribute label."""
+
+    label: str
+    form: LabelForm
+    noun_phrases: Tuple[NounPhrase, ...]
+
+    @property
+    def has_noun_phrase(self) -> bool:
+        return bool(self.noun_phrases)
+
+
+_DECORATION_RE = re.compile(r"[:*?!()\[\]{}\"]|\.{2,}")
+
+
+def clean_label(label: str) -> str:
+    """Strip form decoration (colons, asterisks, parentheses) from a label.
+
+    >>> clean_label("Departure City:*")
+    'Departure City'
+    """
+    return " ".join(_DECORATION_RE.sub(" ", label).split())
+
+
+def _np_from_chunk(tokens: Sequence[TaggedToken], start: int, end: int,
+                   head: int) -> NounPhrase:
+    """Build a :class:`NounPhrase`, dropping any leading determiner."""
+    span = list(tokens[start:end])
+    offset = start
+    if span and span[0].tag in ("DT", "PRP$"):
+        span = span[1:]
+        offset += 1
+    text = " ".join(t.word.lower() for t in span)
+    return NounPhrase(text=text, head_index=head - offset)
+
+
+def analyze_label(label: str, tagger: Optional[BrillTagger] = None) -> LabelAnalysis:
+    """Analyse an attribute label's syntax (paper §2.1).
+
+    >>> analyze_label("Departure city").form
+    <LabelForm.NOUN_PHRASE: 'noun_phrase'>
+    >>> analyze_label("From city").noun_phrases[0].text
+    'city'
+    >>> analyze_label("From").has_noun_phrase
+    False
+    >>> [np.text for np in analyze_label("First name or last name").noun_phrases]
+    ['first name', 'last name']
+    """
+    tagger = tagger or default_tagger()
+    cleaned = clean_label(label)
+    if not cleaned:
+        return LabelAnalysis(label, LabelForm.EMPTY, ())
+    tokens = tagger.tag(cleaned)
+    word_tokens = [t for t in tokens if t.tag != "PUNCT" or t.word == ","]
+
+    conj = split_conjunction(word_tokens)
+    if conj is not None:
+        nps = tuple(
+            _np_from_chunk(word_tokens, c.start, c.end, c.head) for c in conj
+        )
+        return LabelAnalysis(label, LabelForm.NP_CONJUNCTION, nps)
+
+    # Whole label is a noun phrase?
+    np = noun_phrase_at(word_tokens, 0)
+    if np is not None and np.end == len(word_tokens):
+        return LabelAnalysis(
+            label, LabelForm.NOUN_PHRASE,
+            (_np_from_chunk(word_tokens, np.start, np.end, np.head),),
+        )
+
+    first_tag = word_tokens[0].tag
+    if first_tag in ("IN", "TO"):
+        inner = noun_phrase_at(word_tokens, 1)
+        nps = (
+            (_np_from_chunk(word_tokens, inner.start, inner.end, inner.head),)
+            if inner is not None and inner.end == len(word_tokens)
+            else ()
+        )
+        return LabelAnalysis(label, LabelForm.PREPOSITIONAL_PHRASE, nps)
+
+    if first_tag.startswith("VB") or first_tag == "MD":
+        # Verb phrase: "Depart from", "Departing from city". A trailing NP
+        # (after an optional preposition) is usable for extraction.
+        i = 1
+        if i < len(word_tokens) and word_tokens[i].tag in ("IN", "TO"):
+            i += 1
+        inner = noun_phrase_at(word_tokens, i)
+        nps = (
+            (_np_from_chunk(word_tokens, inner.start, inner.end, inner.head),)
+            if inner is not None and inner.end == len(word_tokens)
+            else ()
+        )
+        return LabelAnalysis(label, LabelForm.VERB_PHRASE, nps)
+
+    # Fall back: scan for any NP inside an otherwise unclassified label.
+    for chunk in chunk_tags(word_tokens):
+        if chunk.kind == "NP":
+            return LabelAnalysis(
+                label, LabelForm.OTHER,
+                (_np_from_chunk(word_tokens, chunk.start, chunk.end, chunk.head),),
+            )
+    return LabelAnalysis(label, LabelForm.OTHER, ())

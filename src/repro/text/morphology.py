@@ -1,0 +1,167 @@
+"""English noun pluralisation and singularisation.
+
+Extraction patterns such as ``s1: Ls such as NP1, ..., NPn`` (paper Figure 4)
+require the *plural form* of an attribute label: ``departure city`` becomes
+``departure cities``, ``class of service`` becomes ``classes of service``.
+Only the head noun of a phrase is inflected; for prepositional post-modifiers
+the head is the noun *before* the preposition.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+__all__ = ["pluralize", "singularize", "pluralize_phrase"]
+
+# Irregular plural forms that no suffix rule covers. Maps singular -> plural.
+_IRREGULAR: Dict[str, str] = {
+    "child": "children",
+    "person": "people",
+    "man": "men",
+    "woman": "women",
+    "foot": "feet",
+    "tooth": "teeth",
+    "mouse": "mice",
+    "goose": "geese",
+    "datum": "data",
+    "criterion": "criteria",
+    "analysis": "analyses",
+    "basis": "bases",
+    "index": "indexes",  # database usage, not "indices"
+    "salesperson": "salespeople",
+}
+_IRREGULAR_REVERSED: Dict[str, str] = {v: k for k, v in _IRREGULAR.items()}
+
+# Words that are identical in singular and plural.
+_UNCHANGED = frozenset({"series", "species", "aircraft", "information", "news"})
+
+_VOWELS = frozenset("aeiou")
+
+# Singular words ending in "s" that must not be mistaken for plurals.
+_SINGULAR_S_WORDS = frozenset({
+    "class", "business", "address", "status", "process", "bus", "gas",
+    "basis", "analysis", "lens", "campus", "census", "bonus", "radius",
+    "is", "this", "us", "plus", "species", "series", "access", "express",
+})
+
+
+def _looks_plural(low: str) -> bool:
+    """Heuristic: is the lower-cased word already a regular plural?
+
+    English singulars ending in a bare "s" mostly end in "ss"/"us"/"is";
+    anything else ending in "s" ("adults", "keywords", "stops") is treated
+    as already plural and left unchanged by :func:`pluralize`.
+    """
+    if low in _SINGULAR_S_WORDS:
+        return False
+    return (
+        len(low) > 2
+        and low.endswith("s")
+        and not low.endswith(("ss", "us", "is"))
+    )
+
+
+def _match_case(template: str, produced: str) -> str:
+    """Give ``produced`` the capitalisation style of ``template``."""
+    if template.isupper():
+        return produced.upper()
+    if template[:1].isupper():
+        return produced[:1].upper() + produced[1:]
+    return produced
+
+
+def pluralize(noun: str) -> str:
+    """Return the plural of a singular English noun.
+
+    >>> pluralize("city")
+    'cities'
+    >>> pluralize("class")
+    'classes'
+    >>> pluralize("make")
+    'makes'
+    >>> pluralize("Child")
+    'Children'
+    """
+    if not noun:
+        return noun
+    low = noun.lower()
+    if low in _UNCHANGED:
+        return noun
+    if low in _IRREGULAR:
+        return _match_case(noun, _IRREGULAR[low])
+    if low in _IRREGULAR_REVERSED or _looks_plural(low):
+        return noun  # already plural ("feet", "adults", "keywords")
+    if low.endswith(("s", "x", "z", "ch", "sh")):
+        return noun + "es"
+    if low.endswith("y") and len(low) > 1 and low[-2] not in _VOWELS:
+        return noun[:-1] + "ies"
+    if low.endswith("fe"):
+        return noun[:-2] + "ves"
+    if low.endswith("f") and not low.endswith(("ff", "oof", "ief")):
+        return noun[:-1] + "ves"
+    if low.endswith("o") and len(low) > 1 and low[-2] not in _VOWELS:
+        return noun + "es"
+    return noun + "s"
+
+
+def singularize(noun: str) -> str:
+    """Return the singular of a plural English noun (best effort).
+
+    Designed so that ``singularize(pluralize(w)) == w`` for the regular nouns
+    appearing in interface labels (verified by property-based tests).
+
+    >>> singularize("cities")
+    'city'
+    >>> singularize("classes")
+    'class'
+    >>> singularize("makes")
+    'make'
+    """
+    if not noun:
+        return noun
+    low = noun.lower()
+    if low in _UNCHANGED:
+        return noun
+    if low in _IRREGULAR_REVERSED:
+        return _match_case(noun, _IRREGULAR_REVERSED[low])
+    if low.endswith("ies") and len(low) > 3:
+        return noun[:-3] + "y"
+    if low.endswith("ves") and len(low) > 3:
+        stem = noun[:-3]
+        # "wives" -> "wife"; "leaves" -> "leaf". Prefer "fe" after a vowel+l? —
+        # the labels we meet (lives, knives) all take "fe".
+        if low[-4] in "il":
+            return stem + "fe"
+        return stem + "f"
+    if low.endswith(("ses", "xes", "zes", "ches", "shes")) and len(low) > 3:
+        return noun[:-2]
+    if low.endswith("oes") and len(low) > 3:
+        return noun[:-2]
+    if low.endswith("s") and not low.endswith("ss"):
+        return noun[:-1]
+    return noun
+
+
+def pluralize_phrase(phrase: str, head_index: int = -1) -> str:
+    """Pluralise the head word of a multi-word phrase.
+
+    ``head_index`` is the position of the head noun among the phrase's
+    whitespace-separated words; by default the last word is the head, which is
+    correct for plain noun phrases ("departure city" -> "departure cities").
+    For phrases with prepositional post-modifiers, pass the head's position
+    ("class of service", head 0 -> "classes of service").
+
+    >>> pluralize_phrase("departure city")
+    'departure cities'
+    >>> pluralize_phrase("class of service", head_index=0)
+    'classes of service'
+    """
+    parts = phrase.split()
+    if not parts:
+        return phrase
+    if head_index < 0:
+        head_index += len(parts)
+    if not 0 <= head_index < len(parts):
+        raise ValueError(f"head_index {head_index} out of range for {phrase!r}")
+    parts[head_index] = pluralize(parts[head_index])
+    return " ".join(parts)

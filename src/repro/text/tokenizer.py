@@ -1,0 +1,71 @@
+"""Tokenisation for labels, snippets and synthetic Surface-Web pages.
+
+The tokeniser is deliberately simple and transparent: WebIQ only ever deals
+with short attribute labels ("Departure city") and search-result snippets, so
+a regular-expression word tokeniser with an explicit sentence splitter covers
+the whole input distribution while staying easy to reason about in tests.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List
+
+__all__ = ["tokenize", "words", "sentences", "normalize"]
+
+# A token is a run of word characters (letters/digits, allowing internal
+# apostrophes, hyphens, periods in abbreviations like "U.S."), a currency
+# amount, or a single punctuation character.
+_TOKEN_RE = re.compile(
+    r"""
+    \$?\d{1,3}(?:,\d{3})+(?:\.\d+)?   # grouped numbers: $15,200 / 1,200.50
+  | \$\d+(?:\.\d+)?           # plain monetary values: $9.99
+  | \d+(?:st|nd|rd|th)\b      # ordinals: 1st, 2nd, 15th
+  | \d+(?:\.\d+)?             # plain numbers: 1994 or 3.5
+  | (?:[A-Za-z]\.){2,}        # dotted abbreviations: J.K., U.S.
+  | [A-Za-z]{2,3}\.(?=\s+[A-Z0-9])  # short abbreviations: "St." before a capital
+  | [A-Za-z](?:[A-Za-z'\-]*[A-Za-z])?   # words, incl. hyphenated/apostrophes
+  | [^\sA-Za-z0-9]            # any single punctuation mark
+    """,
+    re.VERBOSE,
+)
+
+_SENTENCE_END_RE = re.compile(r"(?<=[.!?])\s+(?=[A-Z\"$\d])")
+
+
+def tokenize(text: str) -> List[str]:
+    """Split ``text`` into word and punctuation tokens.
+
+    >>> tokenize("Makes such as Honda, Toyota.")
+    ['Makes', 'such', 'as', 'Honda', ',', 'Toyota', '.']
+    >>> tokenize("price is $15,200")
+    ['price', 'is', '$15,200']
+    """
+    return _TOKEN_RE.findall(text)
+
+
+def words(text: str) -> List[str]:
+    """Like :func:`tokenize` but keeping only word/number tokens.
+
+    >>> words("From: city, please!")
+    ['From', 'city', 'please']
+    """
+    return [t for t in tokenize(text) if t[0].isalnum() or t.startswith("$")]
+
+
+def sentences(text: str) -> List[str]:
+    """Split ``text`` into sentences on terminal punctuation.
+
+    Splitting only before a capital letter, digit, quote or currency sign
+    avoids breaking abbreviations mid-sentence in most snippet text.
+
+    >>> sentences("Fly cheap. Airlines such as Delta serve Boston.")
+    ['Fly cheap.', 'Airlines such as Delta serve Boston.']
+    """
+    parts = _SENTENCE_END_RE.split(text.strip())
+    return [p for p in (part.strip() for part in parts) if p]
+
+
+def normalize(text: str) -> str:
+    """Lower-case and collapse whitespace — the index's term normal form."""
+    return " ".join(text.lower().split())

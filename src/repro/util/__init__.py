@@ -1,0 +1,29 @@
+"""General-purpose utilities shared by every WebIQ subsystem.
+
+The paper's experiments depend on two kinds of infrastructure that do not
+belong to any single component: deterministic pseudo-randomness (so the
+synthetic Surface Web, the interface sets, and every experiment are exactly
+reproducible) and a simulated clock that charges per-query latencies the way
+the paper reports them ("typical retrieval time from Google for one query is
+0.1-0.5 second").
+"""
+
+from repro.util.clock import SimulatedClock, StopwatchReport
+from repro.util.errors import (
+    ReproError,
+    QuerySyntaxError,
+    UnknownDomainError,
+    ValidationError,
+)
+from repro.util.rng import derive_rng, stable_hash
+
+__all__ = [
+    "SimulatedClock",
+    "StopwatchReport",
+    "ReproError",
+    "QuerySyntaxError",
+    "UnknownDomainError",
+    "ValidationError",
+    "derive_rng",
+    "stable_hash",
+]

@@ -1,0 +1,107 @@
+"""Simulated wall-clock accounting for the overhead analysis (Figure 8).
+
+The paper measures component overhead in minutes, dominated by round trips to
+Google (0.1-0.5 s per query) and to Deep-Web sources. Those latencies do not
+exist in an offline reproduction, so :class:`SimulatedClock` charges them
+explicitly: every simulated search-engine query and every deep-web probe adds
+its nominal latency to a named account. Local compute time can be added on
+top, giving per-component timings whose *relative* shape matches Figure 8.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator
+from contextlib import contextmanager
+import time
+
+__all__ = ["SimulatedClock", "StopwatchReport"]
+
+#: Nominal latency charged per search-engine query, in seconds. The paper:
+#: "the typical retrieval time from Google for one query is 0.1-0.5 second";
+#: we charge the midpoint.
+SEARCH_QUERY_SECONDS = 0.3
+
+#: Nominal latency charged per Deep-Web probing query, in seconds. Form
+#: submissions are full page loads and are slower than API search calls.
+DEEP_PROBE_SECONDS = 1.5
+
+
+@dataclass
+class StopwatchReport:
+    """Per-account simulated seconds, as produced by :class:`SimulatedClock`."""
+
+    seconds_by_account: Dict[str, float] = field(default_factory=dict)
+
+    def seconds(self, account: str) -> float:
+        return self.seconds_by_account.get(account, 0.0)
+
+    def minutes(self, account: str) -> float:
+        return self.seconds(account) / 60.0
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(self.seconds_by_account.values())
+
+    @property
+    def total_minutes(self) -> float:
+        return self.total_seconds / 60.0
+
+
+class SimulatedClock:
+    """Accumulates simulated latency into named accounts.
+
+    Accounts used by the pipeline mirror Figure 8's bars: ``"matching"``,
+    ``"surface"``, ``"attr_surface"``, ``"attr_deep"``.
+    """
+
+    def __init__(
+        self,
+        search_query_seconds: float = SEARCH_QUERY_SECONDS,
+        deep_probe_seconds: float = DEEP_PROBE_SECONDS,
+    ) -> None:
+        if search_query_seconds < 0 or deep_probe_seconds < 0:
+            raise ValueError("latencies must be non-negative")
+        self.search_query_seconds = search_query_seconds
+        self.deep_probe_seconds = deep_probe_seconds
+        self._accounts: Dict[str, float] = {}
+        self._query_counts: Dict[str, int] = {}
+
+    def charge_search_query(self, account: str, count: int = 1) -> None:
+        """Charge ``count`` search-engine round trips to ``account``."""
+        self._charge(account, self.search_query_seconds * count, count)
+
+    def charge_deep_probe(self, account: str, count: int = 1) -> None:
+        """Charge ``count`` Deep-Web form submissions to ``account``."""
+        self._charge(account, self.deep_probe_seconds * count, count)
+
+    def charge_seconds(self, account: str, seconds: float) -> None:
+        """Charge raw seconds (e.g. measured local compute) to ``account``."""
+        self._charge(account, seconds, 0)
+
+    @contextmanager
+    def measure(self, account: str) -> Iterator[None]:
+        """Charge real elapsed wall time of the ``with`` body to ``account``."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.charge_seconds(account, time.perf_counter() - start)
+
+    def query_count(self, account: str) -> int:
+        """Number of simulated remote queries charged to ``account``."""
+        return self._query_counts.get(account, 0)
+
+    @property
+    def total_query_count(self) -> int:
+        return sum(self._query_counts.values())
+
+    def report(self) -> StopwatchReport:
+        return StopwatchReport(dict(self._accounts))
+
+    def _charge(self, account: str, seconds: float, queries: int) -> None:
+        if seconds < 0:
+            raise ValueError("cannot charge negative time")
+        self._accounts[account] = self._accounts.get(account, 0.0) + seconds
+        if queries:
+            self._query_counts[account] = self._query_counts.get(account, 0) + queries

@@ -1,0 +1,30 @@
+"""Exception hierarchy for the WebIQ reproduction.
+
+Every error raised by the library derives from :class:`ReproError`, so callers
+can catch library failures without masking programming errors such as
+``TypeError``.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class QuerySyntaxError(ReproError):
+    """A search-engine query string could not be parsed.
+
+    Raised by :class:`repro.surfaceweb.query.QueryParser` for malformed input
+    such as unbalanced double quotes or an empty query.
+    """
+
+
+class UnknownDomainError(ReproError):
+    """A dataset domain name is not one of the five ICQ domains."""
+
+
+class ValidationError(ReproError):
+    """Invalid argument or state detected inside a WebIQ component.
+
+    Used for contract violations that are recoverable by the caller, e.g.
+    asking a classifier to predict before it has been trained.
+    """

@@ -1,0 +1,27 @@
+"""Shared fixtures.
+
+Full 20-interface datasets are expensive to acquire over, so integration
+tests use small ones (6 interfaces). Dataset builds are cached per session
+via module-level fixtures; tests must not mutate them except through the
+pipeline (which resets acquired state itself) — tests that need a mutable
+dataset build their own.
+"""
+
+import pytest
+
+from repro.datasets import build_domain_dataset
+
+
+@pytest.fixture(scope="session")
+def small_airfare():
+    return build_domain_dataset("airfare", n_interfaces=6, seed=7)
+
+
+@pytest.fixture(scope="session")
+def small_book():
+    return build_domain_dataset("book", n_interfaces=6, seed=7)
+
+
+@pytest.fixture(scope="session")
+def small_auto():
+    return build_domain_dataset("auto", n_interfaces=6, seed=7)

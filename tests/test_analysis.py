@@ -1,0 +1,78 @@
+"""Tests for repro.analysis: match error analysis."""
+
+import pytest
+
+from repro import WebIQConfig, WebIQMatcher, build_domain_dataset
+from repro.analysis import analyze_errors
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return build_domain_dataset("airfare", n_interfaces=8, seed=7)
+
+
+@pytest.fixture(scope="module")
+def baseline_report(dataset):
+    config = WebIQConfig(enable_surface=False, enable_attr_deep=False,
+                         enable_attr_surface=False)
+    result = WebIQMatcher(config).run(dataset)
+    return analyze_errors(result.match_result, dataset)
+
+
+class TestErrorReport:
+    def test_totals_match_metrics(self, baseline_report):
+        report = baseline_report
+        assert report.total_missed == \
+            report.metrics.n_truth - report.metrics.n_correct
+        assert report.total_wrong == \
+            report.metrics.n_predicted - report.metrics.n_correct
+
+    def test_errors_sorted_descending(self, baseline_report):
+        counts = [e.count for e in baseline_report.missed]
+        assert counts == sorted(counts, reverse=True)
+
+    def test_examples_capped(self, dataset):
+        config = WebIQConfig(enable_surface=False, enable_attr_deep=False,
+                             enable_attr_surface=False)
+        result = WebIQMatcher(config).run(dataset)
+        report = analyze_errors(result.match_result, dataset, max_examples=1)
+        for error in report.missed + report.wrong:
+            assert len(error.examples) <= 1
+
+    def test_top_helpers(self, baseline_report):
+        assert len(baseline_report.top_missed(2)) <= 2
+        assert len(baseline_report.top_wrong(2)) <= 2
+
+    def test_str_rendering(self, baseline_report):
+        if baseline_report.missed:
+            text = str(baseline_report.missed[0])
+            assert "missed" in text and "x:" in text
+
+    def test_no_instance_involvement_counted(self, baseline_report):
+        # at baseline, the paper's failure mode dominates: most misses
+        # involve at least one no-instance attribute
+        assert baseline_report.missed_involving_no_instances > 0
+        assert baseline_report.missed_involving_no_instances <= \
+            baseline_report.total_missed
+
+
+class TestWebIQShrinksErrors:
+    def test_error_mass_drops_with_acquisition(self, dataset):
+        baseline_cfg = WebIQConfig(enable_surface=False,
+                                   enable_attr_deep=False,
+                                   enable_attr_surface=False)
+        before = analyze_errors(
+            WebIQMatcher(baseline_cfg).run(dataset).match_result, dataset)
+        after_run = WebIQMatcher(WebIQConfig()).run(dataset)
+        after = analyze_errors(after_run.match_result, dataset)
+        assert after.total_missed <= before.total_missed
+
+    def test_perfect_run_has_no_errors(self, dataset):
+        truth_pairs = dataset.ground_truth.match_pairs()
+        # simulate a perfect matcher by analysing truth against itself
+        class FakeResult:
+            def match_pairs(self):
+                return truth_pairs
+        report = analyze_errors(FakeResult(), dataset)
+        assert report.missed == [] and report.wrong == []
+        assert report.metrics.f1 == 1.0

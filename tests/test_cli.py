@@ -1,0 +1,83 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_stats_defaults(self):
+        args = build_parser().parse_args(["stats"])
+        assert args.domain == "airfare"
+        assert args.interfaces == 20
+        assert args.seed == 1
+
+    def test_unknown_domain_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["stats", "--domain", "groceries"])
+
+    def test_run_flags(self):
+        args = build_parser().parse_args(
+            ["run", "--baseline", "--threshold", "0.1"])
+        assert args.baseline and args.threshold == 0.1
+
+
+class TestCommands:
+    def test_stats_output(self, capsys):
+        assert main(["stats", "--domain", "auto", "--interfaces", "5",
+                     "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "auto" in out and "AttrNoInst%" in out
+
+    def test_stats_all_domains(self, capsys):
+        assert main(["stats", "--domain", "all", "--interfaces", "4",
+                     "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        for domain in ("airfare", "auto", "book", "job", "realestate"):
+            assert domain in out
+
+    def test_run_baseline(self, capsys):
+        assert main(["run", "--domain", "book", "--interfaces", "5",
+                     "--seed", "3", "--baseline"]) == 0
+        out = capsys.readouterr().out
+        assert "F1=" in out
+        assert "surface%" not in out  # baseline runs no acquisition
+
+    def test_run_with_json_export(self, capsys, tmp_path):
+        path = tmp_path / "run.json"
+        assert main(["run", "--domain", "book", "--interfaces", "5",
+                     "--seed", "3", "--json", str(path)]) == 0
+        payload = json.loads(path.read_text())
+        assert payload["domain"] == "book"
+        assert 0.0 <= payload["metrics"]["f1"] <= 1.0
+        assert payload["acquisition"]["records"]
+
+    def test_discover(self, capsys):
+        assert main(["discover", "--domain", "book", "--interfaces", "5",
+                     "--seed", "3", "Author"]) == 0
+        out = capsys.readouterr().out
+        assert "instances:" in out
+
+    def test_discover_failing_label(self, capsys):
+        assert main(["discover", "--domain", "airfare", "--interfaces", "5",
+                     "--seed", "3", "From"]) == 0
+        out = capsys.readouterr().out
+        assert "none" in out
+
+    def test_discover_rejects_all_domains(self, capsys):
+        assert main(["discover", "--domain", "all", "Author"]) == 2
+
+    def test_export(self, capsys, tmp_path):
+        path = tmp_path / "dataset.json"
+        assert main(["export", "--domain", "auto", "--interfaces", "4",
+                     "--seed", "3", str(path)]) == 0
+        payload = json.loads(path.read_text())
+        assert payload["domain"] == "auto"
+        assert len(payload["interfaces"]) == 4
+        assert payload["ground_truth"]["clusters"]

@@ -1,0 +1,98 @@
+"""Tests for Attr-Deep: deep-web probe validation (paper §4)."""
+
+import pytest
+
+from repro.core.attr_deep import AttrDeepValidator
+from repro.deepweb.models import Attribute, QueryInterface
+from repro.deepweb.source import DeepWebSource
+
+
+CITIES = ("Boston", "Chicago", "Miami", "Denver", "Seattle", "Austin")
+
+
+def make_source(iid="air-1", required=()):
+    interface = QueryInterface(iid, "airfare", "flight", [
+        Attribute(name="from", label="From"),
+        Attribute(name="to", label="To"),
+    ])
+    records = [{"from": c, "to": CITIES[(i + 1) % len(CITIES)]}
+               for i, c in enumerate(CITIES)]
+    return DeepWebSource(
+        interface=interface,
+        recognizers={
+            "from": lambda v: v in CITIES,
+            "to": lambda v: v in CITIES,
+        },
+        records=records,
+        required_attributes=set(required),
+    )
+
+
+class TestValidate:
+    def test_true_instances_accepted_wholesale(self):
+        validator = AttrDeepValidator({"air-1": make_source()})
+        result = validator.validate("air-1", "from", list(CITIES))
+        assert result.accepted == list(CITIES)
+        assert result.probes_issued == 6
+
+    def test_non_instances_rejected(self):
+        # "querying with from set to January will not [yield results]"
+        validator = AttrDeepValidator({"air-1": make_source()})
+        result = validator.validate(
+            "air-1", "from", ["January", "Economy", "Honda"])
+        assert result.accepted == []
+
+    def test_one_third_rule(self):
+        # 2 valid of 6 probed = exactly 1/3: the whole set is accepted,
+        # including the invalid values — the paper's all-or-nothing shortcut.
+        validator = AttrDeepValidator({"air-1": make_source()})
+        borrowed = ["Boston", "Chicago", "xx1", "xx2", "xx3", "xx4"]
+        result = validator.validate("air-1", "from", borrowed)
+        assert result.successes == 2
+        assert result.accepted == borrowed
+
+    def test_below_one_third_rejects_all(self):
+        validator = AttrDeepValidator({"air-1": make_source()})
+        borrowed = ["Boston", "xx1", "xx2", "xx3", "xx4", "xx5"]
+        result = validator.validate("air-1", "from", borrowed)
+        assert result.successes == 1
+        assert result.accepted == []
+
+    def test_max_probes_caps_cost(self):
+        validator = AttrDeepValidator({"air-1": make_source()}, max_probes=3)
+        result = validator.validate("air-1", "from", list(CITIES))
+        assert result.probes_issued == 3
+        assert result.accepted == list(CITIES)
+
+    def test_required_attribute_blocks_probing(self):
+        # a source demanding another field defeats single-attribute probes
+        source = make_source(required=["to"])
+        validator = AttrDeepValidator({"air-1": source})
+        result = validator.validate("air-1", "from", list(CITIES))
+        assert result.accepted == []
+
+    def test_unknown_source(self):
+        validator = AttrDeepValidator({})
+        result = validator.validate("nope", "from", ["Boston"])
+        assert result.accepted == [] and result.probes_issued == 0
+
+    def test_empty_borrowed(self):
+        validator = AttrDeepValidator({"air-1": make_source()})
+        result = validator.validate("air-1", "from", ["", "  "])
+        assert result.accepted == [] and result.probes_issued == 0
+
+    def test_invalid_ratio_rejected(self):
+        with pytest.raises(ValueError):
+            AttrDeepValidator({}, accept_ratio=0.0)
+
+    def test_success_ratio_reported(self):
+        validator = AttrDeepValidator({"air-1": make_source()})
+        result = validator.validate("air-1", "from",
+                                    ["Boston", "Chicago", "nope"])
+        assert result.success_ratio == pytest.approx(2 / 3)
+
+    def test_probe_count_on_source(self):
+        source = make_source()
+        validator = AttrDeepValidator({"air-1": source})
+        validator.validate("air-1", "from", ["Boston", "Chicago"])
+        assert source.probe_count == 2

@@ -1,0 +1,140 @@
+"""Tests for Attr-Surface: the validation-based classifier (paper §3)."""
+
+import pytest
+
+from repro.core.attr_surface import (
+    AttrSurfaceValidator,
+    ClassifierConfig,
+    ValidationClassifier,
+)
+from repro.core.surface import WebValidator
+from repro.deepweb.models import Attribute, AttributeKind, QueryInterface
+from repro.surfaceweb.document import Document
+from repro.surfaceweb.engine import SearchEngine
+from repro.util.errors import ValidationError
+
+
+@pytest.fixture(scope="module")
+def airline_engine():
+    """A tiny Web where airline names co-occur with 'airline' and class
+    names do not — the separation the classifier exploits."""
+    docs = []
+    airlines = ["Air Canada", "American Airlines", "Delta Air Lines",
+                "United Airlines", "Aer Lingus", "British Airways"]
+    for i, airline in enumerate(airlines):
+        docs.append(Document(i, f"u{i}", "t",
+                             f"Airline: {airline}. Book your flight."))
+        docs.append(Document(100 + i, f"v{i}", "t",
+                             f"Airlines such as {airline} fly daily."))
+    docs.append(Document(200, "w0", "t", "Economy is a cabin class."))
+    docs.append(Document(201, "w1", "t", "First Class seats recline."))
+    docs.append(Document(202, "w2", "t", "Jan is a cold month."))
+    docs.append(Document(203, "w3", "t", "The number 1 is small."))
+    return SearchEngine(docs)
+
+
+@pytest.fixture()
+def trained(airline_engine):
+    validator = WebValidator(airline_engine)
+    phrases = validator.validation_phrases("Airline")
+    classifier = ValidationClassifier(validator, phrases)
+    # paper Figure 5.a
+    classifier.train(
+        positives=["Air Canada", "American Airlines", "Delta Air Lines",
+                   "United Airlines"],
+        negatives=["Economy", "First Class", "Jan", "1"],
+    )
+    return classifier
+
+
+class TestTraining:
+    def test_thresholds_learned_per_phrase(self, trained):
+        assert len(trained.thresholds) == 3  # label + two cue phrases
+        assert trained.is_trained
+
+    def test_thresholds_separate_classes(self, trained):
+        # instances of Airline must be accepted, non-instances rejected
+        assert trained.predict("Air Canada")
+        assert not trained.predict("Economy")
+        assert not trained.predict("Jan")
+
+    def test_borrowed_instance_accepted(self, trained):
+        # the paper's headline case: Aer Lingus (an EU carrier never among
+        # the positives) is recognised as an airline
+        assert trained.predict("Aer Lingus")
+
+    def test_posterior_is_probability(self, trained):
+        assert 0.0 <= trained.posterior("British Airways") <= 1.0
+
+    def test_untrained_predict_rejected(self, airline_engine):
+        validator = WebValidator(airline_engine)
+        classifier = ValidationClassifier(validator, ["airline"])
+        with pytest.raises(ValidationError):
+            classifier.predict("Air Canada")
+
+    def test_too_few_examples_rejected(self, airline_engine):
+        validator = WebValidator(airline_engine)
+        classifier = ValidationClassifier(validator, ["airline"])
+        with pytest.raises(ValidationError):
+            classifier.train(["one"], [])
+
+    def test_no_phrases_rejected(self, airline_engine):
+        with pytest.raises(ValidationError):
+            ValidationClassifier(WebValidator(airline_engine), [])
+
+    def test_example_caps_limit_queries(self, airline_engine):
+        airline_engine.reset_query_count()
+        validator = WebValidator(airline_engine)
+        config = ClassifierConfig(max_positives=2, max_negatives=2)
+        classifier = ValidationClassifier(
+            validator, validator.validation_phrases("Airline"), config)
+        classifier.train(
+            ["Air Canada", "American Airlines", "Delta Air Lines"],
+            ["Economy", "First Class", "Jan"],
+        )
+        small_cost = airline_engine.query_count
+        assert small_cost < 40
+
+
+class TestAttrSurfaceValidator:
+    def make_interface(self):
+        airline = Attribute(
+            name="airline", label="Airline", kind=AttributeKind.SELECT,
+            instances=("Air Canada", "American Airlines",
+                       "Delta Air Lines", "United Airlines"))
+        cabin = Attribute(
+            name="class", label="Class", kind=AttributeKind.SELECT,
+            instances=("Economy", "First Class"))
+        date = Attribute(
+            name="depart", label="Departing", kind=AttributeKind.SELECT,
+            instances=("Jan", "1"))
+        return QueryInterface("air-1", "airfare", "flight",
+                              [airline, cabin, date]), airline
+
+    def test_build_and_validate(self, airline_engine):
+        interface, airline = self.make_interface()
+        validator = AttrSurfaceValidator(WebValidator(airline_engine))
+        classifier = validator.build_classifier(airline, interface)
+        assert classifier is not None
+        accepted = validator.validate(
+            classifier, ["Aer Lingus", "Economy", "British Airways"])
+        assert "Aer Lingus" in accepted
+        assert "British Airways" in accepted
+        assert "Economy" not in accepted
+
+    def test_no_negatives_returns_none(self, airline_engine):
+        airline = Attribute(
+            name="airline", label="Airline", kind=AttributeKind.SELECT,
+            instances=("Air Canada", "American Airlines"))
+        lonely = QueryInterface("air-2", "airfare", "flight", [airline])
+        validator = AttrSurfaceValidator(WebValidator(airline_engine))
+        assert validator.build_classifier(airline, lonely) is None
+
+    def test_no_positives_returns_none(self, airline_engine):
+        empty = Attribute(name="from", label="From")
+        other = Attribute(name="class", label="Class",
+                          kind=AttributeKind.SELECT,
+                          instances=("Economy", "Business"))
+        qi = QueryInterface("air-3", "airfare", "flight", [empty, other])
+        validator = AttrSurfaceValidator(WebValidator(airline_engine))
+        assert validator.build_classifier(empty, qi) is None

@@ -1,0 +1,99 @@
+"""Tests for the WebIQ + IceQ pipeline (§5-§6)."""
+
+import pytest
+
+from repro.core.pipeline import WebIQConfig, WebIQMatcher
+from repro.datasets import build_domain_dataset
+
+
+@pytest.fixture(scope="module")
+def airfare():
+    return build_domain_dataset("airfare", n_interfaces=8, seed=7)
+
+
+@pytest.fixture(scope="module")
+def baseline_run(airfare):
+    config = WebIQConfig(enable_surface=False, enable_attr_deep=False,
+                         enable_attr_surface=False)
+    return WebIQMatcher(config).run(airfare)
+
+
+@pytest.fixture(scope="module")
+def webiq_run(airfare):
+    return WebIQMatcher(WebIQConfig()).run(airfare)
+
+
+class TestBaseline:
+    def test_no_acquisition(self, baseline_run):
+        assert baseline_run.acquisition is None
+
+    def test_no_web_overhead(self, baseline_run):
+        assert baseline_run.stopwatch.seconds("surface") == 0.0
+        assert baseline_run.stopwatch.seconds("attr_deep") == 0.0
+        assert baseline_run.stopwatch.seconds("attr_surface") == 0.0
+
+    def test_matching_overhead_charged(self, baseline_run):
+        assert baseline_run.stopwatch.seconds("matching") > 0.0
+
+    def test_metrics_populated(self, baseline_run):
+        assert 0.0 < baseline_run.metrics.f1 <= 1.0
+
+
+class TestWebIQ:
+    def test_improves_over_baseline(self, baseline_run, webiq_run):
+        # the paper's headline: acquired instances raise F-1
+        assert webiq_run.metrics.f1 > baseline_run.metrics.f1
+
+    def test_acquisition_report_attached(self, webiq_run):
+        assert webiq_run.acquisition is not None
+        assert webiq_run.acquisition.records
+
+    def test_all_components_charged(self, webiq_run):
+        assert webiq_run.stopwatch.seconds("surface") > 0.0
+        assert webiq_run.stopwatch.seconds("attr_deep") > 0.0
+        assert webiq_run.stopwatch.seconds("attr_surface") > 0.0
+        assert webiq_run.stopwatch.seconds("matching") > 0.0
+
+    def test_overhead_minutes_helper(self, webiq_run):
+        assert webiq_run.overhead_minutes("surface") == pytest.approx(
+            webiq_run.stopwatch.seconds("surface") / 60.0)
+
+    def test_run_resets_dataset(self, airfare):
+        # two consecutive runs with the same config agree exactly
+        a = WebIQMatcher(WebIQConfig()).run(airfare)
+        b = WebIQMatcher(WebIQConfig()).run(airfare)
+        assert a.metrics == b.metrics
+        assert a.acquisition.surface_queries == b.acquisition.surface_queries
+
+    def test_runs_are_independent_of_order(self, airfare):
+        baseline_cfg = WebIQConfig(enable_surface=False,
+                                   enable_attr_deep=False,
+                                   enable_attr_surface=False)
+        first = WebIQMatcher(baseline_cfg).run(airfare)
+        WebIQMatcher(WebIQConfig()).run(airfare)
+        again = WebIQMatcher(baseline_cfg).run(airfare)
+        assert first.metrics == again.metrics
+
+
+class TestThreshold:
+    def test_threshold_prunes_matches(self, airfare):
+        loose = WebIQMatcher(WebIQConfig()).run(airfare)
+        strict = WebIQMatcher(WebIQConfig(threshold=0.1)).run(airfare)
+        assert strict.metrics.n_predicted <= loose.metrics.n_predicted
+
+    def test_threshold_never_hurts_precision(self, airfare):
+        loose = WebIQMatcher(WebIQConfig()).run(airfare)
+        strict = WebIQMatcher(WebIQConfig(threshold=0.1)).run(airfare)
+        assert strict.metrics.precision >= loose.metrics.precision - 1e-9
+
+
+class TestConfig:
+    def test_webiq_enabled_property(self):
+        assert WebIQConfig().webiq_enabled
+        assert not WebIQConfig(enable_surface=False, enable_attr_deep=False,
+                               enable_attr_surface=False).webiq_enabled
+
+    def test_linkage_forwarded(self, airfare):
+        single = WebIQMatcher(WebIQConfig(linkage="single")).run(airfare)
+        complete = WebIQMatcher(WebIQConfig(linkage="complete")).run(airfare)
+        assert single.metrics.n_predicted >= complete.metrics.n_predicted

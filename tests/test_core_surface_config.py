@@ -1,0 +1,73 @@
+"""Tests for SurfaceConfig options and WebValidator scoring modes."""
+
+import pytest
+
+from repro.core.surface import SurfaceConfig, SurfaceDiscoverer, WebValidator
+from repro.deepweb.models import Attribute
+from repro.surfaceweb.document import Document
+from repro.surfaceweb.engine import SearchEngine
+
+
+@pytest.fixture()
+def engine():
+    return SearchEngine([
+        Document(0, "u0", "t",
+                 "Car makes such as Honda, Toyota, and Ford sell well. "
+                 "Make: Honda."),
+        Document(1, "u1", "t", "Honda and Toyota are common on roads."),
+    ])
+
+
+class TestScoringModes:
+    def test_invalid_scoring_rejected_by_validator(self, engine):
+        with pytest.raises(ValueError):
+            WebValidator(engine, scoring="bananas")
+
+    def test_invalid_scoring_rejected_by_discoverer(self, engine):
+        with pytest.raises(ValueError):
+            SurfaceDiscoverer(engine, SurfaceConfig(scoring="bananas"))
+
+    def test_hits_mode_returns_raw_counts(self, engine):
+        validator = WebValidator(engine, scoring="hits")
+        vector = validator.score_vector(["make"], "Honda")
+        assert vector == [1.0]  # one page with "Make: Honda" adjacency
+
+    def test_pmi_mode_normalises(self, engine):
+        validator = WebValidator(engine, scoring="pmi")
+        vector = validator.score_vector(["make"], "Honda")
+        # joint=1, hits(make)=1, hits(honda)=2 -> 0.5
+        assert vector[0] == pytest.approx(0.5)
+
+
+class TestOutlierToggle:
+    def test_disabled_keeps_all_candidates(self, engine):
+        attr = Attribute(name="x", label="Make")
+        on = SurfaceDiscoverer(engine, SurfaceConfig()).discover(
+            attr, (), "car")
+        off = SurfaceDiscoverer(
+            engine, SurfaceConfig(enable_outlier_removal=False)
+        ).discover(attr, (), "car")
+        assert off.outliers == []
+        assert set(on.raw_candidates) == set(off.raw_candidates)
+
+
+class TestCandidateCap:
+    def test_cap_prefers_popular_candidates(self):
+        docs = [Document(0, "u0", "t",
+                         "Makes such as Honda, Toyota, Rarity are listed. "
+                         "Make: Honda.")]
+        # give Honda extra popularity
+        docs += [Document(i, f"p{i}", "t", "Honda everywhere on roads.")
+                 for i in range(1, 4)]
+        engine = SearchEngine(docs)
+        discoverer = SurfaceDiscoverer(
+            engine, SurfaceConfig(max_validated_candidates=1))
+        result = discoverer.discover(Attribute(name="x", label="Make"),
+                                     (), "car")
+        assert result.instances == ["Honda"]
+
+    def test_k_zero_returns_nothing(self, engine):
+        discoverer = SurfaceDiscoverer(engine, SurfaceConfig(k=0))
+        result = discoverer.discover(Attribute(name="x", label="Make"),
+                                     (), "car")
+        assert result.instances == []

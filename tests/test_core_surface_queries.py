@@ -1,0 +1,70 @@
+"""Tests for the extraction-query builder (paper §2.1, Figure 4)."""
+
+import pytest
+
+from repro.core.surface import Completion, ExtractionQueryBuilder
+from repro.text.labels import analyze_label
+
+
+@pytest.fixture(scope="module")
+def builder():
+    return ExtractionQueryBuilder()
+
+
+def queries_for(builder, label, keywords=("book",), object_name="book"):
+    return builder.build(analyze_label(label), keywords, object_name)
+
+
+class TestPatterns:
+    def test_paper_author_example(self, builder):
+        # s1 generates "authors such as", g1 "the author of the book is"
+        queries = queries_for(builder, "author")
+        strings = [q.query for q in queries]
+        assert '"authors such as" +book' in strings
+        assert '"the author of the book is" +book' in strings
+
+    def test_all_eight_patterns(self, builder):
+        queries = queries_for(builder, "author")
+        assert [q.pattern for q in queries] == [
+            "s1", "s2", "s3", "s4", "g1", "g2", "g3", "g4",
+        ]
+
+    def test_set_vs_singleton(self, builder):
+        queries = queries_for(builder, "author")
+        kinds = {q.pattern: q.is_set for q in queries}
+        assert kinds["s1"] and kinds["s4"]
+        assert not kinds["g1"] and not kinds["g4"]
+
+    def test_completion_directions(self, builder):
+        queries = {q.pattern: q for q in queries_for(builder, "author")}
+        assert queries["s1"].completion is Completion.AFTER
+        assert queries["s4"].completion is Completion.BEFORE
+        assert queries["g2"].completion is Completion.AFTER
+        assert queries["g3"].completion is Completion.BEFORE
+
+    def test_plural_in_set_cues(self, builder):
+        queries = {q.pattern: q for q in queries_for(builder, "Departure city")}
+        assert queries["s1"].cue_words == ("departure", "cities", "such", "as")
+        assert queries["s2"].cue_words == ("such", "departure", "cities", "as")
+
+    def test_singular_in_singleton_cues(self, builder):
+        queries = {q.pattern: q for q in queries_for(builder, "Departure city")}
+        assert queries["g2"].cue_words == ("the", "departure", "city", "is")
+
+    def test_keywords_attached(self, builder):
+        queries = queries_for(builder, "city", keywords=("real", "estate", "home"))
+        assert queries[0].query.endswith("+real +estate +home")
+
+    def test_no_noun_phrase_no_queries(self, builder):
+        assert queries_for(builder, "From") == []
+        assert queries_for(builder, "Depart from") == []
+
+    def test_conjunction_generates_per_np(self, builder):
+        queries = queries_for(builder, "First name or last name")
+        cues = {q.cue_words for q in queries if q.pattern == "s1"}
+        assert ("first", "names", "such", "as") in cues
+        assert ("last", "names", "such", "as") in cues
+
+    def test_prepositional_label_uses_inner_np(self, builder):
+        queries = queries_for(builder, "From city")
+        assert queries[0].cue_words == ("cities", "such", "as")

@@ -1,0 +1,132 @@
+"""Tests for repro.datasets.concepts."""
+
+import pytest
+
+from repro.datasets.concepts import (
+    DOMAINS,
+    Concept,
+    LabelVariant,
+    domain_concepts,
+    domain_spec,
+)
+from repro.text.labels import LabelForm, analyze_label
+from repro.util.errors import UnknownDomainError
+
+
+class TestDomainSpecs:
+    def test_five_domains(self):
+        assert DOMAINS == ("airfare", "auto", "book", "job", "realestate")
+
+    @pytest.mark.parametrize("domain", DOMAINS)
+    def test_spec_loads(self, domain):
+        spec = domain_spec(domain)
+        assert spec.name == domain
+        assert spec.concepts
+
+    def test_unknown_domain(self):
+        with pytest.raises(UnknownDomainError):
+            domain_spec("groceries")
+
+    def test_display_name_defaults_to_name(self):
+        assert domain_spec("auto").display_name == "auto"
+
+    def test_realestate_display_name(self):
+        assert domain_spec("realestate").display_name == "real estate"
+
+    def test_keyword_terms(self):
+        assert domain_spec("airfare").keyword_terms() == ("airfare", "flight")
+        assert domain_spec("realestate").keyword_terms() == (
+            "real", "estate", "home")
+        # "book" domain and object collapse to one keyword
+        assert domain_spec("book").keyword_terms() == ("book",)
+
+    def test_concept_lookup(self):
+        assert domain_spec("airfare").concept("airline").name == "airline"
+        with pytest.raises(KeyError):
+            domain_spec("airfare").concept("nope")
+
+
+class TestConceptValidation:
+    def test_empty_values_rejected(self):
+        with pytest.raises(ValueError):
+            Concept("x", (), (LabelVariant("X"),))
+
+    def test_no_labels_rejected(self):
+        with pytest.raises(ValueError):
+            Concept("x", ("v",), ())
+
+    def test_presence_range(self):
+        with pytest.raises(ValueError):
+            Concept("x", ("v",), (LabelVariant("X"),), presence=1.5)
+
+    def test_pool_values_without_pools(self):
+        c = Concept("x", ("a", "b"), (LabelVariant("X"),))
+        assert c.pool_values(0) == ("a", "b")
+        assert c.pool_values(3) == ("a", "b")
+
+    def test_pool_values_with_pools(self):
+        c = Concept("x", ("a", "b"), (LabelVariant("X"),),
+                    value_pools=(("a",), ("b",)))
+        assert c.pool_values(0) == ("a",)
+        assert c.pool_values(1) == ("b",)
+        assert c.pool_values(2) == ("a",)  # wraps
+
+
+class TestPaperDifficultyProfile:
+    """The concept inventories must encode §6's per-domain stories."""
+
+    def test_airfare_has_prepositional_no_np_labels(self):
+        spec = domain_spec("airfare")
+        origin = spec.concept("origin_city")
+        no_np_weight = sum(
+            v.weight for v in origin.label_variants
+            if not analyze_label(v.label).has_noun_phrase
+        )
+        total = sum(v.weight for v in origin.label_variants)
+        # most origin labels defeat extraction-query formulation
+        assert no_np_weight / total > 0.5
+
+    def test_auto_zip_is_starved_and_polluted(self):
+        zip_concept = domain_spec("auto").concept("zip")
+        assert zip_concept.web_richness <= 2
+        assert zip_concept.pollution >= 0.5
+
+    def test_book_labels_are_clean_noun_phrases(self):
+        spec = domain_spec("book")
+        for concept in spec.concepts:
+            for variant in concept.label_variants:
+                if variant.label in ("Written by",):
+                    continue
+                assert analyze_label(variant.label).has_noun_phrase, variant
+
+    def test_job_is_text_heavy(self):
+        spec = domain_spec("job")
+        avg_select = sum(c.select_prob * c.presence for c in spec.concepts) / \
+            sum(c.presence for c in spec.concepts)
+        assert avg_select < 0.45
+
+    def test_realestate_units_are_weak(self):
+        spec = domain_spec("realestate")
+        assert spec.concept("square_feet").web_richness <= 2
+        assert spec.concept("acreage").web_richness <= 2
+
+    def test_unfindable_concepts_exist_where_col5_below_100(self):
+        for domain, expect_unfindable in [
+            ("airfare", False), ("auto", False), ("book", True),
+            ("job", True), ("realestate", True),
+        ]:
+            has = any(not c.findable for c in domain_concepts(domain))
+            assert has is expect_unfindable, domain
+
+    def test_airline_pools_split_by_variant(self):
+        airline = domain_spec("airfare").concept("airline")
+        pools = {v.label: v.pool for v in airline.label_variants}
+        assert pools["Airline"] != pools["Carrier"]
+
+    @pytest.mark.parametrize("domain", DOMAINS)
+    def test_findable_concepts_can_reach_k(self, domain):
+        # Success needs >= 10 instances; findable, well-covered concepts
+        # must have at least 10 values to offer.
+        for c in domain_concepts(domain):
+            if c.findable and c.web_richness >= 5:
+                assert len(c.values) >= 10, c.name

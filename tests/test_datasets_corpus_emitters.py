@@ -1,0 +1,72 @@
+"""Focused tests for the individual corpus emitters."""
+
+import pytest
+
+from repro.datasets.concepts import domain_spec
+from repro.datasets.corpus import CorpusConfig, build_corpus
+from repro.surfaceweb.engine import SearchEngine
+
+
+@pytest.fixture(scope="module")
+def job_engine():
+    return SearchEngine(build_corpus("job", seed=9))
+
+
+class TestSingletonDocs:
+    def test_g1_sentences_present(self, job_engine):
+        # "The <singular> of the <object> is <value>."
+        assert job_engine.num_hits('"the job title of the job is"') > 0
+
+    def test_g4_sentences_present(self, job_engine):
+        hits = job_engine.search('"is the job title"')
+        assert hits
+
+
+class TestPoorPhrases:
+    def test_no_pattern_docs_for_poor_phrases(self, job_engine):
+        # company concept declares "employer" a poor phrase: the Web has
+        # no "employers such as" sentences
+        assert job_engine.num_hits('"employers such as"') == 0
+        assert job_engine.num_hits('"the employer of the job is"') == 0
+
+    def test_rich_phrases_of_same_concept_still_covered(self, job_engine):
+        assert job_engine.num_hits('"company names such as"') > 0
+
+    def test_listing_docs_unaffected_by_poor_phrases(self, job_engine):
+        # proximity evidence ("Employer: IBM") still exists: real pages do
+        # contain employer-labelled listings even without Hearst sentences
+        from repro.datasets import vocab
+        assert any(
+            job_engine.num_hits_proximity("employer", company) > 0
+            for company in vocab.COMPANIES[:10]
+        )
+
+
+class TestConfigKnobs:
+    def test_hearst_value_counts_respected(self):
+        config = CorpusConfig(hearst_values=(2, 2))
+        engine = SearchEngine(build_corpus("auto", seed=9, config=config))
+        results = engine.search('"makes such as"', max_results=5)
+        for hit in results:
+            tail = hit.snippet.lower().split("makes such as", 1)[1]
+            # "A, and B ..." — exactly one comma-separated pair
+            assert tail.count(",") <= 2
+
+    def test_listing_line_counts(self):
+        few = CorpusConfig(listing_lines=(1, 1))
+        many = CorpusConfig(listing_lines=(8, 8))
+        engine_few = SearchEngine(build_corpus("auto", seed=9, config=few))
+        engine_many = SearchEngine(build_corpus("auto", seed=9, config=many))
+        # more lines -> more label/value adjacency evidence
+        few_hits = sum(
+            engine_few.num_hits_proximity("make", v, window=0)
+            for v in ("Honda", "Toyota", "Ford"))
+        many_hits = sum(
+            engine_many.num_hits_proximity("make", v, window=0)
+            for v in ("Honda", "Toyota", "Ford"))
+        assert many_hits >= few_hits
+
+    def test_mentions_disabled(self):
+        config = CorpusConfig(mentions_per_value=0)
+        docs = build_corpus("auto", seed=9, config=config)
+        assert not any(d.title.startswith("about") for d in docs)

@@ -1,0 +1,50 @@
+"""Tests for the dataset describer."""
+
+import pytest
+
+from repro.datasets.concepts import DOMAINS, domain_concepts
+from repro.datasets.describe import describe_all, describe_domain
+
+
+class TestDescribeDomain:
+    def test_contains_every_concept(self):
+        text = describe_domain("airfare")
+        for concept in domain_concepts("airfare"):
+            assert concept.name in text
+
+    def test_notes_flag_unfindable(self):
+        text = describe_domain("realestate")
+        assert "unfindable" in text
+
+    def test_notes_flag_no_np_labels(self):
+        text = describe_domain("airfare")
+        assert "no-NP labels" in text
+        assert "From" in text
+
+    def test_value_pools_noted(self):
+        assert "value pools" in describe_domain("airfare")
+
+    def test_is_markdown_table(self):
+        lines = describe_domain("book").splitlines()
+        assert any(line.startswith("| concept |") for line in lines)
+
+    def test_unknown_domain_raises(self):
+        from repro.util.errors import UnknownDomainError
+        with pytest.raises(UnknownDomainError):
+            describe_domain("groceries")
+
+
+class TestDescribeAll:
+    def test_all_domains_present(self):
+        text = describe_all()
+        for domain in DOMAINS:
+            assert f"(object: " in text
+        assert "real estate" in text
+
+    def test_matches_docs_file(self):
+        """docs/DATASETS.md must be regenerated when concepts change."""
+        from pathlib import Path
+        path = Path(__file__).resolve().parent.parent / "docs" / "DATASETS.md"
+        assert path.exists(), "run: python -c \"from repro.datasets.describe" \
+            " import describe_all; print(describe_all())\" > docs/DATASETS.md"
+        assert path.read_text() == describe_all()

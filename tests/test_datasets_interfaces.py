@@ -1,0 +1,139 @@
+"""Tests for repro.datasets.interfaces: interface generation + ground truth."""
+
+import pytest
+
+from repro.datasets.concepts import DOMAINS, domain_spec
+from repro.datasets.interfaces import generate_interfaces
+from repro.deepweb.models import AttributeKind
+
+
+@pytest.fixture(scope="module")
+def airfare_set():
+    return generate_interfaces("airfare", n_interfaces=20, seed=3)
+
+
+class TestGeneration:
+    def test_count(self, airfare_set):
+        generated, _ = airfare_set
+        assert len(generated) == 20
+
+    def test_interface_ids_unique(self, airfare_set):
+        generated, _ = airfare_set
+        ids = [g.interface.interface_id for g in generated]
+        assert len(set(ids)) == 20
+
+    def test_deterministic(self):
+        a, _ = generate_interfaces("book", 5, seed=11)
+        b, _ = generate_interfaces("book", 5, seed=11)
+        for ga, gb in zip(a, b):
+            assert [x.label for x in ga.interface.attributes] == \
+                [x.label for x in gb.interface.attributes]
+            assert [x.instances for x in ga.interface.attributes] == \
+                [x.instances for x in gb.interface.attributes]
+
+    def test_seed_changes_output(self):
+        a, _ = generate_interfaces("book", 5, seed=1)
+        b, _ = generate_interfaces("book", 5, seed=2)
+        labels_a = [x.label for g in a for x in g.interface.attributes]
+        labels_b = [x.label for g in b for x in g.interface.attributes]
+        assert labels_a != labels_b
+
+    def test_minimum_attributes(self, airfare_set):
+        generated, _ = airfare_set
+        assert all(len(g.interface.attributes) >= 3 for g in generated)
+
+    def test_presence_one_concepts_always_appear(self, airfare_set):
+        generated, _ = airfare_set
+        spec = domain_spec("airfare")
+        always = {c.name for c in spec.concepts if c.presence == 1.0}
+        for g in generated:
+            assert always <= set(g.interface.attribute_names)
+
+    def test_labels_come_from_variants(self, airfare_set):
+        generated, _ = airfare_set
+        spec = domain_spec("airfare")
+        allowed = {
+            c.name: {v.label for v in c.label_variants} for c in spec.concepts
+        }
+        for g in generated:
+            for attr in g.interface.attributes:
+                assert attr.label in allowed[g.concept_of[attr.name]]
+
+    def test_select_values_subset_of_pool(self, airfare_set):
+        generated, _ = airfare_set
+        spec = domain_spec("airfare")
+        for g in generated:
+            for attr in g.interface.attributes:
+                if attr.kind is AttributeKind.SELECT:
+                    concept = spec.concept(g.concept_of[attr.name])
+                    pool = set(concept.pool_values(g.pool_of[attr.name]))
+                    assert set(attr.instances) <= pool
+
+    def test_variant_select_override_respected(self, airfare_set):
+        # Carrier variants are pinned to select with the EU pool by the
+        # concept definition; Brand in auto is always text.
+        generated, _ = generate_interfaces("auto", 20, seed=3)
+        for g in generated:
+            for attr in g.interface.attributes:
+                if attr.label == "Brand":
+                    assert attr.kind is AttributeKind.TEXT
+
+    def test_variant_pool_pinning(self):
+        from repro.datasets.concepts import _EU_POOL
+        generated, _ = generate_interfaces("airfare", 20, seed=3)
+        for g in generated:
+            for attr in g.interface.attributes:
+                if attr.label == "Carrier" and attr.instances:
+                    assert set(attr.instances) <= set(_EU_POOL)
+
+
+class TestGroundTruth:
+    def test_every_attribute_in_truth(self, airfare_set):
+        generated, truth = airfare_set
+        total = sum(len(g.interface.attributes) for g in generated)
+        assert truth.n_attributes == total
+
+    def test_concept_of_lookup(self, airfare_set):
+        generated, truth = airfare_set
+        g = generated[0]
+        attr = g.interface.attributes[0]
+        assert truth.concept_of(g.interface.interface_id, attr.name) == \
+            g.concept_of[attr.name]
+
+    def test_concept_of_missing_raises(self, airfare_set):
+        _, truth = airfare_set
+        with pytest.raises(KeyError):
+            truth.concept_of("nope", "nope")
+
+    def test_match_pairs_within_concepts_only(self, airfare_set):
+        generated, truth = airfare_set
+        concept_by_key = {}
+        for g in generated:
+            for attr in g.interface.attributes:
+                concept_by_key[(g.interface.interface_id, attr.name)] = \
+                    g.concept_of[attr.name]
+        for pair in truth.match_pairs():
+            a, b = sorted(pair)
+            assert concept_by_key[a] == concept_by_key[b]
+
+    def test_no_same_interface_pairs(self, airfare_set):
+        _, truth = airfare_set
+        for pair in truth.match_pairs():
+            a, b = sorted(pair)
+            assert a[0] != b[0]
+
+    def test_pair_count_formula(self):
+        generated, truth = generate_interfaces("book", 4, seed=5)
+        counts = {}
+        for g in generated:
+            for name in g.interface.attribute_names:
+                counts[g.concept_of[name]] = counts.get(g.concept_of[name], 0) + 1
+        expected = sum(n * (n - 1) // 2 for n in counts.values())
+        assert len(truth.match_pairs()) == expected
+
+
+@pytest.mark.parametrize("domain", DOMAINS)
+def test_all_domains_generate(domain):
+    generated, truth = generate_interfaces(domain, 8, seed=2)
+    assert len(generated) == 8
+    assert truth.n_attributes > 0

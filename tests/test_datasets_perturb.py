@@ -1,0 +1,126 @@
+"""Tests for dataset perturbation utilities."""
+
+import pytest
+
+from repro import WebIQConfig, WebIQMatcher, build_domain_dataset
+from repro.datasets.perturb import (
+    add_label_noise,
+    drop_select_instances,
+    shuffle_attribute_order,
+)
+from repro.deepweb.models import AttributeKind
+
+
+def fresh(domain="book", n=5, seed=4):
+    return build_domain_dataset(domain, n_interfaces=n, seed=seed)
+
+
+class TestAddLabelNoise:
+    def test_changes_roughly_rate_fraction(self):
+        dataset = fresh()
+        total = sum(len(i.attributes) for i in dataset.interfaces)
+        changed = add_label_noise(dataset, rate=0.5, seed=1)
+        assert 0 < changed < total
+
+    def test_zero_rate_changes_nothing(self):
+        dataset = fresh()
+        before = [a.label for i in dataset.interfaces for a in i.attributes]
+        assert add_label_noise(dataset, rate=0.0, seed=1) == 0
+        after = [a.label for i in dataset.interfaces for a in i.attributes]
+        assert before == after
+
+    def test_deterministic(self):
+        a, b = fresh(), fresh()
+        add_label_noise(a, rate=0.5, seed=7)
+        add_label_noise(b, rate=0.5, seed=7)
+        assert [x.label for i in a.interfaces for x in i.attributes] == \
+            [x.label for i in b.interfaces for x in i.attributes]
+
+    def test_invalid_rate(self):
+        with pytest.raises(ValueError):
+            add_label_noise(fresh(), rate=1.5)
+
+    def test_decorated_labels_still_analyzable(self):
+        dataset = fresh()
+        add_label_noise(dataset, rate=1.0, seed=2)
+        from repro.text.labels import analyze_label
+        for interface in dataset.interfaces:
+            for attribute in interface.attributes:
+                analyze_label(attribute.label)  # must not raise
+
+
+class TestDropSelectInstances:
+    def test_strips_selects(self):
+        dataset = fresh()
+        stripped = drop_select_instances(dataset, rate=1.0, seed=1)
+        assert stripped > 0
+        for interface in dataset.interfaces:
+            for attribute in interface.attributes:
+                assert attribute.kind is AttributeKind.TEXT
+
+    def test_partial_rate(self):
+        dataset = fresh()
+        selects_before = sum(
+            1 for i in dataset.interfaces for a in i.attributes
+            if a.kind is AttributeKind.SELECT)
+        drop_select_instances(dataset, rate=0.5, seed=1)
+        selects_after = sum(
+            1 for i in dataset.interfaces for a in i.attributes
+            if a.kind is AttributeKind.SELECT)
+        assert 0 < selects_after < selects_before
+
+    def test_ground_truth_untouched(self):
+        dataset = fresh()
+        pairs_before = dataset.ground_truth.match_pairs()
+        drop_select_instances(dataset, rate=1.0, seed=1)
+        assert dataset.ground_truth.match_pairs() == pairs_before
+
+
+class TestShuffle:
+    def test_preserves_attribute_set(self):
+        dataset = fresh()
+        before = {
+            i.interface_id: sorted(i.attribute_names)
+            for i in dataset.interfaces
+        }
+        shuffle_attribute_order(dataset, seed=3)
+        after = {
+            i.interface_id: sorted(i.attribute_names)
+            for i in dataset.interfaces
+        }
+        assert before == after
+
+    def test_matching_invariant_under_shuffle(self):
+        plain = fresh()
+        shuffled = fresh()
+        shuffle_attribute_order(shuffled, seed=3)
+        baseline_cfg = WebIQConfig(enable_surface=False,
+                                   enable_attr_deep=False,
+                                   enable_attr_surface=False)
+        a = WebIQMatcher(baseline_cfg).run(plain)
+        b = WebIQMatcher(baseline_cfg).run(shuffled)
+        assert a.metrics.f1 == pytest.approx(b.metrics.f1)
+
+
+class TestRobustnessUnderPerturbation:
+    def test_webiq_survives_label_noise(self):
+        dataset = fresh("book", n=6, seed=4)
+        add_label_noise(dataset, rate=0.3, seed=5)
+        result = WebIQMatcher(WebIQConfig()).run(dataset)
+        assert result.metrics.f1 > 0.7
+
+    def test_webiq_gain_grows_when_instances_vanish(self):
+        """The paper's core claim, stress-tested: the fewer native
+        instances, the more WebIQ matters."""
+        baseline_cfg = WebIQConfig(enable_surface=False,
+                                   enable_attr_deep=False,
+                                   enable_attr_surface=False)
+        plain = fresh("book", n=6, seed=4)
+        gain_plain = (WebIQMatcher(WebIQConfig()).run(plain).metrics.f1
+                      - WebIQMatcher(baseline_cfg).run(plain).metrics.f1)
+
+        starved = fresh("book", n=6, seed=4)
+        drop_select_instances(starved, rate=1.0, seed=5)
+        gain_starved = (WebIQMatcher(WebIQConfig()).run(starved).metrics.f1
+                        - WebIQMatcher(baseline_cfg).run(starved).metrics.f1)
+        assert gain_starved >= gain_plain - 0.02

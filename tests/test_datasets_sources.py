@@ -1,0 +1,103 @@
+"""Tests for repro.datasets.sources: source construction."""
+
+import pytest
+
+from repro.datasets.concepts import domain_spec
+from repro.datasets.interfaces import generate_interfaces
+from repro.datasets.sources import SourceConfig, build_source, build_sources
+from repro.deepweb.models import AttributeKind
+from repro.deepweb.response import analyze_response
+
+
+@pytest.fixture(scope="module")
+def airfare_sources():
+    generated, _ = generate_interfaces("airfare", 10, seed=4)
+    return generated, build_sources(generated, "airfare", seed=4)
+
+
+class TestBuildSources:
+    def test_one_source_per_interface(self, airfare_sources):
+        generated, sources = airfare_sources
+        assert set(sources) == {g.interface.interface_id for g in generated}
+
+    def test_deterministic(self):
+        generated, _ = generate_interfaces("auto", 5, seed=9)
+        a = build_source(generated[0], domain_spec("auto"), seed=9)
+        b = build_source(generated[0], domain_spec("auto"), seed=9)
+        assert a.records == b.records
+        assert a.failure_style == b.failure_style
+
+    def test_record_counts_in_range(self, airfare_sources):
+        _, sources = airfare_sources
+        config = SourceConfig()
+        for source in sources.values():
+            assert config.n_records[0] <= len(source.records) <= config.n_records[1]
+
+    def test_records_use_interface_pools(self, airfare_sources):
+        generated, sources = airfare_sources
+        spec = domain_spec("airfare")
+        for gen in generated:
+            source = sources[gen.interface.interface_id]
+            for record in source.records:
+                for name, value in record.items():
+                    concept = spec.concept(gen.concept_of[name])
+                    assert value in concept.pool_values(gen.pool_of[name])
+
+    def test_probing_semantics_recognize_concept_values(self, airfare_sources):
+        generated, sources = airfare_sources
+        for gen in generated:
+            source = sources[gen.interface.interface_id]
+            for attr in gen.interface.attributes:
+                if attr.name == "origin_city" and attr.kind is AttributeKind.TEXT:
+                    assert source.recognizes("origin_city", "Boston")
+                    assert not source.recognizes("origin_city", "January")
+                    return
+        pytest.skip("no free-text origin attribute in sample")
+
+    def test_probe_true_instance_usually_succeeds(self, airfare_sources):
+        generated, sources = airfare_sources
+        successes = probes = 0
+        for gen in generated:
+            source = sources[gen.interface.interface_id]
+            if source.required_attributes:
+                continue
+            if "origin_city" not in gen.interface.attribute_names:
+                continue
+            for record in source.records[:3]:
+                value = record.get("origin_city")
+                if not value:
+                    continue
+                page = source.submit({"origin_city": value})
+                probes += 1
+                successes += analyze_response(page.text).success
+        assert probes > 0
+        assert successes / probes > 0.9
+
+    def test_probe_non_instance_always_fails(self, airfare_sources):
+        generated, sources = airfare_sources
+        for gen in generated:
+            source = sources[gen.interface.interface_id]
+            if "origin_city" in gen.interface.attribute_names:
+                page = source.submit({"origin_city": "Economy"})
+                assert not analyze_response(page.text).success
+
+    def test_required_rate_controls_required_sources(self):
+        generated, _ = generate_interfaces("airfare", 20, seed=4)
+        none = build_sources(generated, "airfare", seed=4,
+                             config=SourceConfig(required_source_rate=0.0))
+        assert all(not s.required_attributes for s in none.values())
+        for g in generated:
+            g.interface.clear_acquired()
+        everyone = build_sources(generated, "airfare", seed=4,
+                                 config=SourceConfig(required_source_rate=1.0))
+        assert any(s.required_attributes for s in everyone.values())
+
+    def test_generic_fields_accept_anything(self):
+        generated, _ = generate_interfaces("job", 20, seed=4)
+        sources = build_sources(generated, "job", seed=4)
+        for gen in generated:
+            if "keywords" in gen.interface.attribute_names:
+                source = sources[gen.interface.interface_id]
+                assert source.recognizes("keywords", "anything at all")
+                return
+        pytest.skip("no keywords attribute in sample")

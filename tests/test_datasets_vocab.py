@@ -1,0 +1,72 @@
+"""Tests for repro.datasets.vocab."""
+
+import pytest
+
+from repro.datasets import vocab
+
+
+class TestValueLists:
+    @pytest.mark.parametrize("name,minimum", [
+        ("US_CITIES", 40),
+        ("WORLD_CITIES", 20),
+        ("NORTH_AMERICAN_AIRLINES", 12),
+        ("EUROPEAN_AIRLINES", 12),
+        ("CAR_MAKES", 20),
+        ("CAR_MODELS", 20),
+        ("AUTHORS", 30),
+        ("PUBLISHERS", 15),
+        ("BOOK_TITLES", 20),
+        ("JOB_CATEGORIES", 20),
+        ("COMPANIES", 20),
+        ("US_STATES", 50),
+        ("PROPERTY_TYPES", 10),
+        ("ZIP_CODES", 20),
+    ])
+    def test_list_sizes(self, name, minimum):
+        assert len(getattr(vocab, name)) >= minimum
+
+    @pytest.mark.parametrize("name", [
+        "US_CITIES", "CAR_MAKES", "AUTHORS", "COMPANIES", "ZIP_CODES",
+    ])
+    def test_no_duplicates(self, name):
+        values = getattr(vocab, name)
+        assert len(values) == len({v.lower() for v in values})
+
+    def test_airline_pools_overlap_is_possible(self):
+        # attr-surface borrowing (paper §5 case 2) relies on some shared
+        # carriers between pools; the concept module builds that overlap.
+        from repro.datasets.concepts import _NA_POOL, _EU_POOL
+        shared = set(_NA_POOL) & set(_EU_POOL)
+        assert len(shared) >= 2
+
+
+class TestGenerators:
+    def test_year_values(self):
+        years = vocab.year_values(2000, 2003)
+        assert years == ["2003", "2002", "2001", "2000"]
+
+    def test_price_values_formatting(self):
+        assert vocab.price_values(5000, 15000, 5000) == [
+            "$5,000", "$10,000", "$15,000",
+        ]
+
+    def test_price_values_plain(self):
+        assert vocab.price_values(5000, 10000, 5000, monetary=False) == [
+            "5,000", "10,000",
+        ]
+
+    def test_date_values_include_months_and_days(self):
+        values = vocab.date_values()
+        assert "January" in values
+        assert "Jan 15" in values
+        assert len(values) >= 30
+
+    def test_sqft_values_are_grouped_numbers(self):
+        assert all("," in v or len(v) <= 3 for v in vocab.sqft_values())
+
+    def test_count_values(self):
+        assert vocab.count_values(1, 3) == ["1", "2", "3"]
+
+    def test_acreage_values_exceed_k(self):
+        # k = 10 acquisition bar must be reachable for findable concepts
+        assert len(vocab.acreage_values()) >= 10

@@ -1,0 +1,126 @@
+"""Tests for HTML form rendering and interface extraction."""
+
+import pytest
+
+from repro.datasets import build_domain_dataset
+from repro.deepweb.html import parse_interface, render_interface
+from repro.deepweb.models import Attribute, AttributeKind, QueryInterface
+
+
+def make_interface():
+    return QueryInterface("air-1", "airfare", "flight", [
+        Attribute(name="from", label="From city"),
+        Attribute(name="class", label="Class of service",
+                  kind=AttributeKind.SELECT,
+                  instances=("Economy", "First Class")),
+        Attribute(name="to", label="To"),
+    ])
+
+
+class TestRender:
+    def test_contains_labels_and_controls(self):
+        html = render_interface(make_interface())
+        assert '<label for="from">From city</label>' in html
+        assert '<input type="text" name="from" id="from">' in html
+        assert '<select name="class" id="class">' in html
+        assert '<option value="Economy">Economy</option>' in html
+
+    def test_escapes_special_characters(self):
+        qi = QueryInterface("x", "d", "o", [
+            Attribute(name="a", label='Bed & "bath"'),
+        ])
+        html = render_interface(qi)
+        assert "Bed &amp; &quot;bath&quot;" in html
+
+    def test_submit_button_present(self):
+        assert 'type="submit"' in render_interface(make_interface())
+
+
+class TestParse:
+    def test_roundtrip(self):
+        original = make_interface()
+        parsed = parse_interface(render_interface(original),
+                                 interface_id="air-1", domain="airfare",
+                                 object_name="flight")
+        assert parsed.attribute_names == original.attribute_names
+        for a, b in zip(original.attributes, parsed.attributes):
+            assert a.label == b.label
+            assert a.kind == b.kind
+            assert a.instances == b.instances
+
+    def test_label_for_pairing(self):
+        html = ('<form><label for="city">Departure city</label>'
+                '<input type="text" name="city" id="city"></form>')
+        parsed = parse_interface(html)
+        assert parsed.attributes[0].label == "Departure city"
+
+    def test_nearest_text_fallback(self):
+        html = ('<form>Your destination: '
+                '<input type="text" name="dest"></form>')
+        parsed = parse_interface(html)
+        assert parsed.attributes[0].label == "Your destination"
+
+    def test_submit_and_hidden_skipped(self):
+        html = ('<form><input type="hidden" name="sid" value="1">'
+                'City <input type="text" name="city">'
+                '<input type="submit" value="Go"></form>')
+        parsed = parse_interface(html)
+        assert parsed.attribute_names == ["city"]
+
+    def test_select_options_become_instances(self):
+        html = ('<form>Class <select name="class">'
+                '<option value="">any</option>'
+                '<option value="Economy">Economy</option>'
+                "<option value='Business'>Business</option>"
+                "</select></form>")
+        parsed = parse_interface(html)
+        attr = parsed.attributes[0]
+        assert attr.kind is AttributeKind.SELECT
+        assert attr.instances == ("Economy", "Business")
+
+    def test_radio_group_becomes_select(self):
+        html = ('<form>Trip type '
+                '<input type="radio" name="trip" value="Round trip">'
+                '<input type="radio" name="trip" value="One way"></form>')
+        parsed = parse_interface(html)
+        attr = parsed.attributes[0]
+        assert attr.kind is AttributeKind.SELECT
+        assert attr.instances == ("Round trip", "One way")
+
+    def test_duplicate_names_deduplicated(self):
+        html = ('<form>A <input type="text" name="x">'
+                'B <input type="text" name="x"></form>')
+        parsed = parse_interface(html)
+        assert parsed.attribute_names == ["x", "x_1"]
+
+    def test_entities_unescaped(self):
+        html = ('<form><label for="a">Bed &amp; bath</label>'
+                '<input type="text" name="a" id="a"></form>')
+        parsed = parse_interface(html)
+        assert parsed.attributes[0].label == "Bed & bath"
+
+    def test_single_quoted_attributes(self):
+        html = "<form>City <input type='text' name='city'></form>"
+        parsed = parse_interface(html)
+        assert parsed.attribute_names == ["city"]
+
+    def test_empty_form(self):
+        parsed = parse_interface("<form></form>")
+        assert parsed.attributes == []
+
+
+class TestRoundTripOnGeneratedInterfaces:
+    @pytest.mark.parametrize("domain", ["airfare", "book"])
+    def test_every_generated_interface_roundtrips(self, domain):
+        dataset = build_domain_dataset(domain, n_interfaces=5, seed=11)
+        for interface in dataset.interfaces:
+            parsed = parse_interface(
+                render_interface(interface),
+                interface_id=interface.interface_id,
+                domain=interface.domain,
+                object_name=interface.object_name,
+            )
+            assert parsed.attribute_names == interface.attribute_names
+            for a, b in zip(interface.attributes, parsed.attributes):
+                assert (a.label, a.kind, a.instances) == \
+                    (b.label, b.kind, b.instances)

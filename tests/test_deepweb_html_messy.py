@@ -1,0 +1,82 @@
+"""Robustness tests for the HTML interface extractor on messy markup."""
+
+import pytest
+
+from repro.deepweb.html import parse_interface
+from repro.deepweb.models import AttributeKind
+
+
+class TestMessyMarkup:
+    def test_table_layout_form(self):
+        html = """
+        <form action=/search method=GET>
+        <table><tr>
+          <td>Departure city:</td>
+          <td><input type=text name=dep></td>
+        </tr><tr>
+          <td>Cabin class:</td>
+          <td><select name=cabin>
+            <option value="Economy">Economy</option>
+            <option value="Business">Business</option>
+          </select></td>
+        </tr></table>
+        </form>
+        """
+        parsed = parse_interface(html)
+        labels = {a.name: a.label for a in parsed.attributes}
+        assert labels["dep"] == "Departure city"
+        assert labels["cabin"] == "Cabin class"
+
+    def test_unquoted_attributes(self):
+        html = "<form>City <input type=text name=city id=city></form>"
+        parsed = parse_interface(html)
+        assert parsed.attribute_names == ["city"]
+
+    def test_uppercase_tags(self):
+        html = ('<FORM><LABEL FOR="a">From</LABEL>'
+                '<INPUT TYPE="text" NAME="a" ID="a"></FORM>')
+        parsed = parse_interface(html)
+        assert parsed.attributes[0].label == "From"
+
+    def test_input_without_type_defaults_to_text(self):
+        html = "<form>Query <input name=q></form>"
+        parsed = parse_interface(html)
+        assert parsed.attributes[0].kind is AttributeKind.TEXT
+
+    def test_select_without_explicit_values(self):
+        # options with no value attribute are skipped (no submittable value)
+        html = ('<form>Sort <select name=sort>'
+                "<option>Relevance</option><option>Date</option>"
+                "</select></form>")
+        parsed = parse_interface(html)
+        assert parsed.attributes[0].instances == ()
+
+    def test_checkbox_group(self):
+        html = ('<form>Features '
+                '<input type=checkbox name=feat value="Pool">'
+                '<input type=checkbox name=feat value="Garage"></form>')
+        parsed = parse_interface(html)
+        attr = parsed.attributes[0]
+        assert attr.kind is AttributeKind.SELECT
+        assert set(attr.instances) == {"Pool", "Garage"}
+
+    def test_whitespace_heavy_labels(self):
+        html = ('<form><label for="x">  Departure \n  city : </label>'
+                '<input type="text" name="x" id="x"></form>')
+        parsed = parse_interface(html)
+        assert parsed.attributes[0].label == "Departure city"
+
+    def test_no_form_tag_at_all(self):
+        html = 'City <input type="text" name="city">'
+        parsed = parse_interface(html)
+        assert parsed.attribute_names == ["city"]
+
+    def test_garbage_input(self):
+        parsed = parse_interface("<<<>>> not actually html &&&")
+        assert parsed.attributes == []
+
+    def test_label_with_nested_tags(self):
+        html = ('<form><label for="x"><b>Departure</b> city</label>'
+                '<input type="text" name="x" id="x"></form>')
+        parsed = parse_interface(html)
+        assert parsed.attributes[0].label == "Departure city"

@@ -1,0 +1,85 @@
+"""Tests for repro.deepweb.models."""
+
+import pytest
+
+from repro.deepweb.models import (
+    Attribute,
+    AttributeKind,
+    QueryInterface,
+    attr_key,
+)
+
+
+def select(name, label, values):
+    return Attribute(name=name, label=label, kind=AttributeKind.SELECT,
+                     instances=tuple(values))
+
+
+class TestAttribute:
+    def test_text_attribute_has_no_instances(self):
+        attr = Attribute(name="from", label="From")
+        assert not attr.has_instances
+        assert attr.all_instances() == []
+
+    def test_text_attribute_with_instances_rejected(self):
+        with pytest.raises(ValueError):
+            Attribute(name="x", label="X", instances=("a",))
+
+    def test_select_attribute(self):
+        attr = select("class", "Class", ["Economy", "Business"])
+        assert attr.has_instances
+        assert attr.all_instances() == ["Economy", "Business"]
+
+    def test_acquired_merge_and_dedupe(self):
+        attr = select("airline", "Airline", ["Air Canada"])
+        attr.acquired.extend(["Aer Lingus", "air canada", "Aer Lingus"])
+        assert attr.all_instances() == ["Air Canada", "Aer Lingus"]
+
+    def test_acquired_only_for_text(self):
+        attr = Attribute(name="from", label="From")
+        attr.acquired.extend(["Boston", "boston"])
+        assert attr.all_instances() == ["Boston"]
+
+    def test_clear_acquired(self):
+        attr = Attribute(name="from", label="From")
+        attr.acquired.append("Boston")
+        attr.clear_acquired()
+        assert attr.all_instances() == []
+
+
+class TestQueryInterface:
+    def test_attribute_lookup(self):
+        qi = QueryInterface("i1", "airfare", "flight",
+                            [Attribute(name="from", label="From")])
+        assert qi.attribute("from").label == "From"
+
+    def test_missing_attribute_raises(self):
+        qi = QueryInterface("i1", "airfare", "flight", [])
+        with pytest.raises(KeyError):
+            qi.attribute("nope")
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError):
+            QueryInterface("i1", "d", "o", [
+                Attribute(name="a", label="A"),
+                Attribute(name="a", label="A2"),
+            ])
+
+    def test_attributes_without_instances(self):
+        qi = QueryInterface("i1", "d", "o", [
+            Attribute(name="a", label="A"),
+            select("b", "B", ["v"]),
+        ])
+        assert [a.name for a in qi.attributes_without_instances()] == ["a"]
+
+    def test_clear_acquired_cascades(self):
+        attr = Attribute(name="a", label="A")
+        qi = QueryInterface("i1", "d", "o", [attr])
+        attr.acquired.append("x")
+        qi.clear_acquired()
+        assert attr.all_instances() == []
+
+    def test_attr_key(self):
+        attr = Attribute(name="a", label="A")
+        qi = QueryInterface("i1", "d", "o", [attr])
+        assert attr_key(qi, attr) == ("i1", "a")

@@ -1,0 +1,61 @@
+"""Tests for repro.deepweb.response: response-page heuristics (§4)."""
+
+import pytest
+
+from repro.deepweb.response import analyze_response
+
+
+class TestSuccessPages:
+    def test_found_count(self):
+        r = analyze_response("Found 23 matching records.")
+        assert r.success and r.result_count == 23
+
+    def test_showing_range(self):
+        r = analyze_response("Showing 1 - 10 of 142.")
+        assert r.success and r.result_count == 142
+
+    def test_result_rows_without_count(self):
+        text = "Search results\n  * from: Boston, to: Chicago\n  * from: X, to: Y"
+        r = analyze_response(text)
+        assert r.success
+
+    def test_grouped_count(self):
+        r = analyze_response("1,234 results for your search")
+        assert r.success and r.result_count == 1234
+
+
+class TestFailurePages:
+    @pytest.mark.parametrize("text", [
+        "Sorry, no results were found matching your criteria.",
+        "Your search returned 0 results.",
+        "Error: 'January' is not a valid value for From.",
+        "No items matched your query. Please refine your search.",
+        "Please fill in the required field 'From'.",
+        "Page not found",
+        "Please enter a city name and try again.",
+    ])
+    def test_failure_markers(self, text):
+        assert not analyze_response(text).success
+
+    def test_zero_count_beats_row_evidence(self):
+        text = "0 results\n * suggestion: Boston area"
+        assert not analyze_response(text).success
+
+    def test_plain_content_page_is_not_success(self):
+        assert not analyze_response("Welcome to our homepage.").success
+
+    def test_empty_page(self):
+        r = analyze_response("")
+        assert not r.success
+
+    def test_failure_marker_beats_positive_count(self):
+        # Conservative: an error banner wins even next to a count.
+        text = "Error processing request. Found 10 matching records."
+        assert not analyze_response(text).success
+
+
+class TestReasons:
+    def test_reason_is_informative(self):
+        assert "count" in analyze_response("Found 5 matching records.").reason
+        r = analyze_response("no results here")
+        assert "no results" in r.reason

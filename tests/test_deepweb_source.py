@@ -1,0 +1,120 @@
+"""Tests for repro.deepweb.source: probe-able sources."""
+
+import pytest
+
+from repro.deepweb.models import Attribute, AttributeKind, QueryInterface
+from repro.deepweb.response import analyze_response
+from repro.deepweb.source import DeepWebSource
+
+
+CITIES = {"boston", "chicago", "miami"}
+
+
+def make_source(failure_style="no_results", required=(), records=None):
+    interface = QueryInterface("air-1", "airfare", "flight", [
+        Attribute(name="from", label="From"),
+        Attribute(name="to", label="To"),
+        Attribute(name="class", label="Class", kind=AttributeKind.SELECT,
+                  instances=("Economy", "Business")),
+        Attribute(name="keywords", label="Keywords"),
+    ])
+    if records is None:
+        records = [
+            {"from": "Boston", "to": "Chicago", "class": "Economy"},
+            {"from": "Boston", "to": "Miami", "class": "Business"},
+            {"from": "Chicago", "to": "Miami", "class": "Economy"},
+        ]
+    return DeepWebSource(
+        interface=interface,
+        recognizers={
+            "from": lambda v: v.lower() in CITIES,
+            "to": lambda v: v.lower() in CITIES,
+        },
+        records=records,
+        required_attributes=set(required),
+        failure_style=failure_style,
+    )
+
+
+class TestSubmit:
+    def test_valid_instance_yields_results(self):
+        page = make_source().submit({"from": "Boston"})
+        assert analyze_response(page.text).success
+        assert "Found 2 matching records" in page.text
+
+    def test_non_instance_yields_failure_page(self):
+        # "querying with from set to January will not [yield results]"
+        page = make_source().submit({"from": "January"})
+        assert not analyze_response(page.text).success
+
+    def test_validation_error_style(self):
+        page = make_source(failure_style="validation_error").submit(
+            {"from": "January"})
+        assert "not a valid value" in page.text
+        assert not analyze_response(page.text).success
+
+    def test_partial_query_with_empty_values(self):
+        # "many interfaces permit partial queries"
+        page = make_source().submit({"from": "Boston", "to": ""})
+        assert analyze_response(page.text).success
+
+    def test_valid_but_unmatched_gives_zero_results(self):
+        page = make_source(records=[]).submit({"from": "Boston"})
+        assert "0 results" in page.text
+        assert not analyze_response(page.text).success
+
+    def test_select_rejects_foreign_value(self):
+        page = make_source().submit({"class": "Premium Plus"})
+        assert not analyze_response(page.text).success
+
+    def test_select_accepts_own_value_case_insensitive(self):
+        page = make_source().submit({"class": "economy"})
+        assert analyze_response(page.text).success
+
+    def test_unconstrained_text_accepts_anything(self):
+        page = make_source().submit({"keywords": "whatever text"})
+        assert analyze_response(page.text).success
+
+    def test_required_attribute_missing_fails(self):
+        source = make_source(required=["from"])
+        page = source.submit({"to": "Miami"})
+        assert not analyze_response(page.text).success
+
+    def test_required_attribute_present_succeeds(self):
+        source = make_source(required=["from"])
+        page = source.submit({"from": "Boston", "to": "Miami"})
+        assert analyze_response(page.text).success
+
+    def test_unknown_attribute_name_raises(self):
+        with pytest.raises(KeyError):
+            make_source().submit({"nope": "x"})
+
+    def test_probe_count_increments(self):
+        source = make_source()
+        source.submit({"from": "Boston"})
+        source.submit({"from": "Miami"})
+        assert source.probe_count == 2
+
+    def test_conjunctive_record_matching(self):
+        source = make_source()
+        page = source.submit({"from": "Boston", "to": "Chicago"})
+        assert "Found 1 matching" in page.text
+
+
+class TestConstruction:
+    def test_unknown_recognizer_attribute_rejected(self):
+        interface = QueryInterface("i", "d", "o",
+                                   [Attribute(name="a", label="A")])
+        with pytest.raises(ValueError):
+            DeepWebSource(interface, recognizers={"b": lambda v: True})
+
+    def test_unknown_failure_style_rejected(self):
+        interface = QueryInterface("i", "d", "o",
+                                   [Attribute(name="a", label="A")])
+        with pytest.raises(ValueError):
+            DeepWebSource(interface, recognizers={}, failure_style="explode")
+
+    def test_recognizes_oracle(self):
+        source = make_source()
+        assert source.recognizes("from", "Boston")
+        assert not source.recognizes("from", "January")

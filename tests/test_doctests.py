@@ -1,0 +1,34 @@
+"""Execute every doctest in the library's docstrings.
+
+Docstring examples are part of the API contract; this keeps them honest
+without requiring a separate ``--doctest-modules`` invocation.
+"""
+
+import doctest
+import importlib
+import pkgutil
+
+import pytest
+
+import repro
+
+
+def _all_modules():
+    names = ["repro"]
+    for info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+        names.append(info.name)
+    return sorted(names)
+
+
+@pytest.mark.parametrize("module_name", _all_modules())
+def test_module_doctests(module_name):
+    module = importlib.import_module(module_name)
+    results = doctest.testmod(module, verbose=False)
+    assert results.failed == 0, f"{results.failed} doctest failures"
+
+
+def test_walk_found_the_core_modules():
+    names = _all_modules()
+    assert "repro.core.surface" in names
+    assert "repro.matching.clustering" in names
+    assert len(names) >= 30

@@ -1,0 +1,84 @@
+"""Tests for the programmatic experiment runner."""
+
+import pytest
+
+from repro.experiments import ExperimentSuite, render_rows
+
+
+@pytest.fixture(scope="module")
+def suite():
+    # tiny configuration: two domains, five interfaces, so the whole module
+    # runs in seconds
+    return ExperimentSuite(seed=6, n_interfaces=5, domains=("book", "auto"))
+
+
+class TestSuite:
+    def test_datasets_cached(self, suite):
+        assert suite.dataset("book") is suite.dataset("book")
+
+    def test_runs_cached(self, suite):
+        assert suite.run("book", "baseline") is suite.run("book", "baseline")
+
+    def test_table1_characteristics_shape(self, suite):
+        rows = suite.table1_characteristics()
+        assert [r[0] for r in rows] == ["book", "auto"]
+        for row in rows:
+            assert len(row) == 5
+            assert all(isinstance(v, (int, float)) for v in row[1:])
+
+    def test_table1_acquisition_shape(self, suite):
+        rows = suite.table1_acquisition()
+        for _, surface, final in rows:
+            assert 0 <= surface <= final <= 100
+
+    def test_figure6_rows(self, suite):
+        rows = suite.figure6()
+        for row in rows:
+            assert len(row) == 4
+            assert all(0 <= v <= 100 for v in row[1:])
+
+    def test_figure7_rows(self, suite):
+        rows = suite.figure7()
+        for row in rows:
+            assert len(row) == 5
+
+    def test_figure8_rows(self, suite):
+        rows = suite.figure8()
+        for row in rows:
+            assert all(v >= 0 for v in row[1:])
+
+    def test_all_tables_keys(self, suite):
+        tables = suite.all_tables()
+        assert set(tables) == {
+            "table1_characteristics", "table1_acquisition",
+            "figure6", "figure7", "figure8",
+        }
+
+    def test_consistent_with_direct_run(self, suite):
+        rows = {r[0]: r for r in suite.figure6()}
+        direct = suite.run("book", "webiq").metrics.f1
+        assert rows["book"][2] == pytest.approx(round(100 * direct, 1))
+
+
+class TestRenderRows:
+    def test_alignment_and_separator(self):
+        text = render_rows(("a", "bb"), [("x", 1), ("longer", 22)])
+        lines = text.splitlines()
+        assert lines[0].startswith("a")
+        assert set(lines[1]) == {"-"}
+        assert "longer" in lines[3]
+
+    def test_no_trailing_whitespace(self):
+        text = render_rows(("col",), [("x",)])
+        for line in text.splitlines():
+            assert line == line.rstrip()
+
+
+class TestCliFigureCommand:
+    def test_figure_command(self, capsys):
+        from repro.cli import main
+        assert main(["figure", "table1", "--interfaces", "4",
+                     "--seed", "6"]) == 0
+        out = capsys.readouterr().out
+        assert "AttrNoInst%" in out
+        assert "airfare" in out

@@ -1,0 +1,101 @@
+"""End-to-end integration tests across modules.
+
+These exercise the whole system the way the benchmarks do, on small
+datasets: dataset generation → corpus → acquisition → matching →
+evaluation, with determinism and cross-component invariants.
+"""
+
+import pytest
+
+from repro import (
+    DOMAINS,
+    WebIQConfig,
+    WebIQMatcher,
+    build_domain_dataset,
+    dataset_statistics,
+)
+from repro.core.acquisition import InstanceAcquirer
+from repro.matching import IceQMatcher, evaluate_matches
+
+
+@pytest.mark.parametrize("domain", DOMAINS)
+def test_full_pipeline_runs_on_every_domain(domain):
+    ds = build_domain_dataset(domain, n_interfaces=5, seed=13)
+    result = WebIQMatcher(WebIQConfig()).run(ds)
+    assert 0.0 <= result.metrics.f1 <= 1.0
+    assert result.acquisition is not None
+    assert result.stopwatch.total_seconds > 0.0
+
+
+class TestEndToEndBook:
+    @pytest.fixture(scope="class")
+    def runs(self, small_book):
+        baseline = WebIQMatcher(WebIQConfig(
+            enable_surface=False, enable_attr_deep=False,
+            enable_attr_surface=False)).run(small_book)
+        webiq = WebIQMatcher(WebIQConfig()).run(small_book)
+        return baseline, webiq
+
+    def test_webiq_improves_f1(self, runs):
+        baseline, webiq = runs
+        assert webiq.metrics.f1 >= baseline.metrics.f1
+        assert webiq.metrics.f1 > 0.9
+
+    def test_acquired_instances_are_concept_correct(self, small_book):
+        """Acquired instances for author attributes must overwhelmingly be
+        author names — the semantic core of the whole paper."""
+        WebIQMatcher(WebIQConfig()).run(small_book)
+        from repro.datasets import vocab
+        authors = {a.lower() for a in vocab.AUTHORS}
+        checked = 0
+        for gen in small_book.generated:
+            for attr in gen.interface.attributes:
+                if gen.concept_of[attr.name] == "author" and attr.acquired:
+                    good = sum(1 for v in attr.acquired
+                               if v.lower() in authors)
+                    assert good / len(attr.acquired) >= 0.7
+                    checked += 1
+        assert checked > 0
+
+    def test_clusters_cover_every_attribute(self, runs, small_book):
+        _, webiq = runs
+        total = sum(len(i.attributes) for i in small_book.interfaces)
+        covered = sum(len(c) for c in webiq.match_result.clusters)
+        assert covered == total
+
+
+class TestDeterminismAcrossProcessStyleReruns:
+    def test_dataset_and_pipeline_reproducible(self):
+        f1s = []
+        for _ in range(2):
+            ds = build_domain_dataset("auto", n_interfaces=5, seed=21)
+            result = WebIQMatcher(WebIQConfig()).run(ds)
+            f1s.append(result.metrics.f1)
+        assert f1s[0] == f1s[1]
+
+    def test_statistics_reproducible(self):
+        a = dataset_statistics(build_domain_dataset("job", 5, seed=3))
+        b = dataset_statistics(build_domain_dataset("job", 5, seed=3))
+        assert a == b
+
+
+class TestAcquisitionMatchingContract:
+    def test_matcher_sees_acquired_instances(self, small_auto):
+        small_auto.clear_acquired()
+        small_auto.reset_counters()
+        acquirer = InstanceAcquirer(small_auto.engine, small_auto.sources)
+        acquirer.acquire(small_auto.interfaces,
+                         small_auto.spec.keyword_terms(),
+                         small_auto.spec.object_name)
+        from repro.matching.clustering import views_from_interfaces
+        views = views_from_interfaces(small_auto.interfaces)
+        with_instances = [v for v in views if v.instances]
+        without = [v for v in views if not v.instances]
+        assert len(with_instances) > len(without)
+
+    def test_matching_against_ground_truth(self, small_auto):
+        matcher = IceQMatcher()
+        result = matcher.match(small_auto.interfaces)
+        metrics = evaluate_matches(result.match_pairs(),
+                                   small_auto.ground_truth.match_pairs())
+        assert metrics.f1 > 0.6

@@ -1,0 +1,93 @@
+"""Tests for repro.io: JSON serialisation round trips."""
+
+import json
+
+import pytest
+
+from repro.core.pipeline import WebIQConfig, WebIQMatcher
+from repro.datasets import build_domain_dataset
+from repro.io import (
+    dataset_to_dict,
+    dump_dataset,
+    dump_run_result,
+    ground_truth_from_dict,
+    ground_truth_to_dict,
+    interface_from_dict,
+    interface_to_dict,
+    run_result_to_dict,
+)
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return build_domain_dataset("auto", n_interfaces=5, seed=9)
+
+
+class TestInterfaceRoundTrip:
+    def test_lossless(self, dataset):
+        original = dataset.interfaces[0]
+        original.attributes[0].acquired.append("Honda")
+        restored = interface_from_dict(interface_to_dict(original))
+        assert restored.interface_id == original.interface_id
+        assert restored.attribute_names == original.attribute_names
+        for a, b in zip(original.attributes, restored.attributes):
+            assert (a.label, a.kind, a.instances) == (b.label, b.kind, b.instances)
+            assert a.acquired == b.acquired
+        original.attributes[0].clear_acquired()
+
+    def test_json_serialisable(self, dataset):
+        payload = interface_to_dict(dataset.interfaces[0])
+        json.dumps(payload)  # must not raise
+
+
+class TestGroundTruthRoundTrip:
+    def test_lossless(self, dataset):
+        restored = ground_truth_from_dict(
+            ground_truth_to_dict(dataset.ground_truth))
+        assert restored.match_pairs() == dataset.ground_truth.match_pairs()
+
+
+class TestDatasetSnapshot:
+    def test_contents(self, dataset):
+        payload = dataset_to_dict(dataset)
+        assert payload["domain"] == "auto"
+        assert payload["seed"] == 9
+        assert payload["n_interfaces"] == 5
+        assert len(payload["interfaces"]) == 5
+
+    def test_dump_to_file(self, dataset, tmp_path):
+        path = tmp_path / "snapshot.json"
+        dump_dataset(dataset, str(path))
+        payload = json.loads(path.read_text())
+        assert payload["n_documents"] == dataset.engine.n_documents
+
+    def test_seed_regenerates_identical_dataset(self, dataset):
+        payload = dataset_to_dict(dataset)
+        rebuilt = build_domain_dataset(
+            payload["domain"], payload["n_interfaces"], payload["seed"])
+        assert dataset_to_dict(rebuilt)["interfaces"] == payload["interfaces"]
+
+
+class TestRunResult:
+    def test_serialises_full_run(self, dataset):
+        result = WebIQMatcher(WebIQConfig()).run(dataset)
+        payload = run_result_to_dict(result)
+        json.dumps(payload)
+        assert payload["metrics"]["f1"] == pytest.approx(result.metrics.f1)
+        assert payload["config"]["threshold"] == 0.0
+        assert payload["acquisition"]["k"] == 10
+        covered = sum(len(c) for c in payload["clusters"])
+        assert covered == sum(len(i.attributes) for i in dataset.interfaces)
+
+    def test_baseline_run_has_null_acquisition(self, dataset):
+        config = WebIQConfig(enable_surface=False, enable_attr_deep=False,
+                             enable_attr_surface=False)
+        result = WebIQMatcher(config).run(dataset)
+        payload = run_result_to_dict(result)
+        assert payload["acquisition"] is None
+
+    def test_dump_run_result(self, dataset, tmp_path):
+        result = WebIQMatcher(WebIQConfig()).run(dataset)
+        path = tmp_path / "run.json"
+        dump_run_result(result, str(path))
+        assert json.loads(path.read_text())["domain"] == "auto"

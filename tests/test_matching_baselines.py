@@ -1,0 +1,69 @@
+"""Tests for repro.matching.baselines."""
+
+import pytest
+
+from repro.datasets import build_domain_dataset
+from repro.matching import IceQMatcher, evaluate_matches
+from repro.matching.baselines import ExactLabelMatcher, label_only_matcher
+from repro.matching.similarity import AttributeView
+
+
+def view(iid, name, label, instances=()):
+    return AttributeView(iid, name, label, tuple(instances))
+
+
+class TestExactLabelMatcher:
+    def test_groups_identical_labels(self):
+        views = [view("i1", "a", "City"), view("i2", "a", "city"),
+                 view("i3", "a", "Town")]
+        result = ExactLabelMatcher().match_views(views)
+        sizes = sorted(len(c) for c in result.clusters)
+        assert sizes == [1, 2]
+
+    def test_no_similarity_evaluations(self):
+        views = [view("i1", "a", "X"), view("i2", "a", "Y")]
+        assert ExactLabelMatcher().match_views(views).similarity_evaluations == 0
+
+    def test_whitespace_normalised(self):
+        views = [view("i1", "a", "Departure  city"),
+                 view("i2", "a", "departure city")]
+        result = ExactLabelMatcher().match_views(views)
+        assert len(result.clusters) == 1
+
+    def test_covers_all_views(self):
+        views = [view(f"i{k}", "a", label)
+                 for k, label in enumerate(["A", "B", "A", "C"])]
+        result = ExactLabelMatcher().match_views(views)
+        assert sum(len(c) for c in result.clusters) == 4
+
+
+class TestLabelOnlyMatcher:
+    def test_ignores_instances(self):
+        matcher = label_only_matcher()
+        views = [view("i1", "a", "Airline", ["Air Canada"]),
+                 view("i2", "a", "Carrier", ["Air Canada"])]
+        result = matcher.match_views(views)
+        assert len(result.clusters) == 2  # identical instances don't help
+
+    def test_label_cosine_still_merges(self):
+        matcher = label_only_matcher()
+        views = [view("i1", "a", "From city"), view("i2", "a", "To city")]
+        # shares "city": positive label similarity merges at tau=0
+        assert len(matcher.match_views(views).clusters) == 1
+
+
+class TestBaselineOrdering:
+    """On a real dataset: exact-label <= label-only <= full IceQ."""
+
+    def test_f1_ordering(self):
+        dataset = build_domain_dataset("job", n_interfaces=8, seed=5)
+        truth = dataset.ground_truth.match_pairs()
+
+        def f1(match_result):
+            return evaluate_matches(match_result.match_pairs(), truth).f1
+
+        exact = f1(ExactLabelMatcher().match(dataset.interfaces))
+        label_only = f1(label_only_matcher().match(dataset.interfaces))
+        full = f1(IceQMatcher().match(dataset.interfaces))
+        assert exact <= label_only + 1e-9
+        assert label_only <= full + 1e-9

@@ -1,0 +1,176 @@
+"""Tests for repro.matching.clustering: the constrained IceQ matcher."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.deepweb.models import Attribute, AttributeKind, QueryInterface
+from repro.matching.clustering import IceQMatcher, views_from_interfaces
+from repro.matching.similarity import AttributeView
+
+
+def view(iid, name, label, instances=()):
+    return AttributeView(iid, name, label, tuple(instances))
+
+
+@pytest.fixture()
+def matcher():
+    return IceQMatcher()
+
+
+class TestBasicClustering:
+    def test_identical_labels_cluster(self, matcher):
+        views = [view("i1", "a", "City"), view("i2", "a", "City")]
+        result = matcher.match_views(views)
+        assert len(result.clusters) == 1
+
+    def test_disjoint_labels_stay_apart(self, matcher):
+        views = [view("i1", "a", "Airline"), view("i2", "a", "Carrier")]
+        result = matcher.match_views(views)
+        assert len(result.clusters) == 2
+
+    def test_instances_bridge_disjoint_labels(self, matcher):
+        views = [
+            view("i1", "a", "Airline", ["Air Canada", "Delta Air Lines"]),
+            view("i2", "a", "Carrier", ["Air Canada", "Delta Air Lines"]),
+        ]
+        result = matcher.match_views(views)
+        assert len(result.clusters) == 1
+
+    def test_cannot_link_same_interface(self, matcher):
+        # Two attributes of one interface never co-cluster, even identical.
+        views = [view("i1", "a", "City"), view("i1", "b", "City")]
+        result = matcher.match_views(views)
+        assert len(result.clusters) == 2
+
+    def test_cannot_link_propagates_through_merges(self, matcher):
+        views = [
+            view("i1", "a", "City"),
+            view("i2", "a", "City"),
+            view("i1", "b", "City area"),  # links to the City cluster...
+        ]
+        result = matcher.match_views(views)
+        for cluster in result.clusters:
+            ids = [m.interface_id for m in cluster.members]
+            assert len(ids) == len(set(ids))
+
+    def test_threshold_blocks_weak_merges(self, matcher):
+        views = [view("i1", "a", "Departure city"),
+                 view("i2", "a", "City name")]
+        loose = matcher.match_views(views, threshold=0.0)
+        strict = matcher.match_views(views, threshold=0.5)
+        assert len(loose.clusters) == 1
+        assert len(strict.clusters) == 2
+
+    def test_empty_input(self, matcher):
+        result = matcher.match_views([])
+        assert result.clusters == []
+
+    def test_singleton_input(self, matcher):
+        result = matcher.match_views([view("i1", "a", "X")])
+        assert len(result.clusters) == 1
+
+    def test_evaluation_count(self, matcher):
+        views = [view(f"i{k}", "a", "City") for k in range(5)]
+        result = matcher.match_views(views)
+        assert result.similarity_evaluations == 10  # C(5,2)
+
+
+class TestLinkages:
+    def make_views(self):
+        return [
+            view("i1", "a", "Make", ["Honda", "Toyota"]),
+            view("i2", "a", "Make", ["Honda", "Ford"]),
+            view("i3", "a", "Brand", ["Honda", "Toyota"]),
+            view("i4", "a", "Unrelated thing"),
+        ]
+
+    def test_unknown_linkage_rejected(self):
+        with pytest.raises(ValueError):
+            IceQMatcher(linkage="median")
+
+    @pytest.mark.parametrize("linkage", ["single", "average", "complete"])
+    def test_all_linkages_produce_valid_partition(self, linkage):
+        matcher = IceQMatcher(linkage=linkage)
+        views = self.make_views()
+        result = matcher.match_views(views)
+        seen = set()
+        for cluster in result.clusters:
+            for member in cluster.members:
+                assert member.key not in seen
+                seen.add(member.key)
+        assert len(seen) == len(views)
+
+    def test_single_merges_at_least_as_much_as_complete(self):
+        views = self.make_views()
+        single = IceQMatcher(linkage="single").match_views(views, 0.1)
+        complete = IceQMatcher(linkage="complete").match_views(views, 0.1)
+        assert len(single.clusters) <= len(complete.clusters)
+
+
+class TestMatchPairs:
+    def test_pairs_from_clusters(self, matcher):
+        views = [view("i1", "a", "City"), view("i2", "a", "City"),
+                 view("i3", "a", "City")]
+        result = matcher.match_views(views)
+        assert len(result.match_pairs()) == 3  # C(3,2)
+
+    def test_no_pairs_for_singletons(self, matcher):
+        views = [view("i1", "a", "Airline"), view("i2", "a", "Carrier")]
+        assert matcher.match_views(views).match_pairs() == set()
+
+
+class TestViewsFromInterfaces:
+    def test_includes_acquired_instances(self):
+        attr = Attribute(name="from", label="From")
+        attr.acquired.extend(["Boston", "Chicago"])
+        qi = QueryInterface("i1", "airfare", "flight", [attr])
+        views = views_from_interfaces([qi])
+        assert views[0].instances == ("Boston", "Chicago")
+
+    def test_select_plus_acquired(self):
+        attr = Attribute(name="airline", label="Airline",
+                         kind=AttributeKind.SELECT, instances=("Air Canada",))
+        attr.acquired.append("Aer Lingus")
+        qi = QueryInterface("i1", "airfare", "flight", [attr])
+        views = views_from_interfaces([qi])
+        assert views[0].instances == ("Air Canada", "Aer Lingus")
+
+
+class TestPartitionProperties:
+    @settings(deadline=None, max_examples=25)
+    @given(st.lists(
+        st.tuples(st.integers(0, 4), st.sampled_from(
+            ["City", "State", "Make", "Model", "Price"])),
+        min_size=1, max_size=15))
+    def test_always_a_partition_respecting_cannot_link(self, specs):
+        views = []
+        used = set()
+        for iface, label in specs:
+            name = f"a{len(views)}"
+            key = (f"i{iface}", name)
+            if key in used:
+                continue
+            used.add(key)
+            views.append(view(f"i{iface}", name, label))
+        result = IceQMatcher().match_views(views)
+        all_members = [m.key for c in result.clusters for m in c.members]
+        assert sorted(all_members) == sorted(v.key for v in views)
+        for cluster in result.clusters:
+            ids = [m.interface_id for m in cluster.members]
+            assert len(ids) == len(set(ids))
+
+    @settings(deadline=None, max_examples=15)
+    @given(st.lists(
+        st.tuples(st.integers(0, 3), st.sampled_from(
+            ["City", "City name", "Town", "State"])),
+        min_size=2, max_size=12),
+        st.floats(0, 0.5), st.floats(0, 0.5))
+    def test_higher_threshold_never_merges_more(self, specs, t1, t2):
+        lo, hi = min(t1, t2), max(t1, t2)
+        views = []
+        for k, (iface, label) in enumerate(specs):
+            views.append(view(f"i{iface}", f"a{k}", label))
+        matcher = IceQMatcher()
+        pairs_lo = matcher.match_views(views, lo).match_pairs()
+        pairs_hi = matcher.match_views(views, hi).match_pairs()
+        assert len(pairs_hi) <= len(pairs_lo)

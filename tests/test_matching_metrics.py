@@ -1,0 +1,103 @@
+"""Tests for repro.matching.metrics and .threshold."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.matching.clustering import IceQMatcher
+from repro.matching.metrics import evaluate_matches
+from repro.matching.similarity import AttributeView
+from repro.matching.threshold import search_threshold
+
+
+def pair(a, b):
+    return frozenset((a, b))
+
+
+K1 = ("i1", "a")
+K2 = ("i2", "a")
+K3 = ("i3", "a")
+K4 = ("i4", "a")
+
+
+class TestEvaluateMatches:
+    def test_perfect(self):
+        truth = {pair(K1, K2), pair(K1, K3)}
+        m = evaluate_matches(truth, truth)
+        assert (m.precision, m.recall, m.f1) == (1.0, 1.0, 1.0)
+
+    def test_precision_penalises_extra(self):
+        truth = {pair(K1, K2)}
+        predicted = {pair(K1, K2), pair(K3, K4)}
+        m = evaluate_matches(predicted, truth)
+        assert m.precision == pytest.approx(0.5)
+        assert m.recall == 1.0
+        assert m.f1 == pytest.approx(2 / 3)
+
+    def test_recall_penalises_missing(self):
+        truth = {pair(K1, K2), pair(K3, K4)}
+        predicted = {pair(K1, K2)}
+        m = evaluate_matches(predicted, truth)
+        assert m.recall == pytest.approx(0.5)
+        assert m.precision == 1.0
+
+    def test_empty_prediction(self):
+        m = evaluate_matches(set(), {pair(K1, K2)})
+        assert m.precision == 1.0
+        assert m.recall == 0.0
+        assert m.f1 == 0.0
+
+    def test_empty_truth(self):
+        m = evaluate_matches({pair(K1, K2)}, set())
+        assert m.recall == 1.0
+        assert m.precision == 0.0
+
+    def test_both_empty(self):
+        m = evaluate_matches(set(), set())
+        assert m.f1 == 1.0
+
+    def test_counts_reported(self):
+        truth = {pair(K1, K2), pair(K3, K4)}
+        predicted = {pair(K1, K2), pair(K1, K3)}
+        m = evaluate_matches(predicted, truth)
+        assert (m.n_predicted, m.n_truth, m.n_correct) == (2, 2, 1)
+
+    @given(st.sets(st.frozensets(
+        st.tuples(st.sampled_from("abcd"), st.just("x")),
+        min_size=2, max_size=2), max_size=6),
+        st.sets(st.frozensets(
+            st.tuples(st.sampled_from("abcd"), st.just("x")),
+            min_size=2, max_size=2), max_size=6))
+    def test_f1_bounded(self, predicted, truth):
+        m = evaluate_matches(predicted, truth)
+        assert 0.0 <= m.f1 <= 1.0
+        assert 0.0 <= m.precision <= 1.0
+        assert 0.0 <= m.recall <= 1.0
+
+
+class TestSearchThreshold:
+    def test_finds_separating_threshold(self):
+        views = [
+            AttributeView("i1", "a", "City", ()),
+            AttributeView("i2", "a", "City", ()),
+            AttributeView("i1", "b", "City state", ()),   # confusable
+            AttributeView("i3", "b", "City state", ()),
+        ]
+        truth = {pair(("i1", "a"), ("i2", "a")),
+                 pair(("i1", "b"), ("i3", "b"))}
+        matcher = IceQMatcher()
+        tau, f1 = search_threshold(matcher, views, truth)
+        assert 0.0 <= tau <= 0.5
+        assert f1 > 0.5
+
+    def test_empty_grid_rejected(self):
+        with pytest.raises(ValueError):
+            search_threshold(IceQMatcher(), [], set(), grid=())
+
+    def test_tie_breaks_to_smallest(self):
+        views = [AttributeView("i1", "a", "City", ()),
+                 AttributeView("i2", "a", "City", ())]
+        truth = {pair(("i1", "a"), ("i2", "a"))}
+        tau, f1 = search_threshold(IceQMatcher(), views, truth,
+                                   grid=(0.0, 0.1, 0.2))
+        assert tau == 0.0
+        assert f1 == 1.0

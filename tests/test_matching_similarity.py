@@ -1,0 +1,160 @@
+"""Tests for repro.matching.similarity: LabelSim / DomSim / Sim."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.matching.similarity import (
+    AttributeView,
+    SimilarityConfig,
+    attribute_similarity,
+    domain_similarity,
+    label_similarity,
+    normalize_label_words,
+    value_similarity,
+    values_similar,
+)
+
+
+class TestNormalizeLabelWords:
+    def test_lowercase_and_singularize(self):
+        assert normalize_label_words("Departure Cities") == ["departure", "city"]
+
+    def test_prepositions_kept(self):
+        # "from" and "to" carry the meaning of airfare labels
+        assert normalize_label_words("From") == ["from"]
+        assert "of" in normalize_label_words("Class of service")
+
+    def test_pure_function_words_dropped(self):
+        assert normalize_label_words("Please enter the city") == ["city"]
+
+
+class TestLabelSimilarity:
+    def test_identical(self):
+        assert label_similarity("Airline", "airline") == pytest.approx(1.0)
+
+    def test_disjoint(self):
+        # the paper's hard case: no common word at all
+        assert label_similarity("Airline", "Carrier") == 0.0
+
+    def test_partial_overlap(self):
+        # cos( {from, city}, {departure, city} ) = 1/2
+        assert label_similarity("From city", "Departure city") == pytest.approx(0.5)
+
+    def test_plural_matches_singular(self):
+        assert label_similarity("Keyword", "Keywords") == pytest.approx(1.0)
+
+    def test_empty_label(self):
+        assert label_similarity("", "city") == 0.0
+
+    @given(st.sampled_from(["From", "Departure city", "Airline", "Make",
+                            "Price range", "Number of passengers"]),
+           st.sampled_from(["To", "Carrier", "Model", "Zip code",
+                            "Departure date", "Class of service"]))
+    def test_symmetric_and_bounded(self, a, b):
+        assert label_similarity(a, b) == pytest.approx(label_similarity(b, a))
+        assert 0.0 <= label_similarity(a, b) <= 1.0
+
+
+class TestValuesSimilar:
+    def test_case_insensitive_equality(self):
+        assert values_similar("Air Canada", "air canada")
+
+    def test_word_jaccard(self):
+        assert values_similar("United Airlines", "United")
+        assert not values_similar("Delta Air Lines", "Aer Lingus")
+
+    def test_empty(self):
+        assert not values_similar("", "x")
+
+
+class TestValueSimilarity:
+    def test_containment(self):
+        a = ["Honda", "Toyota", "Ford"]
+        b = ["honda", "toyota", "BMW", "Audi", "Kia", "Volvo"]
+        assert value_similarity(a, b) == pytest.approx(2 / 3)
+
+    def test_disjoint(self):
+        assert value_similarity(["a"], ["b"]) == 0.0
+
+    def test_empty_sets(self):
+        assert value_similarity([], ["a"]) == 0.0
+        assert value_similarity(["a"], []) == 0.0
+
+    @given(st.lists(st.sampled_from("abcdef"), min_size=1, max_size=6),
+           st.lists(st.sampled_from("abcdef"), min_size=1, max_size=6))
+    def test_bounded_and_symmetric(self, a, b):
+        s = value_similarity(a, b)
+        assert 0.0 <= s <= 1.0
+        assert s == pytest.approx(value_similarity(b, a))
+
+
+class TestDomainSimilarity:
+    def test_no_instances_means_zero(self):
+        # the root cause of the paper's problem
+        assert domain_similarity([], ["Honda"]) == 0.0
+        assert domain_similarity(["Honda"], []) == 0.0
+
+    def test_same_string_type_overlap(self):
+        a = ["Honda", "Toyota"]
+        b = ["Honda", "Toyota", "Ford"]
+        assert domain_similarity(a, b) == pytest.approx(1.0)
+
+    def test_string_vs_numeric_is_zero(self):
+        assert domain_similarity(["Honda", "Ford"], ["1994", "1995"]) == 0.0
+
+    def test_numeric_range_overlap(self):
+        a = ["1", "10"]
+        b = ["5", "15"]
+        # overlap [5,10] = 5 over union span [1,15] = 14
+        assert domain_similarity(a, b) == pytest.approx(5 / 14)
+
+    def test_numeric_family_discount(self):
+        config = SimilarityConfig(numeric_family_factor=0.5)
+        prices = ["$5", "$10"]
+        numbers = ["5", "10"]
+        full = domain_similarity(numbers, numbers, config)
+        cross = domain_similarity(prices, numbers, config)
+        assert cross == pytest.approx(full * 0.5)
+
+    def test_identical_point_ranges(self):
+        assert domain_similarity(["5"], ["5"]) == pytest.approx(1.0)
+
+    def test_disjoint_ranges(self):
+        assert domain_similarity(["1", "2"], ["100", "200"]) == 0.0
+
+
+class TestAttributeSimilarity:
+    def make(self, label, instances, iid="i1", name="a"):
+        return AttributeView(iid, name, label, tuple(instances))
+
+    def test_weighted_combination(self):
+        a = self.make("Airline", ["Air Canada"])
+        b = self.make("Airline", ["Air Canada"], iid="i2")
+        assert attribute_similarity(a, b) == pytest.approx(0.6 + 0.4)
+
+    def test_label_only_when_no_instances(self):
+        a = self.make("From city", [])
+        b = self.make("Departure city", [], iid="i2")
+        assert attribute_similarity(a, b) == pytest.approx(0.6 * 0.5)
+
+    def test_paper_motivating_failure(self):
+        """Without instances, 'Departure city' is as close to 'From city'
+        (match) as to 'Departure date' (non-match) — the ambiguity WebIQ
+        resolves."""
+        b1 = self.make("Departure city", [], iid="i2")
+        a1 = self.make("From city", [])
+        a2 = self.make("Departure date", [], name="b")
+        assert attribute_similarity(b1, a1) == pytest.approx(
+            attribute_similarity(b1, a2))
+
+    def test_instances_break_the_tie(self):
+        b1 = self.make("Departure city", ["Boston", "Chicago"], iid="i2")
+        a1 = self.make("From city", ["Boston", "Chicago"])
+        a2 = self.make("Departure date", ["Jan 15", "Feb 1"], name="b")
+        assert attribute_similarity(b1, a1) > attribute_similarity(b1, a2)
+
+    def test_custom_weights(self):
+        config = SimilarityConfig(alpha=1.0, beta=0.0)
+        a = self.make("X", ["v"])
+        b = self.make("Y", ["v"], iid="i2")
+        assert attribute_similarity(a, b, config) == 0.0

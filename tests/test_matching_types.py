@@ -1,0 +1,65 @@
+"""Tests for repro.matching.types: domain-type inference."""
+
+import pytest
+
+from repro.matching.types import DomainType, infer_type, value_type
+
+
+class TestValueType:
+    @pytest.mark.parametrize("value,expected", [
+        ("$15,200", DomainType.MONETARY),
+        ("$9.99", DomainType.MONETARY),
+        ("1994", DomainType.INTEGER),
+        ("1,200", DomainType.INTEGER),
+        ("3.5", DomainType.REAL),
+        ("January", DomainType.DATE),
+        ("Jan 15", DomainType.DATE),
+        ("12/25", DomainType.DATE),
+        ("12/25/2005", DomainType.DATE),
+        ("Honda", DomainType.STRING),
+        ("Air Canada", DomainType.STRING),
+        ("", DomainType.STRING),
+    ])
+    def test_recognition(self, value, expected):
+        assert value_type(value) is expected
+
+    def test_month_with_trailing_word_is_string(self):
+        assert value_type("May flowers") is DomainType.STRING
+
+    def test_is_numeric_property(self):
+        assert DomainType.MONETARY.is_numeric
+        assert DomainType.INTEGER.is_numeric
+        assert DomainType.REAL.is_numeric
+        assert not DomainType.DATE.is_numeric
+        assert not DomainType.STRING.is_numeric
+
+
+class TestInferType:
+    def test_homogeneous_integers(self):
+        assert infer_type(["1994", "1995", "1996"]) is DomainType.INTEGER
+
+    def test_monetary_majority(self):
+        values = ["$5,000", "$10,000", "$15,000", "$20,000", "oddball"]
+        assert infer_type(values) is DomainType.MONETARY
+
+    def test_integer_real_mix_is_numeric(self):
+        values = ["1", "2.5", "3", "4.5"]
+        assert infer_type(values).is_numeric
+
+    def test_heterogeneous_degrades_to_string(self):
+        values = ["Honda", "1994", "January", "$5"]
+        assert infer_type(values) is DomainType.STRING
+
+    def test_date_domain(self):
+        assert infer_type(["January", "Feb 15", "March"]) is DomainType.DATE
+
+    def test_empty_values_ignored(self):
+        assert infer_type(["", "  ", "Honda", "Toyota"]) is DomainType.STRING
+
+    def test_empty_set_is_string(self):
+        assert infer_type([]) is DomainType.STRING
+
+    def test_majority_parameter(self):
+        values = ["1", "2", "x", "y"]
+        assert infer_type(values, majority=0.4) is DomainType.INTEGER
+        assert infer_type(values, majority=0.8) is DomainType.STRING

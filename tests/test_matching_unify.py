@@ -1,0 +1,119 @@
+"""Tests for unified-interface construction."""
+
+import pytest
+
+from repro import WebIQConfig, WebIQMatcher, build_domain_dataset
+from repro.deepweb.models import AttributeKind
+from repro.matching.clustering import Cluster, MatchResult
+from repro.matching.similarity import AttributeView
+from repro.matching.unify import build_unified_interface
+
+
+def view(iid, name, label, instances=()):
+    return AttributeView(iid, name, label, tuple(instances))
+
+
+def result_of(clusters):
+    return MatchResult([Cluster(c) for c in clusters], 0.0, 0)
+
+
+class TestBuildUnifiedInterface:
+    def test_majority_label_wins(self):
+        clusters = [[
+            view("i1", "a", "From"), view("i2", "a", "From"),
+            view("i3", "a", "Departure city"),
+        ]]
+        interface, provenance = build_unified_interface(result_of(clusters))
+        assert interface.attributes[0].label == "From"
+        assert provenance[0].label_votes == {"From": 2, "Departure city": 1}
+
+    def test_label_tie_breaks_to_shortest(self):
+        clusters = [[view("i1", "a", "Departure city"), view("i2", "a", "From")]]
+        interface, _ = build_unified_interface(result_of(clusters))
+        assert interface.attributes[0].label == "From"
+
+    def test_instances_unioned_by_consensus(self):
+        clusters = [[
+            view("i1", "a", "Class", ["Economy", "Business"]),
+            view("i2", "a", "Class", ["Economy", "First Class"]),
+        ]]
+        interface, _ = build_unified_interface(result_of(clusters))
+        attr = interface.attributes[0]
+        assert attr.kind is AttributeKind.SELECT
+        assert attr.instances[0] == "Economy"  # carried by both members
+        assert set(attr.instances) == {"Economy", "Business", "First Class"}
+
+    def test_case_insensitive_value_merge_keeps_first_spelling(self):
+        clusters = [[
+            view("i1", "a", "Make", ["Honda"]),
+            view("i2", "a", "Make", ["honda", "Ford"]),
+        ]]
+        interface, _ = build_unified_interface(result_of(clusters))
+        assert "Honda" in interface.attributes[0].instances
+        assert "honda" not in interface.attributes[0].instances
+
+    def test_min_coverage_drops_singletons(self):
+        clusters = [
+            [view("i1", "a", "From"), view("i2", "a", "From")],
+            [view("i3", "b", "Weird site-specific field")],
+        ]
+        interface, _ = build_unified_interface(result_of(clusters),
+                                               min_coverage=2)
+        assert [a.label for a in interface.attributes] == ["From"]
+
+    def test_ordering_by_coverage(self):
+        clusters = [
+            [view("i1", "a", "Rare"), view("i2", "a", "Rare")],
+            [view(f"i{k}", "b", "Common") for k in range(5)],
+        ]
+        interface, _ = build_unified_interface(result_of(clusters))
+        assert [a.label for a in interface.attributes] == ["Common", "Rare"]
+
+    def test_text_attribute_without_instances(self):
+        clusters = [[view("i1", "a", "From"), view("i2", "a", "From")]]
+        interface, _ = build_unified_interface(result_of(clusters))
+        assert interface.attributes[0].kind is AttributeKind.TEXT
+
+    def test_max_instances_cap(self):
+        values = [f"v{i}" for i in range(40)]
+        clusters = [[view("i1", "a", "X", values), view("i2", "a", "X", values)]]
+        interface, _ = build_unified_interface(result_of(clusters),
+                                               max_instances=10)
+        assert len(interface.attributes[0].instances) == 10
+
+    def test_duplicate_unified_names_disambiguated(self):
+        clusters = [
+            [view("i1", "a", "City"), view("i2", "a", "City")],
+            [view("i3", "b", "city"), view("i4", "b", "city")],
+        ]
+        interface, _ = build_unified_interface(result_of(clusters))
+        names = interface.attribute_names
+        assert len(names) == len(set(names))
+
+    def test_invalid_min_coverage(self):
+        with pytest.raises(ValueError):
+            build_unified_interface(result_of([]), min_coverage=0)
+
+    def test_provenance_members(self):
+        clusters = [[view("i1", "a", "From"), view("i2", "a", "From")]]
+        _, provenance = build_unified_interface(result_of(clusters))
+        assert provenance[0].members == (("i1", "a"), ("i2", "a"))
+
+
+class TestEndToEndUnification:
+    def test_unified_airfare_interface(self):
+        dataset = build_domain_dataset("airfare", n_interfaces=8, seed=7)
+        run = WebIQMatcher(WebIQConfig()).run(dataset)
+        interface, provenance = build_unified_interface(
+            run.match_result, interface_id="unified-airfare",
+            domain="airfare", object_name="flight", min_coverage=4,
+        )
+        labels = [a.label for a in interface.attributes]
+        # the unified interface surfaces the domain's core fields
+        assert len(labels) >= 5
+        assert provenance[0].coverage >= provenance[-1].coverage
+        # the origin/destination concepts made it onto the uniform interface
+        origin_ish = {"From", "To", "Departure city", "Origin", "Destination",
+                      "Leaving from", "Going to", "From city", "To city",
+                      "Arrival city", "Depart from", "Arrive at"}
+        assert origin_ish & set(labels)

@@ -1,0 +1,50 @@
+"""Robustness: the headline result must hold across seeds and domains.
+
+The benchmarks pin seed 1; these tests sweep other seeds on mid-sized
+datasets, asserting the paper's qualitative claims are not a seed artifact.
+"""
+
+import pytest
+
+from repro import DOMAINS, WebIQConfig, WebIQMatcher, build_domain_dataset
+
+BASELINE = WebIQConfig(enable_surface=False, enable_attr_deep=False,
+                       enable_attr_surface=False)
+
+
+@pytest.mark.parametrize("seed", [2, 3, 4])
+def test_webiq_never_materially_hurts_airfare(seed):
+    dataset = build_domain_dataset("airfare", n_interfaces=10, seed=seed)
+    baseline = WebIQMatcher(BASELINE).run(dataset)
+    webiq = WebIQMatcher(WebIQConfig()).run(dataset)
+    assert webiq.metrics.f1 >= baseline.metrics.f1 - 0.02
+
+
+@pytest.mark.parametrize("domain", DOMAINS)
+def test_webiq_improves_on_average_across_seeds(domain):
+    gains = []
+    for seed in (2, 3):
+        dataset = build_domain_dataset(domain, n_interfaces=10, seed=seed)
+        baseline = WebIQMatcher(BASELINE).run(dataset)
+        webiq = WebIQMatcher(WebIQConfig()).run(dataset)
+        gains.append(webiq.metrics.f1 - baseline.metrics.f1)
+    assert sum(gains) / len(gains) >= -0.01
+
+
+@pytest.mark.parametrize("seed", [2, 5])
+def test_acquisition_rates_stable(seed):
+    dataset = build_domain_dataset("book", n_interfaces=10, seed=seed)
+    result = WebIQMatcher(WebIQConfig()).run(dataset)
+    report = result.acquisition
+    # book: Surface-dominant acquisition, Deep adds little — at any seed
+    assert report.surface_success_rate >= 50.0
+    assert report.final_success_rate - report.surface_success_rate <= 20.0
+
+
+def test_interface_count_scaling():
+    """More interfaces give the matcher more signal, not less."""
+    f1s = {}
+    for n in (6, 14):
+        dataset = build_domain_dataset("auto", n_interfaces=n, seed=3)
+        f1s[n] = WebIQMatcher(WebIQConfig()).run(dataset).metrics.f1
+    assert f1s[14] >= f1s[6] - 0.05

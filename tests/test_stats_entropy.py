@@ -1,0 +1,103 @@
+"""Tests for repro.stats.entropy: information-gain thresholds (§3.2)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.stats.entropy import (
+    best_threshold,
+    binary_entropy,
+    entropy,
+    information_gain,
+)
+
+
+class TestBinaryEntropy:
+    def test_maximum_at_half(self):
+        assert binary_entropy(0.5) == pytest.approx(1.0)
+
+    def test_zero_at_extremes(self):
+        assert binary_entropy(0.0) == 0.0
+        assert binary_entropy(1.0) == 0.0
+
+    def test_symmetry(self):
+        assert binary_entropy(0.3) == pytest.approx(binary_entropy(0.7))
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            binary_entropy(1.5)
+
+    @given(st.floats(0.0, 1.0))
+    def test_bounded(self, p):
+        assert 0.0 <= binary_entropy(p) <= 1.0
+
+
+class TestEntropy:
+    def test_pure_set_zero(self):
+        assert entropy([True, True, True]) == 0.0
+
+    def test_balanced_set_one(self):
+        assert entropy([True, False]) == pytest.approx(1.0)
+
+    def test_empty_zero(self):
+        assert entropy([]) == 0.0
+
+
+class TestInformationGain:
+    def test_perfect_split(self):
+        examples = [(0.1, False), (0.2, False), (0.8, True), (0.9, True)]
+        assert information_gain(examples, 0.5) == pytest.approx(1.0)
+
+    def test_useless_split(self):
+        examples = [(0.1, False), (0.2, True), (0.8, False), (0.9, True)]
+        # Threshold below everything: no split, no gain.
+        assert information_gain(examples, 0.0) == pytest.approx(0.0)
+
+    def test_empty(self):
+        assert information_gain([], 0.5) == 0.0
+
+    @given(st.lists(st.tuples(st.floats(0, 1), st.booleans()), min_size=1,
+                    max_size=30),
+           st.floats(0, 1))
+    def test_gain_bounded(self, examples, threshold):
+        gain = information_gain(examples, threshold)
+        assert -1e-9 <= gain <= 1.0 + 1e-9
+
+
+class TestBestThreshold:
+    def test_paper_figure_5f(self):
+        # T1 column m1: (.2,-) (.4,-) (.5,+) (.8,+) -> t1 = .45
+        examples = [(0.2, False), (0.4, False), (0.5, True), (0.8, True)]
+        assert best_threshold(examples) == pytest.approx(0.45)
+
+    def test_paper_figure_5f_second_feature(self):
+        # m2: (.03,-) (.05,-) (.1,+) (.3,+) -> t2 = .075
+        examples = [(0.03, False), (0.05, False), (0.1, True), (0.3, True)]
+        assert best_threshold(examples) == pytest.approx(0.075)
+
+    def test_single_score(self):
+        assert best_threshold([(0.5, True)]) == 0.5
+
+    def test_empty(self):
+        assert best_threshold([]) == 0.0
+
+    def test_all_equal_scores(self):
+        assert best_threshold([(0.3, True), (0.3, False)]) == 0.3
+
+    def test_ties_prefer_lowest_cut(self):
+        # Both mid cuts give equal gain; the lower one is returned.
+        examples = [(0.0, False), (0.5, True), (1.0, True)]
+        t = best_threshold(examples)
+        assert t == pytest.approx(0.25)
+
+    @given(st.lists(st.tuples(st.floats(0, 1), st.booleans()), min_size=2,
+                    max_size=30))
+    def test_threshold_is_achievable_split(self, examples):
+        t = best_threshold(examples)
+        scores = [s for s, _ in examples]
+        assert min(scores) <= t <= max(scores)
+
+    def test_separable_data_separates(self):
+        examples = [(s / 10, s >= 5) for s in range(10)]
+        t = best_threshold(examples)
+        for score, label in examples:
+            assert (score >= t) == label

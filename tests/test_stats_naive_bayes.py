@@ -1,0 +1,111 @@
+"""Tests for repro.stats.naive_bayes (paper §3.1, Figure 5)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.stats.naive_bayes import BinaryNaiveBayes
+from repro.util.errors import ValidationError
+
+
+def paper_t2_model():
+    """The trained model of paper Figure 5.g/5.h.
+
+    T2': Delta (1,1,+), United (1,1,+), Jan (0,0,-), 1 (0,1,-).
+    """
+    nb = BinaryNaiveBayes()
+    nb.fit([
+        ((1, 1), True),
+        ((1, 1), True),
+        ((0, 0), False),
+        ((0, 1), False),
+    ])
+    return nb
+
+
+class TestPaperFigure5:
+    def test_smoothed_conditionals_match_figure_5h(self):
+        nb = paper_t2_model()
+        # P(f1=1|+) = (2+1)/(2+2) = 3/4
+        assert nb.conditional(0, 1, True) == pytest.approx(3 / 4)
+        assert nb.conditional(0, 0, True) == pytest.approx(1 / 4)
+        assert nb.conditional(0, 1, False) == pytest.approx(1 / 4)
+        assert nb.conditional(0, 0, False) == pytest.approx(3 / 4)
+        assert nb.conditional(1, 1, True) == pytest.approx(3 / 4)
+        assert nb.conditional(1, 1, False) == pytest.approx(2 / 4)
+
+    def test_positive_vector_predicted_positive(self):
+        assert paper_t2_model().predict((1, 1)) is True
+
+    def test_negative_vector_predicted_negative(self):
+        assert paper_t2_model().predict((0, 0)) is False
+
+
+class TestFit:
+    def test_empty_training_set_rejected(self):
+        with pytest.raises(ValidationError):
+            BinaryNaiveBayes().fit([])
+
+    def test_empty_feature_vector_rejected(self):
+        with pytest.raises(ValidationError):
+            BinaryNaiveBayes().fit([((), True)])
+
+    def test_inconsistent_lengths_rejected(self):
+        with pytest.raises(ValidationError):
+            BinaryNaiveBayes().fit([((1,), True), ((1, 0), False)])
+
+    def test_non_boolean_features_rejected(self):
+        with pytest.raises(ValidationError):
+            BinaryNaiveBayes().fit([((2,), True)])
+
+    def test_single_class_still_trains(self):
+        nb = BinaryNaiveBayes()
+        nb.fit([((1,), True), ((1,), True)])
+        # Smoothed prior keeps both classes possible.
+        assert 0.0 < nb.prior_positive < 1.0
+
+
+class TestPredict:
+    def test_untrained_rejects(self):
+        with pytest.raises(ValidationError):
+            BinaryNaiveBayes().predict((1,))
+
+    def test_wrong_arity_rejected(self):
+        nb = paper_t2_model()
+        with pytest.raises(ValidationError):
+            nb.predict((1,))
+
+    def test_non_boolean_rejected(self):
+        nb = paper_t2_model()
+        with pytest.raises(ValidationError):
+            nb.predict((1, 3))
+
+    @given(st.lists(
+        st.tuples(st.tuples(st.integers(0, 1), st.integers(0, 1)),
+                  st.booleans()),
+        min_size=1, max_size=40))
+    def test_posterior_is_probability(self, examples):
+        nb = BinaryNaiveBayes()
+        nb.fit(examples)
+        for vector in ((0, 0), (0, 1), (1, 0), (1, 1)):
+            p = nb.posterior_positive(vector)
+            assert 0.0 <= p <= 1.0
+
+    @given(st.lists(
+        st.tuples(st.tuples(st.integers(0, 1),), st.booleans()),
+        min_size=1, max_size=40))
+    def test_posteriors_complement(self, examples):
+        """P(+|x) computed directly equals 1 - P(+|x) under label flip."""
+        nb = BinaryNaiveBayes()
+        nb.fit(examples)
+        flipped = BinaryNaiveBayes()
+        flipped.fit([(v, not label) for v, label in examples])
+        for vector in ((0,), (1,)):
+            assert nb.posterior_positive(vector) == pytest.approx(
+                1.0 - flipped.posterior_positive(vector)
+            )
+
+    def test_informative_feature_dominates(self):
+        nb = BinaryNaiveBayes()
+        nb.fit([((1, 0), True)] * 5 + [((0, 0), False)] * 5)
+        assert nb.posterior_positive((1, 0)) > 0.8
+        assert nb.posterior_positive((0, 0)) < 0.2

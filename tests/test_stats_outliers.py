@@ -1,0 +1,121 @@
+"""Tests for repro.stats.outliers: discordancy tests (§2.2)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.stats.outliers import (
+    DiscordancyResult,
+    discordancy_outliers,
+    numeric_test_statistics,
+    parse_numeric,
+    string_test_statistics,
+)
+
+
+class TestParseNumeric:
+    @pytest.mark.parametrize("text,value", [
+        ("$15,200", 15200.0),
+        ("15,200", 15200.0),
+        ("1994", 1994.0),
+        ("3.5", 3.5),
+        ("$9.99", 9.99),
+        ("  42 ", 42.0),
+    ])
+    def test_parses(self, text, value):
+        assert parse_numeric(text) == value
+
+    @pytest.mark.parametrize("text", ["Honda", "", "Jan 15", "$", "1-2"])
+    def test_rejects_non_numeric(self, text):
+        with pytest.raises(ValueError):
+            parse_numeric(text)
+
+
+class TestStringStatistics:
+    def test_paper_examples_shape(self):
+        # words, capitals, length, numeric %
+        assert string_test_statistics("Air Canada") == (2.0, 2.0, 10.0, 0.0)
+
+    def test_numeric_fraction(self):
+        stats = string_test_statistics("0387513628")
+        assert stats[3] == 1.0
+
+    def test_empty_string(self):
+        assert string_test_statistics("") == (0.0, 0.0, 0.0, 0.0)
+
+
+class TestNumericStatistics:
+    def test_value_is_the_statistic(self):
+        assert numeric_test_statistics("$10,000") == (10000.0,)
+
+
+class TestDiscordancy:
+    def test_numeric_outlier_removed(self):
+        # "it is unusual for the price of a book to be $10,000". Note the
+        # 3-sigma rule needs n >= 11 to be able to flag anything at all
+        # (the max z-score in a sample of n is (n-1)/sqrt(n)).
+        prices = ["$10", "$12", "$15", "$14", "$11", "$13", "$16", "$12",
+                  "$10", "$18", "$15", "$13", "$11", "$14", "$10,000"]
+        result = discordancy_outliers(prices, numeric=True)
+        assert "$10,000" in result.outliers
+        assert "$10" in result.inliers
+
+    def test_long_string_outlier_removed(self):
+        # "unusual for the make of a vehicle to have over 20 characters"
+        makes = ["Honda", "Toyota", "Ford", "Mazda", "Kia", "Audi",
+                 "BMW", "Volvo", "Saab", "Jeep", "Dodge", "Buick",
+                 "Lexus", "Acura",
+                 "an extremely long nonsense candidate string of words"]
+        result = discordancy_outliers(makes, numeric=False)
+        assert makes[-1] in result.outliers
+
+    def test_word_count_outlier(self):
+        names = ["Mark Twain", "Jane Austen", "Leo Tolstoy", "Dan Brown",
+                 "Anne Rice", "John Updike", "Saul Bellow", "Harper Lee",
+                 "Tom Clancy", "John Grisham", "Umberto Eco", "Philip Roth",
+                 "Stephen King", "George Orwell",
+                 "one two three four five six seven eight nine ten"]
+        result = discordancy_outliers(names, numeric=False)
+        assert names[-1] in result.outliers
+
+    def test_uniform_set_has_no_outliers(self):
+        values = ["Honda", "Toyota", "Mazda", "Volvo"]
+        result = discordancy_outliers(values, numeric=False)
+        assert result.outliers == ()
+
+    def test_small_sets_are_vacuous(self):
+        assert discordancy_outliers(["a", "zzzzzzzzzz"], numeric=False).outliers == ()
+        assert discordancy_outliers(["x"], numeric=False).inliers == ("x",)
+        assert discordancy_outliers([], numeric=False).inliers == ()
+
+    def test_sigma_controls_strictness(self):
+        values = ["1", "2", "3", "4", "5", "6", "7", "8", "9", "30"]
+        loose = discordancy_outliers(values, numeric=True, sigma=5.0)
+        strict = discordancy_outliers(values, numeric=True, sigma=2.0)
+        assert len(strict.outliers) >= len(loose.outliers)
+
+    def test_statistics_reported(self):
+        result = discordancy_outliers(["1", "2", "3"], numeric=True)
+        assert "value" in result.statistics
+        mean, std = result.statistics["value"]
+        assert mean == pytest.approx(2.0)
+
+    def test_inliers_preserve_order(self):
+        values = ["Honda", "Toyota", "Ford", "Mazda"]
+        result = discordancy_outliers(values, numeric=False)
+        assert list(result.inliers) == values
+
+    @given(st.lists(st.integers(min_value=0, max_value=100), min_size=3,
+                    max_size=30))
+    def test_partition_is_complete(self, numbers):
+        values = [str(n) for n in numbers]
+        result = discordancy_outliers(values, numeric=True)
+        assert sorted(result.inliers + result.outliers) == sorted(values)
+
+    @given(st.lists(st.integers(min_value=0, max_value=100), min_size=3,
+                    max_size=30))
+    def test_never_removes_everything(self, numbers):
+        values = [str(n) for n in numbers]
+        result = discordancy_outliers(values, numeric=True)
+        # The mean always has deviation < 3 sigma of itself; at least the
+        # central mass survives.
+        assert result.inliers

@@ -1,0 +1,60 @@
+"""Tests for repro.stats.pmi."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.stats.pmi import mean_pmi, pmi
+
+
+class TestPmi:
+    def test_formula(self):
+        # PMI(V, x) = NumHits(V+x) / (NumHits(V) * NumHits(x))
+        assert pmi(10, 100, 50) == pytest.approx(10 / 5000)
+
+    def test_zero_joint(self):
+        assert pmi(0, 100, 50) == 0.0
+
+    def test_zero_marginal_yields_zero(self):
+        assert pmi(0, 0, 50) == 0.0
+        assert pmi(0, 50, 0) == 0.0
+
+    def test_negative_counts_rejected(self):
+        with pytest.raises(ValueError):
+            pmi(-1, 10, 10)
+        with pytest.raises(ValueError):
+            pmi(1, -10, 10)
+
+    @given(st.integers(0, 1000), st.integers(1, 1000), st.integers(1, 1000))
+    def test_non_negative(self, joint, v, x):
+        assert pmi(joint, v, x) >= 0.0
+
+    @given(st.integers(1, 100), st.integers(1, 1000), st.integers(1, 1000))
+    def test_monotone_in_joint(self, joint, v, x):
+        assert pmi(joint + 1, v, x) > pmi(joint, v, x)
+
+    @given(st.integers(0, 100), st.integers(1, 999), st.integers(1, 1000))
+    def test_antitone_in_marginals(self, joint, v, x):
+        assert pmi(joint, v + 1, x) <= pmi(joint, v, x)
+
+    def test_popularity_bias_removed(self):
+        # A candidate twice as popular with twice the joint scores the same:
+        # that is the point of normalising by NumHits(x).
+        assert pmi(4, 100, 20) == pytest.approx(pmi(8, 100, 40))
+
+
+class TestMeanPmi:
+    def test_average(self):
+        assert mean_pmi([0.2, 0.4]) == pytest.approx(0.3)
+
+    def test_empty_is_zero(self):
+        assert mean_pmi([]) == 0.0
+
+    def test_single(self):
+        assert mean_pmi([0.7]) == pytest.approx(0.7)
+
+    @given(st.lists(st.floats(0, 1), min_size=1, max_size=10))
+    def test_bounded_by_extremes(self, scores):
+        value = mean_pmi(scores)
+        assert min(scores) <= value <= max(scores) or value == pytest.approx(
+            min(scores)
+        )

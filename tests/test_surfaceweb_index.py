@@ -1,0 +1,125 @@
+"""Tests for repro.surfaceweb.index: the positional inverted index."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.surfaceweb.document import Document
+from repro.surfaceweb.index import InvertedIndex
+
+
+def build_index(*texts):
+    index = InvertedIndex()
+    for i, text in enumerate(texts):
+        index.add(Document(i, f"http://x/{i}", "t", text))
+    return index
+
+
+class TestBuild:
+    def test_counts(self):
+        index = build_index("one two", "two three")
+        assert index.n_documents == 2
+        assert index.vocabulary_size == 3
+
+    def test_duplicate_doc_id_rejected(self):
+        index = InvertedIndex()
+        doc = Document(1, "u", "t", "x")
+        index.add(doc)
+        with pytest.raises(ValueError):
+            index.add(Document(1, "u2", "t", "y"))
+
+    def test_document_lookup(self):
+        index = build_index("hello world")
+        assert index.document(0).text == "hello world"
+
+
+class TestTermQueries:
+    def test_documents_with_term(self):
+        index = build_index("boston chicago", "chicago miami", "denver")
+        assert index.documents_with_term("chicago") == {0, 1}
+        assert index.documents_with_term("denver") == {2}
+        assert index.documents_with_term("tokyo") == set()
+
+    def test_case_insensitive(self):
+        index = build_index("Boston rocks")
+        assert index.documents_with_term("BOSTON") == {0}
+
+    def test_term_frequency(self):
+        index = build_index("a b a", "a c")
+        assert index.term_frequency("a") == 3
+
+
+class TestPhraseQueries:
+    def test_phrase_positions(self):
+        index = build_index("cities such as boston such as chicago")
+        assert index.phrase_positions(["such", "as"], 0) == [1, 4]
+
+    def test_phrase_across_punctuation_matches(self):
+        # punctuation is not part of the word stream
+        index = build_index("Make: Honda, Model: Accord")
+        assert index.documents_with_phrase(["make", "honda"]) == {0}
+
+    def test_phrase_not_matching_reordered(self):
+        index = build_index("honda make")
+        assert index.documents_with_phrase(["make", "honda"]) == set()
+
+    def test_single_word_phrase(self):
+        index = build_index("alpha beta")
+        assert index.documents_with_phrase(["beta"]) == {0}
+
+    def test_empty_phrase(self):
+        index = build_index("alpha")
+        assert index.documents_with_phrase([]) == set()
+
+    def test_phrase_missing_word(self):
+        index = build_index("alpha beta")
+        assert index.documents_with_phrase(["alpha", "gamma"]) == set()
+
+
+class TestCooccurrence:
+    def test_adjacent(self):
+        index = build_index("make honda is great")
+        assert index.cooccurrence_docs(["make"], ["honda"], window=0) == {0}
+
+    def test_within_window(self):
+        index = build_index("make of the car honda")
+        assert index.cooccurrence_docs(["make"], ["honda"], window=3) == {0}
+        assert index.cooccurrence_docs(["make"], ["honda"], window=2) == set()
+
+    def test_order_insensitive(self):
+        index = build_index("honda is a make")
+        assert index.cooccurrence_docs(["make"], ["honda"], window=2) == {0}
+
+    def test_multiword_phrases(self):
+        index = build_index("departure cities such as boston and chicago")
+        hits = index.cooccurrence_docs(
+            ["departure", "cities", "such", "as"], ["chicago"], window=3
+        )
+        assert hits == {0}
+
+    def test_requires_both(self):
+        index = build_index("only make here", "only honda here")
+        assert index.cooccurrence_docs(["make"], ["honda"], window=9) == set()
+
+
+class TestProperties:
+    @given(st.lists(st.lists(st.sampled_from("abcde"), min_size=1, max_size=8),
+                    min_size=1, max_size=8))
+    def test_phrase_docs_subset_of_term_docs(self, docs):
+        index = InvertedIndex()
+        for i, words in enumerate(docs):
+            index.add(Document(i, f"u{i}", "t", " ".join(words)))
+        for phrase in (["a", "b"], ["c"], ["a", "a"]):
+            phrase_docs = index.documents_with_phrase(phrase)
+            for word in phrase:
+                assert phrase_docs <= index.documents_with_term(word)
+
+    @given(st.lists(st.lists(st.sampled_from("abcde"), min_size=1, max_size=8),
+                    min_size=1, max_size=8),
+           st.integers(0, 4))
+    def test_cooccurrence_window_monotone(self, docs, window):
+        index = InvertedIndex()
+        for i, words in enumerate(docs):
+            index.add(Document(i, f"u{i}", "t", " ".join(words)))
+        narrow = index.cooccurrence_docs(["a"], ["b"], window)
+        wide = index.cooccurrence_docs(["a"], ["b"], window + 1)
+        assert narrow <= wide

@@ -1,0 +1,85 @@
+"""Tests for repro.surfaceweb.query: Google-dialect query parsing."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.surfaceweb.query import ParsedQuery, QueryParser
+from repro.util.errors import QuerySyntaxError
+
+
+@pytest.fixture(scope="module")
+def parser():
+    return QueryParser()
+
+
+class TestParse:
+    def test_paper_example(self, parser):
+        # '"authors such as" +book +title +isbn' (paper §2.1)
+        q = parser.parse('"authors such as" +book +title +isbn')
+        assert q.phrases == (("authors", "such", "as"),)
+        assert q.required_terms == ("book", "title", "isbn")
+        assert q.plain_terms == ()
+
+    def test_plain_terms(self, parser):
+        q = parser.parse("honda accord")
+        assert q.plain_terms == ("honda", "accord")
+
+    def test_multiple_phrases(self, parser):
+        q = parser.parse('"departure city" "boston"')
+        assert q.phrases == (("departure", "city"), ("boston",))
+
+    def test_phrases_lowercased(self, parser):
+        q = parser.parse('"Departure City"')
+        assert q.phrases == (("departure", "city"),)
+
+    def test_mixed(self, parser):
+        q = parser.parse('"make honda" +car accord')
+        assert q.phrases == (("make", "honda"),)
+        assert q.required_terms == ("car",)
+        assert q.plain_terms == ("accord",)
+
+    def test_empty_phrase_ignored(self, parser):
+        q = parser.parse('"" honda')
+        assert q.phrases == ()
+        assert q.plain_terms == ("honda",)
+
+    def test_unbalanced_quotes_rejected(self, parser):
+        with pytest.raises(QuerySyntaxError):
+            parser.parse('"unterminated phrase')
+
+    def test_empty_query_rejected(self, parser):
+        with pytest.raises(QuerySyntaxError):
+            parser.parse("   ")
+
+    def test_bare_plus_rejected(self, parser):
+        with pytest.raises(QuerySyntaxError):
+            parser.parse("+ +")
+
+    def test_plus_multiword(self, parser):
+        # "+real estate" style: plus binds the first token only.
+        q = parser.parse("+real estate")
+        assert q.required_terms == ("real",)
+        assert q.plain_terms == ("estate",)
+
+    def test_monetary_term(self, parser):
+        q = parser.parse('"$5,000"')
+        assert q.phrases == (("$5,000",),)
+
+
+class TestParsedQuery:
+    def test_all_terms(self):
+        q = ParsedQuery((("a", "b"),), ("c",), ("d",))
+        assert q.all_terms() == ("a", "b", "c", "d")
+
+    def test_is_empty(self):
+        assert ParsedQuery().is_empty
+        assert not ParsedQuery(phrases=(("x",),)).is_empty
+
+    @given(st.text(alphabet=st.sampled_from("abc +\""), max_size=30))
+    def test_parser_never_crashes_unexpectedly(self, text):
+        parser = QueryParser()
+        try:
+            parsed = parser.parse(text)
+            assert not parsed.is_empty
+        except QuerySyntaxError:
+            pass

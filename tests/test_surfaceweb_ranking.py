@@ -1,0 +1,47 @@
+"""Tests for the search engine's relevance ranking."""
+
+import pytest
+
+from repro.surfaceweb.document import Document
+from repro.surfaceweb.engine import SearchEngine
+
+
+@pytest.fixture()
+def engine():
+    return SearchEngine([
+        Document(0, "u0", "t", "honda mentioned once here"),
+        Document(1, "u1", "t", "honda honda honda everywhere honda"),
+        Document(2, "u2", "t", "honda twice honda"),
+    ])
+
+
+class TestRelevanceRanking:
+    def test_more_occurrences_rank_higher(self, engine):
+        ids = [r.doc_id for r in engine.search("honda")]
+        assert ids == [1, 2, 0]
+
+    def test_phrase_occurrences_weighted_higher_than_terms(self):
+        engine = SearchEngine([
+            Document(0, "u0", "t", "makes such as honda. makes such as ford."),
+            Document(1, "u1", "t",
+                     "makes makes makes makes makes such as kia here"),
+        ])
+        ids = [r.doc_id for r in engine.search('"makes such as"')]
+        assert ids[0] == 0  # two phrase hits beat one phrase + term spam
+
+    def test_tie_breaks_on_doc_id(self):
+        engine = SearchEngine([
+            Document(5, "u5", "t", "alpha beta"),
+            Document(2, "u2", "t", "alpha gamma"),
+        ])
+        ids = [r.doc_id for r in engine.search("alpha")]
+        assert ids == [2, 5]
+
+    def test_ranking_deterministic(self, engine):
+        first = [r.doc_id for r in engine.search("honda")]
+        second = [r.doc_id for r in engine.search("honda")]
+        assert first == second
+
+    def test_max_results_takes_top_ranked(self, engine):
+        results = engine.search("honda", max_results=1)
+        assert [r.doc_id for r in results] == [1]

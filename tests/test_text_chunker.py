@@ -1,0 +1,136 @@
+"""Tests for repro.text.chunker: POS-pattern chunking."""
+
+import pytest
+
+from repro.text.chunker import (
+    chunk_tags,
+    find_noun_phrases,
+    noun_phrase_at,
+    split_conjunction,
+)
+from repro.text.postag import default_tagger
+
+
+def tag(text):
+    return default_tagger().tag(text)
+
+
+class TestNounPhraseAt:
+    def test_simple_noun(self):
+        tokens = tag("city")
+        np = noun_phrase_at(tokens, 0)
+        assert np is not None and np.text(tokens) == "city"
+
+    def test_modifier_noun(self):
+        tokens = tag("departure city")
+        np = noun_phrase_at(tokens, 0)
+        assert np.text(tokens) == "departure city"
+        assert np.head_word(tokens) == "city"
+
+    def test_determiner_skipped_into_span(self):
+        tokens = tag("the red car")
+        np = noun_phrase_at(tokens, 0)
+        assert np.text(tokens) == "the red car"
+        assert np.head_word(tokens) == "car"
+
+    def test_prepositional_postmodifier(self):
+        tokens = tag("class of service")
+        np = noun_phrase_at(tokens, 0)
+        assert np.text(tokens) == "class of service"
+        assert np.head_word(tokens) == "class"
+
+    def test_postmodifier_disabled(self):
+        tokens = tag("class of service")
+        np = noun_phrase_at(tokens, 0, allow_postmodifier=False)
+        assert np.text(tokens) == "class"
+
+    def test_bare_number_is_np(self):
+        tokens = tag("1994")
+        np = noun_phrase_at(tokens, 0)
+        assert np is not None and np.text(tokens) == "1994"
+
+    def test_monetary_is_np(self):
+        tokens = tag("$5,000")
+        assert noun_phrase_at(tokens, 0) is not None
+
+    def test_trailing_number_absorbed(self):
+        # "Jan 15" must be a single NP candidate.
+        tokens = tag("Jan 15")
+        np = noun_phrase_at(tokens, 0)
+        assert np.text(tokens) == "Jan 15"
+
+    def test_number_list_not_merged(self):
+        # "1994, 1995" are two candidates, not one.
+        tokens = tag("1994, 1995")
+        np = noun_phrase_at(tokens, 0)
+        assert np.text(tokens) == "1994"
+
+    def test_no_np_at_preposition(self):
+        tokens = tag("from")
+        assert noun_phrase_at(tokens, 0) is None
+
+    def test_none_on_verb(self):
+        tokens = tag("depart from")
+        assert noun_phrase_at(tokens, 0) is None
+
+
+class TestChunkTags:
+    def test_pp_chunk(self):
+        tokens = tag("from city")
+        chunks = chunk_tags(tokens)
+        assert chunks[0].kind == "PP"
+        assert chunks[0].head_word(tokens) == "city"
+
+    def test_bare_preposition_is_pp(self):
+        tokens = tag("from")
+        chunks = chunk_tags(tokens)
+        assert chunks[0].kind == "PP" and chunks[0].head is None
+
+    def test_vp_chunk(self):
+        tokens = tag("depart from city")
+        chunks = chunk_tags(tokens)
+        assert chunks[0].kind == "VP"
+
+    def test_np_sequence(self):
+        tokens = tag("Boston, Chicago")
+        kinds = [c.kind for c in chunk_tags(tokens)]
+        assert kinds == ["NP", "NP"]
+
+    def test_empty(self):
+        assert chunk_tags([]) == []
+
+
+class TestFindNounPhrases:
+    def test_finds_all(self):
+        tokens = tag("Boston, Chicago, and LAX")
+        phrases = [c.text(tokens) for c in find_noun_phrases(tokens)]
+        assert phrases == ["Boston", "Chicago", "LAX"]
+
+    def test_max_phrases(self):
+        tokens = tag("Boston, Chicago, and LAX")
+        assert len(find_noun_phrases(tokens, max_phrases=2)) == 2
+
+
+class TestSplitConjunction:
+    def test_two_way_conjunction(self):
+        tokens = tag("first name or last name")
+        parts = split_conjunction(tokens)
+        assert parts is not None
+        assert [p.text(tokens) for p in parts] == ["first name", "last name"]
+
+    def test_and_conjunction(self):
+        tokens = tag("city and state")
+        parts = split_conjunction(tokens)
+        assert [p.text(tokens) for p in parts] == ["city", "state"]
+
+    def test_plain_np_is_not_conjunction(self):
+        tokens = tag("departure city")
+        assert split_conjunction(tokens) is None
+
+    def test_trailing_garbage_rejected(self):
+        tokens = tag("city and state from")
+        assert split_conjunction(tokens) is None
+
+    def test_requires_cc(self):
+        tokens = tag("Boston, Chicago")
+        assert split_conjunction(tokens) is None

@@ -1,0 +1,85 @@
+"""Regression battery: label analysis over a broad catalogue of labels.
+
+Locks in the exact behaviour of the shallow NLP stack on the kinds of
+labels that appear on real deep-web interfaces (drawn from the paper, the
+ICQ domains, and common form idioms). Any tagger/chunker change that shifts
+one of these is a deliberate decision, not an accident.
+"""
+
+import pytest
+
+from repro.text.labels import LabelForm, analyze_label
+
+NP = LabelForm.NOUN_PHRASE
+PP = LabelForm.PREPOSITIONAL_PHRASE
+VP = LabelForm.VERB_PHRASE
+CONJ = LabelForm.NP_CONJUNCTION
+
+
+# (label, expected form, expected first NP text or None)
+BATTERY = [
+    # airfare
+    ("From", PP, None),
+    ("To", PP, None),
+    ("From city", PP, "city"),
+    ("To city", PP, "city"),
+    ("Departure city", NP, "departure city"),
+    ("Arrival city", NP, "arrival city"),
+    ("Depart from", VP, None),
+    ("Leaving from", VP, None),
+    ("Going to", VP, None),
+    ("Return on", VP, None),
+    ("Departure date", NP, "departure date"),
+    ("Class of service", NP, "class of service"),
+    ("Number of passengers", NP, "number of passengers"),
+    ("Preferred airline", NP, "preferred airline"),
+    ("Carrier", NP, "carrier"),
+    ("Trip type", NP, "trip type"),
+    # auto
+    ("Make", NP, "make"),
+    ("Model", NP, "model"),
+    ("Zip code", NP, "zip code"),
+    ("Near zip", PP, "zip"),
+    ("Maximum price", NP, "maximum price"),
+    ("Body style", NP, "body style"),
+    ("Exterior color", NP, "exterior color"),
+    # book
+    ("Author", NP, "author"),
+    ("Book title", NP, "book title"),
+    ("Written by", VP, None),
+    ("ISBN", NP, "isbn"),
+    ("Publisher name", NP, "publisher name"),
+    # job
+    ("Job title", NP, "job title"),
+    ("Company name", NP, "company name"),
+    ("Years of experience", NP, "years of experience"),
+    ("Education level", NP, "education level"),
+    # real estate
+    ("Square feet", NP, "square feet"),
+    ("Min square feet", NP, "min square feet"),
+    ("Lot size", NP, "lot size"),
+    ("Number of bedrooms", NP, "number of bedrooms"),
+    ("MLS number", NP, "mls number"),
+    # conjunctions and idioms
+    ("First name or last name", CONJ, "first name"),
+    ("City and state", CONJ, "city"),
+    ("Departure City:*", NP, "departure city"),
+    ("Type of job", NP, "type of job"),
+]
+
+
+@pytest.mark.parametrize("label,form,first_np", BATTERY,
+                         ids=[b[0] for b in BATTERY])
+def test_label_battery(label, form, first_np):
+    analysis = analyze_label(label)
+    assert analysis.form is form, f"{label}: {analysis.form}"
+    if first_np is None:
+        assert not analysis.has_noun_phrase, analysis.noun_phrases
+    else:
+        assert analysis.has_noun_phrase
+        assert analysis.noun_phrases[0].text == first_np
+
+
+def test_battery_covers_all_forms():
+    forms = {form for _, form, _ in BATTERY}
+    assert forms == {NP, PP, VP, CONJ}

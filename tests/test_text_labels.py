@@ -1,0 +1,99 @@
+"""Tests for repro.text.labels: attribute-label syntax analysis (§2.1)."""
+
+import pytest
+
+from repro.text.labels import LabelForm, analyze_label, clean_label
+
+
+class TestCleanLabel:
+    @pytest.mark.parametrize("raw,cleaned", [
+        ("Departure City:*", "Departure City"),
+        ("From (city)", "From city"),
+        ("Price?", "Price"),
+        ("  spaced   out  ", "spaced out"),
+        ('"quoted"', "quoted"),
+    ])
+    def test_strips_decoration(self, raw, cleaned):
+        assert clean_label(raw) == cleaned
+
+
+class TestForms:
+    @pytest.mark.parametrize("label,form", [
+        ("Departure city", LabelForm.NOUN_PHRASE),
+        ("Airline", LabelForm.NOUN_PHRASE),
+        ("Class of service", LabelForm.NOUN_PHRASE),
+        ("From city", LabelForm.PREPOSITIONAL_PHRASE),
+        ("From", LabelForm.PREPOSITIONAL_PHRASE),
+        ("To", LabelForm.PREPOSITIONAL_PHRASE),
+        ("Depart from", LabelForm.VERB_PHRASE),
+        ("First name or last name", LabelForm.NP_CONJUNCTION),
+        ("", LabelForm.EMPTY),
+        ("   ", LabelForm.EMPTY),
+    ])
+    def test_form_detection(self, label, form):
+        assert analyze_label(label).form is form
+
+
+class TestNounPhraseExtraction:
+    def test_np_label_keeps_whole_phrase(self):
+        nps = analyze_label("Departure city").noun_phrases
+        assert [np.text for np in nps] == ["departure city"]
+        assert nps[0].plural == "departure cities"
+
+    def test_pp_label_takes_np_after_preposition(self):
+        nps = analyze_label("From city").noun_phrases
+        assert [np.text for np in nps] == ["city"]
+
+    def test_bare_preposition_has_no_np(self):
+        assert not analyze_label("From").has_noun_phrase
+
+    def test_bare_verb_phrase_has_no_np(self):
+        assert not analyze_label("Depart from").has_noun_phrase
+
+    def test_vp_with_trailing_np(self):
+        analysis = analyze_label("Select departure city")
+        assert analysis.form is LabelForm.VERB_PHRASE
+        assert analysis.noun_phrases
+        assert analysis.noun_phrases[0].text == "departure city"
+
+    def test_conjunction_yields_all_nps(self):
+        nps = analyze_label("First name or last name").noun_phrases
+        assert [np.text for np in nps] == ["first name", "last name"]
+
+    def test_postmodifier_head_pluralised(self):
+        np = analyze_label("Class of service").noun_phrases[0]
+        assert np.head == "class"
+        assert np.plural == "classes of service"
+
+    def test_head_property(self):
+        np = analyze_label("Departure city").noun_phrases[0]
+        assert np.head == "city"
+
+    def test_decorated_label(self):
+        analysis = analyze_label("Departure City:*")
+        assert analysis.form is LabelForm.NOUN_PHRASE
+        assert analysis.noun_phrases[0].text == "departure city"
+
+    def test_already_plural_label(self):
+        np = analyze_label("Keywords").noun_phrases[0]
+        assert np.plural == "keywords"
+
+
+class TestPaperExamples:
+    """Labels cited in the paper itself must analyse as the paper says."""
+
+    def test_type_of_job_is_noun_phrase(self):
+        assert analyze_label("Type of job").form is LabelForm.NOUN_PHRASE
+
+    def test_from_city_prepositional(self):
+        # "attribute labels often take syntactic forms that are not nouns or
+        # noun phrases, such as From city (a prepositional phrase)"
+        a = analyze_label("From city")
+        assert a.form is LabelForm.PREPOSITIONAL_PHRASE
+        assert a.noun_phrases[0].plural == "cities"
+
+    def test_author_pluralises_for_s1(self):
+        # "suppose that A ... has a label author. Then s1 will generate
+        # 'authors such as'"
+        np = analyze_label("author").noun_phrases[0]
+        assert np.plural == "authors"

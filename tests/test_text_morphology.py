@@ -1,0 +1,113 @@
+"""Tests for repro.text.morphology."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.text.morphology import pluralize, pluralize_phrase, singularize
+
+
+class TestPluralize:
+    @pytest.mark.parametrize("singular,plural", [
+        ("city", "cities"),
+        ("class", "classes"),
+        ("make", "makes"),
+        ("author", "authors"),
+        ("box", "boxes"),
+        ("church", "churches"),
+        ("dish", "dishes"),
+        ("company", "companies"),
+        ("day", "days"),          # vowel + y
+        ("knife", "knives"),
+        ("hero", "heroes"),
+        ("radio", "radios"),      # vowel + o
+        ("child", "children"),
+        ("person", "people"),
+        ("salesperson", "salespeople"),
+    ])
+    def test_known_forms(self, singular, plural):
+        assert pluralize(singular) == plural
+
+    def test_preserves_capitalisation(self):
+        assert pluralize("City") == "Cities"
+        assert pluralize("Child") == "Children"
+
+    def test_already_plural_left_alone(self):
+        assert pluralize("feet") == "feet"
+        assert pluralize("adults") == "adults"
+        assert pluralize("keywords") == "keywords"
+
+    def test_unchanged_words(self):
+        assert pluralize("series") == "series"
+        assert pluralize("aircraft") == "aircraft"
+
+    def test_singular_s_words_still_pluralize(self):
+        assert pluralize("class") == "classes"
+        assert pluralize("address") == "addresses"
+        assert pluralize("status") == "statuses"
+
+    def test_empty_string(self):
+        assert pluralize("") == ""
+
+
+class TestSingularize:
+    @pytest.mark.parametrize("plural,singular", [
+        ("cities", "city"),
+        ("classes", "class"),
+        ("makes", "make"),
+        ("children", "child"),
+        ("people", "person"),
+        ("boxes", "box"),
+        ("heroes", "hero"),
+    ])
+    def test_known_forms(self, plural, singular):
+        assert singularize(plural) == singular
+
+    def test_does_not_strip_double_s(self):
+        assert singularize("class") == "class"
+        assert singularize("address") == "address"
+
+    def test_empty_string(self):
+        assert singularize("") == ""
+
+
+# Regular nouns for the round-trip property: plain stems without tricky
+# endings, mirroring the vocabulary interface labels actually use.
+_REGULAR_NOUNS = st.sampled_from([
+    "city", "make", "model", "author", "publisher", "title", "company",
+    "category", "state", "price", "year", "color", "airline", "carrier",
+    "airport", "passenger", "trip", "seat", "job", "position", "industry",
+    "degree", "bedroom", "bathroom", "property", "home", "agent", "book",
+    "subject", "format", "condition", "keyword", "salary", "location",
+])
+
+
+class TestRoundTrip:
+    @given(_REGULAR_NOUNS)
+    def test_singularize_inverts_pluralize(self, noun):
+        assert singularize(pluralize(noun)) == noun
+
+    @given(_REGULAR_NOUNS)
+    def test_pluralize_changes_regular_nouns(self, noun):
+        assert pluralize(noun) != noun
+
+
+class TestPluralizePhrase:
+    def test_default_head_is_last_word(self):
+        assert pluralize_phrase("departure city") == "departure cities"
+
+    def test_explicit_head_index(self):
+        assert pluralize_phrase("class of service", head_index=0) == \
+            "classes of service"
+
+    def test_negative_head_index(self):
+        assert pluralize_phrase("first name", head_index=-1) == "first names"
+
+    def test_single_word(self):
+        assert pluralize_phrase("airline") == "airlines"
+
+    def test_out_of_range_head_raises(self):
+        with pytest.raises(ValueError):
+            pluralize_phrase("two words", head_index=5)
+
+    def test_empty_phrase(self):
+        assert pluralize_phrase("") == ""

@@ -1,0 +1,76 @@
+"""Tests for repro.util.clock: simulated latency accounting."""
+
+import pytest
+
+from repro.util.clock import SimulatedClock, StopwatchReport
+
+
+class TestSimulatedClock:
+    def test_search_query_charges_nominal_latency(self):
+        clock = SimulatedClock(search_query_seconds=0.3)
+        clock.charge_search_query("surface", 10)
+        assert clock.report().seconds("surface") == pytest.approx(3.0)
+
+    def test_deep_probe_charges_nominal_latency(self):
+        clock = SimulatedClock(deep_probe_seconds=1.5)
+        clock.charge_deep_probe("attr_deep", 4)
+        assert clock.report().seconds("attr_deep") == pytest.approx(6.0)
+
+    def test_accounts_are_independent(self):
+        clock = SimulatedClock()
+        clock.charge_search_query("a", 1)
+        clock.charge_deep_probe("b", 1)
+        report = clock.report()
+        assert report.seconds("a") == pytest.approx(clock.search_query_seconds)
+        assert report.seconds("b") == pytest.approx(clock.deep_probe_seconds)
+
+    def test_charge_seconds_adds_raw_time(self):
+        clock = SimulatedClock()
+        clock.charge_seconds("matching", 12.5)
+        clock.charge_seconds("matching", 0.5)
+        assert clock.report().seconds("matching") == pytest.approx(13.0)
+
+    def test_query_counts_tracked_per_account(self):
+        clock = SimulatedClock()
+        clock.charge_search_query("surface", 7)
+        clock.charge_deep_probe("attr_deep", 3)
+        assert clock.query_count("surface") == 7
+        assert clock.query_count("attr_deep") == 3
+        assert clock.total_query_count == 10
+
+    def test_charge_seconds_does_not_count_queries(self):
+        clock = SimulatedClock()
+        clock.charge_seconds("matching", 5.0)
+        assert clock.query_count("matching") == 0
+
+    def test_measure_context_manager_charges_elapsed(self):
+        clock = SimulatedClock()
+        with clock.measure("work"):
+            sum(range(1000))
+        assert clock.report().seconds("work") > 0.0
+
+    def test_negative_latency_rejected(self):
+        with pytest.raises(ValueError):
+            SimulatedClock(search_query_seconds=-1.0)
+
+    def test_negative_charge_rejected(self):
+        clock = SimulatedClock()
+        with pytest.raises(ValueError):
+            clock.charge_seconds("x", -0.1)
+
+    def test_unknown_account_reads_zero(self):
+        assert SimulatedClock().report().seconds("nothing") == 0.0
+
+
+class TestStopwatchReport:
+    def test_minutes_conversion(self):
+        report = StopwatchReport({"surface": 90.0})
+        assert report.minutes("surface") == pytest.approx(1.5)
+
+    def test_totals(self):
+        report = StopwatchReport({"a": 30.0, "b": 30.0})
+        assert report.total_seconds == pytest.approx(60.0)
+        assert report.total_minutes == pytest.approx(1.0)
+
+    def test_empty_report(self):
+        assert StopwatchReport().total_seconds == 0.0

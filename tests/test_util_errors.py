@@ -1,0 +1,47 @@
+"""Tests for the exception hierarchy."""
+
+import pytest
+
+from repro.util.errors import (
+    QuerySyntaxError,
+    ReproError,
+    UnknownDomainError,
+    ValidationError,
+)
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize("exc", [
+        QuerySyntaxError, UnknownDomainError, ValidationError,
+    ])
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, ReproError)
+        with pytest.raises(ReproError):
+            raise exc("boom")
+
+    def test_repro_error_is_exception(self):
+        assert issubclass(ReproError, Exception)
+
+    def test_catching_base_does_not_mask_programming_errors(self):
+        with pytest.raises(TypeError):
+            try:
+                raise TypeError("not ours")
+            except ReproError:  # pragma: no cover - must not trigger
+                pass
+
+
+class TestRaisedWhereDocumented:
+    def test_query_parser_raises_query_syntax(self):
+        from repro.surfaceweb.query import QueryParser
+        with pytest.raises(QuerySyntaxError):
+            QueryParser().parse('"oops')
+
+    def test_unknown_domain(self):
+        from repro.datasets.concepts import domain_spec
+        with pytest.raises(UnknownDomainError):
+            domain_spec("pets")
+
+    def test_untrained_classifier(self):
+        from repro.stats.naive_bayes import BinaryNaiveBayes
+        with pytest.raises(ValidationError):
+            BinaryNaiveBayes().predict((1,))
