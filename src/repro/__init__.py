@@ -25,6 +25,11 @@ from repro.datasets import (
     dataset_statistics,
 )
 from repro.matching import IceQMatcher, evaluate_matches
+from repro.resilience import (
+    DegradationReport,
+    FaultProfile,
+    ResilienceConfig,
+)
 
 __version__ = "1.0.0"
 
@@ -42,5 +47,8 @@ __all__ = [
     "dataset_statistics",
     "IceQMatcher",
     "evaluate_matches",
+    "FaultProfile",
+    "ResilienceConfig",
+    "DegradationReport",
     "__version__",
 ]

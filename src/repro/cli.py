@@ -48,6 +48,17 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--no-attr-surface", action="store_true")
     run.add_argument("--json", metavar="PATH",
                      help="write the full run result as JSON")
+    run.add_argument("--fault-rate", type=float, default=0.0,
+                     help="inject Web faults at this rate (0..1) and run "
+                          "behind the resilience layer")
+    run.add_argument("--fault-seed", type=int, default=0,
+                     help="seed of the fault streams (default 0)")
+    run.add_argument("--probe-budget", type=int, default=None,
+                     help="cap on Attr-Deep form submissions per run")
+    run.add_argument("--query-budget", type=int, default=None,
+                     help="cap on search-engine round trips per component")
+    run.add_argument("--degradation", action="store_true",
+                     help="print the full degradation report")
 
     discover = sub.add_parser(
         "discover", help="Surface instance discovery for one label")
@@ -111,12 +122,37 @@ def _cmd_stats(args) -> int:
     return 0
 
 
+def _resilience_config(args):
+    """Build the run's ResilienceConfig from CLI flags, or None."""
+    if not 0.0 <= args.fault_rate <= 1.0:
+        raise SystemExit(
+            f"repro run: error: --fault-rate must be within [0, 1], "
+            f"got {args.fault_rate}")
+    wants_resilience = (
+        args.fault_rate > 0.0
+        or args.probe_budget is not None
+        or args.query_budget is not None
+        or args.degradation
+    )
+    if not wants_resilience:
+        return None
+    from repro.resilience import FaultProfile, ResilienceConfig
+
+    return ResilienceConfig(
+        profile=FaultProfile(fault_rate=args.fault_rate, seed=args.fault_seed),
+        surface_query_budget=args.query_budget,
+        attr_surface_query_budget=args.query_budget,
+        attr_deep_probe_budget=args.probe_budget,
+    )
+
+
 def _cmd_run(args) -> int:
     config = WebIQConfig(
         enable_surface=not (args.baseline or args.no_surface),
         enable_attr_deep=not (args.baseline or args.no_attr_deep),
         enable_attr_surface=not (args.baseline or args.no_attr_surface),
         threshold=args.threshold,
+        resilience=_resilience_config(args),
     )
     for domain in _domains(args):
         dataset = build_domain_dataset(domain, args.interfaces, args.seed)
@@ -128,6 +164,15 @@ def _cmd_run(args) -> int:
             line += (f"  surface%={result.acquisition.surface_success_rate:.1f}"
                      f" final%={result.acquisition.final_success_rate:.1f}")
         print(line)
+        if result.degradation is not None:
+            if args.degradation:
+                print(result.degradation.summary())
+            elif not result.degradation.empty:
+                d = result.degradation
+                print(f"  degraded: {d.total_faults} faults, "
+                      f"{d.total_retries} retries "
+                      f"({d.total_backoff_seconds:.1f}s backoff); "
+                      f"use --degradation for details")
         if args.json:
             from repro.io import dump_run_result
             path = args.json if args.domain != "all" else \

@@ -24,6 +24,7 @@ paper's intent (donors in its examples already have instances).
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
@@ -33,6 +34,7 @@ from repro.core.surface import SurfaceConfig, SurfaceDiscoverer, WebValidator
 from repro.deepweb.models import Attribute, QueryInterface
 from repro.deepweb.source import DeepWebSource
 from repro.matching.similarity import label_similarity, value_similarity, values_similar
+from repro.resilience.client import ResilientClient
 from repro.surfaceweb.engine import SearchEngine
 
 __all__ = [
@@ -139,10 +141,16 @@ class InstanceAcquirer:
         engine: SearchEngine,
         sources: Dict[str, DeepWebSource],
         config: AcquisitionConfig = AcquisitionConfig(),
+        resilience: Optional[ResilientClient] = None,
     ) -> None:
+        """``engine`` and ``sources`` may be the raw substrates or the
+        drop-in resilient proxies from :mod:`repro.resilience`; pass the
+        proxies' shared ``resilience`` client to enable per-component
+        budget attribution and graceful budget-exhaustion skipping."""
         self.engine = engine
         self.sources = sources
         self.config = config
+        self.resilience = resilience
         self._interfaces: List[QueryInterface] = []
         self._discoverer = SurfaceDiscoverer(engine, config.surface)
         self._web_validator = WebValidator(engine)
@@ -197,33 +205,43 @@ class InstanceAcquirer:
     def _surface_phase(self, interfaces, domain_keywords, object_name,
                        report: AcquisitionReport) -> None:
         before = self.engine.query_count
-        for interface in interfaces:
-            for attribute in interface.attributes:
-                if attribute.has_instances:
-                    continue
-                record = report.record_for(interface.interface_id, attribute.name)
-                record.surface_attempted = True
-                result = self._discoverer.discover(
-                    attribute, domain_keywords, object_name
-                )
-                attribute.acquired.extend(result.instances)
-                record.n_after_surface = self._acquired_count(attribute)
+        with self._component("surface"):
+            for interface in interfaces:
+                for attribute in interface.attributes:
+                    if attribute.has_instances:
+                        continue
+                    record = report.record_for(
+                        interface.interface_id, attribute.name
+                    )
+                    if self._skip_exhausted("surface", interface, attribute):
+                        continue
+                    record.surface_attempted = True
+                    result = self._discoverer.discover(
+                        attribute, domain_keywords, object_name
+                    )
+                    attribute.acquired.extend(result.instances)
+                    record.n_after_surface = self._acquired_count(attribute)
         report.surface_queries += self.engine.query_count - before
 
     # ------------------------------------------------------------ phase 2
     def _borrow_deep_phase(self, interfaces, report: AcquisitionReport) -> None:
         probes_before = self._total_probes()
-        for interface in interfaces:
-            for attribute in interface.attributes:
-                if attribute.has_instances:
-                    continue  # pre-defined values: handled by Attr-Surface
-                record = report.record_for(interface.interface_id, attribute.name)
-                if record.n_after_surface >= self.config.k:
-                    record.n_after_borrow = record.n_after_surface
-                    continue  # step 1.a succeeded
-                record.borrow_deep_attempted = True
-                self._borrow_via_deep(interface, attribute)
-                record.n_after_borrow = self._acquired_count(attribute)
+        with self._component("attr_deep"):
+            for interface in interfaces:
+                for attribute in interface.attributes:
+                    if attribute.has_instances:
+                        continue  # pre-defined values: handled by Attr-Surface
+                    record = report.record_for(
+                        interface.interface_id, attribute.name
+                    )
+                    if record.n_after_surface >= self.config.k:
+                        record.n_after_borrow = record.n_after_surface
+                        continue  # step 1.a succeeded
+                    if self._skip_exhausted("attr_deep", interface, attribute):
+                        continue
+                    record.borrow_deep_attempted = True
+                    self._borrow_via_deep(interface, attribute)
+                    record.n_after_borrow = self._acquired_count(attribute)
         report.attr_deep_probes += self._total_probes() - probes_before
 
     def _borrow_via_deep(self, interface: QueryInterface,
@@ -279,14 +297,21 @@ class InstanceAcquirer:
     # ------------------------------------------------------------ phase 3
     def _borrow_surface_phase(self, interfaces, report: AcquisitionReport) -> None:
         before = self.engine.query_count
-        for interface in interfaces:
-            for attribute in interface.attributes:
-                if not attribute.has_instances:
-                    continue
-                record = report.record_for(interface.interface_id, attribute.name)
-                record.borrow_surface_attempted = True
-                self._borrow_via_surface(interface, attribute)
-                record.n_after_borrow = self._acquired_count(attribute)
+        with self._component("attr_surface"):
+            for interface in interfaces:
+                for attribute in interface.attributes:
+                    if not attribute.has_instances:
+                        continue
+                    record = report.record_for(
+                        interface.interface_id, attribute.name
+                    )
+                    if self._skip_exhausted(
+                        "attr_surface", interface, attribute
+                    ):
+                        continue
+                    record.borrow_surface_attempted = True
+                    self._borrow_via_surface(interface, attribute)
+                    record.n_after_borrow = self._acquired_count(attribute)
         report.attr_surface_queries += self.engine.query_count - before
 
     def _borrow_via_surface(self, interface: QueryInterface,
@@ -332,6 +357,24 @@ class InstanceAcquirer:
         return [donor for _, donor in scored]
 
     # ------------------------------------------------------------- helpers
+    def _component(self, name: str):
+        """Scope for budget/accounting attribution; no-op without resilience."""
+        if self.resilience is None:
+            return nullcontext()
+        return self.resilience.component(name)
+
+    def _skip_exhausted(self, component: str, interface: QueryInterface,
+                        attribute: Attribute) -> bool:
+        """Graceful degradation: once a component's budget is spent, skip
+        its remaining attributes outright (recording each skip) instead of
+        issuing calls that would all fast-fail anyway."""
+        if self.resilience is None:
+            return False
+        if not self.resilience.budget_exhausted(component):
+            return False
+        self.resilience.skip_attribute(interface.interface_id, attribute.name)
+        return True
+
     def _donor_candidates(self, interface: QueryInterface):
         """Attributes whose instance sets are trustworthy donor domains.
 

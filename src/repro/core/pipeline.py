@@ -10,6 +10,14 @@ every component on a :class:`~repro.util.clock.SimulatedClock`:
 - Deep-Web probes (Attr-Deep) are charged a form-submission latency;
 - matching is charged a nominal per-similarity-evaluation cost calibrated
   to the paper's 2006 hardware, so Figure 8's relative shape is preserved.
+
+When a :class:`~repro.resilience.ResilienceConfig` is attached, the run
+executes against fault-injected substrates behind the resilient proxies:
+retried round trips flow into the ordinary per-component accounts (they
+were real round trips), backoff waits are charged to ``<component>_retry``
+accounts, and the resulting :class:`~repro.resilience.DegradationReport`
+rides on the run result — Figure 8's overhead then reflects what surviving
+a flaky Web actually costs.
 """
 
 from __future__ import annotations
@@ -26,6 +34,14 @@ from repro.datasets.dataset import DomainDataset
 from repro.matching.clustering import IceQMatcher, MatchResult
 from repro.matching.metrics import MatchMetrics, evaluate_matches
 from repro.matching.similarity import SimilarityConfig
+from repro.resilience.client import (
+    DegradationReport,
+    ResilienceConfig,
+    ResilientClient,
+    ResilientDeepWebSource,
+    ResilientSearchEngine,
+)
+from repro.resilience.faults import FlakyDeepWebSource, FlakySearchEngine
 from repro.util.clock import SimulatedClock, StopwatchReport
 
 __all__ = ["WebIQConfig", "WebIQRunResult", "WebIQMatcher"]
@@ -50,6 +66,9 @@ class WebIQConfig:
     acquisition: AcquisitionConfig = field(default_factory=AcquisitionConfig)
     similarity: SimilarityConfig = field(default_factory=SimilarityConfig)
     matching_seconds_per_evaluation: float = MATCHING_SECONDS_PER_EVALUATION
+    #: fault injection + retry/breaker/budget policy; ``None`` (default)
+    #: runs against the pristine substrates exactly as before
+    resilience: Optional[ResilienceConfig] = None
 
     @property
     def webiq_enabled(self) -> bool:
@@ -70,6 +89,8 @@ class WebIQRunResult:
     match_result: MatchResult
     acquisition: Optional[AcquisitionReport]
     stopwatch: StopwatchReport
+    #: present iff the run executed under a resilience configuration
+    degradation: Optional[DegradationReport] = None
 
     def overhead_minutes(self, account: str) -> float:
         return self.stopwatch.minutes(account)
@@ -89,9 +110,32 @@ class WebIQMatcher:
         clock = SimulatedClock()
 
         acquisition: Optional[AcquisitionReport] = None
+        degradation: Optional[DegradationReport] = None
         if self.config.webiq_enabled:
+            engine = dataset.engine
+            sources = dataset.sources
+            client: Optional[ResilientClient] = None
+            if self.config.resilience is not None:
+                client = ResilientClient(self.config.resilience)
+                profile = self.config.resilience.profile
+                engine = ResilientSearchEngine(
+                    FlakySearchEngine(
+                        engine, profile, on_fault=client.note_injected_fault
+                    ),
+                    client,
+                )
+                sources = {
+                    source_id: ResilientDeepWebSource(
+                        FlakyDeepWebSource(
+                            source, profile,
+                            on_fault=client.note_injected_fault,
+                        ),
+                        client,
+                    )
+                    for source_id, source in sources.items()
+                }
             acquirer = InstanceAcquirer(
-                dataset.engine, dataset.sources, self.config.acquisition
+                engine, sources, self.config.acquisition, resilience=client
             )
             acquisition = acquirer.acquire(
                 dataset.interfaces,
@@ -106,6 +150,13 @@ class WebIQMatcher:
                 "attr_surface", acquisition.attr_surface_queries
             )
             clock.charge_deep_probe("attr_deep", acquisition.attr_deep_probes)
+            if client is not None:
+                degradation = client.report
+                # Backoff waits are real wall time to a live system; charge
+                # them so Figure 8's overhead reflects the retry cost.
+                backoff = degradation.backoff_seconds_by_component
+                for component, seconds in sorted(backoff.items()):
+                    clock.charge_seconds(f"{component}_retry", seconds)
 
         matcher = IceQMatcher(self.config.similarity, linkage=self.config.linkage)
         match_result = matcher.match(
@@ -127,4 +178,5 @@ class WebIQMatcher:
             match_result=match_result,
             acquisition=acquisition,
             stopwatch=clock.report(),
+            degradation=degradation,
         )

@@ -58,6 +58,11 @@ class DeepWebSource:
     failure_style: str = "no_results"
     #: number of probes served (read by the pipeline for Figure 8 accounting)
     probe_count: int = 0
+    #: memo of each SELECT attribute's lowercase value domain; pre-defined
+    #: instances are immutable, so this never needs invalidation
+    _select_domains: Dict[str, frozenset] = field(
+        default_factory=dict, init=False, repr=False, compare=False
+    )
 
     def __post_init__(self) -> None:
         known = set(self.interface.attribute_names)
@@ -76,13 +81,15 @@ class DeepWebSource:
         attribute name not on the interface is a programming error and does
         raise ``KeyError``.
         """
-        self.probe_count += 1
         for name in values:
             self.interface.attribute(name)  # KeyError on unknown name
+        # Counted only after name validation: a KeyError probe never reached
+        # the source, so it must not skew Figure 8's probe accounting.
+        self.probe_count += 1
 
         filled = {k: v.strip() for k, v in values.items() if v and v.strip()}
 
-        for required in self.required_attributes:
+        for required in sorted(self.required_attributes):
             if required not in filled:
                 return self._error_page(
                     f"Please fill in the required field "
@@ -105,7 +112,11 @@ class DeepWebSource:
     def _recognizes(self, attribute: Attribute, value: str) -> bool:
         if attribute.kind is AttributeKind.SELECT:
             # Selection widgets physically cannot submit foreign values.
-            return value.lower() in {v.lower() for v in attribute.instances}
+            domain = self._select_domains.get(attribute.name)
+            if domain is None:
+                domain = frozenset(v.lower() for v in attribute.instances)
+                self._select_domains[attribute.name] = domain
+            return value.lower() in domain
         recognizer = self.recognizers.get(attribute.name)
         if recognizer is None:
             return True  # unconstrained free-text field (e.g. keywords)

@@ -18,6 +18,7 @@ from repro.core.pipeline import WebIQRunResult
 from repro.datasets.dataset import DomainDataset
 from repro.datasets.interfaces import GroundTruth
 from repro.deepweb.models import Attribute, AttributeKind, QueryInterface
+from repro.resilience.client import DegradationReport
 
 __all__ = [
     "interface_to_dict",
@@ -26,6 +27,7 @@ __all__ = [
     "ground_truth_to_dict",
     "ground_truth_from_dict",
     "acquisition_report_to_dict",
+    "degradation_report_to_dict",
     "run_result_to_dict",
     "dump_dataset",
     "dump_run_result",
@@ -130,6 +132,24 @@ def acquisition_report_to_dict(report: AcquisitionReport) -> Dict[str, Any]:
     }
 
 
+def degradation_report_to_dict(report: DegradationReport) -> Dict[str, Any]:
+    """The resilience layer's account of faults survived and work given up."""
+    return {
+        "degraded": report.degraded,
+        "faults_by_kind": dict(report.faults_by_kind),
+        "faults_by_component": dict(report.faults_by_component),
+        "retries_by_component": dict(report.retries_by_component),
+        "backoff_seconds_by_component": dict(
+            report.backoff_seconds_by_component
+        ),
+        "giveups_by_component": dict(report.giveups_by_component),
+        "breaker_trips": dict(report.breaker_trips),
+        "breaker_rejections": dict(report.breaker_rejections),
+        "budgets_exhausted": list(report.budgets_exhausted),
+        "attributes_skipped": [list(pair) for pair in report.attributes_skipped],
+    }
+
+
 def run_result_to_dict(result: WebIQRunResult) -> Dict[str, Any]:
     """A full pipeline run: config, metrics, clusters, overhead."""
     return {
@@ -157,6 +177,11 @@ def run_result_to_dict(result: WebIQRunResult) -> Dict[str, Any]:
         "acquisition": (
             acquisition_report_to_dict(result.acquisition)
             if result.acquisition is not None
+            else None
+        ),
+        "degradation": (
+            degradation_report_to_dict(result.degradation)
+            if result.degradation is not None
             else None
         ),
     }

@@ -1,0 +1,525 @@
+"""Retry, circuit breaking, budgets and graceful degradation.
+
+:class:`ResilientClient` is the policy engine between WebIQ's components
+and the (possibly flaky) Web substrates:
+
+- **retry with exponential backoff + jitter** (:class:`RetryPolicy`) for
+  the recoverable :class:`~repro.util.errors.WebAccessError` family, with
+  rate-limit rejections backed off harder than ordinary transients;
+- **per-source circuit breakers** (:class:`CircuitBreaker`,
+  closed → open → half-open) so a dead Deep-Web source stops consuming the
+  probe budget after a few consecutive failures;
+- **per-component budgets** (:class:`Budget`) bounding the total round
+  trips each of ``surface`` / ``attr_surface`` / ``attr_deep`` may spend;
+- **degradation accounting** (:class:`DegradationReport`): every fault,
+  retry, backoff second, breaker trip, exhausted budget and skipped
+  attribute is recorded, so a run that survived a hostile Web can say
+  exactly what it paid and what it gave up.
+
+Backoff delays are *simulated* seconds: the client never sleeps. The
+pipeline charges them to the :class:`~repro.util.clock.SimulatedClock`
+under ``<component>_retry`` accounts, keeping Figure 8's overhead model
+honest about what resilience costs.
+
+:class:`ResilientSearchEngine` and :class:`ResilientDeepWebSource` are the
+drop-in proxies components talk to. When a call is abandoned — retries
+exhausted, breaker open, or budget spent — they degrade instead of raising:
+empty search results, zero hit counts, or an "unavailable" error page that
+the §4 response heuristics classify as a failed probe. The pipeline
+therefore never crashes; it yields partial results and reports the damage.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterator, List, Mapping, Optional, Tuple, TypeVar
+
+from repro.deepweb.source import ResponsePage
+from repro.surfaceweb.engine import DEFAULT_PROXIMITY_WINDOW, SearchResult
+from repro.util.errors import (
+    BudgetExhaustedError,
+    CircuitOpenError,
+    RateLimitError,
+    WebAccessError,
+)
+from repro.util.rng import derive_rng
+
+from repro.resilience.faults import FaultKind, FaultProfile
+
+__all__ = [
+    "RetryPolicy",
+    "BreakerPolicy",
+    "CircuitBreaker",
+    "Budget",
+    "DegradationReport",
+    "ResilienceConfig",
+    "ResilientClient",
+    "ResilientSearchEngine",
+    "ResilientDeepWebSource",
+]
+
+T = TypeVar("T")
+
+#: Component name used when a call happens outside any declared component.
+DEFAULT_COMPONENT = "web"
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Exponential backoff with multiplicative jitter.
+
+    The delay before retry ``attempt`` (0-based) is
+    ``base_delay * multiplier**attempt``, clamped to ``max_delay``, then
+    scaled by a jitter factor uniform in ``[1-jitter, 1+jitter]``.
+    Rate-limit rejections multiply the delay by ``rate_limit_factor``
+    first — hammering a throttling endpoint only digs the hole deeper.
+    """
+
+    max_attempts: int = 4
+    base_delay: float = 0.5
+    multiplier: float = 2.0
+    max_delay: float = 30.0
+    jitter: float = 0.25
+    rate_limit_factor: float = 4.0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be at least 1")
+        if self.base_delay < 0 or self.max_delay < 0:
+            raise ValueError("delays must be non-negative")
+        if not 0.0 <= self.jitter < 1.0:
+            raise ValueError("jitter must be within [0, 1)")
+
+    def delay(self, attempt: int, rng, rate_limited: bool = False) -> float:
+        seconds = self.base_delay * (self.multiplier ** attempt)
+        if rate_limited:
+            seconds *= self.rate_limit_factor
+        seconds = min(seconds, self.max_delay)
+        if self.jitter:
+            seconds *= 1.0 + self.jitter * (2.0 * rng.random() - 1.0)
+        return seconds
+
+
+@dataclass(frozen=True)
+class BreakerPolicy:
+    """When a per-source circuit breaker opens and how long it rests.
+
+    Time is counted in *calls*, not seconds: after ``failure_threshold``
+    consecutive failures the breaker opens and fast-fails the next
+    ``cooldown_rejections`` calls, then half-opens to let one trial probe
+    through. Call-counted cooldowns keep the state machine deterministic
+    without tying it to any clock.
+    """
+
+    failure_threshold: int = 3
+    cooldown_rejections: int = 5
+
+    def __post_init__(self) -> None:
+        if self.failure_threshold < 1:
+            raise ValueError("failure_threshold must be at least 1")
+        if self.cooldown_rejections < 0:
+            raise ValueError("cooldown_rejections must be non-negative")
+
+
+class CircuitBreaker:
+    """The classic closed → open → half-open state machine, call-counted."""
+
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half_open"
+
+    def __init__(self, policy: BreakerPolicy = BreakerPolicy()) -> None:
+        self.policy = policy
+        self.state = self.CLOSED
+        self.consecutive_failures = 0
+        self.times_opened = 0
+        self.rejections = 0
+        self._cooldown_left = 0
+
+    def allow(self) -> bool:
+        """May the next call proceed? (Open breakers count down cooldown.)"""
+        if self.state == self.OPEN:
+            if self._cooldown_left > 0:
+                self._cooldown_left -= 1
+                self.rejections += 1
+                return False
+            self.state = self.HALF_OPEN
+        return True
+
+    def record_success(self) -> None:
+        self.consecutive_failures = 0
+        self.state = self.CLOSED
+
+    def record_failure(self) -> bool:
+        """Note a failure; returns True when this one tripped the breaker."""
+        self.consecutive_failures += 1
+        trip = (
+            self.state == self.HALF_OPEN
+            or self.consecutive_failures >= self.policy.failure_threshold
+        )
+        if trip:
+            self.state = self.OPEN
+            self.times_opened += 1
+            self.consecutive_failures = 0
+            self._cooldown_left = self.policy.cooldown_rejections
+        return trip
+
+
+@dataclass
+class Budget:
+    """A bounded pool of remote round trips for one component."""
+
+    limit: Optional[int] = None
+    spent: int = 0
+
+    @property
+    def exhausted(self) -> bool:
+        return self.limit is not None and self.spent >= self.limit
+
+    def charge(self, count: int = 1) -> None:
+        self.spent += count
+
+
+@dataclass
+class DegradationReport:
+    """What a run paid to survive faults, and what it gave up.
+
+    Attached to :class:`~repro.core.pipeline.WebIQRunResult` when a
+    resilience configuration is active; ``degraded`` distinguishes "some
+    calls needed retries but everything completed" from "results are
+    partial" (give-ups, tripped breakers, exhausted budgets, skipped
+    attributes).
+    """
+
+    #: fault kind value -> injections (e.g. ``{"timeout": 12}``); fed by the
+    #: flaky wrappers' ``on_fault`` hook, so silent ``garbled`` faults count
+    faults_by_kind: Dict[str, int] = field(default_factory=dict)
+    #: component -> raised faults observed while it was active
+    faults_by_component: Dict[str, int] = field(default_factory=dict)
+    #: component -> retries issued (a call retried twice counts two)
+    retries_by_component: Dict[str, int] = field(default_factory=dict)
+    #: component -> simulated seconds spent waiting in backoff
+    backoff_seconds_by_component: Dict[str, float] = field(default_factory=dict)
+    #: component -> calls abandoned after the last retry failed
+    giveups_by_component: Dict[str, int] = field(default_factory=dict)
+    #: source id -> times its breaker tripped open
+    breaker_trips: Dict[str, int] = field(default_factory=dict)
+    #: source id -> calls fast-failed while its breaker was open
+    breaker_rejections: Dict[str, int] = field(default_factory=dict)
+    #: components whose budget ran dry, in the order it happened
+    budgets_exhausted: List[str] = field(default_factory=list)
+    #: (interface_id, attribute) pairs skipped once a budget was gone
+    attributes_skipped: List[Tuple[str, str]] = field(default_factory=list)
+
+    # ------------------------------------------------------------ queries
+    @property
+    def total_faults(self) -> int:
+        return sum(self.faults_by_kind.values())
+
+    @property
+    def total_retries(self) -> int:
+        return sum(self.retries_by_component.values())
+
+    @property
+    def total_backoff_seconds(self) -> float:
+        return sum(self.backoff_seconds_by_component.values())
+
+    @property
+    def degraded(self) -> bool:
+        """Did the run give anything up (as opposed to merely retrying)?"""
+        return bool(
+            self.giveups_by_component
+            or self.breaker_trips
+            or self.budgets_exhausted
+            or self.attributes_skipped
+        )
+
+    @property
+    def empty(self) -> bool:
+        return (
+            self.total_faults == 0
+            and self.total_retries == 0
+            and not self.faults_by_component
+            and not self.degraded
+        )
+
+    def summary(self) -> str:
+        """Human-readable multi-line account, for the CLI."""
+        lines = ["degradation report:"]
+        kinds = ", ".join(
+            f"{kind} {count}"
+            for kind, count in sorted(self.faults_by_kind.items())
+        )
+        lines.append(
+            f"  faults seen: {self.total_faults}"
+            + (f" ({kinds})" if kinds else "")
+        )
+        for component in sorted(self.retries_by_component):
+            lines.append(
+                f"  retries[{component}]: "
+                f"{self.retries_by_component[component]} "
+                f"(backoff "
+                f"{self.backoff_seconds_by_component.get(component, 0.0):.1f}s)"
+            )
+        for component in sorted(self.giveups_by_component):
+            lines.append(
+                f"  gave up[{component}]: {self.giveups_by_component[component]}"
+            )
+        for source_id in sorted(self.breaker_trips):
+            lines.append(
+                f"  breaker[{source_id}]: "
+                f"{self.breaker_trips[source_id]} trips, "
+                f"{self.breaker_rejections.get(source_id, 0)} fast-fails"
+            )
+        if self.budgets_exhausted:
+            lines.append(
+                "  budgets exhausted: " + ", ".join(self.budgets_exhausted)
+            )
+        if self.attributes_skipped:
+            lines.append(
+                f"  attributes skipped: {len(self.attributes_skipped)}"
+            )
+        if self.empty:
+            lines.append("  (no faults observed)")
+        return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class ResilienceConfig:
+    """Everything the resilience layer needs for one pipeline run."""
+
+    profile: FaultProfile = field(default_factory=FaultProfile)
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
+    breaker: BreakerPolicy = field(default_factory=BreakerPolicy)
+    #: per-component round-trip budgets; ``None`` means unbounded
+    surface_query_budget: Optional[int] = None
+    attr_surface_query_budget: Optional[int] = None
+    attr_deep_probe_budget: Optional[int] = None
+
+    def budgets(self) -> Dict[str, Budget]:
+        return {
+            "surface": Budget(self.surface_query_budget),
+            "attr_surface": Budget(self.attr_surface_query_budget),
+            "attr_deep": Budget(self.attr_deep_probe_budget),
+        }
+
+
+class ResilientClient:
+    """Shared retry/breaker/budget engine for one pipeline run."""
+
+    def __init__(self, config: ResilienceConfig = ResilienceConfig()) -> None:
+        self.config = config
+        self.report = DegradationReport()
+        self._budgets = config.budgets()
+        self._breakers: Dict[str, CircuitBreaker] = {}
+        self._rng = derive_rng(config.profile.seed, "resilience", "backoff")
+        self._active_component: Optional[str] = None
+
+    # ------------------------------------------------------------- context
+    @contextmanager
+    def component(self, name: str) -> Iterator[None]:
+        """Attribute calls (budgets, accounting) to component ``name``."""
+        previous = self._active_component
+        self._active_component = name
+        try:
+            yield
+        finally:
+            self._active_component = previous
+
+    @property
+    def active_component(self) -> str:
+        return self._active_component or DEFAULT_COMPONENT
+
+    def budget_exhausted(self, component: str) -> bool:
+        budget = self._budgets.get(component)
+        return budget is not None and budget.exhausted
+
+    def breaker_for(self, source_id: str) -> CircuitBreaker:
+        breaker = self._breakers.get(source_id)
+        if breaker is None:
+            breaker = CircuitBreaker(self.config.breaker)
+            self._breakers[source_id] = breaker
+        return breaker
+
+    def skip_attribute(self, interface_id: str, attribute: str) -> None:
+        """Record that an attribute was skipped outright (budget gone)."""
+        self.report.attributes_skipped.append((interface_id, attribute))
+
+    def note_injected_fault(self, kind: FaultKind) -> None:
+        """Hook for the flaky wrappers' ``on_fault`` callback."""
+        self._bump(self.report.faults_by_kind, kind.value)
+
+    # ----------------------------------------------------------- the loop
+    def call(
+        self,
+        fn: Callable[[], T],
+        source_id: Optional[str] = None,
+    ) -> T:
+        """Run ``fn`` under retry/breaker/budget policy.
+
+        Raises :class:`CircuitOpenError` when the source's breaker rejects
+        the call, :class:`BudgetExhaustedError` when the component's budget
+        is spent, or the last :class:`WebAccessError` once retries are
+        exhausted. Anything else ``fn`` raises (e.g. a ``KeyError``
+        programming error) propagates untouched.
+        """
+        component = self.active_component
+        budget = self._budgets.get(component)
+        breaker = self.breaker_for(source_id) if source_id else None
+
+        if breaker is not None and not breaker.allow():
+            self._bump(self.report.breaker_rejections, source_id)
+            raise CircuitOpenError(f"breaker open for source {source_id}")
+
+        retry = self.config.retry
+        for attempt in range(retry.max_attempts):
+            if budget is not None and budget.exhausted:
+                if component not in self.report.budgets_exhausted:
+                    self.report.budgets_exhausted.append(component)
+                raise BudgetExhaustedError(
+                    f"{component} budget of {budget.limit} round trips spent"
+                )
+            if budget is not None:
+                budget.charge()
+            try:
+                result = fn()
+            except WebAccessError as exc:
+                self._note_fault(component, exc)
+                if breaker is not None and breaker.record_failure():
+                    self._bump(self.report.breaker_trips, source_id)
+                    raise CircuitOpenError(
+                        f"breaker tripped for source {source_id}"
+                    ) from exc
+                if attempt + 1 >= retry.max_attempts:
+                    self._bump(self.report.giveups_by_component, component)
+                    raise
+                seconds = retry.delay(
+                    attempt, self._rng,
+                    rate_limited=isinstance(exc, RateLimitError),
+                )
+                self._bump(self.report.retries_by_component, component)
+                self.report.backoff_seconds_by_component[component] = (
+                    self.report.backoff_seconds_by_component.get(component, 0.0)
+                    + seconds
+                )
+                continue
+            if breaker is not None:
+                breaker.record_success()
+            return result
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    # ---------------------------------------------------------- internals
+    def _note_fault(self, component: str, exc: WebAccessError) -> None:
+        self._bump(self.report.faults_by_component, component)
+
+    @staticmethod
+    def _bump(counter: Dict[str, int], key: str) -> None:
+        counter[key] = counter.get(key, 0) + 1
+
+
+class ResilientSearchEngine:
+    """Search-engine proxy that retries faults and degrades to emptiness.
+
+    Wraps any engine-shaped object (typically a
+    :class:`~repro.resilience.faults.FlakySearchEngine`). Calls the client
+    cannot complete come back as the harmless neutral element of each
+    query type — no results, zero hits — so Surface and Attr-Surface
+    simply see an unhelpful Web rather than an exception.
+    """
+
+    def __init__(self, inner, client: ResilientClient) -> None:
+        self.inner = inner
+        self.client = client
+
+    @property
+    def query_count(self) -> int:
+        return self.inner.query_count
+
+    def reset_query_count(self) -> None:
+        self.inner.reset_query_count()
+
+    @property
+    def n_documents(self) -> int:
+        return self.inner.n_documents
+
+    def search(self, query: str, max_results: int = 10) -> List[SearchResult]:
+        try:
+            return self.client.call(lambda: self.inner.search(query, max_results))
+        except (WebAccessError, CircuitOpenError, BudgetExhaustedError):
+            return []
+
+    def num_hits(self, query: str) -> int:
+        try:
+            return self.client.call(lambda: self.inner.num_hits(query))
+        except (WebAccessError, CircuitOpenError, BudgetExhaustedError):
+            return 0
+
+    def num_hits_proximity(
+        self,
+        phrase_a: str,
+        phrase_b: str,
+        window: int = DEFAULT_PROXIMITY_WINDOW,
+    ) -> int:
+        try:
+            return self.client.call(
+                lambda: self.inner.num_hits_proximity(phrase_a, phrase_b, window)
+            )
+        except (WebAccessError, CircuitOpenError, BudgetExhaustedError):
+            return 0
+
+
+#: The page a resilient source serves when a probe is abandoned. Contains
+#: explicit failure markers so the §4 heuristics classify it as a failed
+#: submission — an unreachable source must never validate a value.
+_UNAVAILABLE_TEXT = (
+    "Error\n"
+    "Service temporarily unavailable. No results could be retrieved.\n"
+    "Please try again later."
+)
+
+
+class ResilientDeepWebSource:
+    """Deep-Web source proxy: retries, per-source breaker, degrade-to-page.
+
+    Abandoned probes return a synthetic "service unavailable" page instead
+    of raising, mirroring how a browser user experiences a dead source —
+    they still get *a* page, just not a useful one.
+    """
+
+    def __init__(self, inner, client: ResilientClient) -> None:
+        self.inner = inner
+        self.client = client
+
+    @property
+    def interface(self):
+        return self.inner.interface
+
+    @property
+    def interface_id(self) -> str:
+        return self.inner.interface.interface_id
+
+    @property
+    def probe_count(self) -> int:
+        return self.inner.probe_count
+
+    @probe_count.setter
+    def probe_count(self, value: int) -> None:
+        self.inner.probe_count = value
+
+    @property
+    def breaker(self) -> CircuitBreaker:
+        return self.client.breaker_for(self.interface_id)
+
+    def recognizes(self, attribute_name: str, value: str) -> bool:
+        return self.inner.recognizes(attribute_name, value)
+
+    def submit(self, values: Mapping[str, str]) -> ResponsePage:
+        try:
+            return self.client.call(
+                lambda: self.inner.submit(values), source_id=self.interface_id
+            )
+        except (WebAccessError, CircuitOpenError, BudgetExhaustedError):
+            return ResponsePage(
+                f"deep://{self.interface_id}/unavailable", _UNAVAILABLE_TEXT
+            )

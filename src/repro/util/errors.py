@@ -28,3 +28,35 @@ class ValidationError(ReproError):
     Used for contract violations that are recoverable by the caller, e.g.
     asking a classifier to predict before it has been trained.
     """
+
+
+class WebAccessError(ReproError):
+    """A remote Web access (search query or form submission) failed.
+
+    Base class of the fault family injected by :mod:`repro.resilience`;
+    every subclass represents a failure mode that a retry may cure, which
+    is why :class:`repro.resilience.ResilientClient` catches exactly this
+    type in its retry loop.
+    """
+
+
+class TransientWebError(WebAccessError):
+    """A transient server-side failure (the 5xx family: bad gateway, ...)."""
+
+
+class RateLimitError(WebAccessError):
+    """The remote endpoint rejected the request for quota reasons (429)."""
+
+
+class WebTimeoutError(WebAccessError):
+    """The remote endpoint did not answer within the deadline."""
+
+
+class CircuitOpenError(ReproError):
+    """A call was rejected locally because the target's circuit breaker is
+    open — the source has failed repeatedly and is being rested instead of
+    consuming more of the probe budget."""
+
+
+class BudgetExhaustedError(ReproError):
+    """A component's query/probe budget is spent; the call was not sent."""

@@ -95,6 +95,31 @@ class TestSubmit:
         source.submit({"from": "Miami"})
         assert source.probe_count == 2
 
+    def test_unknown_attribute_probe_not_counted(self):
+        # A KeyError submission never reached the source: Figure 8's probe
+        # accounting must not charge for it.
+        source = make_source()
+        with pytest.raises(KeyError):
+            source.submit({"nope": "x"})
+        assert source.probe_count == 0
+
+    def test_missing_required_message_deterministic(self):
+        # With several required fields missing, the complaint names the
+        # alphabetically first one — not whichever set iteration yields.
+        for _ in range(20):
+            source = make_source(required=["to", "from"])
+            page = source.submit({"keywords": "cheap"})
+            assert "'From'" in page.text
+
+    def test_select_domain_cache_consistent(self):
+        source = make_source()
+        assert source.recognizes("class", "ECONOMY")
+        assert source.recognizes("class", "economy")
+        assert not source.recognizes("class", "First")
+        # repeated probes reuse the cached domain and agree with the first
+        assert source.recognizes("class", "Business")
+        assert source.recognizes("class", "Business")
+
     def test_conjunctive_record_matching(self):
         source = make_source()
         page = source.submit({"from": "Boston", "to": "Chicago"})

@@ -16,6 +16,7 @@ from repro.datasets import build_domain_dataset
 from repro.datasets.corpus import CorpusConfig
 from repro.datasets.sources import SourceConfig
 from repro.deepweb.models import Attribute
+from repro.resilience import FaultProfile, ResilienceConfig
 from repro.surfaceweb.document import Document
 from repro.surfaceweb.engine import SearchEngine
 
@@ -90,6 +91,54 @@ class TestHostileSources:
             dataset.interfaces, dataset.spec.keyword_terms(),
             dataset.spec.object_name)
         assert report.attr_deep_probes == 0
+
+
+class TestInjectedWebFaults:
+    """The full pipeline under the resilience layer's fault profiles."""
+
+    def test_pipeline_survives_30_percent_faults(self):
+        config = WebIQConfig(resilience=ResilienceConfig(
+            profile=FaultProfile(fault_rate=0.3, seed=7)))
+        dataset = build_domain_dataset("book", n_interfaces=5, seed=2)
+        result = WebIQMatcher(config).run(dataset)  # must not raise
+        assert result.metrics.f1 > 0
+        degradation = result.degradation
+        assert degradation is not None
+        assert degradation.total_faults > 0
+        assert degradation.total_retries > 0
+        # retry latency is charged to the stopwatch's *_retry accounts
+        retry_accounts = [
+            account
+            for account in result.stopwatch.seconds_by_account
+            if account.endswith("_retry")
+        ]
+        assert retry_accounts
+        assert sum(
+            result.stopwatch.seconds(account) for account in retry_accounts
+        ) == pytest.approx(degradation.total_backoff_seconds)
+
+    def test_pipeline_survives_total_web_outage(self):
+        # Every remote call fails: acquisition yields nothing, matching
+        # still runs on the interfaces' pre-defined evidence.
+        config = WebIQConfig(resilience=ResilienceConfig(
+            profile=FaultProfile(fault_rate=1.0, garbled_weight=0.0)))
+        dataset = build_domain_dataset("book", n_interfaces=5, seed=2)
+        result = WebIQMatcher(config).run(dataset)
+        assert 0.0 < result.metrics.f1 <= 1.0
+        assert result.acquisition.surface_success_rate == 0.0
+        assert result.degradation.degraded
+
+    def test_faults_skew_but_do_not_break_figure8_accounting(self):
+        config = WebIQConfig(resilience=ResilienceConfig(
+            profile=FaultProfile(fault_rate=0.3, seed=7)))
+        dataset = build_domain_dataset("book", n_interfaces=5, seed=2)
+        faulted = WebIQMatcher(config).run(dataset)
+        clean = WebIQMatcher(WebIQConfig()).run(
+            build_domain_dataset("book", n_interfaces=5, seed=2))
+        # failed round trips were real round trips: the flaky run can only
+        # charge more simulated time than the pristine one
+        assert (faulted.stopwatch.total_seconds
+                > clean.stopwatch.total_seconds)
 
 
 class TestDegenerateDatasets:
