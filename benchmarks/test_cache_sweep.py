@@ -1,0 +1,120 @@
+"""Cache sweep: what the shared query cache saves, and that it costs nothing.
+
+One domain's pipeline runs with the query cache off and on. The cached run
+must be *bit-identical* in every payload — acquired instances, clusters,
+metrics — while issuing at least 30% fewer real search-engine round trips
+(paper §5 charges each one 0.1–0.5 s, so saved queries are saved Figure 8
+minutes). Process wall-clock is measured and printed for reference; it is
+dominated by simulation work, so only the query reduction is asserted
+hard.
+
+The measured numbers are exported as ``BENCH_cache.json`` (path override:
+``BENCH_CACHE_JSON``) so CI can archive query-reduction trends.
+"""
+
+import json
+import os
+import time
+
+import pytest
+
+from repro.core.pipeline import WebIQConfig, WebIQMatcher
+from repro.datasets import build_domain_dataset
+from repro.perf import CacheConfig
+
+from .conftest import BENCH_SEED, print_table
+
+#: the full 20-interface evaluation set of the domain with the paper's
+#: most label-redundant interfaces — repeated labels re-ask the same
+#: extraction and validation queries, which is the redundancy the cache
+#: exists to absorb
+DOMAIN = "job"
+N_INTERFACES = 20
+#: the ISSUE's floor: the cache must absorb at least this share of queries
+MIN_QUERY_REDUCTION = 0.30
+
+
+def run_once(cache):
+    dataset = build_domain_dataset(DOMAIN, N_INTERFACES, BENCH_SEED)
+    started = time.perf_counter()
+    result = WebIQMatcher(WebIQConfig(cache=cache)).run(dataset)
+    elapsed = time.perf_counter() - started
+    payload = {
+        "instances": {
+            f"{interface.interface_id}/{attribute.name}":
+                list(attribute.acquired)
+            for interface in dataset.interfaces
+            for attribute in interface.attributes
+        },
+        "clusters": sorted(
+            sorted([list(m.key) for m in cluster.members])
+            for cluster in result.match_result.clusters
+        ),
+        "metrics": [
+            result.metrics.precision,
+            result.metrics.recall,
+            result.metrics.f1,
+        ],
+    }
+    return payload, result, dataset.engine.query_count, elapsed
+
+
+@pytest.mark.benchmark(group="cache-sweep")
+def test_cache_sweep(benchmark):
+    uncached_payload, uncached_result, uncached_queries, uncached_secs = \
+        run_once(cache=None)
+    cached_payload, cached_result, cached_queries, cached_secs = \
+        run_once(cache=CacheConfig())
+
+    benchmark.pedantic(lambda: run_once(cache=CacheConfig()),
+                       rounds=1, iterations=1)
+
+    stats = cached_result.cache
+    reduction = 1.0 - cached_queries / uncached_queries
+    speedup = uncached_secs / cached_secs if cached_secs else float("inf")
+    rows = [
+        ("uncached", uncached_queries, "-", "-",
+         f"{uncached_secs:.2f}", f"{uncached_result.metrics.f1:.3f}"),
+        ("cached", cached_queries, stats.hits,
+         f"{stats.hit_rate:.1%}", f"{cached_secs:.2f}",
+         f"{cached_result.metrics.f1:.3f}"),
+    ]
+    print_table(
+        f"Cache sweep — {DOMAIN}, {N_INTERFACES} interfaces "
+        f"({reduction:.1%} fewer real queries, {speedup:.2f}x wall-clock)",
+        ("run", "real queries", "hits", "hit rate", "seconds", "F1"),
+        rows,
+    )
+
+    # The cache may never change an answer, only avoid re-asking.
+    assert cached_payload == uncached_payload
+
+    # The ISSUE's floor: at least 30% of real round trips absorbed.
+    assert reduction >= MIN_QUERY_REDUCTION, (
+        f"cache absorbed only {reduction:.1%} of queries "
+        f"({uncached_queries} -> {cached_queries})")
+
+    # Simulated overhead (Figure 8's currency) can only shrink.
+    assert cached_result.stopwatch.total_seconds <= \
+        uncached_result.stopwatch.total_seconds
+
+    out_path = os.environ.get("BENCH_CACHE_JSON", "BENCH_cache.json")
+    with open(out_path, "w") as handle:
+        json.dump({
+            "domain": DOMAIN,
+            "n_interfaces": N_INTERFACES,
+            "seed": BENCH_SEED,
+            "uncached_queries": uncached_queries,
+            "cached_queries": cached_queries,
+            "query_reduction": reduction,
+            "cache_hits": stats.hits,
+            "cache_misses": stats.misses,
+            "hit_rate": stats.hit_rate,
+            "uncached_wall_seconds": uncached_secs,
+            "cached_wall_seconds": cached_secs,
+            "uncached_overhead_minutes":
+                uncached_result.stopwatch.total_minutes,
+            "cached_overhead_minutes": cached_result.stopwatch.total_minutes,
+            "f1": cached_result.metrics.f1,
+        }, handle, indent=2)
+    print(f"wrote {out_path}")

@@ -25,6 +25,7 @@ from repro.datasets import (
     dataset_statistics,
 )
 from repro.matching import IceQMatcher, evaluate_matches
+from repro.perf import CacheConfig, CacheStats
 from repro.resilience import (
     DegradationReport,
     FaultProfile,
@@ -50,5 +51,7 @@ __all__ = [
     "FaultProfile",
     "ResilienceConfig",
     "DegradationReport",
+    "CacheConfig",
+    "CacheStats",
     "__version__",
 ]

@@ -59,6 +59,13 @@ def build_parser() -> argparse.ArgumentParser:
                      help="cap on search-engine round trips per component")
     run.add_argument("--degradation", action="store_true",
                      help="print the full degradation report")
+    run.add_argument("--cache", action=argparse.BooleanOptionalAction,
+                     default=True,
+                     help="memoise repeated search-engine queries "
+                          "(default on; --no-cache issues every query)")
+    run.add_argument("--cache-size", type=int, default=None, metavar="N",
+                     help="LRU capacity of the query cache "
+                          "(default 65536 entries)")
 
     discover = sub.add_parser(
         "discover", help="Surface instance discovery for one label")
@@ -146,6 +153,23 @@ def _resilience_config(args):
     )
 
 
+def _cache_config(args):
+    """Build the run's CacheConfig from CLI flags, or None."""
+    if not args.cache:
+        if args.cache_size is not None:
+            raise SystemExit(
+                "repro run: error: --cache-size conflicts with --no-cache")
+        return None
+    from repro.perf import DEFAULT_CACHE_ENTRIES, CacheConfig
+
+    size = args.cache_size if args.cache_size is not None \
+        else DEFAULT_CACHE_ENTRIES
+    if size < 1:
+        raise SystemExit(
+            f"repro run: error: --cache-size must be at least 1, got {size}")
+    return CacheConfig(max_entries=size)
+
+
 def _cmd_run(args) -> int:
     config = WebIQConfig(
         enable_surface=not (args.baseline or args.no_surface),
@@ -153,6 +177,7 @@ def _cmd_run(args) -> int:
         enable_attr_surface=not (args.baseline or args.no_attr_surface),
         threshold=args.threshold,
         resilience=_resilience_config(args),
+        cache=_cache_config(args),
     )
     for domain in _domains(args):
         dataset = build_domain_dataset(domain, args.interfaces, args.seed)
@@ -173,6 +198,8 @@ def _cmd_run(args) -> int:
                       f"{d.total_retries} retries "
                       f"({d.total_backoff_seconds:.1f}s backoff); "
                       f"use --degradation for details")
+        if result.cache is not None:
+            print(f"  {result.cache.summary()}")
         if args.json:
             from repro.io import dump_run_result
             path = args.json if args.domain != "all" else \

@@ -34,6 +34,7 @@ from repro.core.surface import SurfaceConfig, SurfaceDiscoverer, WebValidator
 from repro.deepweb.models import Attribute, QueryInterface
 from repro.deepweb.source import DeepWebSource
 from repro.matching.similarity import label_similarity, value_similarity, values_similar
+from repro.perf.cache import ValidationCache
 from repro.resilience.client import ResilientClient
 from repro.surfaceweb.engine import SearchEngine
 
@@ -142,18 +143,27 @@ class InstanceAcquirer:
         sources: Dict[str, DeepWebSource],
         config: AcquisitionConfig = AcquisitionConfig(),
         resilience: Optional[ResilientClient] = None,
+        validation_cache: Optional[ValidationCache] = None,
     ) -> None:
         """``engine`` and ``sources`` may be the raw substrates or the
         drop-in resilient proxies from :mod:`repro.resilience`; pass the
         proxies' shared ``resilience`` client to enable per-component
-        budget attribution and graceful budget-exhaustion skipping."""
+        budget attribution and graceful budget-exhaustion skipping.
+
+        ``validation_cache``, when given, is shared by Surface discovery
+        and the Attr-Surface classifier so they reuse each other's hit
+        counts; when ``None`` each validator keeps its own memo (the
+        uncached baseline behaviour)."""
         self.engine = engine
         self.sources = sources
         self.config = config
         self.resilience = resilience
         self._interfaces: List[QueryInterface] = []
-        self._discoverer = SurfaceDiscoverer(engine, config.surface)
-        self._web_validator = WebValidator(engine)
+        self.validation_cache = validation_cache
+        self._discoverer = SurfaceDiscoverer(
+            engine, config.surface, validation_cache=validation_cache
+        )
+        self._web_validator = WebValidator(engine, cache=validation_cache)
         self._attr_surface = AttrSurfaceValidator(
             self._web_validator, config.classifier
         )

@@ -18,6 +18,13 @@ were real round trips), backoff waits are charged to ``<component>_retry``
 accounts, and the resulting :class:`~repro.resilience.DegradationReport`
 rides on the run result — Figure 8's overhead then reflects what surviving
 a flaky Web actually costs.
+
+When a :class:`~repro.perf.CacheConfig` is attached, the search engine is
+additionally wrapped in a :class:`~repro.perf.CachingSearchEngine` sitting
+*above* the resilient proxy: cache hits never reach the retry loop, so
+they consume no query budget, charge no latency, and leave the stopwatch
+untouched — only real round trips bill. The resulting
+:class:`~repro.perf.CacheStats` rides on the run result.
 """
 
 from __future__ import annotations
@@ -34,6 +41,12 @@ from repro.datasets.dataset import DomainDataset
 from repro.matching.clustering import IceQMatcher, MatchResult
 from repro.matching.metrics import MatchMetrics, evaluate_matches
 from repro.matching.similarity import SimilarityConfig
+from repro.perf.cache import (
+    CacheConfig,
+    CacheStats,
+    CachingSearchEngine,
+    ValidationCache,
+)
 from repro.resilience.client import (
     DegradationReport,
     ResilienceConfig,
@@ -69,6 +82,10 @@ class WebIQConfig:
     #: fault injection + retry/breaker/budget policy; ``None`` (default)
     #: runs against the pristine substrates exactly as before
     resilience: Optional[ResilienceConfig] = None
+    #: query-result caching; ``None`` (default) issues every query for
+    #: real. Cached runs are payload-identical to uncached ones — only the
+    #: query counts and overhead accounts shrink.
+    cache: Optional[CacheConfig] = None
 
     @property
     def webiq_enabled(self) -> bool:
@@ -91,6 +108,8 @@ class WebIQRunResult:
     stopwatch: StopwatchReport
     #: present iff the run executed under a resilience configuration
     degradation: Optional[DegradationReport] = None
+    #: present iff the run executed with the query cache enabled
+    cache: Optional[CacheStats] = None
 
     def overhead_minutes(self, account: str) -> float:
         return self.stopwatch.minutes(account)
@@ -111,6 +130,7 @@ class WebIQMatcher:
 
         acquisition: Optional[AcquisitionReport] = None
         degradation: Optional[DegradationReport] = None
+        cache_stats: Optional[CacheStats] = None
         if self.config.webiq_enabled:
             engine = dataset.engine
             sources = dataset.sources
@@ -120,7 +140,9 @@ class WebIQMatcher:
                 profile = self.config.resilience.profile
                 engine = ResilientSearchEngine(
                     FlakySearchEngine(
-                        engine, profile, on_fault=client.note_injected_fault
+                        engine, profile,
+                        on_fault=client.note_injected_fault,
+                        attempt_provider=lambda: client.current_attempt,
                     ),
                     client,
                 )
@@ -134,8 +156,19 @@ class WebIQMatcher:
                     )
                     for source_id, source in sources.items()
                 }
+            validation_cache = None
+            if self.config.cache is not None:
+                # The cache sits ABOVE the resilient proxy: a hit is served
+                # before the retry loop runs, so it consumes no query
+                # budget and charges no latency or backoff.
+                engine = CachingSearchEngine(
+                    engine, self.config.cache.max_entries
+                )
+                cache_stats = engine.stats
+                validation_cache = ValidationCache()
             acquirer = InstanceAcquirer(
-                engine, sources, self.config.acquisition, resilience=client
+                engine, sources, self.config.acquisition,
+                resilience=client, validation_cache=validation_cache,
             )
             acquisition = acquirer.acquire(
                 dataset.interfaces,
@@ -179,4 +212,5 @@ class WebIQMatcher:
             acquisition=acquisition,
             stopwatch=clock.report(),
             degradation=degradation,
+            cache=cache_stats,
         )

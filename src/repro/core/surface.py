@@ -18,6 +18,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.deepweb.models import Attribute, QueryInterface
+from repro.perf.cache import ValidationCache
 from repro.stats.outliers import discordancy_outliers, parse_numeric
 from repro.stats.pmi import mean_pmi, pmi
 from repro.surfaceweb.engine import SearchEngine
@@ -269,7 +270,10 @@ class WebValidator:
       small window) — the candidate may sit anywhere in the completion list
       that follows the cue, not only in first position.
 
-    Marginal hit counts are cached per phrase and per candidate, which is a
+    Marginal and joint hit counts are memoised in a
+    :class:`~repro.perf.cache.ValidationCache` — shared run-wide when the
+    caller passes one, so counts asked during Surface validation are free
+    again during Attr-Surface training and prediction. That reuse is a
     large part of why the two-phase design "greatly reduces the number of
     validation queries posed to search engines".
     """
@@ -277,14 +281,17 @@ class WebValidator:
     #: window (words) within which a cue phrase and a candidate must co-occur
     CUE_WINDOW = 12
 
-    def __init__(self, engine: SearchEngine, scoring: str = "pmi") -> None:
+    def __init__(
+        self,
+        engine: SearchEngine,
+        scoring: str = "pmi",
+        cache: Optional[ValidationCache] = None,
+    ) -> None:
         if scoring not in ("pmi", "hits"):
             raise ValueError(f"unknown scoring {scoring!r}")
         self._engine = engine
         self.scoring = scoring
-        self._phrase_hits: Dict[str, int] = {}
-        self._candidate_hits: Dict[str, int] = {}
-        self._joint_hits: Dict[Tuple[str, str, int], int] = {}
+        self._cache = cache if cache is not None else ValidationCache()
 
     def validation_phrases(self, label: str,
                            analysis: Optional[LabelAnalysis] = None) -> List[str]:
@@ -328,30 +335,33 @@ class WebValidator:
         system would cache these search-engine round trips identically.
         """
         key = (phrase, candidate.lower(), int(proximity))
-        if key not in self._joint_hits:
+        joints = self._cache.joint_hits
+        if key not in joints:
             if proximity:
                 count = self._engine.num_hits_proximity(
                     phrase, candidate, window=self.CUE_WINDOW)
             else:
                 count = self._engine.num_hits(f'"{phrase} {candidate}"')
-            self._joint_hits[key] = count
-        return self._joint_hits[key]
+            joints[key] = count
+        return joints[key]
 
     def confidence(self, phrases: Sequence[str], candidate: str) -> float:
         """Mean PMI across phrases — the candidate's validation score."""
         return mean_pmi(self.score_vector(phrases, candidate))
 
     def _hits_phrase(self, phrase: str) -> int:
-        if phrase not in self._phrase_hits:
-            self._phrase_hits[phrase] = self._engine.num_hits(f'"{phrase}"')
-        return self._phrase_hits[phrase]
+        hits = self._cache.phrase_hits
+        if phrase not in hits:
+            hits[phrase] = self._engine.num_hits(f'"{phrase}"')
+        return hits[phrase]
 
     def candidate_hits(self, candidate: str) -> int:
         """Cached NumHits of a candidate (its popularity marginal)."""
         low = candidate.lower()
-        if low not in self._candidate_hits:
-            self._candidate_hits[low] = self._engine.num_hits(f'"{low}"')
-        return self._candidate_hits[low]
+        hits = self._cache.candidate_hits
+        if low not in hits:
+            hits[low] = self._engine.num_hits(f'"{low}"')
+        return hits[low]
 
 
 # ---------------------------------------------------------------------------
@@ -386,12 +396,15 @@ class SurfaceDiscoverer:
         engine: SearchEngine,
         config: SurfaceConfig = SurfaceConfig(),
         tagger: Optional[BrillTagger] = None,
+        validation_cache: Optional[ValidationCache] = None,
     ) -> None:
         self.engine = engine
         self.config = config
         self._builder = ExtractionQueryBuilder()
         self._extractor = SnippetExtractor(tagger)
-        self._validator = WebValidator(engine, scoring=config.scoring)
+        self._validator = WebValidator(
+            engine, scoring=config.scoring, cache=validation_cache
+        )
 
     def discover(
         self,

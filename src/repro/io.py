@@ -18,6 +18,7 @@ from repro.core.pipeline import WebIQRunResult
 from repro.datasets.dataset import DomainDataset
 from repro.datasets.interfaces import GroundTruth
 from repro.deepweb.models import Attribute, AttributeKind, QueryInterface
+from repro.perf.cache import CacheStats
 from repro.resilience.client import DegradationReport
 
 __all__ = [
@@ -28,6 +29,7 @@ __all__ = [
     "ground_truth_from_dict",
     "acquisition_report_to_dict",
     "degradation_report_to_dict",
+    "cache_stats_to_dict",
     "run_result_to_dict",
     "dump_dataset",
     "dump_run_result",
@@ -150,6 +152,21 @@ def degradation_report_to_dict(report: DegradationReport) -> Dict[str, Any]:
     }
 
 
+def cache_stats_to_dict(stats: CacheStats) -> Dict[str, Any]:
+    """The query cache's account of round trips saved."""
+    return {
+        "max_entries": stats.max_entries,
+        "hits": stats.hits,
+        "misses": stats.misses,
+        "hit_rate": stats.hit_rate,
+        "evictions": stats.evictions,
+        "stores": stats.stores,
+        "uncacheable": stats.uncacheable,
+        "hits_by_kind": dict(stats.hits_by_kind),
+        "misses_by_kind": dict(stats.misses_by_kind),
+    }
+
+
 def run_result_to_dict(result: WebIQRunResult) -> Dict[str, Any]:
     """A full pipeline run: config, metrics, clusters, overhead."""
     return {
@@ -182,6 +199,11 @@ def run_result_to_dict(result: WebIQRunResult) -> Dict[str, Any]:
         "degradation": (
             degradation_report_to_dict(result.degradation)
             if result.degradation is not None
+            else None
+        ),
+        "cache": (
+            cache_stats_to_dict(result.cache)
+            if result.cache is not None
             else None
         ),
     }

@@ -1,0 +1,277 @@
+"""Shared query-result caching for the Web substrates.
+
+Search-engine round trips dominate WebIQ's cost model (paper §5, Figure 8),
+and the same queries recur constantly: every interface with an "Author"
+attribute issues the same eight extraction queries, every classifier
+trained for a concept re-scores the same popular instances, and the
+Attr-Surface train/predict passes re-ask the marginals the Surface phase
+already asked. This module makes that redundancy free:
+
+- :class:`CachingSearchEngine` — a transparent wrapper memoising
+  ``search`` / ``num_hits`` / ``num_hits_proximity`` by normalised query
+  key in a bounded LRU, with hit/miss/eviction accounting
+  (:class:`CacheStats`);
+- :class:`ValidationCache` — the run-wide memo of marginal and joint hit
+  counts that every :class:`~repro.core.surface.WebValidator` of one
+  pipeline run shares, so phrase/candidate/joint counts are reused across
+  attributes, interfaces, and classifier training vs. prediction;
+- :class:`CacheConfig` — the pipeline-facing knobs.
+
+**Layering.** The cache sits *above* the resilience layer::
+
+    CachingSearchEngine -> ResilientSearchEngine -> FlakySearchEngine -> engine
+
+A cache hit therefore never reaches :class:`~repro.resilience.ResilientClient`:
+it consumes no query budget, charges no retry or backoff accounting, and
+adds nothing to Figure 8's overhead — exactly the behaviour of a real
+system answering from its own cache instead of the network.
+
+**Only successful answers are cached.** A degraded answer (retries
+exhausted, breaker open, budget spent — the resilient proxy's neutral
+``[]``/``0``) and a garbled answer (truncated payload that slipped through
+as a "success") describe the Web's mood, not the query's answer; caching
+one would pin a transient failure for the rest of the run. The wrapper
+detects both through the resilient proxy's ``last_degraded`` flag and the
+flaky wrapper's ``garbled_count``, and simply declines to store.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Any, Dict, Hashable, List, Optional, Tuple
+
+from repro.surfaceweb.engine import DEFAULT_PROXIMITY_WINDOW, SearchResult
+
+__all__ = [
+    "DEFAULT_CACHE_ENTRIES",
+    "CacheConfig",
+    "CacheStats",
+    "LRUCache",
+    "CachingSearchEngine",
+    "ValidationCache",
+    "normalize_query",
+]
+
+#: Default LRU capacity: comfortably holds every distinct query of a
+#: 20-interface domain run while still bounding a long-lived service.
+DEFAULT_CACHE_ENTRIES = 65536
+
+
+def normalize_query(query: str) -> str:
+    """Canonical cache-key form of a query string.
+
+    Case and surrounding/internal whitespace runs are insignificant to the
+    engine (the parser and tokenizer lower-case every term), so queries
+    differing only there share one cache entry.
+    """
+    return " ".join(query.split()).lower()
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/eviction accounting for one cache's lifetime."""
+
+    max_entries: int = DEFAULT_CACHE_ENTRIES
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    stores: int = 0
+    #: answers seen but not stored (degraded / garbled — see module docs)
+    uncacheable: int = 0
+    #: per-query-kind hit/miss split ("search", "num_hits", "proximity")
+    hits_by_kind: Dict[str, int] = field(default_factory=dict)
+    misses_by_kind: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups answered from the cache (0.0 when idle)."""
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def note_hit(self, kind: str) -> None:
+        self.hits += 1
+        self.hits_by_kind[kind] = self.hits_by_kind.get(kind, 0) + 1
+
+    def note_miss(self, kind: str) -> None:
+        self.misses += 1
+        self.misses_by_kind[kind] = self.misses_by_kind.get(kind, 0) + 1
+
+    def summary(self) -> str:
+        """One CLI-ready line, mirroring the degradation report's tone."""
+        return (
+            f"cache: {self.hits} hits / {self.misses} misses "
+            f"({self.hit_rate:.1%} hit rate), {self.evictions} evictions, "
+            f"{self.uncacheable} uncacheable"
+        )
+
+
+class LRUCache:
+    """A bounded mapping evicting the least-recently-used entry.
+
+    Reads refresh recency; writes beyond ``max_entries`` evict from the
+    cold end. Eviction counts flow into the attached :class:`CacheStats`.
+    """
+
+    def __init__(self, max_entries: int, stats: Optional[CacheStats] = None) -> None:
+        if max_entries < 1:
+            raise ValueError("max_entries must be at least 1")
+        self.max_entries = max_entries
+        self.stats = stats if stats is not None else CacheStats(max_entries)
+        self._data: "OrderedDict[Hashable, Any]" = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._data
+
+    def get(self, key: Hashable, default: Any = None) -> Any:
+        if key not in self._data:
+            return default
+        self._data.move_to_end(key)
+        return self._data[key]
+
+    def put(self, key: Hashable, value: Any) -> None:
+        if key in self._data:
+            self._data.move_to_end(key)
+        self._data[key] = value
+        self.stats.stores += 1
+        while len(self._data) > self.max_entries:
+            self._data.popitem(last=False)
+            self.stats.evictions += 1
+
+    def keys(self) -> List[Hashable]:
+        """Keys from least- to most-recently used (for tests/inspection)."""
+        return list(self._data)
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """Pipeline-facing cache knobs (attach to ``WebIQConfig.cache``)."""
+
+    max_entries: int = DEFAULT_CACHE_ENTRIES
+
+    def __post_init__(self) -> None:
+        if self.max_entries < 1:
+            raise ValueError("max_entries must be at least 1")
+
+
+class CachingSearchEngine:
+    """Memoising drop-in wrapper for anything engine-shaped.
+
+    Wraps the raw :class:`~repro.surfaceweb.engine.SearchEngine` or the
+    resilient proxy; components keep calling ``search`` / ``num_hits`` /
+    ``num_hits_proximity`` exactly as before. ``query_count`` delegates to
+    the wrapped engine, so it keeps counting *real* round trips only —
+    cache hits are free by construction, which is what keeps Figure 8's
+    overhead model honest.
+    """
+
+    def __init__(
+        self,
+        inner,
+        max_entries: int = DEFAULT_CACHE_ENTRIES,
+        stats: Optional[CacheStats] = None,
+    ) -> None:
+        self.inner = inner
+        self.stats = stats if stats is not None else CacheStats(max_entries)
+        self._cache = LRUCache(max_entries, self.stats)
+
+    # ------------------------------------------------------- engine facade
+    @property
+    def query_count(self) -> int:
+        return self.inner.query_count
+
+    def reset_query_count(self) -> None:
+        self.inner.reset_query_count()
+
+    @property
+    def n_documents(self) -> int:
+        return self.inner.n_documents
+
+    def search(self, query: str, max_results: int = 10) -> List[SearchResult]:
+        key = ("search", normalize_query(query), max_results)
+        return self._lookup("search", key, lambda: self.inner.search(query, max_results))
+
+    def num_hits(self, query: str) -> int:
+        key = ("num_hits", normalize_query(query))
+        return self._lookup("num_hits", key, lambda: self.inner.num_hits(query))
+
+    def num_hits_proximity(
+        self,
+        phrase_a: str,
+        phrase_b: str,
+        window: int = DEFAULT_PROXIMITY_WINDOW,
+    ) -> int:
+        key = (
+            "proximity",
+            normalize_query(phrase_a),
+            normalize_query(phrase_b),
+            window,
+        )
+        return self._lookup(
+            "proximity",
+            key,
+            lambda: self.inner.num_hits_proximity(phrase_a, phrase_b, window),
+        )
+
+    # ---------------------------------------------------------- internals
+    def _lookup(self, kind: str, key: Tuple, fetch) -> Any:
+        sentinel = object()
+        value = self._cache.get(key, sentinel)
+        if value is not sentinel:
+            self.stats.note_hit(kind)
+            return value
+        self.stats.note_miss(kind)
+        garbled_before = self._garbled_count()
+        value = fetch()
+        if self._answer_is_clean(garbled_before):
+            self._cache.put(key, value)
+        else:
+            self.stats.uncacheable += 1
+        return value
+
+    def _answer_is_clean(self, garbled_before: int) -> bool:
+        """Was the answer a real one (not degraded, not garbled)?"""
+        if getattr(self.inner, "last_degraded", False):
+            return False
+        return self._garbled_count() == garbled_before
+
+    def _garbled_count(self) -> int:
+        """Total garbled faults injected below us (0 on pristine stacks)."""
+        layer = self.inner
+        while layer is not None:
+            count = getattr(layer, "garbled_count", None)
+            if count is not None:
+                return count
+            layer = getattr(layer, "inner", None)
+        return 0
+
+
+class ValidationCache:
+    """Run-wide memo of validation hit counts.
+
+    One instance is shared by every :class:`~repro.core.surface.WebValidator`
+    of a pipeline run (the Surface discoverer's and the Attr-Surface
+    classifier's), replacing the per-validator dicts that used to silo the
+    counts: a phrase marginal asked during Surface validation is now free
+    when Attr-Surface training asks it again. Keys are lower-cased; joints
+    key on ``(phrase, candidate, proximity)`` because the adjacency and
+    windowed queries answer different questions.
+    """
+
+    def __init__(self) -> None:
+        self.phrase_hits: Dict[str, int] = {}
+        self.candidate_hits: Dict[str, int] = {}
+        self.joint_hits: Dict[Tuple[str, str, int], int] = {}
+
+    def __len__(self) -> int:
+        return (
+            len(self.phrase_hits)
+            + len(self.candidate_hits)
+            + len(self.joint_hits)
+        )

@@ -315,6 +315,10 @@ class ResilientClient:
         self._breakers: Dict[str, CircuitBreaker] = {}
         self._rng = derive_rng(config.profile.seed, "resilience", "backoff")
         self._active_component: Optional[str] = None
+        #: 0-based attempt index of the in-flight :meth:`call`; flaky
+        #: wrappers read it (via ``attempt_provider``) to key per-attempt
+        #: fault fates, so a retry re-rolls where a re-issue replays.
+        self.current_attempt = 0
 
     # ------------------------------------------------------------- context
     @contextmanager
@@ -382,6 +386,7 @@ class ResilientClient:
                 )
             if budget is not None:
                 budget.charge()
+            self.current_attempt = attempt
             try:
                 result = fn()
             except WebAccessError as exc:
@@ -426,11 +431,16 @@ class ResilientSearchEngine:
     cannot complete come back as the harmless neutral element of each
     query type — no results, zero hits — so Surface and Attr-Surface
     simply see an unhelpful Web rather than an exception.
+    ``last_degraded`` records, per call, whether that neutral substitution
+    happened; cache layers above read it to avoid memoising a degraded
+    answer as if it were the query's real one.
     """
 
     def __init__(self, inner, client: ResilientClient) -> None:
         self.inner = inner
         self.client = client
+        #: did the most recent query degrade to a neutral answer?
+        self.last_degraded = False
 
     @property
     def query_count(self) -> int:
@@ -444,15 +454,19 @@ class ResilientSearchEngine:
         return self.inner.n_documents
 
     def search(self, query: str, max_results: int = 10) -> List[SearchResult]:
+        self.last_degraded = False
         try:
             return self.client.call(lambda: self.inner.search(query, max_results))
         except (WebAccessError, CircuitOpenError, BudgetExhaustedError):
+            self.last_degraded = True
             return []
 
     def num_hits(self, query: str) -> int:
+        self.last_degraded = False
         try:
             return self.client.call(lambda: self.inner.num_hits(query))
         except (WebAccessError, CircuitOpenError, BudgetExhaustedError):
+            self.last_degraded = True
             return 0
 
     def num_hits_proximity(
@@ -461,11 +475,13 @@ class ResilientSearchEngine:
         phrase_b: str,
         window: int = DEFAULT_PROXIMITY_WINDOW,
     ) -> int:
+        self.last_degraded = False
         try:
             return self.client.call(
                 lambda: self.inner.num_hits_proximity(phrase_a, phrase_b, window)
             )
         except (WebAccessError, CircuitOpenError, BudgetExhaustedError):
+            self.last_degraded = True
             return 0
 
 

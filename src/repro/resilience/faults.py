@@ -22,11 +22,20 @@ Every faulted call still increments the wrapped substrate's query/probe
 counter: the round trip happened and must be charged to Figure 8's overhead
 accounts, exactly as a failed Google query still cost the paper 0.1-0.5 s.
 
-Fault streams are independent per wrapper (and per source), so whether a
-probe to source A fails never depends on how many queries source B served.
-With ``fault_rate=0.0`` the wrappers are exact pass-throughs: results,
-counters and downstream RNG streams are bit-identical to the unwrapped
-substrates.
+**Fault determinism.** For the search engine, a call's fate is a pure
+function of ``(profile seed, scope, method, arguments, retry attempt)``:
+whether a given query faults depends only on the query itself and on how
+many times it has been retried within one resilient call — never on what
+other queries were issued before it. Re-issuing a query replays the same
+fate sequence. This keeps fault behaviour stable under call reordering and
+composes with the :mod:`repro.perf` cache: answering a repeated query from
+the cache cannot shift the fate of the queries that still reach the
+engine, so cached and uncached runs see the same Web. Deep-Web sources
+keep a sequential per-source stream (probes are stateful submissions, and
+per-source independence — source A's fate never moves with source B's
+traffic — is the property that matters there). With ``fault_rate=0.0``
+the wrappers are exact pass-throughs: results, counters and downstream
+RNG streams are bit-identical to the unwrapped substrates.
 """
 
 from __future__ import annotations
@@ -152,6 +161,14 @@ class FlakySearchEngine:
     ``query_count`` bookkeeping the pipeline reads. Faulted calls raise a
     :class:`~repro.util.errors.WebAccessError` subclass (or, for
     ``garbled``, succeed with truncated snippets / a zero hit count).
+
+    Fates are keyed by call content and retry attempt (see module docs):
+    ``attempt_provider``, when given, supplies the 0-based attempt index of
+    the current resilient call (wire it to
+    :attr:`~repro.resilience.client.ResilientClient.current_attempt`) so
+    that retrying a faulted query re-rolls its fate while re-*issuing* the
+    query later replays it. ``garbled_count`` counts silently-corrupted
+    answers; cache layers read it to refuse to memoise them.
     """
 
     def __init__(
@@ -160,11 +177,14 @@ class FlakySearchEngine:
         profile: FaultProfile,
         scope: str = "engine",
         on_fault: Optional[Callable[[FaultKind], None]] = None,
+        attempt_provider: Optional[Callable[[], int]] = None,
     ) -> None:
         self.inner = inner
         self.profile = profile
         self.on_fault = on_fault
-        self._rng = derive_rng(profile.seed, "faults", scope)
+        self.garbled_count = 0
+        self._scope = scope
+        self._attempt_provider = attempt_provider
 
     # ------------------------------------------------------- engine facade
     @property
@@ -179,7 +199,7 @@ class FlakySearchEngine:
         return self.inner.n_documents
 
     def search(self, query: str, max_results: int = 10) -> List[SearchResult]:
-        kind = self._charge_fault("search")
+        kind = self._charge_fault("search", query, max_results)
         results = self.inner.search(query, max_results)
         if kind is FaultKind.GARBLED:
             return [
@@ -189,7 +209,7 @@ class FlakySearchEngine:
         return results
 
     def num_hits(self, query: str) -> int:
-        kind = self._charge_fault("num_hits")
+        kind = self._charge_fault("num_hits", query)
         hits = self.inner.num_hits(query)
         # A truncated hit-count page reads as "no evidence", not garbage.
         return 0 if kind is FaultKind.GARBLED else hits
@@ -200,17 +220,32 @@ class FlakySearchEngine:
         phrase_b: str,
         window: int = DEFAULT_PROXIMITY_WINDOW,
     ) -> int:
-        kind = self._charge_fault("num_hits_proximity")
+        kind = self._charge_fault("num_hits_proximity", phrase_a, phrase_b,
+                                  window)
         hits = self.inner.num_hits_proximity(phrase_a, phrase_b, window)
         return 0 if kind is FaultKind.GARBLED else hits
 
     # ---------------------------------------------------------- internals
-    def _charge_fault(self, where: str) -> Optional[FaultKind]:
-        """Draw a fault; raising kinds charge the round trip, then raise."""
-        kind = self.profile.draw(self._rng)
+    def _attempt(self) -> int:
+        return self._attempt_provider() if self._attempt_provider else 0
+
+    def _charge_fault(self, where: str, *call_key: object) -> Optional[FaultKind]:
+        """Draw this call's fate; raising kinds charge the trip, then raise.
+
+        The fate RNG is derived fresh per call from the full call identity
+        plus the retry attempt, making it independent of call history.
+        """
+        rng = derive_rng(
+            self.profile.seed, "faults", self._scope, where,
+            self._attempt(), *call_key,
+        )
+        kind = self.profile.draw(rng)
         if kind is not None and self.on_fault is not None:
             self.on_fault(kind)
-        if kind is None or kind is FaultKind.GARBLED:
+        if kind is None:
+            return kind
+        if kind is FaultKind.GARBLED:
+            self.garbled_count += 1
             return kind
         self.inner.query_count += 1  # the failed round trip still happened
         raise error_for_fault(kind, f"search engine {where}")
@@ -235,6 +270,7 @@ class FlakyDeepWebSource:
         self.inner = inner
         self.profile = profile
         self.on_fault = on_fault
+        self.garbled_count = 0
         self._rng = derive_rng(
             profile.seed, "faults", "source", inner.interface.interface_id
         )
@@ -278,5 +314,6 @@ class FlakyDeepWebSource:
             )
         page = self.inner.submit(values)
         if kind is FaultKind.GARBLED:
+            self.garbled_count += 1
             return ResponsePage(page.url, garble_text(page.text))
         return page

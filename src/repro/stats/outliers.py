@@ -35,13 +35,19 @@ STRING_STATISTIC_NAMES: Tuple[str, ...] = (
     "numeric_char_pct",
 )
 
-_NUMERIC_RE = re.compile(r"^\$?\s*-?\d[\d,]*(?:\.\d+)?$")
+#: Digits either run plain ("1994") or group in proper thousands
+#: ("15,200", "1,234,567") — anything else ("1,2,3", "12,34") is not a
+#: number and must not slip through the numeric-type discordancy tests.
+_NUMERIC_RE = re.compile(
+    r"^\$?\s*-?(?:\d{1,3}(?:,\d{3})+|\d+)(?:\.\d+)?$"
+)
 
 
 def parse_numeric(value: str) -> float:
     """Parse a numeric or monetary string ("$15,200" -> 15200.0).
 
-    Raises ``ValueError`` for non-numeric strings.
+    Raises ``ValueError`` for non-numeric strings, including strings with
+    malformed comma placement such as ``"1,2,3"`` or ``"12,34"``.
     """
     text = value.strip()
     if not _NUMERIC_RE.match(text):

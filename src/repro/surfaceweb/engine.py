@@ -146,8 +146,7 @@ class SearchEngine:
                 )
                 return doc.snippet_around(anchor, width=14)
         for term in parsed.required_terms + parsed.plain_terms:
-            postings = self.index.documents_with_term(term)
-            if doc.doc_id in postings:
+            if self.index.term_in_document(term, doc.doc_id):
                 pos = self.index.phrase_positions([term], doc.doc_id)
                 if pos:
                     return doc.snippet_around(pos[0], width=14)

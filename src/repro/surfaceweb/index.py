@@ -54,6 +54,12 @@ class InvertedIndex:
         """Doc-ids containing ``term`` (lower-cased exact match)."""
         return set(self._postings.get(term.lower(), ()))
 
+    def term_in_document(self, term: str, doc_id: int) -> bool:
+        """Does ``term`` occur in ``doc_id``? Direct postings lookup —
+        unlike :meth:`documents_with_term`, no postings set is materialised,
+        so membership tests on the search hot path stay O(1)."""
+        return doc_id in self._postings.get(term.lower(), ())
+
     def term_frequency(self, term: str) -> int:
         """Total occurrences of ``term`` across the corpus."""
         return sum(len(v) for v in self._postings.get(term.lower(), {}).values())
@@ -102,7 +108,10 @@ class InvertedIndex:
         """Doc-ids where both phrases occur within ``window`` words.
 
         The distance is measured between the end of one phrase and the start
-        of the other (order-insensitive); ``window=0`` means adjacency.
+        of the other (order-insensitive); ``window=0`` means adjacency. The
+        two occurrences must not overlap: a phrase nested inside the other
+        (e.g. "city" within "new york city") is one mention, not two
+        co-occurring ones.
         """
         docs_a = self.documents_with_phrase(phrase_a)
         docs_b = self.documents_with_phrase(phrase_b)
@@ -119,12 +128,18 @@ class InvertedIndex:
 def _within_window(
     pos_a: List[int], len_a: int, pos_b: List[int], len_b: int, window: int
 ) -> bool:
-    """True if some occurrence pair is within ``window`` words of each other."""
+    """True if some *non-overlapping* occurrence pair is within ``window``.
+
+    The gap is the number of words strictly between the two spans; a
+    negative gap means the spans overlap and the pair is not a
+    co-occurrence at all (counting it would let a label match inside the
+    candidate itself and inflate PMI proximity counts).
+    """
     for a in pos_a:
         end_a = a + len_a - 1
         for b in pos_b:
             end_b = b + len_b - 1
             gap = max(a - end_b, b - end_a) - 1
-            if gap <= window:
+            if 0 <= gap <= window:
                 return True
     return False

@@ -27,6 +27,14 @@ class TestParser:
             ["run", "--baseline", "--threshold", "0.1"])
         assert args.baseline and args.threshold == 0.1
 
+    def test_cache_flags(self):
+        args = build_parser().parse_args(["run"])
+        assert args.cache is True and args.cache_size is None
+        args = build_parser().parse_args(["run", "--no-cache"])
+        assert args.cache is False
+        args = build_parser().parse_args(["run", "--cache-size", "512"])
+        assert args.cache_size == 512
+
 
 class TestCommands:
     def test_stats_output(self, capsys):
@@ -57,6 +65,37 @@ class TestCommands:
         assert payload["domain"] == "book"
         assert 0.0 <= payload["metrics"]["f1"] <= 1.0
         assert payload["acquisition"]["records"]
+        # cache is on by default: its stats ride along in the export
+        assert payload["cache"]["hits"] >= 0
+        assert payload["cache"]["misses"] > 0
+
+    def test_run_prints_cache_summary_by_default(self, capsys):
+        assert main(["run", "--domain", "book", "--interfaces", "5",
+                     "--seed", "3"]) == 0
+        assert "cache:" in capsys.readouterr().out
+
+    def test_no_cache_runs_without_cache(self, capsys, tmp_path):
+        path = tmp_path / "run.json"
+        assert main(["run", "--domain", "book", "--interfaces", "5",
+                     "--seed", "3", "--no-cache", "--json", str(path)]) == 0
+        assert "cache:" not in capsys.readouterr().out
+        assert json.loads(path.read_text())["cache"] is None
+
+    def test_cache_answers_match_uncached(self, capsys, tmp_path):
+        cached, uncached = tmp_path / "c.json", tmp_path / "u.json"
+        common = ["run", "--domain", "book", "--interfaces", "5",
+                  "--seed", "3", "--json"]
+        assert main(common + [str(cached)]) == 0
+        assert main(common[:-1] + ["--no-cache", "--json", str(uncached)]) == 0
+        a = json.loads(cached.read_text())
+        b = json.loads(uncached.read_text())
+        assert a["metrics"] == b["metrics"]
+        assert a["clusters"] == b["clusters"]
+
+    def test_cache_size_conflicts_with_no_cache(self):
+        with pytest.raises(SystemExit):
+            main(["run", "--domain", "book", "--interfaces", "5",
+                  "--no-cache", "--cache-size", "10"])
 
     def test_discover(self, capsys):
         assert main(["discover", "--domain", "book", "--interfaces", "5",

@@ -1,0 +1,119 @@
+"""Cache-equivalence properties: cached runs change cost, never answers.
+
+The central contract of :mod:`repro.perf`: wrapping the engine in the
+query cache must leave every payload of a pipeline run — acquired
+instances, clusters, accuracy metrics — bit-identical to the uncached
+run, on a pristine Web and on a faulty one. Only the accounting (query
+counts, overhead, backoff) may shrink.
+
+Under faults the guarantee needs the load-dependent safety valves out of
+the way: query budgets unbounded and the breaker threshold out of reach.
+Budgets and breakers react to *traffic volume*, which is exactly what the
+cache changes; with them active, a cached run can legitimately keep a
+source alive that an uncached run tripped. See DESIGN.md.
+"""
+
+import pytest
+
+from repro.core.pipeline import WebIQConfig, WebIQMatcher
+from repro.datasets import build_domain_dataset
+from repro.perf import CacheConfig
+from repro.resilience import BreakerPolicy, FaultProfile, ResilienceConfig
+
+DOMAIN = "book"
+N_INTERFACES = 6
+SEED = 3
+
+
+def run_once(cache, resilience=None):
+    """One full pipeline run; returns (payload, result, real_queries)."""
+    dataset = build_domain_dataset(DOMAIN, N_INTERFACES, SEED)
+    config = WebIQConfig(resilience=resilience, cache=cache)
+    result = WebIQMatcher(config).run(dataset)
+    payload = {
+        "instances": {
+            (interface.interface_id, attribute.name): tuple(attribute.acquired)
+            for interface in dataset.interfaces
+            for attribute in interface.attributes
+        },
+        "clusters": sorted(
+            sorted([list(m.key) for m in cluster.members])
+            for cluster in result.match_result.clusters
+        ),
+        "metrics": (
+            result.metrics.precision,
+            result.metrics.recall,
+            result.metrics.f1,
+            result.metrics.n_predicted,
+            result.metrics.n_truth,
+            result.metrics.n_correct,
+        ),
+    }
+    return payload, result, dataset.engine.query_count
+
+
+def faulty_resilience():
+    # Unbounded budgets, breaker out of reach: the valves that react to
+    # traffic volume are parked so payloads stay comparable (module docs).
+    return ResilienceConfig(
+        profile=FaultProfile(fault_rate=0.15, seed=5),
+        breaker=BreakerPolicy(failure_threshold=10_000),
+    )
+
+
+class TestEquivalencePristine:
+    def test_payload_identical_and_queries_reduced(self):
+        uncached, uncached_result, uncached_queries = run_once(cache=None)
+        cached, cached_result, cached_queries = run_once(cache=CacheConfig())
+
+        assert cached == uncached
+        assert uncached_result.cache is None
+        assert cached_result.cache is not None
+        assert cached_result.cache.hits > 0
+        assert cached_queries < uncached_queries
+
+    def test_cached_run_is_deterministic(self):
+        first, first_result, first_queries = run_once(cache=CacheConfig())
+        second, second_result, second_queries = run_once(cache=CacheConfig())
+        assert first == second
+        assert first_queries == second_queries
+        assert first_result.cache.hits == second_result.cache.hits
+        assert first_result.cache.misses == second_result.cache.misses
+
+    def test_overhead_not_inflated(self):
+        # A cache hit charges nothing: total simulated overhead of the
+        # cached run can only stay or shrink.
+        _, uncached_result, _ = run_once(cache=None)
+        _, cached_result, _ = run_once(cache=CacheConfig())
+        assert cached_result.stopwatch.total_seconds <= \
+            uncached_result.stopwatch.total_seconds
+
+
+class TestEquivalenceUnderFaults:
+    def test_payload_identical_under_faults(self):
+        uncached, uncached_result, uncached_queries = run_once(
+            cache=None, resilience=faulty_resilience())
+        cached, cached_result, cached_queries = run_once(
+            cache=CacheConfig(), resilience=faulty_resilience())
+
+        # The runs saw real faults — this is not the pristine case again.
+        assert uncached_result.degradation.total_faults > 0
+        assert cached == uncached
+        assert cached_result.cache.hits > 0
+        assert cached_queries < uncached_queries
+
+    def test_degraded_and_garbled_answers_stay_uncached(self):
+        _, cached_result, _ = run_once(
+            cache=CacheConfig(), resilience=faulty_resilience())
+        stats = cached_result.cache
+        # Every answer was either stored or deliberately refused; nothing
+        # fell through the accounting.
+        assert stats.stores + stats.uncacheable == stats.misses
+
+    def test_faulty_runs_deterministic(self):
+        first, _, first_queries = run_once(
+            cache=CacheConfig(), resilience=faulty_resilience())
+        second, _, second_queries = run_once(
+            cache=CacheConfig(), resilience=faulty_resilience())
+        assert first == second
+        assert first_queries == second_queries

@@ -149,16 +149,61 @@ class TestFlakySearchEngine:
         assert flaky.query_count == 2
 
     def test_on_fault_hook_sees_every_kind(self):
+        # Fates are keyed by call content, so a repeated identical call
+        # replays one fate forever; distinct queries sample the fate space.
         seen = []
         flaky = FlakySearchEngine(
             make_engine(), FaultProfile(fault_rate=1.0),
             on_fault=seen.append)
-        for _ in range(60):
+        for i in range(60):
             try:
-                flaky.num_hits("boston")
+                flaky.num_hits(f"boston {i}")
             except WebAccessError:
                 pass
         assert set(seen) == set(FaultKind)
+
+    def test_fate_is_pure_function_of_call_content(self):
+        # The same query drawn twice — even with other traffic interleaved —
+        # meets the same fate; this is what makes caching sound under faults.
+        def fates(queries):
+            flaky = FlakySearchEngine(
+                make_engine(), FaultProfile(fault_rate=0.5, seed=7))
+            out = {}
+            for q in queries:
+                try:
+                    flaky.num_hits(q)
+                    out[q] = "ok"
+                except WebAccessError as exc:
+                    out[q] = type(exc).__name__
+            return out
+
+        first = fates(["boston", "chicago", "dallas"])
+        shuffled = fates(["dallas", "extra query", "boston", "chicago"])
+        for query, fate in first.items():
+            assert shuffled[query] == fate
+
+    def test_retry_attempt_rerolls_fate(self):
+        attempt = {"n": 0}
+        flaky = FlakySearchEngine(
+            make_engine(), FaultProfile(fault_rate=0.5, seed=3),
+            attempt_provider=lambda: attempt["n"])
+
+        def fate(query):
+            try:
+                flaky.num_hits(query)
+                return "ok"
+            except WebAccessError as exc:
+                return type(exc).__name__
+
+        per_attempt = []
+        for n in range(40):
+            attempt["n"] = n
+            per_attempt.append(fate("boston"))
+        # Re-rolling across attempts explores different fates...
+        assert len(set(per_attempt)) > 1
+        # ...while the same (query, attempt) pair always replays its own.
+        attempt["n"] = 0
+        assert fate("boston") == per_attempt[0]
 
 
 class TestFlakyDeepWebSource:

@@ -29,6 +29,24 @@ class TestParseNumeric:
         with pytest.raises(ValueError):
             parse_numeric(text)
 
+    @pytest.mark.parametrize("text,value", [
+        ("1,234", 1234.0),
+        ("$1,234,567", 1234567.0),
+        ("1234", 1234.0),
+        ("-1,234.56", -1234.56),
+    ])
+    def test_parses_grouped_thousands(self, text, value):
+        assert parse_numeric(text) == value
+
+    @pytest.mark.parametrize("text", ["1,2,3", "12,34", "1,2345", ",123",
+                                      "1,,234"])
+    def test_rejects_malformed_grouping(self, text):
+        # Regression: the old regex stripped commas before matching, so
+        # "1,2,3" (an enumeration, not a number) parsed as 123.0 and
+        # poisoned the numeric-domain detector.
+        with pytest.raises(ValueError):
+            parse_numeric(text)
+
 
 class TestStringStatistics:
     def test_paper_examples_shape(self):

@@ -51,6 +51,31 @@ class TestSearch:
         assert result.url == "http://b"
         assert result.title == "Cars"
 
+    def test_snippet_term_fallback_snippets(self, engine):
+        # No phrase in the query: the snippet centres on the first matched
+        # plain term instead.
+        snippet = engine.search("honda toyota")[0].snippet
+        assert "Honda" in snippet
+
+    def test_snippet_fallback_avoids_postings_materialisation(self, engine):
+        # Regression: the term fallback used to build the full
+        # documents_with_term set per (term, result) pair just to test one
+        # membership; it must use the O(1) term_in_document lookup.
+        # (Search itself narrows candidates via documents_with_term, so
+        # the assertion targets the snippet step alone.)
+        parsed = engine._parser.parse("honda toyota")
+        doc = engine.index.document(2)
+        calls = []
+        original = engine.index.documents_with_term
+        engine.index.documents_with_term = lambda term: (
+            calls.append(term) or original(term))
+        try:
+            snippet = engine._snippet(doc, parsed)
+        finally:
+            engine.index.documents_with_term = original
+        assert "Honda" in snippet  # the fallback path actually ran
+        assert calls == []
+
 
 class TestNumHits:
     def test_counts_documents_not_occurrences(self, engine):

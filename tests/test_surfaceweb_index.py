@@ -47,6 +47,14 @@ class TestTermQueries:
         index = build_index("a b a", "a c")
         assert index.term_frequency("a") == 3
 
+    def test_term_in_document(self):
+        index = build_index("boston chicago", "chicago miami")
+        assert index.term_in_document("boston", 0)
+        assert not index.term_in_document("boston", 1)
+        assert index.term_in_document("CHICAGO", 1)  # case-insensitive
+        assert not index.term_in_document("tokyo", 0)
+        assert not index.term_in_document("boston", 99)  # unknown doc
+
 
 class TestPhraseQueries:
     def test_phrase_positions(self):
@@ -99,6 +107,33 @@ class TestCooccurrence:
     def test_requires_both(self):
         index = build_index("only make here", "only honda here")
         assert index.cooccurrence_docs(["make"], ["honda"], window=9) == set()
+
+    def test_overlapping_spans_do_not_cooccur(self):
+        # Regression: "city" inside "new york city" is the same text span,
+        # not two phrases near each other. The old gap arithmetic went
+        # negative for overlaps and sailed under any window.
+        index = build_index("visit new york city today")
+        assert index.cooccurrence_docs(
+            ["city"], ["new", "york", "city"], window=5) == set()
+        assert index.cooccurrence_docs(
+            ["new", "york", "city"], ["city"], window=5) == set()
+
+    def test_self_cooccurrence_needs_two_occurrences(self):
+        # One occurrence can never co-occur with itself...
+        single = build_index("the boston office")
+        assert single.cooccurrence_docs(["boston"], ["boston"],
+                                        window=9) == set()
+        # ...two genuinely distinct occurrences still count.
+        double = build_index("boston loves boston")
+        assert double.cooccurrence_docs(["boston"], ["boston"],
+                                        window=1) == {0}
+
+    def test_adjacency_still_counts_after_overlap_fix(self):
+        # gap == 0 (phrases touching) is the §3.2 adjacency pattern and
+        # must keep matching at window=0.
+        index = build_index("departure city boston")
+        assert index.cooccurrence_docs(
+            ["departure", "city"], ["boston"], window=0) == {0}
 
 
 class TestProperties:
