@@ -6,13 +6,16 @@ rates from 0% to 50%: accuracy (F-1) must degrade smoothly — never crash,
 never collapse to zero — while the degradation report and the ``*_retry``
 stopwatch accounts quantify what surviving each rate costs. The 0% row
 doubles as a regression guard: it must be bit-identical to a run without
-the resilience layer at all.
+the resilience layer at all. Every sweep run is instrumented and audited
+by the invariant checker — the conservation laws must hold at every
+fault rate, not just the friendly ones.
 """
 
 import pytest
 
 from repro.core.pipeline import WebIQConfig, WebIQMatcher
 from repro.datasets import build_domain_dataset
+from repro.obs import ObsConfig, check_run
 from repro.resilience import FaultProfile, ResilienceConfig
 
 from .conftest import BENCH_SEED, print_table
@@ -23,10 +26,16 @@ FAULT_RATES = (0.0, 0.1, 0.2, 0.3, 0.5)
 
 
 def run_at(rate: float):
-    config = WebIQConfig(resilience=ResilienceConfig(
-        profile=FaultProfile(fault_rate=rate, seed=BENCH_SEED)))
+    config = WebIQConfig(
+        resilience=ResilienceConfig(
+            profile=FaultProfile(fault_rate=rate, seed=BENCH_SEED)),
+        obs=ObsConfig(),
+    )
     dataset = build_domain_dataset(DOMAIN, N_INTERFACES, BENCH_SEED)
-    return WebIQMatcher(config).run(dataset)
+    result = WebIQMatcher(config).run(dataset)
+    invariants = check_run(result)
+    assert invariants.ok, f"rate {rate:.0%}: {invariants.summary()}"
+    return result
 
 
 @pytest.mark.benchmark(group="fault-sweep")

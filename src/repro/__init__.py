@@ -25,6 +25,13 @@ from repro.datasets import (
     dataset_statistics,
 )
 from repro.matching import IceQMatcher, evaluate_matches
+from repro.obs import (
+    InvariantChecker,
+    InvariantReport,
+    Observability,
+    ObsConfig,
+    check_run,
+)
 from repro.perf import CacheConfig, CacheStats
 from repro.resilience import (
     DegradationReport,
@@ -53,5 +60,10 @@ __all__ = [
     "DegradationReport",
     "CacheConfig",
     "CacheStats",
+    "ObsConfig",
+    "Observability",
+    "InvariantChecker",
+    "InvariantReport",
+    "check_run",
     "__version__",
 ]

@@ -66,6 +66,12 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--cache-size", type=int, default=None, metavar="N",
                      help="LRU capacity of the query cache "
                           "(default 65536 entries)")
+    run.add_argument("--trace", metavar="PATH",
+                     help="trace the run and write the trace + metrics "
+                          "as deterministic JSON")
+    run.add_argument("--metrics", action="store_true",
+                     help="trace the run and print the observability and "
+                          "invariant-check summaries")
 
     discover = sub.add_parser(
         "discover", help="Surface instance discovery for one label")
@@ -170,6 +176,15 @@ def _cache_config(args):
     return CacheConfig(max_entries=size)
 
 
+def _obs_config(args):
+    """Build the run's ObsConfig from CLI flags, or None."""
+    if not (args.trace or args.metrics):
+        return None
+    from repro.obs import ObsConfig
+
+    return ObsConfig()
+
+
 def _cmd_run(args) -> int:
     config = WebIQConfig(
         enable_surface=not (args.baseline or args.no_surface),
@@ -178,6 +193,7 @@ def _cmd_run(args) -> int:
         threshold=args.threshold,
         resilience=_resilience_config(args),
         cache=_cache_config(args),
+        obs=_obs_config(args),
     )
     for domain in _domains(args):
         dataset = build_domain_dataset(domain, args.interfaces, args.seed)
@@ -200,6 +216,19 @@ def _cmd_run(args) -> int:
                       f"use --degradation for details")
         if result.cache is not None:
             print(f"  {result.cache.summary()}")
+        if result.obs is not None:
+            from repro.obs import check_run
+            print(f"  {result.obs.summary()}")
+            print(f"  {check_run(result).summary()}")
+        if args.trace:
+            import json as _json
+            from repro.io import observability_to_dict
+            path = args.trace if args.domain != "all" else \
+                f"{args.trace}.{domain}.json"
+            with open(path, "w") as handle:
+                _json.dump(observability_to_dict(result.obs), handle,
+                           indent=2, sort_keys=True)
+            print(f"  wrote {path}")
         if args.json:
             from repro.io import dump_run_result
             path = args.json if args.domain != "all" else \

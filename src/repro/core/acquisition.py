@@ -24,9 +24,9 @@ paper's intent (donors in its examples already have instances).
 
 from __future__ import annotations
 
-from contextlib import nullcontext
+from contextlib import ExitStack, contextmanager
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
 
 from repro.core.attr_deep import AttrDeepValidator
 from repro.core.attr_surface import AttrSurfaceValidator, ClassifierConfig
@@ -34,9 +34,11 @@ from repro.core.surface import SurfaceConfig, SurfaceDiscoverer, WebValidator
 from repro.deepweb.models import Attribute, QueryInterface
 from repro.deepweb.source import DeepWebSource
 from repro.matching.similarity import label_similarity, value_similarity, values_similar
+from repro.obs.instrument import Observability
 from repro.perf.cache import ValidationCache
 from repro.resilience.client import ResilientClient
 from repro.surfaceweb.engine import SearchEngine
+from repro.util.clock import SimulatedClock
 
 __all__ = [
     "AcquisitionConfig",
@@ -144,6 +146,8 @@ class InstanceAcquirer:
         config: AcquisitionConfig = AcquisitionConfig(),
         resilience: Optional[ResilientClient] = None,
         validation_cache: Optional[ValidationCache] = None,
+        clock: Optional[SimulatedClock] = None,
+        obs: Optional[Observability] = None,
     ) -> None:
         """``engine`` and ``sources`` may be the raw substrates or the
         drop-in resilient proxies from :mod:`repro.resilience`; pass the
@@ -153,11 +157,20 @@ class InstanceAcquirer:
         ``validation_cache``, when given, is shared by Surface discovery
         and the Attr-Surface classifier so they reuse each other's hit
         counts; when ``None`` each validator keeps its own memo (the
-        uncached baseline behaviour)."""
+        uncached baseline behaviour).
+
+        ``clock``, when given, is charged each phase's simulated remote
+        latency as the phase completes (the pipeline used to charge the
+        run's totals at the end; per-phase charging is equivalent — the
+        same per-account count is charged exactly once — but gives
+        observability spans meaningful end timestamps). ``obs`` wraps
+        every phase in a trace span and scopes call attribution."""
         self.engine = engine
         self.sources = sources
         self.config = config
         self.resilience = resilience
+        self.clock = clock
+        self.obs = obs
         self._interfaces: List[QueryInterface] = []
         self.validation_cache = validation_cache
         self._discoverer = SurfaceDiscoverer(
@@ -215,7 +228,7 @@ class InstanceAcquirer:
     def _surface_phase(self, interfaces, domain_keywords, object_name,
                        report: AcquisitionReport) -> None:
         before = self.engine.query_count
-        with self._component("surface"):
+        with self._phase("surface"):
             for interface in interfaces:
                 for attribute in interface.attributes:
                     if attribute.has_instances:
@@ -231,12 +244,15 @@ class InstanceAcquirer:
                     )
                     attribute.acquired.extend(result.instances)
                     record.n_after_surface = self._acquired_count(attribute)
-        report.surface_queries += self.engine.query_count - before
+            queries = self.engine.query_count - before
+            report.surface_queries += queries
+            if self.clock is not None:
+                self.clock.charge_search_query("surface", queries)
 
     # ------------------------------------------------------------ phase 2
     def _borrow_deep_phase(self, interfaces, report: AcquisitionReport) -> None:
         probes_before = self._total_probes()
-        with self._component("attr_deep"):
+        with self._phase("attr_deep"):
             for interface in interfaces:
                 for attribute in interface.attributes:
                     if attribute.has_instances:
@@ -252,7 +268,10 @@ class InstanceAcquirer:
                     record.borrow_deep_attempted = True
                     self._borrow_via_deep(interface, attribute)
                     record.n_after_borrow = self._acquired_count(attribute)
-        report.attr_deep_probes += self._total_probes() - probes_before
+            probes = self._total_probes() - probes_before
+            report.attr_deep_probes += probes
+            if self.clock is not None:
+                self.clock.charge_deep_probe("attr_deep", probes)
 
     def _borrow_via_deep(self, interface: QueryInterface,
                          attribute: Attribute) -> None:
@@ -307,7 +326,7 @@ class InstanceAcquirer:
     # ------------------------------------------------------------ phase 3
     def _borrow_surface_phase(self, interfaces, report: AcquisitionReport) -> None:
         before = self.engine.query_count
-        with self._component("attr_surface"):
+        with self._phase("attr_surface"):
             for interface in interfaces:
                 for attribute in interface.attributes:
                     if not attribute.has_instances:
@@ -322,7 +341,10 @@ class InstanceAcquirer:
                     record.borrow_surface_attempted = True
                     self._borrow_via_surface(interface, attribute)
                     record.n_after_borrow = self._acquired_count(attribute)
-        report.attr_surface_queries += self.engine.query_count - before
+            queries = self.engine.query_count - before
+            report.attr_surface_queries += queries
+            if self.clock is not None:
+                self.clock.charge_search_query("attr_surface", queries)
 
     def _borrow_via_surface(self, interface: QueryInterface,
                             attribute: Attribute) -> None:
@@ -367,11 +389,16 @@ class InstanceAcquirer:
         return [donor for _, donor in scored]
 
     # ------------------------------------------------------------- helpers
-    def _component(self, name: str):
-        """Scope for budget/accounting attribution; no-op without resilience."""
-        if self.resilience is None:
-            return nullcontext()
-        return self.resilience.component(name)
+    @contextmanager
+    def _phase(self, name: str) -> Iterator[None]:
+        """Phase scope: trace span + metrics component (when observed) and
+        budget/accounting attribution (when resilient). No-op otherwise."""
+        with ExitStack() as stack:
+            if self.obs is not None:
+                stack.enter_context(self.obs.phase(name))
+            if self.resilience is not None:
+                stack.enter_context(self.resilience.component(name))
+            yield
 
     def _skip_exhausted(self, component: str, interface: QueryInterface,
                         attribute: Attribute) -> bool:

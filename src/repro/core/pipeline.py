@@ -25,10 +25,22 @@ additionally wrapped in a :class:`~repro.perf.CachingSearchEngine` sitting
 they consume no query budget, charge no latency, and leave the stopwatch
 untouched — only real round trips bill. The resulting
 :class:`~repro.perf.CacheStats` rides on the run result.
+
+When an :class:`~repro.obs.ObsConfig` is attached, the run is traced: a
+root ``run`` span with one child span per pipeline phase, observed
+pass-through layers above the cache (``entry``) and above the resilient
+proxy (``transport``), and metrics counters everywhere the other layers
+make a decision. The resulting :class:`~repro.obs.Observability` bundle
+rides on the run result, where the
+:class:`~repro.obs.InvariantChecker` can audit it against the stopwatch,
+degradation and cache accounting. Observation is strictly read-only: with
+``obs=None`` (the default) the pipeline is bit-identical to earlier
+revisions, and with it enabled only the observability artifacts differ.
 """
 
 from __future__ import annotations
 
+from contextlib import ExitStack
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
@@ -41,6 +53,14 @@ from repro.datasets.dataset import DomainDataset
 from repro.matching.clustering import IceQMatcher, MatchResult
 from repro.matching.metrics import MatchMetrics, evaluate_matches
 from repro.matching.similarity import SimilarityConfig
+from repro.obs.instrument import (
+    LAYER_ENTRY,
+    LAYER_TRANSPORT,
+    Observability,
+    ObsConfig,
+    ObservedDeepWebSource,
+    ObservedSearchEngine,
+)
 from repro.perf.cache import (
     CacheConfig,
     CacheStats,
@@ -86,6 +106,9 @@ class WebIQConfig:
     #: real. Cached runs are payload-identical to uncached ones — only the
     #: query counts and overhead accounts shrink.
     cache: Optional[CacheConfig] = None
+    #: run tracing + metrics; ``None`` (default) observes nothing and
+    #: leaves the run bit-identical to an uninstrumented one.
+    obs: Optional[ObsConfig] = None
 
     @property
     def webiq_enabled(self) -> bool:
@@ -110,6 +133,8 @@ class WebIQRunResult:
     degradation: Optional[DegradationReport] = None
     #: present iff the run executed with the query cache enabled
     cache: Optional[CacheStats] = None
+    #: present iff the run executed with observability enabled
+    obs: Optional[Observability] = None
 
     def overhead_minutes(self, account: str) -> float:
         return self.stopwatch.minutes(account)
@@ -127,79 +152,103 @@ class WebIQMatcher:
         dataset.clear_acquired()
         dataset.reset_counters()
         clock = SimulatedClock()
+        obs: Optional[Observability] = None
+        if self.config.obs is not None:
+            obs = Observability(
+                self.config.obs,
+                clock_seconds=lambda: clock.now_seconds,
+            )
 
         acquisition: Optional[AcquisitionReport] = None
         degradation: Optional[DegradationReport] = None
         cache_stats: Optional[CacheStats] = None
-        if self.config.webiq_enabled:
-            engine = dataset.engine
-            sources = dataset.sources
-            client: Optional[ResilientClient] = None
-            if self.config.resilience is not None:
-                client = ResilientClient(self.config.resilience)
-                profile = self.config.resilience.profile
-                engine = ResilientSearchEngine(
-                    FlakySearchEngine(
-                        engine, profile,
-                        on_fault=client.note_injected_fault,
-                        attempt_provider=lambda: client.current_attempt,
-                    ),
-                    client,
+        with ExitStack() as run_scope:
+            if obs is not None:
+                run_scope.enter_context(
+                    obs.tracer.span("run", domain=dataset.domain)
                 )
-                sources = {
-                    source_id: ResilientDeepWebSource(
-                        FlakyDeepWebSource(
-                            source, profile,
+            if self.config.webiq_enabled:
+                engine = dataset.engine
+                sources = dataset.sources
+                client: Optional[ResilientClient] = None
+                if self.config.resilience is not None:
+                    client = ResilientClient(self.config.resilience, obs=obs)
+                    profile = self.config.resilience.profile
+                    engine = ResilientSearchEngine(
+                        FlakySearchEngine(
+                            engine, profile,
                             on_fault=client.note_injected_fault,
+                            attempt_provider=lambda: client.current_attempt,
                         ),
                         client,
                     )
-                    for source_id, source in sources.items()
-                }
-            validation_cache = None
-            if self.config.cache is not None:
-                # The cache sits ABOVE the resilient proxy: a hit is served
-                # before the retry loop runs, so it consumes no query
-                # budget and charges no latency or backoff.
-                engine = CachingSearchEngine(
-                    engine, self.config.cache.max_entries
+                    sources = {
+                        source_id: ResilientDeepWebSource(
+                            FlakyDeepWebSource(
+                                source, profile,
+                                on_fault=client.note_injected_fault,
+                            ),
+                            client,
+                        )
+                        for source_id, source in sources.items()
+                    }
+                if obs is not None:
+                    # Transport layer: everything crossing here heads for
+                    # the (possibly flaky) Web — cache hits never do.
+                    engine = ObservedSearchEngine(engine, obs, LAYER_TRANSPORT)
+                    sources = {
+                        source_id: ObservedDeepWebSource(source, obs)
+                        for source_id, source in sources.items()
+                    }
+                validation_cache = None
+                if self.config.cache is not None:
+                    # The cache sits ABOVE the resilient proxy: a hit is
+                    # served before the retry loop runs, so it consumes no
+                    # query budget and charges no latency or backoff.
+                    engine = CachingSearchEngine(
+                        engine, self.config.cache.max_entries, obs=obs
+                    )
+                    cache_stats = engine.stats
+                    validation_cache = ValidationCache()
+                if obs is not None:
+                    # Entry layer: every call a component issues, whether
+                    # the cache answers it or not.
+                    engine = ObservedSearchEngine(engine, obs, LAYER_ENTRY)
+                acquirer = InstanceAcquirer(
+                    engine, sources, self.config.acquisition,
+                    resilience=client, validation_cache=validation_cache,
+                    clock=clock, obs=obs,
                 )
-                cache_stats = engine.stats
-                validation_cache = ValidationCache()
-            acquirer = InstanceAcquirer(
-                engine, sources, self.config.acquisition,
-                resilience=client, validation_cache=validation_cache,
-            )
-            acquisition = acquirer.acquire(
-                dataset.interfaces,
-                domain_keywords=dataset.spec.keyword_terms(),
-                object_name=dataset.spec.object_name,
-                enable_surface=self.config.enable_surface,
-                enable_attr_deep=self.config.enable_attr_deep,
-                enable_attr_surface=self.config.enable_attr_surface,
-            )
-            clock.charge_search_query("surface", acquisition.surface_queries)
-            clock.charge_search_query(
-                "attr_surface", acquisition.attr_surface_queries
-            )
-            clock.charge_deep_probe("attr_deep", acquisition.attr_deep_probes)
-            if client is not None:
-                degradation = client.report
-                # Backoff waits are real wall time to a live system; charge
-                # them so Figure 8's overhead reflects the retry cost.
-                backoff = degradation.backoff_seconds_by_component
-                for component, seconds in sorted(backoff.items()):
-                    clock.charge_seconds(f"{component}_retry", seconds)
+                acquisition = acquirer.acquire(
+                    dataset.interfaces,
+                    domain_keywords=dataset.spec.keyword_terms(),
+                    object_name=dataset.spec.object_name,
+                    enable_surface=self.config.enable_surface,
+                    enable_attr_deep=self.config.enable_attr_deep,
+                    enable_attr_surface=self.config.enable_attr_surface,
+                )
+                if client is not None:
+                    degradation = client.report
+                    # Backoff waits are real wall time to a live system;
+                    # charge them so Figure 8 reflects the retry cost.
+                    backoff = degradation.backoff_seconds_by_component
+                    for component, seconds in sorted(backoff.items()):
+                        clock.charge_seconds(f"{component}_retry", seconds)
 
-        matcher = IceQMatcher(self.config.similarity, linkage=self.config.linkage)
-        match_result = matcher.match(
-            dataset.interfaces, threshold=self.config.threshold
-        )
-        clock.charge_seconds(
-            "matching",
-            match_result.similarity_evaluations
-            * self.config.matching_seconds_per_evaluation,
-        )
+            matcher = IceQMatcher(
+                self.config.similarity, linkage=self.config.linkage
+            )
+            with ExitStack() as match_scope:
+                if obs is not None:
+                    match_scope.enter_context(obs.phase("matching"))
+                match_result = matcher.match(
+                    dataset.interfaces, threshold=self.config.threshold
+                )
+                clock.charge_seconds(
+                    "matching",
+                    match_result.similarity_evaluations
+                    * self.config.matching_seconds_per_evaluation,
+                )
 
         metrics = evaluate_matches(
             match_result.match_pairs(), dataset.ground_truth.match_pairs()
@@ -213,4 +262,5 @@ class WebIQMatcher:
             stopwatch=clock.report(),
             degradation=degradation,
             cache=cache_stats,
+            obs=obs,
         )

@@ -18,6 +18,7 @@ from repro.core.pipeline import WebIQRunResult
 from repro.datasets.dataset import DomainDataset
 from repro.datasets.interfaces import GroundTruth
 from repro.deepweb.models import Attribute, AttributeKind, QueryInterface
+from repro.obs.instrument import Observability
 from repro.perf.cache import CacheStats
 from repro.resilience.client import DegradationReport
 
@@ -30,9 +31,11 @@ __all__ = [
     "acquisition_report_to_dict",
     "degradation_report_to_dict",
     "cache_stats_to_dict",
+    "observability_to_dict",
     "run_result_to_dict",
     "dump_dataset",
     "dump_run_result",
+    "load_run_result",
 ]
 
 
@@ -149,6 +152,7 @@ def degradation_report_to_dict(report: DegradationReport) -> Dict[str, Any]:
         "breaker_rejections": dict(report.breaker_rejections),
         "budgets_exhausted": list(report.budgets_exhausted),
         "attributes_skipped": [list(pair) for pair in report.attributes_skipped],
+        "budget_spent_by_component": dict(report.budget_spent_by_component),
     }
 
 
@@ -164,6 +168,19 @@ def cache_stats_to_dict(stats: CacheStats) -> Dict[str, Any]:
         "uncacheable": stats.uncacheable,
         "hits_by_kind": dict(stats.hits_by_kind),
         "misses_by_kind": dict(stats.misses_by_kind),
+    }
+
+
+def observability_to_dict(obs: Observability) -> Dict[str, Any]:
+    """The run's trace and metrics, ready for byte-stable JSON.
+
+    Both halves export deterministically (logical sequence numbers,
+    simulated-clock timestamps, sorted metric rows), so serialising with
+    ``sort_keys=True`` makes byte equality across runs meaningful.
+    """
+    return {
+        "trace": obs.tracer.export(),
+        "metrics": obs.metrics.export(),
     }
 
 
@@ -191,6 +208,7 @@ def run_result_to_dict(result: WebIQRunResult) -> Dict[str, Any]:
             for cluster in result.match_result.clusters
         ],
         "overhead_seconds": dict(result.stopwatch.seconds_by_account),
+        "overhead_queries": dict(result.stopwatch.queries_by_account),
         "acquisition": (
             acquisition_report_to_dict(result.acquisition)
             if result.acquisition is not None
@@ -206,6 +224,11 @@ def run_result_to_dict(result: WebIQRunResult) -> Dict[str, Any]:
             if result.cache is not None
             else None
         ),
+        "observability": (
+            observability_to_dict(result.obs)
+            if result.obs is not None
+            else None
+        ),
     }
 
 
@@ -218,4 +241,14 @@ def dump_dataset(dataset: DomainDataset, path: str) -> None:
 def dump_run_result(result: WebIQRunResult, path: str) -> None:
     """Write a pipeline run as JSON to ``path``."""
     with open(path, "w") as handle:
-        json.dump(run_result_to_dict(result), handle, indent=2)
+        json.dump(run_result_to_dict(result), handle, indent=2, sort_keys=True)
+
+
+def load_run_result(path: str) -> Dict[str, Any]:
+    """Read back a :func:`dump_run_result` payload (as plain dicts).
+
+    The corpus-backed objects are not reconstructed — the payload is the
+    archival form; tests use it to assert the dump was lossless for the
+    accounting layers (degradation, cache, trace, metrics)."""
+    with open(path) as handle:
+        return json.load(handle)

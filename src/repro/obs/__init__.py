@@ -1,0 +1,57 @@
+"""Run-trace observability: tracer, metrics, and the invariant oracle.
+
+``repro.obs`` watches a pipeline run from inside the Web stack and turns
+what it sees into three artifacts:
+
+- a deterministic **trace** (:class:`~repro.obs.trace.Tracer`) — phase
+  spans and per-call events timestamped from the run's simulated clock;
+- a **metrics registry** (:class:`~repro.obs.metrics.MetricsRegistry`) —
+  labelled counters/gauges/histograms over calls, round trips, retries
+  and cache outcomes;
+- an **invariant report**
+  (:class:`~repro.obs.invariants.InvariantChecker`) — cross-layer
+  conservation laws relating the trace and metrics to the stopwatch,
+  degradation and cache accounting, making every run a correctness test
+  of the whole stack.
+
+Attach an :class:`ObsConfig` to ``WebIQConfig.obs`` to enable; the
+default (``None``) leaves the pipeline bit-identical to an uninstrumented
+run.
+"""
+
+from repro.obs.instrument import (
+    LAYER_ENTRY,
+    LAYER_TRANSPORT,
+    Observability,
+    ObsConfig,
+    ObservedDeepWebSource,
+    ObservedSearchEngine,
+)
+from repro.obs.invariants import (
+    InvariantChecker,
+    InvariantReport,
+    InvariantViolation,
+    check_run,
+)
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.trace import Span, TraceEvent, Tracer
+
+__all__ = [
+    "ObsConfig",
+    "Observability",
+    "ObservedSearchEngine",
+    "ObservedDeepWebSource",
+    "LAYER_ENTRY",
+    "LAYER_TRANSPORT",
+    "Tracer",
+    "Span",
+    "TraceEvent",
+    "MetricsRegistry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "InvariantChecker",
+    "InvariantReport",
+    "InvariantViolation",
+    "check_run",
+]

@@ -1,0 +1,252 @@
+"""Observability plumbing: the per-run bundle and the observed wrappers.
+
+:class:`Observability` carries one run's :class:`~repro.obs.trace.Tracer`
+and :class:`~repro.obs.metrics.MetricsRegistry` plus the *component scope*
+(which pipeline phase is currently executing), so instrumentation anywhere
+in the stack can attribute what it sees without threading extra arguments
+through every call.
+
+:class:`ObservedSearchEngine` and :class:`ObservedDeepWebSource` are
+transparent pass-through layers inserted at two depths of the Web stack::
+
+    ObservedSearchEngine(layer="entry")      # what components ask for
+      CachingSearchEngine                    # may answer from memory
+        ObservedSearchEngine(layer="transport")   # what escapes the cache
+          ResilientSearchEngine -> FlakySearchEngine -> SearchEngine
+
+The entry layer counts every call a component issues; the transport layer
+counts the calls that actually head for the (possibly flaky) Web and, by
+differencing the substrate's ``query_count``/``probe_count`` around each
+call, how many *real round trips* the call cost (retries included). Those
+two independent tallies are what give the
+:class:`~repro.obs.invariants.InvariantChecker` its conservation laws:
+entry calls must equal cache hits + misses, transport calls must equal
+cache misses, transport round trips must equal the stopwatch's per-account
+query counts and the resilience budgets' spend.
+
+The wrappers are strictly read-only observers: they consume no randomness,
+swallow no exceptions, and forward every attribute they do not define
+(``last_degraded``, breaker handles, ...) to the wrapped layer, so cached
+and resilient behaviour is bit-identical with or without them.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Any, Iterator, List, Mapping, Optional
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import Tracer
+
+__all__ = [
+    "ObsConfig",
+    "Observability",
+    "ObservedSearchEngine",
+    "ObservedDeepWebSource",
+    "LAYER_ENTRY",
+    "LAYER_TRANSPORT",
+]
+
+#: Layer label of the wrapper components talk to (above any cache).
+LAYER_ENTRY = "entry"
+#: Layer label of the wrapper directly above the resilient proxy /
+#: raw substrate (below any cache): everything here goes to the "Web".
+LAYER_TRANSPORT = "transport"
+
+#: Component label outside any phase scope.
+DEFAULT_COMPONENT = "web"
+
+
+@dataclass(frozen=True)
+class ObsConfig:
+    """Pipeline-facing observability knobs (attach to ``WebIQConfig.obs``).
+
+    ``trace_calls`` controls the per-call trace events (the bulkiest part
+    of a trace); metrics counters and phase spans are always recorded.
+    """
+
+    trace_calls: bool = True
+
+
+class Observability:
+    """One run's tracer + metrics registry + active-component scope."""
+
+    def __init__(
+        self,
+        config: ObsConfig = ObsConfig(),
+        clock_seconds=None,
+    ) -> None:
+        self.config = config
+        self.tracer = Tracer(clock_seconds)
+        self.metrics = MetricsRegistry()
+        self._components: List[str] = []
+
+    # ------------------------------------------------------------- scoping
+    @contextmanager
+    def component(self, name: str) -> Iterator[None]:
+        """Attribute observed calls inside the block to component ``name``."""
+        self._components.append(name)
+        try:
+            yield
+        finally:
+            self._components.pop()
+
+    @property
+    def active_component(self) -> str:
+        return self._components[-1] if self._components else DEFAULT_COMPONENT
+
+    @contextmanager
+    def phase(self, name: str, **attrs: Any) -> Iterator[None]:
+        """A pipeline phase: a trace span plus a component scope."""
+        with self.tracer.span(name, kind="phase", **attrs):
+            with self.component(name):
+                yield
+
+    # ------------------------------------------------------------ recording
+    def record_call(
+        self,
+        layer: str,
+        substrate: str,
+        method: str,
+        round_trips: int,
+        **attrs: Any,
+    ) -> None:
+        """One observed Web-stack call: a counter bump and (optionally) a
+        trace event, attributed to the active component."""
+        component = self.active_component
+        self.metrics.counter(
+            "web.calls", layer=layer, substrate=substrate, component=component
+        ).inc()
+        self.metrics.counter(
+            "web.round_trips",
+            layer=layer,
+            substrate=substrate,
+            component=component,
+        ).inc(round_trips)
+        if self.config.trace_calls:
+            self.tracer.event(
+                "web_call",
+                layer=layer,
+                substrate=substrate,
+                method=method,
+                component=component,
+                round_trips=round_trips,
+                **attrs,
+            )
+
+    def summary(self) -> str:
+        """One CLI-ready line for the run's trace + metrics volume."""
+        return (
+            f"observability: {self.tracer.n_spans} spans, "
+            f"{self.tracer.n_events} events; {self.metrics.summary()}"
+        )
+
+
+class ObservedSearchEngine:
+    """Engine-shaped pass-through that reports every call to ``obs``.
+
+    ``layer`` labels where in the stack this wrapper sits (see module
+    docs). Round trips are measured by differencing the underlying
+    ``query_count`` around the call, so a cache hit below reports 0 and a
+    retried call reports every attempt.
+    """
+
+    def __init__(self, inner, obs: Observability, layer: str) -> None:
+        self.inner = inner
+        self.obs = obs
+        self.layer = layer
+
+    # ------------------------------------------------------- engine facade
+    @property
+    def query_count(self) -> int:
+        return self.inner.query_count
+
+    def reset_query_count(self) -> None:
+        self.inner.reset_query_count()
+
+    @property
+    def n_documents(self) -> int:
+        return self.inner.n_documents
+
+    def search(self, query: str, max_results: int = 10):
+        return self._observe(
+            "search", lambda: self.inner.search(query, max_results)
+        )
+
+    def num_hits(self, query: str) -> int:
+        return self._observe("num_hits", lambda: self.inner.num_hits(query))
+
+    def num_hits_proximity(self, phrase_a: str, phrase_b: str,
+                           window: Optional[int] = None):
+        if window is None:
+            return self._observe(
+                "num_hits_proximity",
+                lambda: self.inner.num_hits_proximity(phrase_a, phrase_b),
+            )
+        return self._observe(
+            "num_hits_proximity",
+            lambda: self.inner.num_hits_proximity(phrase_a, phrase_b, window),
+        )
+
+    def __getattr__(self, name: str):
+        # Forward everything else (``last_degraded``, ...) untouched so the
+        # wrapper is invisible to the layers above and below.
+        return getattr(self.inner, name)
+
+    # ----------------------------------------------------------- internals
+    def _observe(self, method: str, fn):
+        before = self.inner.query_count
+        result = fn()
+        self.obs.record_call(
+            layer=self.layer,
+            substrate="engine",
+            method=method,
+            round_trips=self.inner.query_count - before,
+        )
+        return result
+
+
+class ObservedDeepWebSource:
+    """Source-shaped pass-through reporting every probe to ``obs``."""
+
+    def __init__(self, inner, obs: Observability,
+                 layer: str = LAYER_TRANSPORT) -> None:
+        self.inner = inner
+        self.obs = obs
+        self.layer = layer
+
+    # ------------------------------------------------------- source facade
+    @property
+    def interface(self):
+        return self.inner.interface
+
+    @property
+    def interface_id(self) -> str:
+        return self.inner.interface.interface_id
+
+    @property
+    def probe_count(self) -> int:
+        return self.inner.probe_count
+
+    @probe_count.setter
+    def probe_count(self, value: int) -> None:
+        self.inner.probe_count = value
+
+    def recognizes(self, attribute_name: str, value: str) -> bool:
+        return self.inner.recognizes(attribute_name, value)
+
+    def submit(self, values: Mapping[str, str]):
+        before = self.inner.probe_count
+        result = self.inner.submit(values)
+        self.obs.record_call(
+            layer=self.layer,
+            substrate="source",
+            method="submit",
+            round_trips=self.inner.probe_count - before,
+            source=self.interface_id,
+        )
+        return result
+
+    def __getattr__(self, name: str):
+        return getattr(self.inner, name)

@@ -1,0 +1,391 @@
+"""Cross-layer conservation laws over a finished pipeline run.
+
+The pipeline now has four accounting systems that observe the same
+underlying traffic from different layers:
+
+- the :class:`~repro.util.clock.SimulatedClock` stopwatch (per-account
+  seconds *and* round-trip counts, charged per phase);
+- the resilience layer's :class:`~repro.resilience.DegradationReport`
+  (faults, retries, give-ups, breaker trips, budget spend);
+- the perf layer's :class:`~repro.perf.CacheStats` (hits, misses, stores);
+- the :mod:`repro.obs` trace/metrics (per-call counts at the cache entry
+  and at the transport layer, with measured round-trip deltas).
+
+None of them is derived from another: the stopwatch differences substrate
+counters per phase, the degradation report counts retry-loop decisions,
+the cache counts lookups, and the observed wrappers count individual
+calls. When the stack is wired correctly they must agree exactly — every
+call entering the cache is a hit or a miss, every miss reaches the
+transport, every transport round trip is charged to the stopwatch and to
+the component's budget, every raised fault ends in a retry, a give-up or a
+breaker trip. :class:`InvariantChecker` asserts those identities, turning
+any benchmark or test run into a whole-stack correctness check: a single
+missed or double-counted call anywhere breaks a conservation law.
+
+Checks degrade gracefully with the run's configuration: each law is only
+evaluated when the layers it relates were active, and the report lists
+which checks ran so a suite can assert it exercised what it meant to.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, List, Optional
+
+from repro.obs.instrument import (
+    DEFAULT_COMPONENT,
+    LAYER_ENTRY,
+    LAYER_TRANSPORT,
+    Observability,
+)
+
+__all__ = ["InvariantViolation", "InvariantReport", "InvariantChecker", "check_run"]
+
+#: The pipeline components with their own budgets and stopwatch accounts.
+COMPONENTS = ("surface", "attr_surface", "attr_deep")
+
+#: Fault kind whose injection does not raise (and so never enters the
+#: retry loop): the payload is corrupted but the call "succeeds".
+_SILENT_FAULT_KIND = "garbled"
+
+
+@dataclass(frozen=True)
+class InvariantViolation:
+    """One broken conservation law."""
+
+    invariant: str
+    message: str
+
+    def __str__(self) -> str:
+        return f"{self.invariant}: {self.message}"
+
+
+@dataclass
+class InvariantReport:
+    """Which laws were evaluated and which were broken."""
+
+    checked: List[str] = field(default_factory=list)
+    violations: List[InvariantViolation] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def violations_for(self, invariant: str) -> List[InvariantViolation]:
+        return [v for v in self.violations if v.invariant == invariant]
+
+    def summary(self) -> str:
+        status = "all hold" if self.ok else f"{len(self.violations)} VIOLATED"
+        line = f"invariants: {len(self.checked)} checked, {status}"
+        for violation in self.violations:
+            line += f"\n  !! {violation}"
+        return line
+
+
+class InvariantChecker:
+    """Audits a :class:`~repro.core.pipeline.WebIQRunResult`."""
+
+    def check(self, result) -> InvariantReport:
+        """Evaluate every applicable conservation law on ``result``."""
+        report = InvariantReport()
+        obs: Optional[Observability] = getattr(result, "obs", None)
+        cache = result.cache
+        degradation = result.degradation
+        trace_calls = obs is not None and obs.config.trace_calls
+
+        if obs is not None:
+            self._check_trace_well_formed(report, obs)
+            self._check_phase_spans(report, obs, result)
+        if cache is not None:
+            self._check_cache_store_accounting(report, cache)
+        if obs is not None:
+            self._check_cache_layer_conservation(report, obs, cache)
+        if obs is not None and result.acquisition is not None:
+            self._check_round_trip_conservation(report, obs, result)
+        if result.acquisition is not None:
+            self._check_stopwatch_accounting(report, result)
+        if degradation is not None:
+            self._check_fault_fate_conservation(report, degradation)
+            self._check_budget_conservation(report, result, obs)
+        if obs is not None and degradation is not None:
+            self._check_retry_conservation(report, obs, degradation,
+                                           trace_calls)
+        if trace_calls:
+            self._check_trace_metrics_consistency(report, obs)
+        return report
+
+    # ------------------------------------------------------------ the laws
+    def _check_trace_well_formed(self, report: InvariantReport,
+                                 obs: Observability) -> None:
+        name = "trace-well-formed"
+        report.checked.append(name)
+        if not obs.tracer.all_closed:
+            open_spans = [s.name for s in obs.tracer.iter_spans()
+                          if not s.closed]
+            self._fail(report, name, f"unclosed spans: {open_spans}")
+            return
+        roots = [span.name for span in obs.tracer.roots]
+        if roots != ["run"]:
+            self._fail(report, name, f"expected a single 'run' root, got {roots}")
+        seqs = []
+        for span in obs.tracer.iter_spans():
+            seqs.extend([span.seq_start, span.seq_end])
+            seqs.extend(event.seq for event in span.events)
+        seqs.extend(event.seq for event in obs.tracer.orphan_events)
+        if sorted(seqs) != list(range(len(seqs))):
+            self._fail(report, name, "sequence numbers are not gap-free")
+
+    def _check_phase_spans(self, report: InvariantReport, obs: Observability,
+                           result) -> None:
+        name = "phase-spans"
+        report.checked.append(name)
+        config = result.config
+        expected = []
+        if result.acquisition is not None:
+            if config.enable_surface:
+                expected.append("surface")
+            if config.enable_attr_deep:
+                expected.append("attr_deep")
+            if config.enable_attr_surface:
+                expected.append("attr_surface")
+        expected.append("matching")
+        for phase in expected:
+            spans = list(obs.tracer.iter_spans(phase))
+            if len(spans) != 1:
+                self._fail(
+                    report, name,
+                    f"expected exactly one '{phase}' span, found {len(spans)}",
+                )
+
+    def _check_cache_store_accounting(self, report: InvariantReport,
+                                      cache) -> None:
+        name = "cache-store-accounting"
+        report.checked.append(name)
+        self._equal(
+            report, name,
+            cache.stores + cache.uncacheable, cache.misses,
+            "stores + uncacheable", "misses",
+        )
+
+    def _check_cache_layer_conservation(self, report: InvariantReport,
+                                        obs: Observability, cache) -> None:
+        entry_calls = obs.metrics.sum_counters(
+            "web.calls", layer=LAYER_ENTRY, substrate="engine")
+        transport_calls = obs.metrics.sum_counters(
+            "web.calls", layer=LAYER_TRANSPORT, substrate="engine")
+        if cache is not None:
+            name = "cache-entry-conservation"
+            report.checked.append(name)
+            self._equal(
+                report, name, entry_calls, cache.hits + cache.misses,
+                "entry-layer engine calls", "cache hits + misses",
+            )
+            name = "cache-miss-passthrough"
+            report.checked.append(name)
+            self._equal(
+                report, name, transport_calls, cache.misses,
+                "transport-layer engine calls", "cache misses",
+            )
+            name = "cache-metrics-consistency"
+            report.checked.append(name)
+            self._equal(
+                report, name,
+                obs.metrics.sum_counters("cache.lookups", outcome="hit"),
+                cache.hits, "cache.lookups{hit}", "CacheStats.hits",
+            )
+            self._equal(
+                report, name,
+                obs.metrics.sum_counters("cache.lookups", outcome="miss"),
+                cache.misses, "cache.lookups{miss}", "CacheStats.misses",
+            )
+        else:
+            name = "uncached-passthrough"
+            report.checked.append(name)
+            self._equal(
+                report, name, entry_calls, transport_calls,
+                "entry-layer engine calls", "transport-layer engine calls",
+            )
+
+    def _check_round_trip_conservation(self, report: InvariantReport,
+                                       obs: Observability, result) -> None:
+        name = "round-trip-conservation"
+        report.checked.append(name)
+        stopwatch = result.stopwatch
+        for component, substrate in (
+            ("surface", "engine"),
+            ("attr_surface", "engine"),
+            ("attr_deep", "source"),
+        ):
+            traced = obs.metrics.sum_counters(
+                "web.round_trips", layer=LAYER_TRANSPORT,
+                substrate=substrate, component=component,
+            )
+            self._equal(
+                report, name, traced, stopwatch.queries(component),
+                f"traced {component} round trips",
+                f"stopwatch queries[{component}]",
+            )
+        stray = obs.metrics.sum_counters(
+            "web.round_trips", layer=LAYER_TRANSPORT,
+            component=DEFAULT_COMPONENT,
+        )
+        if stray:
+            self._fail(
+                report, name,
+                f"{stray} transport round trips outside any component scope",
+            )
+
+    def _check_stopwatch_accounting(self, report: InvariantReport,
+                                    result) -> None:
+        name = "stopwatch-acquisition-accounting"
+        report.checked.append(name)
+        acquisition = result.acquisition
+        stopwatch = result.stopwatch
+        for component, reported in (
+            ("surface", acquisition.surface_queries),
+            ("attr_surface", acquisition.attr_surface_queries),
+            ("attr_deep", acquisition.attr_deep_probes),
+        ):
+            self._equal(
+                report, name, stopwatch.queries(component), reported,
+                f"stopwatch queries[{component}]",
+                f"acquisition report {component} count",
+            )
+
+    def _check_fault_fate_conservation(self, report: InvariantReport,
+                                       degradation) -> None:
+        name = "fault-fate-conservation"
+        report.checked.append(name)
+        raised = degradation.total_faults - degradation.faults_by_kind.get(
+            _SILENT_FAULT_KIND, 0)
+        caught = sum(degradation.faults_by_component.values())
+        self._equal(
+            report, name, raised, caught,
+            "injected raising faults", "faults caught in the retry loop",
+        )
+        fates = (
+            degradation.total_retries
+            + sum(degradation.giveups_by_component.values())
+            + sum(degradation.breaker_trips.values())
+        )
+        self._equal(
+            report, name, caught, fates,
+            "faults caught in the retry loop",
+            "retries + give-ups + breaker trips",
+        )
+
+    def _check_budget_conservation(self, report: InvariantReport, result,
+                                   obs: Optional[Observability]) -> None:
+        name = "budget-conservation"
+        report.checked.append(name)
+        degradation = result.degradation
+        stopwatch = result.stopwatch
+        spent = degradation.budget_spent_by_component
+        components = sorted(
+            set(spent)
+            | {c for c in COMPONENTS if stopwatch.queries(c) > 0}
+        )
+        for component in components:
+            self._equal(
+                report, name, spent.get(component, 0),
+                stopwatch.queries(component),
+                f"budget spend[{component}]",
+                f"stopwatch queries[{component}]",
+            )
+        if obs is not None:
+            traced_probes = obs.metrics.sum_counters(
+                "web.round_trips", layer=LAYER_TRANSPORT,
+                substrate="source", component="attr_deep",
+            )
+            self._equal(
+                report, name, traced_probes, spent.get("attr_deep", 0),
+                "traced probes", "attr_deep budget spend",
+            )
+
+    def _check_retry_conservation(self, report: InvariantReport,
+                                  obs: Observability, degradation,
+                                  trace_calls: bool) -> None:
+        name = "retry-conservation"
+        report.checked.append(name)
+        counted = obs.metrics.sum_counters("resilience.retries")
+        self._equal(
+            report, name, counted, degradation.total_retries,
+            "retry counter", "degradation retries",
+        )
+        for component, retries in sorted(
+            degradation.retries_by_component.items()
+        ):
+            self._equal(
+                report, name,
+                obs.metrics.sum_counters(
+                    "resilience.retries", component=component),
+                retries,
+                f"retry counter[{component}]",
+                f"degradation retries[{component}]",
+            )
+        if trace_calls:
+            self._equal(
+                report, name, obs.tracer.count_events("retry"),
+                degradation.total_retries,
+                "traced retry events", "degradation retries",
+            )
+            self._equal(
+                report, name, obs.tracer.count_events("fault"),
+                sum(degradation.faults_by_component.values()),
+                "traced fault events", "degradation faults caught",
+            )
+            self._equal(
+                report, name, obs.tracer.count_events("giveup"),
+                sum(degradation.giveups_by_component.values()),
+                "traced give-up events", "degradation give-ups",
+            )
+            self._equal(
+                report, name, obs.tracer.count_events("breaker_trip"),
+                sum(degradation.breaker_trips.values()),
+                "traced breaker trips", "degradation breaker trips",
+            )
+
+    def _check_trace_metrics_consistency(self, report: InvariantReport,
+                                         obs: Observability) -> None:
+        name = "trace-metrics-consistency"
+        report.checked.append(name)
+        for layer in (LAYER_ENTRY, LAYER_TRANSPORT):
+            for substrate in ("engine", "source"):
+                events = obs.tracer.count_events(
+                    "web_call", layer=layer, substrate=substrate)
+                calls = obs.metrics.sum_counters(
+                    "web.calls", layer=layer, substrate=substrate)
+                self._equal(
+                    report, name, events, calls,
+                    f"web_call events[{layer}/{substrate}]",
+                    f"web.calls counter[{layer}/{substrate}]",
+                )
+                traced_rt = obs.tracer.sum_event_attr(
+                    "round_trips", "web_call",
+                    layer=layer, substrate=substrate)
+                counted_rt = obs.metrics.sum_counters(
+                    "web.round_trips", layer=layer, substrate=substrate)
+                self._equal(
+                    report, name, traced_rt, counted_rt,
+                    f"traced round trips[{layer}/{substrate}]",
+                    f"web.round_trips counter[{layer}/{substrate}]",
+                )
+
+    # ------------------------------------------------------------ plumbing
+    @staticmethod
+    def _fail(report: InvariantReport, invariant: str, message: str) -> None:
+        report.violations.append(InvariantViolation(invariant, message))
+
+    def _equal(self, report: InvariantReport, invariant: str,
+               actual: Any, expected: Any,
+               actual_label: str, expected_label: str) -> None:
+        if actual != expected:
+            self._fail(
+                report, invariant,
+                f"{actual_label} ({actual}) != {expected_label} ({expected})",
+            )
+
+
+def check_run(result) -> InvariantReport:
+    """Convenience wrapper: audit one run result."""
+    return InvariantChecker().check(result)

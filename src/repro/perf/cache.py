@@ -176,10 +176,17 @@ class CachingSearchEngine:
         inner,
         max_entries: int = DEFAULT_CACHE_ENTRIES,
         stats: Optional[CacheStats] = None,
+        obs=None,
     ) -> None:
+        """``obs``, when given, is a :class:`~repro.obs.Observability`
+        bundle; every lookup outcome then also bumps its
+        ``cache.lookups``/``cache.stores`` counters so the invariant
+        checker can reconcile them against :class:`CacheStats`. Purely
+        observational — the cache behaves identically without it."""
         self.inner = inner
         self.stats = stats if stats is not None else CacheStats(max_entries)
         self._cache = LRUCache(max_entries, self.stats)
+        self.obs = obs
 
     # ------------------------------------------------------- engine facade
     @property
@@ -225,15 +232,25 @@ class CachingSearchEngine:
         value = self._cache.get(key, sentinel)
         if value is not sentinel:
             self.stats.note_hit(kind)
+            self._note_obs("lookups", kind, "hit")
             return value
         self.stats.note_miss(kind)
+        self._note_obs("lookups", kind, "miss")
         garbled_before = self._garbled_count()
         value = fetch()
         if self._answer_is_clean(garbled_before):
             self._cache.put(key, value)
+            self._note_obs("stores", kind, "stored")
         else:
             self.stats.uncacheable += 1
+            self._note_obs("stores", kind, "refused")
         return value
+
+    def _note_obs(self, counter: str, kind: str, outcome: str) -> None:
+        if self.obs is not None:
+            self.obs.metrics.counter(
+                f"cache.{counter}", kind=kind, outcome=outcome
+            ).inc()
 
     def _answer_is_clean(self, garbled_before: int) -> bool:
         """Was the answer a real one (not degraded, not garbled)?"""

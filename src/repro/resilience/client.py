@@ -64,6 +64,16 @@ T = TypeVar("T")
 #: Component name used when a call happens outside any declared component.
 DEFAULT_COMPONENT = "web"
 
+#: Retry-loop event name -> metrics counter suffix (``resilience.<suffix>``).
+_PLURALS = {
+    "retry": "retries",
+    "fault": "faults",
+    "giveup": "giveups",
+    "breaker_trip": "breaker_trips",
+    "breaker_reject": "breaker_rejections",
+    "budget_exhausted": "budgets_exhausted",
+}
+
 
 @dataclass(frozen=True)
 class RetryPolicy:
@@ -211,6 +221,10 @@ class DegradationReport:
     budgets_exhausted: List[str] = field(default_factory=list)
     #: (interface_id, attribute) pairs skipped once a budget was gone
     attributes_skipped: List[Tuple[str, str]] = field(default_factory=list)
+    #: component -> budgeted round trips charged (tracked even when the
+    #: budget is unbounded, so observability invariants can reconcile it
+    #: against the stopwatch's per-account query counts)
+    budget_spent_by_component: Dict[str, int] = field(default_factory=dict)
 
     # ------------------------------------------------------------ queries
     @property
@@ -308,7 +322,8 @@ class ResilienceConfig:
 class ResilientClient:
     """Shared retry/breaker/budget engine for one pipeline run."""
 
-    def __init__(self, config: ResilienceConfig = ResilienceConfig()) -> None:
+    def __init__(self, config: ResilienceConfig = ResilienceConfig(),
+                 obs=None) -> None:
         self.config = config
         self.report = DegradationReport()
         self._budgets = config.budgets()
@@ -319,6 +334,10 @@ class ResilientClient:
         #: wrappers read it (via ``attempt_provider``) to key per-attempt
         #: fault fates, so a retry re-rolls where a re-issue replays.
         self.current_attempt = 0
+        #: optional :class:`~repro.obs.Observability` bundle; when attached,
+        #: every retry-loop decision is traced and counted. Strictly
+        #: observational: attaching it changes no behaviour.
+        self.obs = obs
 
     # ------------------------------------------------------------- context
     @contextmanager
@@ -374,6 +393,8 @@ class ResilientClient:
 
         if breaker is not None and not breaker.allow():
             self._bump(self.report.breaker_rejections, source_id)
+            self._observe("breaker_reject", source=source_id,
+                          component=component)
             raise CircuitOpenError(f"breaker open for source {source_id}")
 
         retry = self.config.retry
@@ -381,11 +402,14 @@ class ResilientClient:
             if budget is not None and budget.exhausted:
                 if component not in self.report.budgets_exhausted:
                     self.report.budgets_exhausted.append(component)
+                    self._observe("budget_exhausted", component=component,
+                                  limit=budget.limit)
                 raise BudgetExhaustedError(
                     f"{component} budget of {budget.limit} round trips spent"
                 )
             if budget is not None:
                 budget.charge()
+                self._bump(self.report.budget_spent_by_component, component)
             self.current_attempt = attempt
             try:
                 result = fn()
@@ -393,11 +417,15 @@ class ResilientClient:
                 self._note_fault(component, exc)
                 if breaker is not None and breaker.record_failure():
                     self._bump(self.report.breaker_trips, source_id)
+                    self._observe("breaker_trip", source=source_id,
+                                  component=component)
                     raise CircuitOpenError(
                         f"breaker tripped for source {source_id}"
                     ) from exc
                 if attempt + 1 >= retry.max_attempts:
                     self._bump(self.report.giveups_by_component, component)
+                    self._observe("giveup", component=component,
+                                  attempts=retry.max_attempts)
                     raise
                 seconds = retry.delay(
                     attempt, self._rng,
@@ -408,6 +436,8 @@ class ResilientClient:
                     self.report.backoff_seconds_by_component.get(component, 0.0)
                     + seconds
                 )
+                self._observe("retry", component=component, attempt=attempt,
+                              backoff_seconds=seconds)
                 continue
             if breaker is not None:
                 breaker.record_success()
@@ -415,8 +445,21 @@ class ResilientClient:
         raise AssertionError("unreachable")  # pragma: no cover
 
     # ---------------------------------------------------------- internals
+    def _observe(self, event: str, **attrs) -> None:
+        """Trace + count one retry-loop decision (no-op without obs)."""
+        if self.obs is None:
+            return
+        component = attrs.get("component", self.active_component)
+        self.obs.metrics.counter(
+            f"resilience.{_PLURALS.get(event, event + 's')}",
+            component=component,
+        ).inc()
+        self.obs.tracer.event(event, **attrs)
+
     def _note_fault(self, component: str, exc: WebAccessError) -> None:
         self._bump(self.report.faults_by_component, component)
+        self._observe("fault", component=component,
+                      kind=type(exc).__name__)
 
     @staticmethod
     def _bump(counter: Dict[str, int], key: str) -> None:

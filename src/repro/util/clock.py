@@ -32,12 +32,18 @@ class StopwatchReport:
     """Per-account simulated seconds, as produced by :class:`SimulatedClock`."""
 
     seconds_by_account: Dict[str, float] = field(default_factory=dict)
+    #: per-account simulated remote round trips (queries/probes) — the
+    #: counts the seconds were derived from; local-compute charges add none
+    queries_by_account: Dict[str, int] = field(default_factory=dict)
 
     def seconds(self, account: str) -> float:
         return self.seconds_by_account.get(account, 0.0)
 
     def minutes(self, account: str) -> float:
         return self.seconds(account) / 60.0
+
+    def queries(self, account: str) -> int:
+        return self.queries_by_account.get(account, 0)
 
     @property
     def total_seconds(self) -> float:
@@ -46,6 +52,10 @@ class StopwatchReport:
     @property
     def total_minutes(self) -> float:
         return self.total_seconds / 60.0
+
+    @property
+    def total_queries(self) -> int:
+        return sum(self.queries_by_account.values())
 
 
 class SimulatedClock:
@@ -96,8 +106,14 @@ class SimulatedClock:
     def total_query_count(self) -> int:
         return sum(self._query_counts.values())
 
+    @property
+    def now_seconds(self) -> float:
+        """Total simulated seconds charged so far — the run's "current
+        time", used to timestamp observability traces deterministically."""
+        return sum(self._accounts.values())
+
     def report(self) -> StopwatchReport:
-        return StopwatchReport(dict(self._accounts))
+        return StopwatchReport(dict(self._accounts), dict(self._query_counts))
 
     def _charge(self, account: str, seconds: float, queries: int) -> None:
         if seconds < 0:

@@ -7,15 +7,22 @@ import pytest
 from repro.core.pipeline import WebIQConfig, WebIQMatcher
 from repro.datasets import build_domain_dataset
 from repro.io import (
+    cache_stats_to_dict,
     dataset_to_dict,
+    degradation_report_to_dict,
     dump_dataset,
     dump_run_result,
     ground_truth_from_dict,
     ground_truth_to_dict,
     interface_from_dict,
     interface_to_dict,
+    load_run_result,
+    observability_to_dict,
     run_result_to_dict,
 )
+from repro.obs import ObsConfig
+from repro.perf import CacheConfig
+from repro.resilience import FaultProfile, ResilienceConfig
 
 
 @pytest.fixture(scope="module")
@@ -91,3 +98,69 @@ class TestRunResult:
         path = tmp_path / "run.json"
         dump_run_result(result, str(path))
         assert json.loads(path.read_text())["domain"] == "auto"
+
+
+@pytest.fixture(scope="module")
+def instrumented_result():
+    """One run with every accounting layer active (faults, cache, obs)."""
+    config = WebIQConfig(
+        resilience=ResilienceConfig(
+            profile=FaultProfile(fault_rate=0.15, seed=5)),
+        cache=CacheConfig(),
+        obs=ObsConfig(),
+    )
+    dataset = build_domain_dataset("book", n_interfaces=4, seed=2)
+    return WebIQMatcher(config).run(dataset)
+
+
+class TestRunResultRoundTrip:
+    """dump_run_result → load_run_result preserves every accounting layer."""
+
+    def test_degradation_payload_preserved(self, instrumented_result, tmp_path):
+        path = tmp_path / "run.json"
+        dump_run_result(instrumented_result, str(path))
+        payload = load_run_result(str(path))
+        assert payload["degradation"] == degradation_report_to_dict(
+            instrumented_result.degradation)
+        assert (payload["degradation"]["budget_spent_by_component"]
+                == instrumented_result.degradation.budget_spent_by_component)
+
+    def test_cache_payload_preserved(self, instrumented_result, tmp_path):
+        path = tmp_path / "run.json"
+        dump_run_result(instrumented_result, str(path))
+        payload = load_run_result(str(path))
+        assert payload["cache"] == cache_stats_to_dict(
+            instrumented_result.cache)
+
+    def test_trace_and_metrics_payload_preserved(
+            self, instrumented_result, tmp_path):
+        path = tmp_path / "run.json"
+        dump_run_result(instrumented_result, str(path))
+        payload = load_run_result(str(path))
+        expected = json.loads(json.dumps(  # int keys etc. normalised
+            observability_to_dict(instrumented_result.obs)))
+        assert payload["observability"] == expected
+        trace = payload["observability"]["trace"]
+        assert trace["version"] == 1
+        assert [span["name"] for span in trace["spans"]] == ["run"]
+        assert payload["observability"]["metrics"]["counters"]
+
+    def test_overhead_queries_preserved(self, instrumented_result, tmp_path):
+        path = tmp_path / "run.json"
+        dump_run_result(instrumented_result, str(path))
+        payload = load_run_result(str(path))
+        assert payload["overhead_queries"] == \
+            instrumented_result.stopwatch.queries_by_account
+
+    def test_uninstrumented_run_has_null_observability(self, dataset, tmp_path):
+        result = WebIQMatcher(WebIQConfig()).run(dataset)
+        path = tmp_path / "plain.json"
+        dump_run_result(result, str(path))
+        payload = load_run_result(str(path))
+        assert payload["observability"] is None
+
+    def test_dump_is_byte_deterministic(self, instrumented_result, tmp_path):
+        first, second = tmp_path / "a.json", tmp_path / "b.json"
+        dump_run_result(instrumented_result, str(first))
+        dump_run_result(instrumented_result, str(second))
+        assert first.read_bytes() == second.read_bytes()

@@ -11,12 +11,18 @@ the way: query budgets unbounded and the breaker threshold out of reach.
 Budgets and breakers react to *traffic volume*, which is exactly what the
 cache changes; with them active, a cached run can legitimately keep a
 source alive that an uncached run tripped. See DESIGN.md.
+
+Every run here executes instrumented and is audited by the
+:class:`~repro.obs.InvariantChecker` before any equivalence assertion:
+the cross-layer conservation laws must hold in the exact configurations
+whose payload equality this module certifies.
 """
 
 import pytest
 
 from repro.core.pipeline import WebIQConfig, WebIQMatcher
 from repro.datasets import build_domain_dataset
+from repro.obs import ObsConfig, check_run
 from repro.perf import CacheConfig
 from repro.resilience import BreakerPolicy, FaultProfile, ResilienceConfig
 
@@ -28,8 +34,10 @@ SEED = 3
 def run_once(cache, resilience=None):
     """One full pipeline run; returns (payload, result, real_queries)."""
     dataset = build_domain_dataset(DOMAIN, N_INTERFACES, SEED)
-    config = WebIQConfig(resilience=resilience, cache=cache)
+    config = WebIQConfig(resilience=resilience, cache=cache, obs=ObsConfig())
     result = WebIQMatcher(config).run(dataset)
+    invariants = check_run(result)
+    assert invariants.ok, invariants.summary()
     payload = {
         "instances": {
             (interface.interface_id, attribute.name): tuple(attribute.acquired)

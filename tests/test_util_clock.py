@@ -61,6 +61,13 @@ class TestSimulatedClock:
     def test_unknown_account_reads_zero(self):
         assert SimulatedClock().report().seconds("nothing") == 0.0
 
+    def test_now_seconds_sums_all_accounts(self):
+        clock = SimulatedClock(search_query_seconds=0.3)
+        assert clock.now_seconds == 0.0
+        clock.charge_search_query("surface", 10)
+        clock.charge_seconds("matching", 2.0)
+        assert clock.now_seconds == pytest.approx(5.0)
+
 
 class TestStopwatchReport:
     def test_minutes_conversion(self):
@@ -74,3 +81,20 @@ class TestStopwatchReport:
 
     def test_empty_report(self):
         assert StopwatchReport().total_seconds == 0.0
+
+    def test_query_counts_ride_on_report(self):
+        clock = SimulatedClock()
+        clock.charge_search_query("surface", 7)
+        clock.charge_deep_probe("attr_deep", 3)
+        report = clock.report()
+        assert report.queries("surface") == 7
+        assert report.queries("attr_deep") == 3
+        assert report.queries("matching") == 0
+        assert report.total_queries == 10
+
+    def test_report_snapshot_is_detached(self):
+        clock = SimulatedClock()
+        clock.charge_search_query("surface", 1)
+        report = clock.report()
+        clock.charge_search_query("surface", 1)
+        assert report.queries("surface") == 1
