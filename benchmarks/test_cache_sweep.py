@@ -20,6 +20,8 @@ import pytest
 
 from repro.core.pipeline import WebIQConfig, WebIQMatcher
 from repro.datasets import build_domain_dataset
+from repro.io import run_result_to_dict
+from repro.obs import NO_PROVENANCE_DIVERGENCE, ObsConfig, diff_runs
 from repro.perf import CacheConfig
 
 from .conftest import BENCH_SEED, print_table
@@ -37,7 +39,8 @@ MIN_QUERY_REDUCTION = 0.30
 def run_once(cache):
     dataset = build_domain_dataset(DOMAIN, N_INTERFACES, BENCH_SEED)
     started = time.perf_counter()
-    result = WebIQMatcher(WebIQConfig(cache=cache)).run(dataset)
+    result = WebIQMatcher(WebIQConfig(cache=cache, obs=ObsConfig())).run(
+        dataset)
     elapsed = time.perf_counter() - started
     payload = {
         "instances": {
@@ -88,6 +91,15 @@ def test_cache_sweep(benchmark):
 
     # The cache may never change an answer, only avoid re-asking.
     assert cached_payload == uncached_payload
+
+    # Stronger than answer equality: the cached run must have made every
+    # decision for the same recorded reason — the run diff may find no
+    # provenance divergence between the cached and uncached runs.
+    diff = diff_runs(
+        run_result_to_dict(uncached_result), run_result_to_dict(cached_result)
+    )
+    assert not diff.provenance_diverged, diff.summary()
+    assert NO_PROVENANCE_DIVERGENCE in diff.summary()
 
     # The ISSUE's floor: at least 30% of real round trips absorbed.
     assert reduction >= MIN_QUERY_REDUCTION, (

@@ -15,7 +15,8 @@ import pytest
 
 from repro.core.pipeline import WebIQConfig, WebIQMatcher
 from repro.datasets import build_domain_dataset
-from repro.obs import ObsConfig, check_run
+from repro.io import run_result_to_dict
+from repro.obs import NO_PROVENANCE_DIVERGENCE, ObsConfig, check_run, diff_runs
 from repro.resilience import FaultProfile, ResilienceConfig
 
 from .conftest import BENCH_SEED, print_table
@@ -44,7 +45,7 @@ def test_fault_rate_sweep(benchmark):
 
     benchmark.pedantic(lambda: run_at(0.3), rounds=1, iterations=1)
 
-    clean = WebIQMatcher(WebIQConfig()).run(
+    clean = WebIQMatcher(WebIQConfig(obs=ObsConfig())).run(
         build_domain_dataset(DOMAIN, N_INTERFACES, BENCH_SEED))
 
     rows = []
@@ -82,6 +83,13 @@ def test_fault_rate_sweep(benchmark):
     zero = results[0.0]
     assert zero.metrics == clean.metrics
     assert zero.stopwatch.seconds_by_account == clean.stopwatch.seconds_by_account
+
+    # ... and it made the same decisions for the same recorded reasons:
+    # the run diff must find no provenance divergence against the
+    # resilience-free run.
+    diff = diff_runs(run_result_to_dict(zero), run_result_to_dict(clean))
+    assert not diff.provenance_diverged, diff.summary()
+    assert NO_PROVENANCE_DIVERGENCE in diff.summary()
 
     # a flakier Web can only cost more simulated wall time
     totals = [results[rate].stopwatch.total_seconds for rate in FAULT_RATES]

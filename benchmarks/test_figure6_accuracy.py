@@ -5,7 +5,14 @@ alone (threshold 0), IceQ + WebIQ (threshold 0) and IceQ + WebIQ with the
 clustering threshold τ = 0.1. Paper averages: 89.5 → 95.8 → 97.5.
 
 The benchmark times one full WebIQ pipeline run (acquisition + matching).
+
+The measured bars are exported as ``BENCH_accuracy.json`` (path override:
+``BENCH_ACCURACY_JSON``) so CI can archive accuracy trends next to the
+cache sweep's query-reduction numbers.
 """
+
+import json
+import os
 
 import pytest
 
@@ -72,3 +79,18 @@ def test_figure6_matching_accuracy(benchmark, cache):
         loose = cache.run(domain, "webiq").metrics
         # thresholding must not materially degrade precision anywhere
         assert strict.precision >= loose.precision - 0.005, domain
+
+    out_path = os.environ.get("BENCH_ACCURACY_JSON", "BENCH_accuracy.json")
+    with open(out_path, "w") as handle:
+        json.dump({
+            "bars": list(BARS),
+            "f1_by_domain": {
+                domain: dict(zip(BARS, f1[domain])) for domain in DOMAINS
+            },
+            "f1_average": dict(zip(BARS, avg)),
+            "paper_f1_by_domain": {
+                domain: dict(zip(BARS, PAPER[domain])) for domain in DOMAINS
+            },
+            "paper_f1_average": dict(zip(BARS, PAPER_AVG)),
+        }, handle, indent=2, sort_keys=True)
+    print(f"wrote {out_path}")

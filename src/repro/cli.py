@@ -8,8 +8,12 @@ Commands:
 - ``discover``  — Surface instance discovery for a single label (the §2
   pipeline, verbose)
 - ``export``    — snapshot a generated dataset to JSON
+- ``diff``      — compare two exported runs and classify the drift
 
-Everything is deterministic in ``--seed``.
+``run --report PATH`` writes a provenance-backed run report (accuracy,
+acquisition yield, hardest match decisions); ``run --explain ATTR``
+prints the match explanations touching one attribute. Everything is
+deterministic in ``--seed``.
 """
 
 from __future__ import annotations
@@ -72,6 +76,14 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--metrics", action="store_true",
                      help="trace the run and print the observability and "
                           "invariant-check summaries")
+    run.add_argument("--report", metavar="PATH",
+                     help="record decision provenance and write a run "
+                          "report (accuracy, acquisition yield, hardest "
+                          "decisions) as text to PATH")
+    run.add_argument("--explain", metavar="ATTR",
+                     help="record decision provenance and print the match "
+                          "explanations touching attributes whose name "
+                          "contains ATTR")
 
     discover = sub.add_parser(
         "discover", help="Surface instance discovery for one label")
@@ -81,6 +93,12 @@ def build_parser() -> argparse.ArgumentParser:
     export = sub.add_parser("export", help="snapshot a dataset to JSON")
     _common(export)
     export.add_argument("path", help="output JSON path")
+
+    diff = sub.add_parser(
+        "diff", help="compare two exported runs (accuracy, overhead, "
+                     "provenance drift)")
+    diff.add_argument("old", help="reference run JSON (from run --json)")
+    diff.add_argument("new", help="candidate run JSON (from run --json)")
 
     analyze = sub.add_parser(
         "analyze", help="error analysis of a matching run")
@@ -113,6 +131,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "run": _cmd_run,
         "discover": _cmd_discover,
         "export": _cmd_export,
+        "diff": _cmd_diff,
         "figure": _cmd_figure,
         "analyze": _cmd_analyze,
     }
@@ -178,7 +197,7 @@ def _cache_config(args):
 
 def _obs_config(args):
     """Build the run's ObsConfig from CLI flags, or None."""
-    if not (args.trace or args.metrics):
+    if not (args.trace or args.metrics or args.report or args.explain):
         return None
     from repro.obs import ObsConfig
 
@@ -195,9 +214,11 @@ def _cmd_run(args) -> int:
         cache=_cache_config(args),
         obs=_obs_config(args),
     )
+    results = []
     for domain in _domains(args):
         dataset = build_domain_dataset(domain, args.interfaces, args.seed)
         result = WebIQMatcher(config).run(dataset)
+        results.append(result)
         m = result.metrics
         line = (f"{domain:11} P={m.precision:.3f} R={m.recall:.3f} "
                 f"F1={m.f1:.3f}")
@@ -235,7 +256,48 @@ def _cmd_run(args) -> int:
                 f"{args.json}.{domain}.json"
             dump_run_result(result, path)
             print(f"  wrote {path}")
+        if args.explain:
+            _print_explanations(result, args.explain)
+    if args.report:
+        from repro.obs import build_run_report
+        report = build_run_report(results)
+        with open(args.report, "w") as handle:
+            handle.write(report.render())
+        print(f"wrote report {args.report}")
     return 0
+
+
+def _print_explanations(result, needle: str) -> None:
+    """Print every match explanation touching attributes named ``needle``."""
+    provenance = result.obs.provenance if result.obs is not None else None
+    if provenance is None:
+        print("  (no provenance recorded — explanations unavailable)")
+        return
+    explanations = provenance.explanations_involving(needle)
+    if not explanations:
+        print(f"  no match evaluations touch {needle!r}")
+        return
+    print(f"  {len(explanations)} match evaluations touch {needle!r}:")
+    for e in sorted(explanations, key=lambda e: (-e.sim, e.a, e.b)):
+        verdict = "candidate match" if e.exceeds_threshold else "no match"
+        print(f"    {e.a[0]}.{e.a[1]} ~ {e.b[0]}.{e.b[1]}: "
+              f"Sim={e.sim:.4f} = {e.alpha}*LabelSim({e.label_sim:.4f}) "
+              f"+ {e.beta}*DomSim({e.dom_sim:.4f}) "
+              f"vs tau={e.threshold:.2f} -> {verdict}")
+        if e.exceeds_threshold:
+            merge = provenance.committing_merge(e.a, e.b)
+            if merge is not None:
+                print(f"      committed by merge step {merge.step} "
+                      f"(linkage {merge.linkage_value:.4f})")
+
+
+def _cmd_diff(args) -> int:
+    from repro.io import load_run_result
+    from repro.obs import diff_runs
+
+    diff = diff_runs(load_run_result(args.old), load_run_result(args.new))
+    print(diff.summary(), end="")
+    return 1 if diff.has_regression else 0
 
 
 def _cmd_discover(args) -> int:

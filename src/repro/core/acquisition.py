@@ -35,6 +35,14 @@ from repro.deepweb.models import Attribute, QueryInterface
 from repro.deepweb.source import DeepWebSource
 from repro.matching.similarity import label_similarity, value_similarity, values_similar
 from repro.obs.instrument import Observability
+from repro.obs.provenance import (
+    PHASE_ATTR_DEEP,
+    PHASE_ATTR_SURFACE,
+    InstanceLineage,
+    ProbeVerdict,
+    ProvenanceRecorder,
+    ValidationEvidence,
+)
 from repro.perf.cache import ValidationCache
 from repro.resilience.client import ResilientClient
 from repro.surfaceweb.engine import SearchEngine
@@ -174,7 +182,8 @@ class InstanceAcquirer:
         self._interfaces: List[QueryInterface] = []
         self.validation_cache = validation_cache
         self._discoverer = SurfaceDiscoverer(
-            engine, config.surface, validation_cache=validation_cache
+            engine, config.surface, validation_cache=validation_cache,
+            provenance=self.provenance,
         )
         self._web_validator = WebValidator(engine, cache=validation_cache)
         self._attr_surface = AttrSurfaceValidator(
@@ -239,9 +248,10 @@ class InstanceAcquirer:
                     if self._skip_exhausted("surface", interface, attribute):
                         continue
                     record.surface_attempted = True
-                    result = self._discoverer.discover(
-                        attribute, domain_keywords, object_name
-                    )
+                    with self._subject(interface.interface_id, attribute.name):
+                        result = self._discoverer.discover(
+                            attribute, domain_keywords, object_name
+                        )
                     attribute.acquired.extend(result.instances)
                     record.n_after_surface = self._acquired_count(attribute)
             queries = self.engine.query_count - before
@@ -277,7 +287,8 @@ class InstanceAcquirer:
                          attribute: Attribute) -> None:
         donors = self._case1_donors(interface, attribute)
         have = {v.lower() for v in attribute.all_instances()}
-        for donor in donors[: self.config.max_donors]:
+        provenance = self.provenance
+        for donor_interface_id, donor in donors[: self.config.max_donors]:
             if len(have) >= self.config.k:
                 break
             values = [
@@ -286,14 +297,34 @@ class InstanceAcquirer:
             result = self._attr_deep.validate(
                 interface.interface_id, attribute.name, values
             )
+            verdict = None
+            if provenance is not None and result.accepted:
+                verdict = ProbeVerdict(
+                    successes=result.successes,
+                    sampled=result.sampled,
+                    probes_issued=result.probes_issued,
+                    accept_ratio=self._attr_deep.accept_ratio,
+                    accepted=True,
+                )
             for value in result.accepted:
                 if value.lower() not in have:
                     have.add(value.lower())
                     attribute.acquired.append(value)
+                    if provenance is not None:
+                        provenance.record_lineage(InstanceLineage(
+                            interface_id=interface.interface_id,
+                            attribute=attribute.name,
+                            value=value,
+                            phase=PHASE_ATTR_DEEP,
+                            donor=(donor_interface_id, donor.name),
+                            probe=verdict,
+                        ))
 
     def _case1_donors(self, interface: QueryInterface,
-                      attribute: Attribute) -> List[Attribute]:
-        """Donors for a no-instance attribute (§5 case 1).
+                      attribute: Attribute) -> List[Tuple[str, Attribute]]:
+        """Donor ``(interface_id, attribute)`` pairs for a no-instance
+        attribute (§5 case 1) — the donor's identity travels with it so
+        borrowed instances can carry a provenance-grade donor key.
 
         The donor's label must be similar to X1's, and its domain must
         differ from every *other* attribute on X1's interface ("if Y and X1
@@ -307,7 +338,7 @@ class InstanceAcquirer:
             y for y in interface.attributes
             if y.name != attribute.name and y.instances
         ]
-        scored: List[Tuple[float, Attribute]] = []
+        scored: List[Tuple[float, str, Attribute]] = []
         for other_interface, donor in self._donor_candidates(interface):
             sim = label_similarity(attribute.label, donor.label)
             if sim < self.config.label_sim_threshold:
@@ -319,9 +350,9 @@ class InstanceAcquirer:
                 for y in others
             ):
                 continue
-            scored.append((sim, donor))
-        scored.sort(key=lambda pair: (-pair[0], pair[1].label.lower()))
-        return [donor for _, donor in scored]
+            scored.append((sim, other_interface.interface_id, donor))
+        scored.sort(key=lambda item: (-item[0], item[2].label.lower()))
+        return [(interface_id, donor) for _, interface_id, donor in scored]
 
     # ------------------------------------------------------------ phase 3
     def _borrow_surface_phase(self, interfaces, report: AcquisitionReport) -> None:
@@ -355,8 +386,9 @@ class InstanceAcquirer:
         if classifier is None:
             return
         have = {v.lower() for v in attribute.all_instances()}
+        provenance = self.provenance
         added = 0
-        for donor in donors[: self.config.case2_max_donors]:
+        for donor_interface_id, donor in donors[: self.config.case2_max_donors]:
             if added >= self.config.max_borrow_enrichment:
                 break
             fresh = [v for v in donor.all_instances() if v.lower() not in have]
@@ -366,13 +398,32 @@ class InstanceAcquirer:
                 have.add(value.lower())
                 attribute.acquired.append(value)
                 added += 1
+                if provenance is not None:
+                    # Re-derives the already-memoised evidence (zero
+                    # queries) behind the prediction that admitted value.
+                    vector, features, posterior = classifier.explain(value)
+                    provenance.record_lineage(InstanceLineage(
+                        interface_id=interface.interface_id,
+                        attribute=attribute.name,
+                        value=value,
+                        phase=PHASE_ATTR_SURFACE,
+                        validation=ValidationEvidence(
+                            phrases=tuple(classifier.phrases),
+                            scores=tuple(vector),
+                            score=posterior,
+                        ),
+                        features=tuple(features),
+                        posterior=posterior,
+                        donor=(donor_interface_id, donor.name),
+                    ))
 
     def _case2_donors(self, interface: QueryInterface,
-                      attribute: Attribute) -> List[Attribute]:
-        """Donors for a pre-defined attribute (§5 case 2): the domains share
-        at least ``min_similar_values`` very similar values."""
+                      attribute: Attribute) -> List[Tuple[str, Attribute]]:
+        """Donor ``(interface_id, attribute)`` pairs for a pre-defined
+        attribute (§5 case 2): the domains share at least
+        ``min_similar_values`` very similar values."""
         own = attribute.all_instances()
-        scored: List[Tuple[int, Attribute]] = []
+        scored: List[Tuple[int, str, Attribute]] = []
         for other_interface, donor in self._donor_candidates(interface):
             donor_values = donor.all_instances()
             if not donor_values:
@@ -384,11 +435,26 @@ class InstanceAcquirer:
                 continue  # domains already similar: nothing to gain
             overlap = _count_similar_values(own, donor_values)
             if overlap >= self.config.min_similar_values:
-                scored.append((overlap, donor))
-        scored.sort(key=lambda pair: (-pair[0], pair[1].label.lower()))
-        return [donor for _, donor in scored]
+                scored.append((overlap, other_interface.interface_id, donor))
+        scored.sort(key=lambda item: (-item[0], item[2].label.lower()))
+        return [(interface_id, donor) for _, interface_id, donor in scored]
 
     # ------------------------------------------------------------- helpers
+    @property
+    def provenance(self) -> Optional[ProvenanceRecorder]:
+        """The run's decision recorder, if observability carries one."""
+        return self.obs.provenance if self.obs is not None else None
+
+    @contextmanager
+    def _subject(self, interface_id: str, attribute: str) -> Iterator[None]:
+        """Scope provenance records to one attribute (no-op unobserved)."""
+        provenance = self.provenance
+        if provenance is None:
+            yield
+        else:
+            with provenance.subject(interface_id, attribute):
+                yield
+
     @contextmanager
     def _phase(self, name: str) -> Iterator[None]:
         """Phase scope: trace span + metrics component (when observed) and

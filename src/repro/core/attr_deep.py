@@ -57,6 +57,11 @@ class AttrDeepValidator:
         # probe is paid for once.
         self._probe_cache: Dict[tuple, bool] = {}
 
+    @property
+    def accept_ratio(self) -> float:
+        """The ≥1/3 acceptance bar a probing verdict was compared against."""
+        return self._accept_ratio
+
     def validate(
         self,
         interface_id: str,

@@ -66,6 +66,11 @@ class ValidationClassifier:
         return list(self._thresholds)
 
     @property
+    def phrases(self) -> List[str]:
+        """The validation phrases the score vectors are computed against."""
+        return list(self._phrases)
+
+    @property
     def is_trained(self) -> bool:
         return self._trained
 
@@ -123,6 +128,19 @@ class ValidationClassifier:
             raise ValidationError("classifier has not been trained")
         vector = self._validator.score_vector(self._phrases, candidate)
         return self._model.posterior_positive(self._featurize(vector))
+
+    def explain(self, candidate: str) -> Tuple[List[float], List[int], float]:
+        """``(score_vector, thresholded_features, posterior)`` for a
+        candidate — the full evidence behind one prediction.
+
+        Every hit count is memoised in the validator's cache, so explaining
+        a candidate the classifier already scored issues zero queries.
+        """
+        if not self._trained:
+            raise ValidationError("classifier has not been trained")
+        vector = self._validator.score_vector(self._phrases, candidate)
+        features = self._featurize(vector)
+        return vector, features, self._model.posterior_positive(features)
 
     def _featurize(self, vector: Sequence[float]) -> List[int]:
         # Paper §3.1: f_i = 1 iff m_i > t_i.

@@ -135,6 +135,8 @@ class WebIQRunResult:
     cache: Optional[CacheStats] = None
     #: present iff the run executed with observability enabled
     obs: Optional[Observability] = None
+    #: the dataset seed the run executed against (attributable diagnostics)
+    seed: Optional[int] = None
 
     def overhead_minutes(self, account: str) -> float:
         return self.stopwatch.minutes(account)
@@ -236,7 +238,8 @@ class WebIQMatcher:
                         clock.charge_seconds(f"{component}_retry", seconds)
 
             matcher = IceQMatcher(
-                self.config.similarity, linkage=self.config.linkage
+                self.config.similarity, linkage=self.config.linkage,
+                provenance=obs.provenance if obs is not None else None,
             )
             with ExitStack() as match_scope:
                 if obs is not None:
@@ -263,4 +266,5 @@ class WebIQMatcher:
             degradation=degradation,
             cache=cache_stats,
             obs=obs,
+            seed=dataset.seed,
         )

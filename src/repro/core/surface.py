@@ -18,8 +18,21 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.deepweb.models import Attribute, QueryInterface
+from repro.obs.provenance import (
+    DiscoverySummary,
+    InstanceLineage,
+    PruneEvent,
+    ProvenanceRecorder,
+    ValidationEvidence,
+)
 from repro.perf.cache import ValidationCache
-from repro.stats.outliers import discordancy_outliers, parse_numeric
+from repro.stats.outliers import (
+    STRING_STATISTIC_NAMES,
+    discordancy_outliers,
+    numeric_test_statistics,
+    parse_numeric,
+    string_test_statistics,
+)
 from repro.stats.pmi import mean_pmi, pmi
 from repro.surfaceweb.engine import SearchEngine
 from repro.text.labels import LabelAnalysis, NounPhrase, analyze_label, clean_label
@@ -397,9 +410,11 @@ class SurfaceDiscoverer:
         config: SurfaceConfig = SurfaceConfig(),
         tagger: Optional[BrillTagger] = None,
         validation_cache: Optional[ValidationCache] = None,
+        provenance: Optional[ProvenanceRecorder] = None,
     ) -> None:
         self.engine = engine
         self.config = config
+        self.provenance = provenance
         self._builder = ExtractionQueryBuilder()
         self._extractor = SnippetExtractor(tagger)
         self._validator = WebValidator(
@@ -412,25 +427,74 @@ class SurfaceDiscoverer:
         domain_keywords: Sequence[str] = (),
         object_name: str = "object",
     ) -> SurfaceResult:
-        """Run extraction + verification for one attribute's label."""
+        """Run extraction + verification for one attribute's label.
+
+        With a provenance recorder attached, every surviving instance gets
+        an :class:`~repro.obs.provenance.InstanceLineage` (extraction
+        origin + validation evidence) and every rejected candidate a
+        :class:`~repro.obs.provenance.PruneEvent` naming the stage — and,
+        for discordancy outliers, the statistic — that rejected it.
+        Recording never issues queries or changes a decision.
+        """
         queries_before = self.engine.query_count
+        provenance = self.provenance
+        key = self._subject_key(attribute)
         analysis = analyze_label(attribute.label)
         if not analysis.has_noun_phrase:
             # §2.1: "If the label does not contain noun phrases, the
             # extraction phase terminates and returns an empty set."
             return SurfaceResult(attribute.label, [], [], [], 0, False)
 
-        candidates = self._extract(analysis, domain_keywords, object_name)
+        origins: Dict[str, Tuple[str, str, int]] = {}
+        candidates = self._extract(
+            analysis, domain_keywords, object_name,
+            origins if provenance is not None else None,
+        )
         numeric = self._is_numeric_domain(candidates)
         if self.config.enable_outlier_removal:
             typed = self._filter_type(candidates, numeric)
+            if provenance is not None:
+                typed_set = set(typed)
+                for value in candidates:
+                    if value not in typed_set:
+                        provenance.record_prune(PruneEvent(
+                            key[0], key[1], value, stage="type_filter"))
             result = discordancy_outliers(typed, numeric, self.config.sigma)
             survivors = list(result.inliers)
+            if provenance is not None:
+                for value in result.outliers:
+                    statistic, sigmas = _outlier_driver(
+                        value, numeric, result.statistics, self.config.sigma)
+                    provenance.record_prune(PruneEvent(
+                        key[0], key[1], value, stage="outlier",
+                        statistic=statistic, deviation_sigmas=sigmas))
         else:
             survivors = list(candidates)
         removed = [c for c in candidates if c not in survivors]
 
-        instances = self._validate(attribute.label, analysis, survivors)
+        instances, evidence = self._validate(
+            attribute.label, analysis, survivors, key)
+        if provenance is not None:
+            for value in instances:
+                pattern, query, snippet_id = origins.get(
+                    value, (None, None, None))
+                provenance.record_lineage(InstanceLineage(
+                    interface_id=key[0],
+                    attribute=key[1],
+                    value=value,
+                    phase="surface",
+                    extraction_pattern=pattern,
+                    extraction_query=query,
+                    snippet_id=snippet_id,
+                    validation=evidence.get(value),
+                ))
+            provenance.record_discovery(DiscoverySummary(
+                interface_id=key[0],
+                attribute=key[1],
+                discovered=len(candidates),
+                kept=len(instances),
+                numeric_domain=numeric,
+            ))
         return SurfaceResult(
             attribute_label=attribute.label,
             instances=instances,
@@ -441,8 +505,22 @@ class SurfaceDiscoverer:
         )
 
     # ------------------------------------------------------------ internals
+    def _subject_key(self, attribute: Attribute) -> Tuple[str, str]:
+        """The (interface, attribute) identity provenance records carry.
+
+        The acquirer scopes each discovery via ``provenance.subject``;
+        standalone use (CLI ``discover``, examples) has no scope, so the
+        attribute's own name serves with an empty interface id.
+        """
+        if self.provenance is None:
+            return ("", attribute.name)
+        key = self.provenance.active_subject
+        return key if key != ("", "") else ("", attribute.name)
+
     def _extract(self, analysis: LabelAnalysis,
-                 domain_keywords: Sequence[str], object_name: str) -> List[str]:
+                 domain_keywords: Sequence[str], object_name: str,
+                 origins: Optional[Dict[str, Tuple[str, str, int]]] = None,
+                 ) -> List[str]:
         seen: Set[str] = set()
         ordered: List[str] = []
         label_low = clean_label(analysis.label).lower()
@@ -463,6 +541,9 @@ class SurfaceDiscoverer:
                         continue
                     seen.add(low)
                     ordered.append(cleaned)
+                    if origins is not None:
+                        origins[cleaned] = (
+                            query.pattern, query.query, hit.doc_id)
         return ordered
 
     def _is_numeric_domain(self, candidates: Sequence[str]) -> bool:
@@ -476,16 +557,48 @@ class SurfaceDiscoverer:
             return list(candidates)
         return [c for c in candidates if _is_numeric(c)]
 
-    def _validate(self, label: str, analysis: LabelAnalysis,
-                  candidates: Sequence[str]) -> List[str]:
-        candidates = self._cap_candidates(candidates)
-        phrases = self._validator.validation_phrases(label, analysis)
-        scored = [
-            (self._validator.confidence(phrases, c), c) for c in candidates
-        ]
-        scored = [(s, c) for s, c in scored if s > self.config.min_score]
-        scored.sort(key=lambda pair: (-pair[0], pair[1].lower()))
-        return [c for _, c in scored[: self.config.k]]
+    def _validate(
+        self, label: str, analysis: LabelAnalysis,
+        candidates: Sequence[str], key: Tuple[str, str],
+    ) -> Tuple[List[str], Dict[str, "ValidationEvidence"]]:
+        """Web-validate ``candidates``; return survivors plus, per survivor,
+        the :class:`~repro.obs.provenance.ValidationEvidence` that admitted
+        it (empty dict when no provenance recorder is attached).
+
+        The score is ``mean_pmi(score_vector(...))`` — exactly what
+        :meth:`WebValidator.confidence` computes — so recording the vector
+        costs nothing and changes nothing.
+        """
+        provenance = self.provenance
+        capped = self._cap_candidates(candidates)
+        if provenance is not None:
+            capped_set = set(capped)
+            for value in candidates:
+                if value not in capped_set:
+                    provenance.record_prune(PruneEvent(
+                        key[0], key[1], value, stage="cap"))
+        phrases = tuple(self._validator.validation_phrases(label, analysis))
+        evidence: Dict[str, ValidationEvidence] = {}
+        scored: List[Tuple[float, str]] = []
+        for c in capped:
+            vector = self._validator.score_vector(phrases, c)
+            score = mean_pmi(vector)
+            scored.append((score, c))
+            if provenance is not None:
+                evidence[c] = ValidationEvidence(
+                    phrases=phrases, scores=tuple(vector), score=score)
+        kept = [(s, c) for s, c in scored if s > self.config.min_score]
+        if provenance is not None:
+            for s, c in scored:
+                if not s > self.config.min_score:
+                    provenance.record_prune(PruneEvent(
+                        key[0], key[1], c, stage="validation", score=s))
+        kept.sort(key=lambda pair: (-pair[0], pair[1].lower()))
+        if provenance is not None:
+            for s, c in kept[self.config.k:]:
+                provenance.record_prune(PruneEvent(
+                    key[0], key[1], c, stage="top_k", score=s))
+        return [c for _, c in kept[: self.config.k]], evidence
 
     def _cap_candidates(self, candidates: Sequence[str]) -> List[str]:
         """Bound the validation workload to the most popular candidates.
@@ -512,3 +625,32 @@ def _is_numeric(value: str) -> bool:
     except ValueError:
         return False
     return True
+
+
+def _outlier_driver(
+    value: str,
+    numeric: bool,
+    statistics: Dict[str, Tuple[float, float]],
+    sigma: float,
+) -> Tuple[Optional[str], Optional[float]]:
+    """Name and deviation of the test statistic that rejected ``value``.
+
+    Recomputes the candidate's statistic vector (pure arithmetic, no Web
+    traffic) against the (mean, std) moments the discordancy test actually
+    used, and returns the most deviant statistic meeting the sigma rule.
+    """
+    names = ("value",) if numeric else STRING_STATISTIC_NAMES
+    vector = (
+        numeric_test_statistics(value)
+        if numeric else string_test_statistics(value)
+    )
+    best_name: Optional[str] = None
+    best_sigmas: Optional[float] = None
+    for name, v in zip(names, vector):
+        mean, std = statistics.get(name, (0.0, 0.0))
+        if std == 0.0:
+            continue
+        sigmas = abs(v - mean) / std
+        if sigmas >= sigma and (best_sigmas is None or sigmas > best_sigmas):
+            best_name, best_sigmas = name, sigmas
+    return best_name, best_sigmas

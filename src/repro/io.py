@@ -6,12 +6,23 @@ inspected, diffed, or versioned), ground-truth clusters, acquisition
 reports and matching metrics. Everything round-trips losslessly except the
 corpus and sources, which are regenerated from the seed (recorded in the
 dataset payload) rather than stored.
+
+Run payloads carry a schema version (:data:`RUN_RESULT_FORMAT`, under the
+``"format"`` key). Format 2 added ``"format"``, ``"seed"`` and
+``"provenance"``; :func:`load_run_result` upgrades format-1 payloads in
+place (the new keys default to absent values) and rejects formats newer
+than it knows, so old archives stay readable and future ones fail loudly
+instead of silently misreading. All dumps use ``sort_keys=True`` — byte
+equality between two dumps then means payload equality.
 """
 
 from __future__ import annotations
 
 import json
 from typing import Any, Dict, List
+
+#: Schema version written into run-result payloads.
+RUN_RESULT_FORMAT = 2
 
 from repro.core.acquisition import AcquisitionReport
 from repro.core.pipeline import WebIQRunResult
@@ -23,6 +34,7 @@ from repro.perf.cache import CacheStats
 from repro.resilience.client import DegradationReport
 
 __all__ = [
+    "RUN_RESULT_FORMAT",
     "interface_to_dict",
     "interface_from_dict",
     "dataset_to_dict",
@@ -186,8 +198,13 @@ def observability_to_dict(obs: Observability) -> Dict[str, Any]:
 
 def run_result_to_dict(result: WebIQRunResult) -> Dict[str, Any]:
     """A full pipeline run: config, metrics, clusters, overhead."""
+    provenance = (
+        result.obs.provenance if result.obs is not None else None
+    )
     return {
+        "format": RUN_RESULT_FORMAT,
         "domain": result.domain,
+        "seed": result.seed,
         "config": {
             "enable_surface": result.config.enable_surface,
             "enable_attr_deep": result.config.enable_attr_deep,
@@ -229,13 +246,16 @@ def run_result_to_dict(result: WebIQRunResult) -> Dict[str, Any]:
             if result.obs is not None
             else None
         ),
+        "provenance": (
+            provenance.to_dict() if provenance is not None else None
+        ),
     }
 
 
 def dump_dataset(dataset: DomainDataset, path: str) -> None:
     """Write a dataset snapshot as JSON to ``path``."""
     with open(path, "w") as handle:
-        json.dump(dataset_to_dict(dataset), handle, indent=2)
+        json.dump(dataset_to_dict(dataset), handle, indent=2, sort_keys=True)
 
 
 def dump_run_result(result: WebIQRunResult, path: str) -> None:
@@ -249,6 +269,23 @@ def load_run_result(path: str) -> Dict[str, Any]:
 
     The corpus-backed objects are not reconstructed — the payload is the
     archival form; tests use it to assert the dump was lossless for the
-    accounting layers (degradation, cache, trace, metrics)."""
+    accounting layers (degradation, cache, trace, metrics, provenance).
+
+    Format-1 payloads (written before the schema carried a version) are
+    upgraded in place: ``"format"`` becomes 1 and the format-2 keys
+    (``"seed"``, ``"provenance"``) default to ``None``. Payloads newer
+    than :data:`RUN_RESULT_FORMAT` raise ``ValueError`` rather than being
+    silently misread."""
     with open(path) as handle:
-        return json.load(handle)
+        payload = json.load(handle)
+    version = payload.setdefault("format", 1)
+    if not isinstance(version, int) or version < 1:
+        raise ValueError(f"unrecognised run-result format: {version!r}")
+    if version > RUN_RESULT_FORMAT:
+        raise ValueError(
+            f"run-result format {version} is newer than this reader "
+            f"(knows up to {RUN_RESULT_FORMAT})"
+        )
+    payload.setdefault("seed", None)
+    payload.setdefault("provenance", None)
+    return payload

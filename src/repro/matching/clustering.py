@@ -22,7 +22,12 @@ from repro.deepweb.models import QueryInterface
 from repro.matching.similarity import (
     AttributeView,
     SimilarityConfig,
-    attribute_similarity,
+    similarity_components,
+)
+from repro.obs.provenance import (
+    MatchExplanation,
+    MergeStep,
+    ProvenanceRecorder,
 )
 
 __all__ = ["Cluster", "MatchResult", "IceQMatcher", "views_from_interfaces"]
@@ -96,17 +101,27 @@ class IceQMatcher:
     - ``"single"``: the maximum pairwise similarity; permissive, chains
       aggressively (provided as an ablation).
     - ``"complete"``: the minimum over member pairs, most conservative.
+
+    A :class:`~repro.obs.provenance.ProvenanceRecorder` passed as
+    ``provenance`` receives one :class:`~repro.obs.provenance.MatchExplanation`
+    per pairwise similarity evaluation (LabelSim/DomSim components, the
+    α/β blend, the threshold it was compared against) and one
+    :class:`~repro.obs.provenance.MergeStep` per committed merge. The
+    recorded ``sim`` is the very float the matcher clusters on, so
+    explanations recompute exactly; recording changes no decision.
     """
 
     def __init__(
         self,
         config: SimilarityConfig = SimilarityConfig(),
         linkage: str = "average",
+        provenance: Optional[ProvenanceRecorder] = None,
     ) -> None:
         if linkage not in ("single", "average", "complete"):
             raise ValueError(f"unknown linkage {linkage!r}")
         self.config = config
         self.linkage = linkage
+        self.provenance = provenance
 
     def match(
         self,
@@ -128,14 +143,28 @@ class IceQMatcher:
     ) -> MatchResult:
         n = len(views)
         evaluations = 0
+        provenance = self.provenance
 
         # Pairwise similarity matrix over singletons.
         sim: List[List[float]] = [[0.0] * n for _ in range(n)]
         for i in range(n):
             for j in range(i + 1, n):
-                value = attribute_similarity(views[i], views[j], self.config)
+                label_sim, dom_sim, value = similarity_components(
+                    views[i], views[j], self.config
+                )
                 evaluations += 1
                 sim[i][j] = sim[j][i] = value
+                if provenance is not None:
+                    provenance.record_explanation(MatchExplanation(
+                        a=views[i].key,
+                        b=views[j].key,
+                        label_sim=label_sim,
+                        dom_sim=dom_sim,
+                        alpha=self.config.alpha,
+                        beta=self.config.beta,
+                        sim=value,
+                        threshold=threshold,
+                    ))
 
         # Active clusters: id -> (member indices, interface-id set).
         members: Dict[int, List[int]] = {i: [i] for i in range(n)}
@@ -145,6 +174,7 @@ class IceQMatcher:
             i: {j: sim[i][j] for j in range(n) if j != i} for i in range(n)
         }
         active: Set[int] = set(range(n))
+        merge_step = 0
 
         while len(active) > 1:
             best_pair: Optional[Tuple[int, int]] = None
@@ -159,6 +189,15 @@ class IceQMatcher:
             if best_pair is None:
                 break
             i, j = best_pair
+            if provenance is not None:
+                provenance.record_merge(MergeStep(
+                    step=merge_step,
+                    linkage_value=best_value,
+                    threshold=threshold,
+                    cluster_a=tuple(views[idx].key for idx in members[i]),
+                    cluster_b=tuple(views[idx].key for idx in members[j]),
+                ))
+            merge_step += 1
             size_i, size_j = len(members[i]), len(members[j])
             # Lance-Williams updates: the merged cluster's similarity to k.
             for k in active:

@@ -29,6 +29,7 @@ __all__ = [
     "value_similarity",
     "domain_similarity",
     "attribute_similarity",
+    "similarity_components",
     "normalize_label_words",
     "values_similar",
 ]
@@ -185,13 +186,24 @@ def domain_similarity(
     return type_factor * value_similarity(values_a, values_b)
 
 
+def similarity_components(
+    a: AttributeView,
+    b: AttributeView,
+    config: SimilarityConfig = SimilarityConfig(),
+) -> Tuple[float, float, float]:
+    """``(LabelSim, DomSim, Sim)`` with the blend computed exactly as
+    :func:`attribute_similarity` computes it — provenance records built
+    from these components recompute to the matcher's ``Sim`` bit for bit.
+    """
+    label_sim = label_similarity(a.label, b.label)
+    dom_sim = domain_similarity(a.instances, b.instances, config)
+    return label_sim, dom_sim, config.alpha * label_sim + config.beta * dom_sim
+
+
 def attribute_similarity(
     a: AttributeView,
     b: AttributeView,
     config: SimilarityConfig = SimilarityConfig(),
 ) -> float:
     """``Sim(A,B) = α·LabelSim + β·DomSim`` (paper's α=.6, β=.4 defaults)."""
-    return (
-        config.alpha * label_similarity(a.label, b.label)
-        + config.beta * domain_similarity(a.instances, b.instances, config)
-    )
+    return similarity_components(a, b, config)[2]

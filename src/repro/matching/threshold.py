@@ -5,15 +5,25 @@ paper's experiments instead set τ manually (0, then 0.1). As a non-paper
 extension we provide a simple automatic search: evaluate a grid of
 thresholds against a labelled subset and return the F-1 maximiser — useful
 when a few expert matches are available but a human is not in the loop.
+
+When the matcher carries a provenance recorder, the grid's exploratory
+matching runs are recorded *suspended* — they are not decisions of any
+final run, and flooding the explanation buffer would break the invariant
+law tying explanations to the final match's similarity evaluations. The
+search instead leaves one compact
+:class:`~repro.obs.provenance.ThresholdSearchRecord` (grid, per-τ F-1,
+winner) so a report can still explain why a threshold was chosen.
 """
 
 from __future__ import annotations
 
+from contextlib import ExitStack
 from typing import FrozenSet, Sequence, Set, Tuple
 
 from repro.matching.clustering import IceQMatcher
 from repro.matching.metrics import evaluate_matches
 from repro.matching.similarity import AttributeView
+from repro.obs.provenance import ThresholdSearchRecord
 
 __all__ = ["search_threshold"]
 
@@ -36,10 +46,22 @@ def search_threshold(
         raise ValueError("threshold grid must be non-empty")
     best_tau = grid[0]
     best_f1 = -1.0
-    for tau in grid:
-        result = matcher.match_views(views, threshold=tau)
-        metrics = evaluate_matches(result.match_pairs(), truth)
-        if metrics.f1 > best_f1:
-            best_f1 = metrics.f1
-            best_tau = tau
+    f1_by_threshold = []
+    with ExitStack() as stack:
+        if matcher.provenance is not None:
+            stack.enter_context(matcher.provenance.suspended())
+        for tau in grid:
+            result = matcher.match_views(views, threshold=tau)
+            metrics = evaluate_matches(result.match_pairs(), truth)
+            f1_by_threshold.append(metrics.f1)
+            if metrics.f1 > best_f1:
+                best_f1 = metrics.f1
+                best_tau = tau
+    if matcher.provenance is not None:
+        matcher.provenance.record_threshold_search(ThresholdSearchRecord(
+            grid=tuple(grid),
+            f1_by_threshold=tuple(f1_by_threshold),
+            chosen=best_tau,
+            best_f1=best_f1,
+        ))
     return best_tau, best_f1

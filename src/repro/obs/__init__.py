@@ -12,7 +12,12 @@ what it sees into three artifacts:
   (:class:`~repro.obs.invariants.InvariantChecker`) — cross-layer
   conservation laws relating the trace and metrics to the stopwatch,
   degradation and cache accounting, making every run a correctness test
-  of the whole stack.
+  of the whole stack;
+- a **decision provenance** record
+  (:class:`~repro.obs.provenance.ProvenanceRecorder`) — the full lineage
+  of every acquired instance and an explanation of every match decision,
+  digestible into a :class:`~repro.obs.report.RunReport` and diffable
+  across runs with :func:`~repro.obs.report.diff_runs`.
 
 Attach an :class:`ObsConfig` to ``WebIQConfig.obs`` to enable; the
 default (``None``) leaves the pipeline bit-identical to an uninstrumented
@@ -34,6 +39,28 @@ from repro.obs.invariants import (
     check_run,
 )
 from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.provenance import (
+    DEFAULT_PROVENANCE_CAPACITY,
+    DiscoverySummary,
+    InstanceLineage,
+    MatchExplanation,
+    MergeStep,
+    ProbeVerdict,
+    ProvenanceRecorder,
+    PruneEvent,
+    ThresholdSearchRecord,
+    ValidationEvidence,
+)
+from repro.obs.report import (
+    NO_PROVENANCE_DIVERGENCE,
+    DomainReport,
+    Drift,
+    HardDecision,
+    RunDiff,
+    RunReport,
+    build_run_report,
+    diff_runs,
+)
 from repro.obs.trace import Span, TraceEvent, Tracer
 
 __all__ = [
@@ -54,4 +81,22 @@ __all__ = [
     "InvariantReport",
     "InvariantViolation",
     "check_run",
+    "DEFAULT_PROVENANCE_CAPACITY",
+    "ProvenanceRecorder",
+    "InstanceLineage",
+    "PruneEvent",
+    "DiscoverySummary",
+    "MatchExplanation",
+    "MergeStep",
+    "ProbeVerdict",
+    "ThresholdSearchRecord",
+    "ValidationEvidence",
+    "RunReport",
+    "DomainReport",
+    "HardDecision",
+    "build_run_report",
+    "RunDiff",
+    "Drift",
+    "diff_runs",
+    "NO_PROVENANCE_DIVERGENCE",
 ]

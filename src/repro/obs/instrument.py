@@ -37,6 +37,10 @@ from dataclasses import dataclass
 from typing import Any, Iterator, List, Mapping, Optional
 
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.provenance import (
+    DEFAULT_PROVENANCE_CAPACITY,
+    ProvenanceRecorder,
+)
 from repro.obs.trace import Tracer
 
 __all__ = [
@@ -64,13 +68,18 @@ class ObsConfig:
 
     ``trace_calls`` controls the per-call trace events (the bulkiest part
     of a trace); metrics counters and phase spans are always recorded.
+    ``provenance`` turns the decision-provenance recorder on (default) or
+    off; ``provenance_capacity`` bounds each of its ring buffers so an
+    arbitrarily large run cannot exhaust memory.
     """
 
     trace_calls: bool = True
+    provenance: bool = True
+    provenance_capacity: int = DEFAULT_PROVENANCE_CAPACITY
 
 
 class Observability:
-    """One run's tracer + metrics registry + active-component scope."""
+    """One run's tracer + metrics registry + provenance + component scope."""
 
     def __init__(
         self,
@@ -80,6 +89,10 @@ class Observability:
         self.config = config
         self.tracer = Tracer(clock_seconds)
         self.metrics = MetricsRegistry()
+        self.provenance: Optional[ProvenanceRecorder] = (
+            ProvenanceRecorder(config.provenance_capacity)
+            if config.provenance else None
+        )
         self._components: List[str] = []
 
     # ------------------------------------------------------------- scoping
@@ -137,10 +150,13 @@ class Observability:
 
     def summary(self) -> str:
         """One CLI-ready line for the run's trace + metrics volume."""
-        return (
+        line = (
             f"observability: {self.tracer.n_spans} spans, "
             f"{self.tracer.n_events} events; {self.metrics.summary()}"
         )
+        if self.provenance is not None:
+            line += f"; {self.provenance.summary()}"
+        return line
 
 
 class ObservedSearchEngine:

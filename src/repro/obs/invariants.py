@@ -29,6 +29,7 @@ which checks ran so a suite can assert it exercised what it meant to.
 
 from __future__ import annotations
 
+from collections import Counter
 from dataclasses import dataclass, field
 from typing import Any, List, Optional
 
@@ -38,6 +39,7 @@ from repro.obs.instrument import (
     LAYER_TRANSPORT,
     Observability,
 )
+from repro.obs.provenance import PRUNE_STAGES, ProvenanceRecorder
 
 __all__ = ["InvariantViolation", "InvariantReport", "InvariantChecker", "check_run"]
 
@@ -83,7 +85,15 @@ class InvariantReport:
 
 
 class InvariantChecker:
-    """Audits a :class:`~repro.core.pipeline.WebIQRunResult`."""
+    """Audits a :class:`~repro.core.pipeline.WebIQRunResult`.
+
+    Violation messages carry a ``[domain=... seed=...]`` prefix naming
+    the run that broke the law, so a failure inside a multi-domain,
+    multi-seed sweep is attributable without re-running the sweep.
+    """
+
+    def __init__(self) -> None:
+        self._context = ""
 
     def check(self, result) -> InvariantReport:
         """Evaluate every applicable conservation law on ``result``."""
@@ -92,6 +102,11 @@ class InvariantChecker:
         cache = result.cache
         degradation = result.degradation
         trace_calls = obs is not None and obs.config.trace_calls
+        domain = getattr(result, "domain", None) or "?"
+        seed = getattr(result, "seed", None)
+        self._context = (
+            f"[domain={domain} seed={'?' if seed is None else seed}] "
+        )
 
         if obs is not None:
             self._check_trace_well_formed(report, obs)
@@ -112,6 +127,11 @@ class InvariantChecker:
                                            trace_calls)
         if trace_calls:
             self._check_trace_metrics_consistency(report, obs)
+        provenance = obs.provenance if obs is not None else None
+        if provenance is not None:
+            self._check_lineage_conservation(report, provenance, result)
+            self._check_prune_conservation(report, provenance)
+            self._check_match_conservation(report, provenance, result)
         return report
 
     # ------------------------------------------------------------ the laws
@@ -371,10 +391,102 @@ class InvariantChecker:
                     f"web.round_trips counter[{layer}/{substrate}]",
                 )
 
+    def _check_lineage_conservation(self, report: InvariantReport,
+                                    provenance: ProvenanceRecorder,
+                                    result) -> None:
+        """Every acquired instance has exactly one lineage record."""
+        name = "provenance-lineage-conservation"
+        report.checked.append(name)
+        acquisition = result.acquisition
+        acquired_total = (
+            sum(r.n_after_borrow for r in acquisition.records)
+            if acquisition is not None
+            else 0
+        )
+        recorded = len(provenance.lineage) + provenance.dropped.get(
+            "lineage", 0)
+        self._equal(
+            report, name, recorded, acquired_total,
+            "lineage records (incl. dropped)", "instances acquired",
+        )
+        if provenance.dropped.get("lineage", 0) or acquisition is None:
+            return
+        by_key = Counter(record.key for record in provenance.lineage)
+        for record in acquisition.records:
+            key = (record.interface_id, record.attribute)
+            self._equal(
+                report, name, by_key.get(key, 0), record.n_after_borrow,
+                f"lineage records for {key}",
+                f"acquired instances for {key}",
+            )
+
+    def _check_prune_conservation(self, report: InvariantReport,
+                                  provenance: ProvenanceRecorder) -> None:
+        """Every discovered candidate is either kept or pruned exactly once."""
+        name = "provenance-prune-conservation"
+        report.checked.append(name)
+        for event in provenance.prunes:
+            if event.stage not in PRUNE_STAGES:
+                self._fail(
+                    report, name,
+                    f"unknown prune stage {event.stage!r} for "
+                    f"{(event.interface_id, event.attribute)}",
+                )
+        if provenance.dropped.get("prunes", 0) or provenance.dropped.get(
+            "discoveries", 0
+        ):
+            return
+        prunes_by_key = Counter(
+            (event.interface_id, event.attribute)
+            for event in provenance.prunes
+        )
+        for summary in provenance.discoveries:
+            key = (summary.interface_id, summary.attribute)
+            self._equal(
+                report, name, prunes_by_key.get(key, 0),
+                summary.discovered - summary.kept,
+                f"prune events for {key}",
+                f"discovered - kept for {key}",
+            )
+
+    def _check_match_conservation(self, report: InvariantReport,
+                                  provenance: ProvenanceRecorder,
+                                  result) -> None:
+        """Explanations cover every pairwise evaluation and recompute
+        float-exactly; committed merges beat the threshold."""
+        name = "provenance-match-conservation"
+        report.checked.append(name)
+        match_result = result.match_result
+        recorded = len(provenance.explanations) + provenance.dropped.get(
+            "explanations", 0)
+        self._equal(
+            report, name, recorded, match_result.similarity_evaluations,
+            "match explanations (incl. dropped)",
+            "pairwise similarity evaluations",
+        )
+        for e in provenance.explanations:
+            blend = e.alpha * e.label_sim + e.beta * e.dom_sim
+            if blend != e.sim:
+                self._fail(
+                    report, name,
+                    f"explanation for ({e.a}, {e.b}) does not recompute: "
+                    f"{e.alpha}*{e.label_sim} + {e.beta}*{e.dom_sim} = "
+                    f"{blend} != {e.sim}",
+                )
+        for merge in provenance.merges:
+            if not merge.linkage_value > merge.threshold:
+                self._fail(
+                    report, name,
+                    f"merge step {merge.step} committed at linkage "
+                    f"{merge.linkage_value} <= threshold {merge.threshold}",
+                )
+
     # ------------------------------------------------------------ plumbing
-    @staticmethod
-    def _fail(report: InvariantReport, invariant: str, message: str) -> None:
-        report.violations.append(InvariantViolation(invariant, message))
+    def _fail(self, report: InvariantReport, invariant: str,
+              message: str) -> None:
+        report.violations.append(
+            InvariantViolation(invariant, self._context + message)
+        )
 
     def _equal(self, report: InvariantReport, invariant: str,
                actual: Any, expected: Any,

@@ -16,6 +16,7 @@ payloads.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterator, List, Optional, Tuple
 
@@ -52,22 +53,43 @@ class Gauge:
 
 @dataclass
 class Histogram:
-    """Streaming summary of an observed distribution (no raw samples)."""
+    """Summary of an observed distribution.
+
+    Retains the raw samples so :meth:`percentile` can answer exactly;
+    the JSON export stays summary-only (count/total/min/max) so payload
+    size does not grow with sample count.
+    """
 
     count: int = 0
     total: float = 0.0
     min: Optional[float] = None
     max: Optional[float] = None
+    samples: List[float] = field(default_factory=list)
 
     def observe(self, value: float) -> None:
         self.count += 1
         self.total += value
         self.min = value if self.min is None else min(self.min, value)
         self.max = value if self.max is None else max(self.max, value)
+        self.samples.append(value)
 
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
+
+    def percentile(self, q: float) -> Optional[float]:
+        """Nearest-rank percentile of the observed samples.
+
+        ``q`` is in ``[0, 100]``. Returns ``None`` when nothing has been
+        observed; a single sample is every percentile of itself.
+        """
+        if not 0.0 <= q <= 100.0:
+            raise ValueError(f"percentile out of range: {q!r}")
+        if not self.samples:
+            return None
+        ordered = sorted(self.samples)
+        rank = max(1, math.ceil(q / 100.0 * len(ordered)))
+        return ordered[rank - 1]
 
 
 class MetricsRegistry:

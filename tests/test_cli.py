@@ -120,3 +120,42 @@ class TestCommands:
         assert payload["domain"] == "auto"
         assert len(payload["interfaces"]) == 4
         assert payload["ground_truth"]["clusters"]
+
+
+class TestProvenanceCommands:
+    def test_run_report_flag(self, capsys, tmp_path):
+        path = tmp_path / "report.txt"
+        assert main(["run", "--domain", "book", "--interfaces", "4",
+                     "--seed", "1", "--report", str(path)]) == 0
+        text = path.read_text()
+        assert "== book (seed 1) ==" in text
+        assert "hardest decisions" in text
+
+    def test_run_explain_flag(self, capsys):
+        assert main(["run", "--domain", "book", "--interfaces", "4",
+                     "--seed", "1", "--explain", "author"]) == 0
+        out = capsys.readouterr().out
+        assert "LabelSim" in out and "DomSim" in out
+        assert "tau=" in out
+
+    def test_diff_identical_runs_is_clean(self, capsys, tmp_path):
+        a, b = tmp_path / "a.json", tmp_path / "b.json"
+        for path in (a, b):
+            assert main(["run", "--domain", "book", "--interfaces", "4",
+                         "--seed", "1", "--json", str(path)]) == 0
+        capsys.readouterr()
+        assert main(["diff", str(a), str(b)]) == 0
+        out = capsys.readouterr().out
+        assert "zero drift" in out
+
+    def test_diff_flags_regression_with_exit_code(self, capsys, tmp_path):
+        a, b = tmp_path / "a.json", tmp_path / "b.json"
+        assert main(["run", "--domain", "book", "--interfaces", "4",
+                     "--seed", "1", "--json", str(a)]) == 0
+        payload = json.loads(a.read_text())
+        payload["metrics"]["f1"] -= 0.2
+        b.write_text(json.dumps(payload))
+        capsys.readouterr()
+        assert main(["diff", str(a), str(b)]) == 1
+        out = capsys.readouterr().out
+        assert "accuracy" in out

@@ -58,7 +58,7 @@ class TestCase1Donors:
         target_if, donor_if = self.make_world()
         acq = acquirer_with([target_if, donor_if])
         donors = acq._case1_donors(target_if, target_if.attribute("from"))
-        assert [d.label for d in donors] == ["From city"]
+        assert [(i, d.label) for i, d in donors] == [("d", "From city")]
 
     def test_label_threshold_gates(self):
         target_if, donor_if = self.make_world()
@@ -77,7 +77,7 @@ class TestCase1Donors:
         donor_if.attributes.append(clash)
         acq = acquirer_with([target_if, donor_if])
         donors = acq._case1_donors(target_if, target_if.attribute("from"))
-        assert "From options" not in [d.label for d in donors]
+        assert "From options" not in [d.label for _, d in donors]
 
     def test_failed_acquisitions_not_donors(self):
         target_if, donor_if = self.make_world()
@@ -85,7 +85,7 @@ class TestCase1Donors:
         donor_if.attributes.append(junky)
         acq = acquirer_with([target_if, donor_if])
         donors = acq._case1_donors(target_if, target_if.attribute("from"))
-        assert "From place" not in [d.label for d in donors]
+        assert "From place" not in [d.label for _, d in donors]
 
     def test_same_interface_never_donates(self):
         target_if, _ = self.make_world()
@@ -99,7 +99,7 @@ class TestCase1Donors:
         donor_if.attributes.append(exact)
         acq = acquirer_with([target_if, donor_if])
         donors = acq._case1_donors(target_if, target_if.attribute("from"))
-        assert donors[0].label == "From"
+        assert donors[0][1].label == "From"
 
 
 class TestCase2Donors:
@@ -123,7 +123,7 @@ class TestCase2Donors:
              "Alitalia", "Iberia", "Finnair"])
         acq = acquirer_with([target_if, donor_if])
         donors = acq._case2_donors(target_if, target_if.attribute("airline"))
-        assert [d.label for d in donors] == ["Carrier"]
+        assert [(i, d.label) for i, d in donors] == [("d", "Carrier")]
 
     def test_one_shared_value_insufficient(self):
         target_if, donor_if = self.make_world(

@@ -7,6 +7,7 @@ import pytest
 from repro.core.pipeline import WebIQConfig, WebIQMatcher
 from repro.datasets import build_domain_dataset
 from repro.io import (
+    RUN_RESULT_FORMAT,
     cache_stats_to_dict,
     dataset_to_dict,
     degradation_report_to_dict,
@@ -164,3 +165,79 @@ class TestRunResultRoundTrip:
         dump_run_result(instrumented_result, str(first))
         dump_run_result(instrumented_result, str(second))
         assert first.read_bytes() == second.read_bytes()
+
+    def test_provenance_payload_preserved(self, instrumented_result, tmp_path):
+        path = tmp_path / "run.json"
+        dump_run_result(instrumented_result, str(path))
+        payload = load_run_result(str(path))
+        expected = json.loads(json.dumps(
+            instrumented_result.obs.provenance.to_dict()))
+        assert payload["provenance"] == expected
+        assert payload["provenance"]["lineage"]
+        assert payload["provenance"]["explanations"]
+
+
+class TestRunResultFormatVersioning:
+    """The schema version gate: old archives load, future ones fail loudly."""
+
+    #: A miniature format-1 payload as written before the schema carried a
+    #: version — no "format", "seed" or "provenance" keys. Captured, not
+    #: generated, so the upgrade path is pinned against the historical shape.
+    FORMAT_1_BLOB = {
+        "domain": "book",
+        "config": {
+            "enable_surface": True,
+            "enable_attr_deep": True,
+            "enable_attr_surface": True,
+            "threshold": 0.0,
+            "linkage": "average",
+        },
+        "metrics": {
+            "precision": 1.0,
+            "recall": 0.9,
+            "f1": 0.947,
+            "n_predicted": 18,
+            "n_truth": 20,
+            "n_correct": 18,
+        },
+        "clusters": [[["book-00", "author"], ["book-01", "author"]]],
+        "overhead_seconds": {"surface": 12.5},
+        "overhead_queries": {"surface": 40},
+        "acquisition": None,
+        "degradation": None,
+        "cache": None,
+        "observability": None,
+    }
+
+    def write_blob(self, tmp_path, payload):
+        path = tmp_path / "old.json"
+        path.write_text(json.dumps(payload))
+        return str(path)
+
+    def test_current_dump_carries_format_and_seed(
+            self, instrumented_result, tmp_path):
+        path = tmp_path / "run.json"
+        dump_run_result(instrumented_result, str(path))
+        payload = load_run_result(str(path))
+        assert payload["format"] == RUN_RESULT_FORMAT
+        assert payload["seed"] == 2
+
+    def test_format_1_blob_upgrades_in_place(self, tmp_path):
+        payload = load_run_result(self.write_blob(tmp_path, self.FORMAT_1_BLOB))
+        assert payload["format"] == 1
+        assert payload["seed"] is None
+        assert payload["provenance"] is None
+        # nothing else is touched
+        assert payload["domain"] == "book"
+        assert payload["metrics"]["f1"] == 0.947
+
+    def test_future_format_is_rejected(self, tmp_path):
+        blob = dict(self.FORMAT_1_BLOB, format=RUN_RESULT_FORMAT + 1)
+        with pytest.raises(ValueError, match="newer"):
+            load_run_result(self.write_blob(tmp_path, blob))
+
+    def test_nonsense_format_is_rejected(self, tmp_path):
+        for bad in (0, -3, "two"):
+            blob = dict(self.FORMAT_1_BLOB, format=bad)
+            with pytest.raises(ValueError):
+                load_run_result(self.write_blob(tmp_path, blob))

@@ -1,0 +1,69 @@
+"""Edge-case tests for the metrics registry's instruments.
+
+The invariant checker and the run report both lean on histograms and on
+the registry export being well defined at the boundaries — before any
+sample arrives, and with exactly one sample — so those boundaries get
+their own tests here, separate from the happy-path coverage in
+``test_obs_trace.py``.
+"""
+
+import json
+
+import pytest
+
+from repro.obs import Histogram, MetricsRegistry
+
+
+class TestHistogramEdgeCases:
+    def test_empty_histogram_exports_null_bounds(self):
+        registry = MetricsRegistry()
+        registry.histogram("latency", component="surface")  # created, unused
+        payload = registry.export()
+        json.dumps(payload)  # must stay serialisable
+        (row,) = payload["histograms"]
+        assert row["count"] == 0
+        assert row["total"] == 0.0
+        assert row["min"] is None
+        assert row["max"] is None
+        assert "samples" not in row  # export stays summary-only
+
+    def test_empty_histogram_statistics(self):
+        histogram = Histogram()
+        assert histogram.mean == 0.0
+        assert histogram.percentile(50.0) is None
+        assert histogram.percentile(0.0) is None
+
+    def test_single_sample_is_every_percentile(self):
+        histogram = Histogram()
+        histogram.observe(7.25)
+        for q in (0.0, 1.0, 50.0, 99.0, 100.0):
+            assert histogram.percentile(q) == 7.25
+
+    def test_percentile_nearest_rank(self):
+        histogram = Histogram()
+        for value in (4.0, 1.0, 3.0, 2.0):
+            histogram.observe(value)
+        assert histogram.percentile(0.0) == 1.0
+        assert histogram.percentile(25.0) == 1.0
+        assert histogram.percentile(50.0) == 2.0
+        assert histogram.percentile(75.0) == 3.0
+        assert histogram.percentile(100.0) == 4.0
+
+    def test_percentile_rejects_out_of_range(self):
+        histogram = Histogram()
+        histogram.observe(1.0)
+        with pytest.raises(ValueError):
+            histogram.percentile(-0.1)
+        with pytest.raises(ValueError):
+            histogram.percentile(100.1)
+
+    def test_export_unchanged_by_sample_retention(self):
+        """Observing samples must not leak them into the export payload."""
+        registry = MetricsRegistry()
+        for value in (1.0, 2.0, 3.0):
+            registry.histogram("backoff").observe(value)
+        (row,) = registry.export()["histograms"]
+        assert set(row) == {"name", "labels", "count", "total", "min", "max"}
+        assert row["count"] == 3
+        assert row["min"] == 1.0
+        assert row["max"] == 3.0

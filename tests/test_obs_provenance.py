@@ -1,0 +1,238 @@
+"""Acceptance tests for decision provenance, run reports and run diffs.
+
+Three contracts, in order of importance:
+
+1. **Observation is free.** With provenance disabled — or observability
+   off entirely — the pipeline's exported payload is byte-identical
+   (minus the provenance/observability keys themselves) across two
+   domains and three seeds. Recording may never change a decision.
+2. **Provenance is complete and exact.** With provenance on, every
+   acquired instance carries a lineage record, every match explanation's
+   0.6/0.4 blend recomputes float-exactly to the similarity the matcher
+   clustered on, and the committing merge step exists for merged pairs.
+3. **The tooling is sound.** ``diff_runs`` of an export against itself
+   reports zero drift; the invariant laws hold on instrumented runs; the
+   ring buffer drops oldest-first with honest counters instead of
+   growing without bound.
+"""
+
+import json
+
+import pytest
+
+from repro.core.pipeline import WebIQConfig, WebIQMatcher
+from repro.datasets import build_domain_dataset
+from repro.io import run_result_to_dict
+from repro.matching.similarity import similarity_components
+from repro.obs import (
+    InstanceLineage,
+    NO_PROVENANCE_DIVERGENCE,
+    ObsConfig,
+    ProvenanceRecorder,
+    build_run_report,
+    check_run,
+    diff_runs,
+)
+
+DOMAINS = ("book", "auto")
+SEEDS = (1, 2, 3)
+N_INTERFACES = 4
+
+
+def run_with(domain, seed, obs):
+    dataset = build_domain_dataset(domain, n_interfaces=N_INTERFACES,
+                                   seed=seed)
+    return WebIQMatcher(WebIQConfig(obs=obs)).run(dataset)
+
+
+def comparable_bytes(result) -> bytes:
+    """The export with the observation-only keys removed."""
+    payload = run_result_to_dict(result)
+    payload.pop("provenance")
+    payload.pop("observability")
+    return json.dumps(payload, indent=2, sort_keys=True).encode()
+
+
+@pytest.fixture(scope="module")
+def observed():
+    """One provenance-enabled run per (domain, seed)."""
+    return {
+        (domain, seed): run_with(domain, seed, ObsConfig())
+        for domain in DOMAINS
+        for seed in SEEDS
+    }
+
+
+class TestObservationIsFree:
+    @pytest.mark.parametrize("domain", DOMAINS)
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_provenance_never_changes_the_run(self, observed, domain, seed):
+        plain = run_with(domain, seed, obs=None)
+        disabled = run_with(domain, seed, ObsConfig(provenance=False))
+        recorded = observed[(domain, seed)]
+        baseline = comparable_bytes(plain)
+        assert comparable_bytes(disabled) == baseline
+        assert comparable_bytes(recorded) == baseline
+
+    def test_disabled_provenance_records_nothing(self):
+        result = run_with("book", 1, ObsConfig(provenance=False))
+        assert result.obs.provenance is None
+        assert run_result_to_dict(result)["provenance"] is None
+
+
+class TestLineageCompleteness:
+    @pytest.mark.parametrize("domain", DOMAINS)
+    def test_every_acquired_instance_has_lineage(self, observed, domain):
+        result = observed[(domain, 1)]
+        provenance = result.obs.provenance
+        assert provenance.dropped == {key: 0 for key in provenance.dropped}
+        for record in result.acquisition.records:
+            lineage = provenance.lineage_for(record.interface_id,
+                                             record.attribute)
+            assert len(lineage) == record.n_after_borrow, (
+                record.interface_id, record.attribute)
+        assert len(provenance.lineage) == sum(
+            r.n_after_borrow for r in result.acquisition.records)
+
+    def test_lineage_names_its_evidence(self, observed):
+        provenance = observed[("book", 1)].obs.provenance
+        phases = {record.phase for record in provenance.lineage}
+        assert "surface" in phases
+        for record in provenance.lineage:
+            if record.phase == "surface":
+                assert record.extraction_query
+                assert record.donor is None
+            else:
+                assert record.donor is not None
+            if record.phase == "attr_deep":
+                assert record.probe is not None
+                assert record.probe.accepted
+            if record.phase == "attr_surface":
+                assert record.posterior is not None
+                assert record.posterior > 0.5
+
+    def test_prunes_balance_discoveries(self, observed):
+        provenance = observed[("auto", 1)].obs.provenance
+        assert provenance.discoveries
+        for summary in provenance.discoveries:
+            prunes = provenance.prunes_for(summary.interface_id,
+                                           summary.attribute)
+            assert len(prunes) == summary.discovered - summary.kept
+
+
+class TestExplanationsRecomputeExactly:
+    @pytest.mark.parametrize("domain", DOMAINS)
+    def test_blend_is_float_exact(self, observed, domain):
+        result = observed[(domain, 1)]
+        for e in result.obs.provenance.explanations:
+            assert e.alpha * e.label_sim + e.beta * e.dom_sim == e.sim
+
+    def test_components_match_live_recomputation(self, observed):
+        result = observed[("book", 1)]
+        matcher_config = result.config.similarity
+        attrs = {
+            item.key: item
+            for cluster in result.match_result.clusters
+            for item in cluster.members
+        }
+        for e in result.obs.provenance.explanations[:50]:
+            label_sim, dom_sim, sim = similarity_components(
+                attrs[e.a], attrs[e.b], matcher_config)
+            assert (label_sim, dom_sim, sim) == (e.label_sim, e.dom_sim, e.sim)
+
+    def test_every_evaluation_is_explained(self, observed):
+        result = observed[("book", 1)]
+        provenance = result.obs.provenance
+        assert len(provenance.explanations) == \
+            result.match_result.similarity_evaluations
+
+    def test_committing_merge_exists_for_merged_pairs(self, observed):
+        result = observed[("book", 1)]
+        provenance = result.obs.provenance
+        merged_pair = None
+        for cluster in result.match_result.clusters:
+            if len(cluster.members) >= 2:
+                members = sorted(m.key for m in cluster.members)
+                merged_pair = (members[0], members[1])
+                break
+        assert merged_pair is not None, "run produced no multi-member cluster"
+        merge = provenance.committing_merge(*merged_pair)
+        assert merge is not None
+        assert merge.linkage_value > merge.threshold
+
+
+class TestRunToolingSoundness:
+    @pytest.mark.parametrize("domain", DOMAINS)
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_diff_of_export_against_itself_is_zero_drift(
+            self, observed, domain, seed):
+        payload = run_result_to_dict(observed[(domain, seed)])
+        diff = diff_runs(payload, payload)
+        assert diff.identical, diff.summary()
+        assert not diff.has_regression
+        assert not diff.provenance_diverged
+        assert NO_PROVENANCE_DIVERGENCE in diff.summary()
+
+    def test_diff_flags_accuracy_regression(self, observed):
+        payload = run_result_to_dict(observed[("book", 1)])
+        worse = json.loads(json.dumps(payload))
+        worse["metrics"]["f1"] -= 0.1
+        diff = diff_runs(payload, worse)
+        assert diff.has_regression
+        assert any(d.kind == "accuracy" for d in diff.drifts)
+
+    def test_diff_finds_first_diverging_decision(self, observed):
+        payload = run_result_to_dict(observed[("book", 1)])
+        mutated = json.loads(json.dumps(payload))
+        mutated["provenance"]["lineage"][3]["value"] = "Someone Else"
+        diff = diff_runs(payload, mutated)
+        assert diff.provenance_diverged
+        (drift,) = diff.drifts_of("provenance")
+        assert "lineage" in drift.detail
+        assert "decision #3" in drift.detail
+
+    @pytest.mark.parametrize("domain", DOMAINS)
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_invariant_laws_hold(self, observed, domain, seed):
+        report = check_run(observed[(domain, seed)])
+        assert report.ok, report.summary()
+        for law in ("provenance-lineage-conservation",
+                    "provenance-prune-conservation",
+                    "provenance-match-conservation"):
+            assert law in report.checked
+
+    def test_run_report_renders_deterministically(self, observed):
+        results = [observed[("book", 1)], observed[("auto", 1)]]
+        report = build_run_report(results)
+        assert report.render() == build_run_report(results).render()
+        text = report.render()
+        assert "== book (seed 1) ==" in text
+        assert "== auto (seed 1) ==" in text
+        assert "hardest decisions" in text
+        json.dumps(report.to_dict())  # must stay serialisable
+
+
+class TestRingBufferBounds:
+    def test_overflow_drops_oldest_and_counts(self):
+        recorder = ProvenanceRecorder(capacity=3)
+        for n in range(5):
+            recorder.record_lineage(InstanceLineage(
+                interface_id="if", attribute="a", value=f"v{n}",
+                phase="surface"))
+        assert [r.value for r in recorder.lineage] == ["v2", "v3", "v4"]
+        assert recorder.dropped["lineage"] == 2
+        assert recorder.total_dropped == 2
+
+    def test_bounded_run_still_accounts_for_totals(self):
+        dataset = build_domain_dataset("book", n_interfaces=N_INTERFACES,
+                                       seed=1)
+        obs = ObsConfig(provenance_capacity=10)
+        result = WebIQMatcher(WebIQConfig(obs=obs)).run(dataset)
+        provenance = result.obs.provenance
+        assert len(provenance.lineage) == 10
+        assert provenance.dropped["lineage"] > 0
+        # the conservation law still holds in its dropped-aware form
+        total = sum(r.n_after_borrow for r in result.acquisition.records)
+        assert len(provenance.lineage) + provenance.dropped["lineage"] == total
+        report = check_run(result)
+        assert report.ok, report.summary()

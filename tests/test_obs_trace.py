@@ -48,6 +48,31 @@ class TestTracer:
                 raise RuntimeError("boom")
         assert tracer.all_closed
 
+    def test_nested_spans_close_when_inner_raises(self):
+        tracer = Tracer()
+        with pytest.raises(RuntimeError):
+            with tracer.span("run"):
+                with tracer.span("surface"):
+                    with tracer.span("query"):
+                        raise RuntimeError("boom")
+        assert tracer.all_closed
+        (root,) = tracer.roots
+        assert [child.name for child in root.children] == ["surface"]
+        assert [g.name for g in root.children[0].children] == ["query"]
+
+    def test_sibling_span_opens_cleanly_after_exception(self):
+        tracer = Tracer()
+        with tracer.span("run"):
+            with pytest.raises(RuntimeError):
+                with tracer.span("first"):
+                    raise RuntimeError("boom")
+            with tracer.span("second"):
+                tracer.event("tick")
+        assert tracer.all_closed
+        (root,) = tracer.roots
+        assert [child.name for child in root.children] == ["first", "second"]
+        assert [e.name for e in root.children[1].events] == ["tick"]
+
     def test_event_outside_span_is_orphan(self):
         tracer = Tracer()
         tracer.event("stray")

@@ -22,7 +22,8 @@ import pytest
 
 from repro.core.pipeline import WebIQConfig, WebIQMatcher
 from repro.datasets import build_domain_dataset
-from repro.obs import ObsConfig, check_run
+from repro.io import run_result_to_dict
+from repro.obs import NO_PROVENANCE_DIVERGENCE, ObsConfig, check_run, diff_runs
 from repro.perf import CacheConfig
 from repro.resilience import BreakerPolicy, FaultProfile, ResilienceConfig
 
@@ -125,3 +126,26 @@ class TestEquivalenceUnderFaults:
             cache=CacheConfig(), resilience=faulty_resilience())
         assert first == second
         assert first_queries == second_queries
+
+
+class TestProvenanceEquivalence:
+    """Stronger than payload equality: the cached run must make every
+    decision for the same recorded reason as the uncached run."""
+
+    def test_no_provenance_divergence_pristine(self):
+        _, uncached_result, _ = run_once(cache=None)
+        _, cached_result, _ = run_once(cache=CacheConfig())
+        diff = diff_runs(run_result_to_dict(uncached_result),
+                         run_result_to_dict(cached_result))
+        assert not diff.provenance_diverged, diff.summary()
+        assert NO_PROVENANCE_DIVERGENCE in diff.summary()
+
+    def test_no_provenance_divergence_under_faults(self):
+        _, uncached_result, _ = run_once(
+            cache=None, resilience=faulty_resilience())
+        _, cached_result, _ = run_once(
+            cache=CacheConfig(), resilience=faulty_resilience())
+        assert uncached_result.degradation.total_faults > 0
+        diff = diff_runs(run_result_to_dict(uncached_result),
+                         run_result_to_dict(cached_result))
+        assert not diff.provenance_diverged, diff.summary()
