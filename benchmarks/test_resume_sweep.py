@@ -1,0 +1,121 @@
+"""Resume benchmark: what crash-safe checkpointing saves over a cold restart.
+
+One domain's pipeline is journaled, killed deterministically at the
+halfway boundary, and resumed. A cold restart would re-spend every round
+trip the killed half already paid for; resume must re-spend **none** of
+them — its real engine/source traffic covers only the fresh half — while
+producing an export byte-identical to the uninterrupted run.
+
+The measured numbers are exported as ``BENCH_resume.json`` (path
+override: ``BENCH_RESUME_JSON``) so CI can archive resume-savings trends.
+"""
+
+import json
+import os
+import tempfile
+import time
+
+import pytest
+
+from repro.checkpoint import CheckpointConfig
+from repro.core.pipeline import WebIQConfig, WebIQMatcher
+from repro.datasets import build_domain_dataset
+from repro.io import run_result_to_dict
+from repro.util.errors import PreemptionError
+
+from .conftest import BENCH_SEED, print_table
+
+#: a mid-size slice keeps the three runs (uninterrupted, killed, resumed)
+#: honest without tripling the suite's dominant 20-interface cost
+DOMAIN = "book"
+N_INTERFACES = 8
+
+
+def comparable(result):
+    payload = run_result_to_dict(result)
+    payload.pop("checkpoint", None)
+    payload.pop("format", None)
+    return payload
+
+
+def timed_run(checkpoint):
+    dataset = build_domain_dataset(DOMAIN, N_INTERFACES, BENCH_SEED)
+    started = time.perf_counter()
+    result = WebIQMatcher(WebIQConfig(checkpoint=checkpoint)).run(dataset)
+    elapsed = time.perf_counter() - started
+    probes = sum(s.probe_count for s in dataset.sources.values())
+    return result, dataset.engine.query_count + probes, elapsed
+
+
+@pytest.mark.benchmark(group="resume-sweep")
+def test_resume_sweep(benchmark):
+    workdir = tempfile.mkdtemp(prefix="bench-resume-")
+    journal = os.path.join(workdir, "journal")
+
+    full_result, full_trips, full_secs = timed_run(
+        CheckpointConfig(directory=os.path.join(workdir, "uninterrupted")))
+    boundaries = full_result.checkpoint.boundaries
+    kill_at = boundaries // 2
+
+    killed_trips = [0]
+
+    def kill_halfway():
+        dataset = build_domain_dataset(DOMAIN, N_INTERFACES, BENCH_SEED)
+        with pytest.raises(PreemptionError):
+            WebIQMatcher(WebIQConfig(checkpoint=CheckpointConfig(
+                directory=journal, kill_at=kill_at))).run(dataset)
+        killed_trips[0] = dataset.engine.query_count + sum(
+            s.probe_count for s in dataset.sources.values())
+
+    kill_halfway()
+    resumed_result, resumed_trips, resumed_secs = timed_run(
+        CheckpointConfig(directory=journal, resume=True))
+
+    benchmark.pedantic(
+        lambda: timed_run(CheckpointConfig(directory=journal, resume=True)),
+        rounds=1, iterations=1)
+
+    saved = resumed_result.checkpoint.replayed_round_trips
+    cold_restart_trips = killed_trips[0] + full_trips
+    reduction = 1.0 - (killed_trips[0] + resumed_trips) / cold_restart_trips
+    rows = [
+        ("uninterrupted", full_trips, boundaries, f"{full_secs:.2f}"),
+        (f"killed @ {kill_at}", killed_trips[0], kill_at + 1, "-"),
+        ("resumed", resumed_trips,
+         resumed_result.checkpoint.fresh_records, f"{resumed_secs:.2f}"),
+    ]
+    print_table(
+        f"Resume sweep — {DOMAIN}, {N_INTERFACES} interfaces "
+        f"(kill at boundary {kill_at}/{boundaries}: {saved} round trips "
+        f"replayed for free, {reduction:.1%} saved vs cold restart)",
+        ("run", "round trips", "units", "seconds"),
+        rows,
+    )
+
+    # The contract the subsystem exists for: byte-identical export...
+    assert comparable(resumed_result) == comparable(full_result)
+    # ...with zero round trips re-spent on the replayed prefix.
+    assert resumed_result.checkpoint.replayed_records == kill_at + 1
+    assert resumed_trips == resumed_result.checkpoint.fresh_round_trips
+    assert killed_trips[0] + resumed_trips == full_trips
+    assert saved > 0
+
+    out_path = os.environ.get("BENCH_RESUME_JSON", "BENCH_resume.json")
+    with open(out_path, "w") as handle:
+        json.dump({
+            "domain": DOMAIN,
+            "n_interfaces": N_INTERFACES,
+            "seed": BENCH_SEED,
+            "boundaries": boundaries,
+            "kill_at": kill_at,
+            "uninterrupted_round_trips": full_trips,
+            "killed_round_trips": killed_trips[0],
+            "resumed_round_trips": resumed_trips,
+            "replayed_round_trips_saved": saved,
+            "cold_restart_round_trips": cold_restart_trips,
+            "round_trip_reduction_vs_cold_restart": reduction,
+            "uninterrupted_wall_seconds": full_secs,
+            "resumed_wall_seconds": resumed_secs,
+            "f1": resumed_result.metrics.f1,
+        }, handle, indent=2)
+    print(f"wrote {out_path}")

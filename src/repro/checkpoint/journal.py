@@ -1,0 +1,197 @@
+"""The write-ahead run journal: one CRC-guarded record per unit of work.
+
+A journal is a directory::
+
+    <dir>/meta.json            # run identity (domain, seed, config coords)
+    <dir>/record-000000.json   # unit 0
+    <dir>/record-000001.json   # unit 1
+    ...
+
+Every file carries the same envelope::
+
+    {"format": 1, "crc": <crc32 of canonical body JSON>, "body": {...}}
+
+and is written via :func:`repro.util.atomicio.atomic_write_json` — temp
+file, fsync, ``os.replace`` — so a crash between any two appends leaves a
+journal that is a *complete prefix* of the run: every record present is
+whole and verified, and no partial record can exist. That prefix property
+is what makes resume sound; the loader therefore enforces it militantly:
+
+- an unparseable or torn record file is :class:`JournalCorruptionError`
+  (naming the record index);
+- a CRC mismatch, an index that disagrees with the filename, a gap in the
+  sequence, or two records claiming the same unit of work are all
+  :class:`JournalCorruptionError`;
+- a record (or the meta file) written by a *newer* schema is
+  :class:`JournalFormatError` — old readers must refuse loudly, not
+  misread silently.
+
+Record bodies are opaque to this module; their content is defined by
+:mod:`repro.checkpoint.session`. The ``unit`` key (a
+``[phase, interface_id, attribute]`` triple) is the only field the loader
+interprets, for duplicate detection.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import zlib
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.util.atomicio import atomic_write_json
+from repro.util.errors import (
+    JournalCorruptionError,
+    JournalFormatError,
+    JournalMismatchError,
+)
+
+__all__ = ["JOURNAL_FORMAT", "RunJournal", "record_crc"]
+
+#: Schema version of journal envelopes (records and meta alike).
+JOURNAL_FORMAT = 1
+
+META_FILENAME = "meta.json"
+_RECORD_PATTERN = re.compile(r"^record-(\d{6})\.json$")
+
+
+def _canonical(body: Any) -> str:
+    """The canonical JSON the CRC is computed over (key-sorted, compact)."""
+    return json.dumps(body, sort_keys=True, separators=(",", ":"))
+
+
+def record_crc(body: Any) -> int:
+    """CRC32 guard over a record body's canonical JSON."""
+    return zlib.crc32(_canonical(body).encode("utf-8")) & 0xFFFFFFFF
+
+
+def _record_filename(index: int) -> str:
+    return f"record-{index:06d}.json"
+
+
+def _load_envelope(path: str, what: str) -> Dict[str, Any]:
+    """Read and verify one envelope file (meta or record)."""
+    try:
+        with open(path) as handle:
+            payload = json.load(handle)
+    except (OSError, ValueError) as exc:
+        raise JournalCorruptionError(
+            f"{what}: torn or unparseable ({exc})"
+        ) from exc
+    if not isinstance(payload, dict) or "body" not in payload:
+        raise JournalCorruptionError(f"{what}: envelope missing body")
+    version = payload.get("format")
+    if not isinstance(version, int) or version < 1:
+        raise JournalCorruptionError(
+            f"{what}: unrecognised format {version!r}"
+        )
+    if version > JOURNAL_FORMAT:
+        raise JournalFormatError(
+            f"{what}: format {version} is newer than this reader "
+            f"(knows up to {JOURNAL_FORMAT})"
+        )
+    if payload.get("crc") != record_crc(payload["body"]):
+        raise JournalCorruptionError(f"{what}: CRC mismatch")
+    return payload["body"]
+
+
+class RunJournal:
+    """An append-only, crash-safe journal of completed units of work."""
+
+    def __init__(self, directory: str, meta: Dict[str, Any],
+                 records: Optional[List[Dict[str, Any]]] = None) -> None:
+        self.directory = directory
+        self.meta = meta
+        self.records: List[Dict[str, Any]] = records if records is not None \
+            else []
+
+    # ------------------------------------------------------------- lifecycle
+    @classmethod
+    def create(cls, directory: str, meta: Dict[str, Any]) -> "RunJournal":
+        """Start a fresh journal in ``directory`` (wiping any stale one)."""
+        os.makedirs(directory, exist_ok=True)
+        for name in os.listdir(directory):
+            if _RECORD_PATTERN.match(name) or name == META_FILENAME:
+                os.unlink(os.path.join(directory, name))
+        atomic_write_json(
+            os.path.join(directory, META_FILENAME),
+            {"format": JOURNAL_FORMAT, "crc": record_crc(meta), "body": meta},
+        )
+        return cls(directory, meta)
+
+    @classmethod
+    def open(cls, directory: str) -> "RunJournal":
+        """Load an existing journal, verifying every guarantee.
+
+        The records come back in index order; any violation of the
+        complete-prefix property raises a typed :class:`JournalError`
+        subclass naming the offending record.
+        """
+        if not os.path.isdir(directory):
+            raise JournalMismatchError(
+                f"no journal at {directory} (not a directory)"
+            )
+        meta_path = os.path.join(directory, META_FILENAME)
+        if not os.path.exists(meta_path):
+            raise JournalMismatchError(
+                f"no journal at {directory} (missing {META_FILENAME})"
+            )
+        meta = _load_envelope(meta_path, "journal meta")
+
+        by_index: Dict[int, str] = {}
+        for name in sorted(os.listdir(directory)):
+            match = _RECORD_PATTERN.match(name)
+            if match:
+                by_index[int(match.group(1))] = os.path.join(directory, name)
+        records: List[Dict[str, Any]] = []
+        seen_units: Dict[Tuple[str, ...], int] = {}
+        for position, index in enumerate(sorted(by_index)):
+            if index != position:
+                raise JournalCorruptionError(
+                    f"record {index}: sequence gap (expected record "
+                    f"{position} next)"
+                )
+            body = _load_envelope(by_index[index], f"record {index}")
+            if body.get("index") != index:
+                raise JournalCorruptionError(
+                    f"record {index}: body claims index "
+                    f"{body.get('index')!r}"
+                )
+            unit = tuple(body.get("unit", ()))
+            if not unit:
+                raise JournalCorruptionError(
+                    f"record {index}: missing unit key"
+                )
+            if unit in seen_units:
+                raise JournalCorruptionError(
+                    f"record {index}: duplicate record for unit "
+                    f"{list(unit)} (first at record {seen_units[unit]})"
+                )
+            seen_units[unit] = index
+            records.append(body)
+        return cls(directory, meta, records)
+
+    # ---------------------------------------------------------------- append
+    def append(self, body: Dict[str, Any]) -> int:
+        """Durably append one record; returns its boundary index.
+
+        The body is stamped with its index, CRC-sealed, and atomically
+        written — when this method returns, the record *is* on disk and a
+        crash at the very next instruction loses nothing.
+        """
+        index = len(self.records)
+        body = dict(body, index=index)
+        atomic_write_json(
+            os.path.join(self.directory, _record_filename(index)),
+            {
+                "format": JOURNAL_FORMAT,
+                "crc": record_crc(body),
+                "body": body,
+            },
+        )
+        self.records.append(body)
+        return index
+
+    def __len__(self) -> int:
+        return len(self.records)

@@ -12,8 +12,12 @@ Commands:
 
 ``run --report PATH`` writes a provenance-backed run report (accuracy,
 acquisition yield, hardest match decisions); ``run --explain ATTR``
-prints the match explanations touching one attribute. Everything is
-deterministic in ``--seed``.
+prints the match explanations touching one attribute. ``run --checkpoint
+DIR`` journals every completed unit of work so a killed run resumes with
+``--resume`` (exit code 3 marks a preempted run, ``--kill-at N`` preempts
+deterministically for testing); ``run --strict`` exits non-zero if any
+cross-layer invariant is violated. Everything is deterministic in
+``--seed``.
 """
 
 from __future__ import annotations
@@ -84,6 +88,20 @@ def build_parser() -> argparse.ArgumentParser:
                      help="record decision provenance and print the match "
                           "explanations touching attributes whose name "
                           "contains ATTR")
+    run.add_argument("--checkpoint", metavar="DIR",
+                     help="journal every completed unit of work to DIR so "
+                          "a killed run can resume without re-spending its "
+                          "queries")
+    run.add_argument("--resume", action="store_true",
+                     help="replay the journal in --checkpoint DIR before "
+                          "doing fresh work (requires --checkpoint)")
+    run.add_argument("--kill-at", type=int, default=None, metavar="N",
+                     help="deterministically abort the run right after "
+                          "journal boundary N (crash-safety testing; "
+                          "requires --checkpoint; exit code 3)")
+    run.add_argument("--strict", action="store_true",
+                     help="audit every run with the cross-layer invariant "
+                          "checker and exit non-zero on any violation")
 
     discover = sub.add_parser(
         "discover", help="Surface instance discovery for one label")
@@ -204,6 +222,35 @@ def _obs_config(args):
     return ObsConfig()
 
 
+def _checkpoint_config(args):
+    """Build the run's CheckpointConfig from CLI flags, or None."""
+    if args.checkpoint is None:
+        if args.resume:
+            raise SystemExit(
+                "repro run: error: --resume requires --checkpoint DIR")
+        if args.kill_at is not None:
+            raise SystemExit(
+                "repro run: error: --kill-at requires --checkpoint DIR")
+        return None
+    if args.domain == "all":
+        raise SystemExit(
+            "repro run: error: --checkpoint needs a single --domain "
+            "(a journal belongs to exactly one run)")
+    if args.resume and (args.trace or args.metrics or args.report
+                        or args.explain):
+        raise SystemExit(
+            "repro run: error: --resume cannot be combined with "
+            "--trace/--metrics/--report/--explain (replayed units issue "
+            "no calls for the tracer to observe)")
+    if args.kill_at is not None and args.kill_at < 0:
+        raise SystemExit(
+            f"repro run: error: --kill-at must be >= 0, got {args.kill_at}")
+    from repro.checkpoint import CheckpointConfig
+
+    return CheckpointConfig(
+        directory=args.checkpoint, resume=args.resume, kill_at=args.kill_at)
+
+
 def _cmd_run(args) -> int:
     config = WebIQConfig(
         enable_surface=not (args.baseline or args.no_surface),
@@ -213,11 +260,22 @@ def _cmd_run(args) -> int:
         resilience=_resilience_config(args),
         cache=_cache_config(args),
         obs=_obs_config(args),
+        checkpoint=_checkpoint_config(args),
     )
+    from repro.util.errors import PreemptionError
+
     results = []
+    strict_ok = True
     for domain in _domains(args):
         dataset = build_domain_dataset(domain, args.interfaces, args.seed)
-        result = WebIQMatcher(config).run(dataset)
+        try:
+            result = WebIQMatcher(config).run(dataset)
+        except PreemptionError as exc:
+            print(f"{domain:11} {exc}", file=sys.stderr)
+            print(f"journal in {args.checkpoint} is durable; continue with "
+                  f"--checkpoint {args.checkpoint} --resume",
+                  file=sys.stderr)
+            return 3
         results.append(result)
         m = result.metrics
         line = (f"{domain:11} P={m.precision:.3f} R={m.recall:.3f} "
@@ -237,10 +295,20 @@ def _cmd_run(args) -> int:
                       f"use --degradation for details")
         if result.cache is not None:
             print(f"  {result.cache.summary()}")
+        if result.checkpoint is not None:
+            print(f"  {result.checkpoint.summary()}")
         if result.obs is not None:
             from repro.obs import check_run
             print(f"  {result.obs.summary()}")
             print(f"  {check_run(result).summary()}")
+        if args.strict:
+            from repro.obs import check_run
+            audit = check_run(result)
+            if result.obs is None:
+                # (with obs the summary was just printed above)
+                print(f"  {audit.summary()}")
+            if not audit.ok:
+                strict_ok = False
         if args.trace:
             import json as _json
             from repro.io import observability_to_dict
@@ -264,6 +332,9 @@ def _cmd_run(args) -> int:
         with open(args.report, "w") as handle:
             handle.write(report.render())
         print(f"wrote report {args.report}")
+    if not strict_ok:
+        print("strict mode: invariant violations detected", file=sys.stderr)
+        return 1
     return 0
 
 

@@ -28,6 +28,7 @@ from contextlib import ExitStack, contextmanager
 from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
 
+from repro.checkpoint.session import CheckpointSession, ReplayedUnit, UnitCapture
 from repro.core.attr_deep import AttrDeepValidator
 from repro.core.attr_surface import AttrSurfaceValidator, ClassifierConfig
 from repro.core.surface import SurfaceConfig, SurfaceDiscoverer, WebValidator
@@ -156,6 +157,7 @@ class InstanceAcquirer:
         validation_cache: Optional[ValidationCache] = None,
         clock: Optional[SimulatedClock] = None,
         obs: Optional[Observability] = None,
+        checkpoint: Optional[CheckpointSession] = None,
     ) -> None:
         """``engine`` and ``sources`` may be the raw substrates or the
         drop-in resilient proxies from :mod:`repro.resilience`; pass the
@@ -172,13 +174,19 @@ class InstanceAcquirer:
         run's totals at the end; per-phase charging is equivalent — the
         same per-account count is charged exactly once — but gives
         observability spans meaningful end timestamps). ``obs`` wraps
-        every phase in a trace span and scopes call attribution."""
+        every phase in a trace span and scopes call attribution.
+
+        ``checkpoint``, when given, brackets every per-attribute unit of
+        work: completed units are journaled durably, and on resume the
+        journaled ones are replayed without issuing a single engine query
+        or source probe (see :mod:`repro.checkpoint`)."""
         self.engine = engine
         self.sources = sources
         self.config = config
         self.resilience = resilience
         self.clock = clock
         self.obs = obs
+        self.checkpoint = checkpoint
         self._interfaces: List[QueryInterface] = []
         self.validation_cache = validation_cache
         self._discoverer = SurfaceDiscoverer(
@@ -190,6 +198,23 @@ class InstanceAcquirer:
             self._web_validator, config.classifier
         )
         self._attr_deep = AttrDeepValidator(sources)
+        if checkpoint is not None:
+            # Cross-unit memo stores whose growth each unit must journal:
+            # with a shared validation cache there is one; without, the
+            # Surface discoverer and the Attr-Surface validator each keep
+            # a private memo that still spans units.
+            if validation_cache is not None:
+                checkpoint.register_validation_store(
+                    "validation", validation_cache
+                )
+            else:
+                checkpoint.register_validation_store(
+                    "validation:surface", self._discoverer.validator.cache
+                )
+                checkpoint.register_validation_store(
+                    "validation:attr_surface", self._web_validator.cache
+                )
+            checkpoint.register_probe_memo(self._attr_deep.probe_memo)
 
     def acquire(
         self,
@@ -236,7 +261,11 @@ class InstanceAcquirer:
     # ------------------------------------------------------------ phase 1
     def _surface_phase(self, interfaces, domain_keywords, object_name,
                        report: AcquisitionReport) -> None:
-        before = self.engine.query_count
+        # Accounting is accumulated per unit (not as one phase-wide
+        # counter delta): every query happens inside some unit, so the
+        # sum is identical — but per-unit deltas are what the checkpoint
+        # journal records and what replay re-charges.
+        phase_queries = 0
         with self._phase("surface"):
             for interface in interfaces:
                 for attribute in interface.attributes:
@@ -245,7 +274,15 @@ class InstanceAcquirer:
                     record = report.record_for(
                         interface.interface_id, attribute.name
                     )
+                    replayed = self._replayed("surface", interface,
+                                              attribute, record)
+                    if replayed is not None:
+                        phase_queries += replayed.queries
+                        continue
+                    capture = self._begin("surface", interface, attribute)
+                    before = self.engine.query_count
                     if self._skip_exhausted("surface", interface, attribute):
+                        self._commit(capture, attribute, record, skipped=True)
                         continue
                     record.surface_attempted = True
                     with self._subject(interface.interface_id, attribute.name):
@@ -254,14 +291,15 @@ class InstanceAcquirer:
                         )
                     attribute.acquired.extend(result.instances)
                     record.n_after_surface = self._acquired_count(attribute)
-            queries = self.engine.query_count - before
-            report.surface_queries += queries
+                    phase_queries += self.engine.query_count - before
+                    self._commit(capture, attribute, record)
+            report.surface_queries += phase_queries
             if self.clock is not None:
-                self.clock.charge_search_query("surface", queries)
+                self.clock.charge_search_query("surface", phase_queries)
 
     # ------------------------------------------------------------ phase 2
     def _borrow_deep_phase(self, interfaces, report: AcquisitionReport) -> None:
-        probes_before = self._total_probes()
+        phase_probes = 0
         with self._phase("attr_deep"):
             for interface in interfaces:
                 for attribute in interface.attributes:
@@ -270,18 +308,30 @@ class InstanceAcquirer:
                     record = report.record_for(
                         interface.interface_id, attribute.name
                     )
+                    replayed = self._replayed("attr_deep", interface,
+                                              attribute, record)
+                    if replayed is not None:
+                        phase_probes += replayed.probes
+                        continue
+                    capture = self._begin("attr_deep", interface, attribute)
+                    probes_before = self._total_probes()
                     if record.n_after_surface >= self.config.k:
                         record.n_after_borrow = record.n_after_surface
-                        continue  # step 1.a succeeded
+                        # step 1.a succeeded — still a (zero-cost) journal
+                        # boundary, so replay enumerates the same units
+                        self._commit(capture, attribute, record)
+                        continue
                     if self._skip_exhausted("attr_deep", interface, attribute):
+                        self._commit(capture, attribute, record, skipped=True)
                         continue
                     record.borrow_deep_attempted = True
                     self._borrow_via_deep(interface, attribute)
                     record.n_after_borrow = self._acquired_count(attribute)
-            probes = self._total_probes() - probes_before
-            report.attr_deep_probes += probes
+                    phase_probes += self._total_probes() - probes_before
+                    self._commit(capture, attribute, record)
+            report.attr_deep_probes += phase_probes
             if self.clock is not None:
-                self.clock.charge_deep_probe("attr_deep", probes)
+                self.clock.charge_deep_probe("attr_deep", phase_probes)
 
     def _borrow_via_deep(self, interface: QueryInterface,
                          attribute: Attribute) -> None:
@@ -356,7 +406,7 @@ class InstanceAcquirer:
 
     # ------------------------------------------------------------ phase 3
     def _borrow_surface_phase(self, interfaces, report: AcquisitionReport) -> None:
-        before = self.engine.query_count
+        phase_queries = 0
         with self._phase("attr_surface"):
             for interface in interfaces:
                 for attribute in interface.attributes:
@@ -365,17 +415,26 @@ class InstanceAcquirer:
                     record = report.record_for(
                         interface.interface_id, attribute.name
                     )
+                    replayed = self._replayed("attr_surface", interface,
+                                              attribute, record)
+                    if replayed is not None:
+                        phase_queries += replayed.queries
+                        continue
+                    capture = self._begin("attr_surface", interface, attribute)
+                    before = self.engine.query_count
                     if self._skip_exhausted(
                         "attr_surface", interface, attribute
                     ):
+                        self._commit(capture, attribute, record, skipped=True)
                         continue
                     record.borrow_surface_attempted = True
                     self._borrow_via_surface(interface, attribute)
                     record.n_after_borrow = self._acquired_count(attribute)
-            queries = self.engine.query_count - before
-            report.attr_surface_queries += queries
+                    phase_queries += self.engine.query_count - before
+                    self._commit(capture, attribute, record)
+            report.attr_surface_queries += phase_queries
             if self.clock is not None:
-                self.clock.charge_search_query("attr_surface", queries)
+                self.clock.charge_search_query("attr_surface", phase_queries)
 
     def _borrow_via_surface(self, interface: QueryInterface,
                             attribute: Attribute) -> None:
@@ -438,6 +497,38 @@ class InstanceAcquirer:
                 scored.append((overlap, other_interface.interface_id, donor))
         scored.sort(key=lambda item: (-item[0], item[2].label.lower()))
         return [(interface_id, donor) for _, interface_id, donor in scored]
+
+    # ----------------------------------------------------------- checkpoint
+    def _replayed(self, phase: str, interface: QueryInterface,
+                  attribute: Attribute,
+                  record: AcquisitionRecord) -> Optional[ReplayedUnit]:
+        """Replay this unit from the journal, if a record is pending.
+
+        A replayed unit applies its recorded effects (acquired values,
+        record fields, memo/cache growth) and reports its recorded cost —
+        without a single engine query or source probe.
+        """
+        if self.checkpoint is None:
+            return None
+        return self.checkpoint.replay_unit(
+            (phase, interface.interface_id, attribute.name),
+            attribute, record,
+        )
+
+    def _begin(self, phase: str, interface: QueryInterface,
+               attribute: Attribute) -> Optional[UnitCapture]:
+        if self.checkpoint is None:
+            return None
+        return self.checkpoint.begin_unit(
+            (phase, interface.interface_id, attribute.name), attribute
+        )
+
+    def _commit(self, capture: Optional[UnitCapture], attribute: Attribute,
+                record: AcquisitionRecord, skipped: bool = False) -> None:
+        if self.checkpoint is not None and capture is not None:
+            self.checkpoint.commit_unit(
+                capture, attribute, record, skipped=skipped
+            )
 
     # ------------------------------------------------------------- helpers
     @property

@@ -62,6 +62,13 @@ class AttrDeepValidator:
         """The ≥1/3 acceptance bar a probing verdict was compared against."""
         return self._accept_ratio
 
+    @property
+    def probe_memo(self) -> Dict[tuple, bool]:
+        """The cross-unit probe memo — the live dict, not a copy. The
+        checkpoint layer journals its per-unit growth so a resumed run
+        inherits every verdict already paid for."""
+        return self._probe_cache
+
     def validate(
         self,
         interface_id: str,

@@ -44,6 +44,12 @@ from contextlib import ExitStack
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
+from repro.checkpoint.session import (
+    CheckpointConfig,
+    CheckpointReport,
+    CheckpointSession,
+    open_session,
+)
 from repro.core.acquisition import (
     AcquisitionConfig,
     AcquisitionReport,
@@ -74,8 +80,13 @@ from repro.resilience.client import (
     ResilientDeepWebSource,
     ResilientSearchEngine,
 )
-from repro.resilience.faults import FlakyDeepWebSource, FlakySearchEngine
+from repro.resilience.faults import (
+    FlakyDeepWebSource,
+    FlakySearchEngine,
+    KillSwitch,
+)
 from repro.util.clock import SimulatedClock, StopwatchReport
+from repro.util.errors import ResumeError
 
 __all__ = ["WebIQConfig", "WebIQRunResult", "WebIQMatcher"]
 
@@ -109,6 +120,12 @@ class WebIQConfig:
     #: run tracing + metrics; ``None`` (default) observes nothing and
     #: leaves the run bit-identical to an uninstrumented one.
     obs: Optional[ObsConfig] = None
+    #: crash-safe checkpointing; ``None`` (default) journals nothing and
+    #: leaves the run bit-identical to an unjournaled one. With a
+    #: directory attached every completed unit of work is durably
+    #: journaled, and ``resume=True`` replays a prior journal without
+    #: re-spending a single engine query or source probe on it.
+    checkpoint: Optional[CheckpointConfig] = None
 
     @property
     def webiq_enabled(self) -> bool:
@@ -135,6 +152,8 @@ class WebIQRunResult:
     cache: Optional[CacheStats] = None
     #: present iff the run executed with observability enabled
     obs: Optional[Observability] = None
+    #: present iff the run executed with checkpointing enabled
+    checkpoint: Optional[CheckpointReport] = None
     #: the dataset seed the run executed against (attributable diagnostics)
     seed: Optional[int] = None
 
@@ -160,10 +179,25 @@ class WebIQMatcher:
                 self.config.obs,
                 clock_seconds=lambda: clock.now_seconds,
             )
+        session: Optional[CheckpointSession] = None
+        if self.config.checkpoint is not None and self.config.webiq_enabled:
+            if self.config.checkpoint.resume and obs is not None:
+                raise ResumeError(
+                    "cannot resume under observability: replayed units issue "
+                    "no calls for the tracer to observe, so the resumed "
+                    "trace could not match the original — rerun with "
+                    "obs=None, or without resume"
+                )
+            session = open_session(
+                self.config.checkpoint,
+                self._journal_meta(dataset),
+                kill_switch=self._kill_switch(),
+            )
 
         acquisition: Optional[AcquisitionReport] = None
         degradation: Optional[DegradationReport] = None
         cache_stats: Optional[CacheStats] = None
+        checkpoint_report: Optional[CheckpointReport] = None
         with ExitStack() as run_scope:
             if obs is not None:
                 run_scope.enter_context(
@@ -173,6 +207,7 @@ class WebIQMatcher:
                 engine = dataset.engine
                 sources = dataset.sources
                 client: Optional[ResilientClient] = None
+                flaky_sources: Dict[str, FlakyDeepWebSource] = {}
                 if self.config.resilience is not None:
                     client = ResilientClient(self.config.resilience, obs=obs)
                     profile = self.config.resilience.profile
@@ -184,15 +219,19 @@ class WebIQMatcher:
                         ),
                         client,
                     )
-                    sources = {
-                        source_id: ResilientDeepWebSource(
-                            FlakyDeepWebSource(
-                                source, profile,
-                                on_fault=client.note_injected_fault,
-                            ),
-                            client,
+                    # The flaky wrappers are kept by id: a resumed run must
+                    # fast-forward each source's fault-fate stream to where
+                    # the killed process left it.
+                    flaky_sources = {
+                        source_id: FlakyDeepWebSource(
+                            source, profile,
+                            on_fault=client.note_injected_fault,
                         )
                         for source_id, source in sources.items()
+                    }
+                    sources = {
+                        source_id: ResilientDeepWebSource(flaky, client)
+                        for source_id, flaky in flaky_sources.items()
                     }
                 if obs is not None:
                     # Transport layer: everything crossing here heads for
@@ -203,23 +242,32 @@ class WebIQMatcher:
                         for source_id, source in sources.items()
                     }
                 validation_cache = None
+                cache_engine: Optional[CachingSearchEngine] = None
                 if self.config.cache is not None:
                     # The cache sits ABOVE the resilient proxy: a hit is
                     # served before the retry loop runs, so it consumes no
                     # query budget and charges no latency or backoff.
-                    engine = CachingSearchEngine(
+                    cache_engine = CachingSearchEngine(
                         engine, self.config.cache.max_entries, obs=obs
                     )
-                    cache_stats = engine.stats
+                    engine = cache_engine
+                    cache_stats = cache_engine.stats
                     validation_cache = ValidationCache()
                 if obs is not None:
                     # Entry layer: every call a component issues, whether
                     # the cache answers it or not.
                     engine = ObservedSearchEngine(engine, obs, LAYER_ENTRY)
+                if session is not None:
+                    session.attach_substrates(
+                        engine, sources,
+                        cache_engine=cache_engine,
+                        client=client,
+                        flaky_sources=flaky_sources,
+                    )
                 acquirer = InstanceAcquirer(
                     engine, sources, self.config.acquisition,
                     resilience=client, validation_cache=validation_cache,
-                    clock=clock, obs=obs,
+                    clock=clock, obs=obs, checkpoint=session,
                 )
                 acquisition = acquirer.acquire(
                     dataset.interfaces,
@@ -229,10 +277,15 @@ class WebIQMatcher:
                     enable_attr_deep=self.config.enable_attr_deep,
                     enable_attr_surface=self.config.enable_attr_surface,
                 )
+                if session is not None:
+                    checkpoint_report = session.finalize()
                 if client is not None:
                     degradation = client.report
                     # Backoff waits are real wall time to a live system;
                     # charge them so Figure 8 reflects the retry cost.
+                    # (On resume the report was restored from the journal,
+                    # so this single end-of-run charge already includes the
+                    # killed process's backoff.)
                     backoff = degradation.backoff_seconds_by_component
                     for component, seconds in sorted(backoff.items()):
                         clock.charge_seconds(f"{component}_retry", seconds)
@@ -266,5 +319,76 @@ class WebIQMatcher:
             degradation=degradation,
             cache=cache_stats,
             obs=obs,
+            checkpoint=checkpoint_report,
             seed=dataset.seed,
         )
+
+    # ----------------------------------------------------------- checkpoint
+    def _kill_switch(self) -> Optional[KillSwitch]:
+        """Arm deterministic preemption, if any was requested.
+
+        ``CheckpointConfig.kill_at`` wins; otherwise the fault profile's
+        ``preempt_at`` applies. Either way the switch is injected
+        hostility, not run identity — it never enters the journal meta.
+        """
+        assert self.config.checkpoint is not None
+        kill_at = self.config.checkpoint.kill_at
+        if kill_at is None and self.config.resilience is not None:
+            kill_at = self.config.resilience.profile.preempt_at
+        return KillSwitch(kill_at) if kill_at is not None else None
+
+    def _journal_meta(self, dataset: DomainDataset) -> Dict[str, object]:
+        """The run-identity coordinates a journal is only valid for.
+
+        Resume refuses a journal whose meta differs in any key: replaying
+        a ``book`` journal into an ``airfare`` run, or a cached journal
+        into an uncached one, would silently corrupt the result.
+        Deliberately excluded: ``kill_at`` / ``preempt_at`` (injected
+        hostility) and observability (read-only).
+        """
+        cfg = self.config
+        meta: Dict[str, object] = {
+            "domain": dataset.domain,
+            "seed": dataset.seed,
+            "n_interfaces": len(dataset.interfaces),
+            "enable_surface": cfg.enable_surface,
+            "enable_attr_deep": cfg.enable_attr_deep,
+            "enable_attr_surface": cfg.enable_attr_surface,
+            "threshold": cfg.threshold,
+            "linkage": cfg.linkage,
+            "k": cfg.acquisition.k,
+            "cache_entries": (
+                cfg.cache.max_entries if cfg.cache is not None else None
+            ),
+            "resilience": None,
+        }
+        if cfg.resilience is not None:
+            res = cfg.resilience
+            meta["resilience"] = {
+                "fault_rate": res.profile.fault_rate,
+                "fault_seed": res.profile.seed,
+                "weights": [
+                    res.profile.timeout_weight,
+                    res.profile.transient_weight,
+                    res.profile.rate_limit_weight,
+                    res.profile.garbled_weight,
+                ],
+                "retry": [
+                    res.retry.max_attempts,
+                    res.retry.base_delay,
+                    res.retry.multiplier,
+                    res.retry.max_delay,
+                    res.retry.jitter,
+                    res.retry.rate_limit_factor,
+                ],
+                "breaker": [
+                    res.breaker.failure_threshold,
+                    res.breaker.cooldown_rejections,
+                ],
+                "budgets": [
+                    res.surface_query_budget,
+                    res.attr_surface_query_budget,
+                    res.attr_deep_probe_budget,
+                ],
+            }
+        return meta

@@ -306,6 +306,11 @@ class WebValidator:
         self.scoring = scoring
         self._cache = cache if cache is not None else ValidationCache()
 
+    @property
+    def cache(self) -> ValidationCache:
+        """The validator's hit-count memo (shared or private — see init)."""
+        return self._cache
+
     def validation_phrases(self, label: str,
                            analysis: Optional[LabelAnalysis] = None) -> List[str]:
         """The validation phrases of an attribute.
@@ -420,6 +425,11 @@ class SurfaceDiscoverer:
         self._validator = WebValidator(
             engine, scoring=config.scoring, cache=validation_cache
         )
+
+    @property
+    def validator(self) -> WebValidator:
+        """The discoverer's validator (whose memo checkpointing journals)."""
+        return self._validator
 
     def discover(
         self,

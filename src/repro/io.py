@@ -9,11 +9,16 @@ dataset payload) rather than stored.
 
 Run payloads carry a schema version (:data:`RUN_RESULT_FORMAT`, under the
 ``"format"`` key). Format 2 added ``"format"``, ``"seed"`` and
-``"provenance"``; :func:`load_run_result` upgrades format-1 payloads in
-place (the new keys default to absent values) and rejects formats newer
-than it knows, so old archives stay readable and future ones fail loudly
-instead of silently misreading. All dumps use ``sort_keys=True`` — byte
-equality between two dumps then means payload equality.
+``"provenance"``; format 3 added ``"checkpoint"``. The writer emits the
+*lowest* format that can represent the run — a run without checkpointing
+still dumps as format 2, byte-identical to what earlier revisions wrote.
+:func:`load_run_result` upgrades older payloads in place (the new keys
+default to absent values) and rejects formats newer than it knows, so old
+archives stay readable and future ones fail loudly instead of silently
+misreading. All dumps use ``sort_keys=True`` — byte equality between two
+dumps then means payload equality — and every dump is written atomically
+(:mod:`repro.util.atomicio`): a crash mid-dump leaves the previous file
+intact, never a torn half-payload.
 """
 
 from __future__ import annotations
@@ -21,9 +26,11 @@ from __future__ import annotations
 import json
 from typing import Any, Dict, List
 
-#: Schema version written into run-result payloads.
-RUN_RESULT_FORMAT = 2
+#: Schema version written into run-result payloads (highest known).
+RUN_RESULT_FORMAT = 3
 
+from repro.checkpoint.journal import JOURNAL_FORMAT
+from repro.checkpoint.session import CheckpointReport
 from repro.core.acquisition import AcquisitionReport
 from repro.core.pipeline import WebIQRunResult
 from repro.datasets.dataset import DomainDataset
@@ -32,6 +39,7 @@ from repro.deepweb.models import Attribute, AttributeKind, QueryInterface
 from repro.obs.instrument import Observability
 from repro.perf.cache import CacheStats
 from repro.resilience.client import DegradationReport
+from repro.util.atomicio import atomic_write_json
 
 __all__ = [
     "RUN_RESULT_FORMAT",
@@ -43,6 +51,7 @@ __all__ = [
     "acquisition_report_to_dict",
     "degradation_report_to_dict",
     "cache_stats_to_dict",
+    "checkpoint_report_to_dict",
     "observability_to_dict",
     "run_result_to_dict",
     "dump_dataset",
@@ -183,6 +192,21 @@ def cache_stats_to_dict(stats: CacheStats) -> Dict[str, Any]:
     }
 
 
+def checkpoint_report_to_dict(report: CheckpointReport) -> Dict[str, Any]:
+    """The resume-invariant core of a checkpoint report.
+
+    Only what is identical between an uninterrupted run and a
+    kill-and-resume of it may be exported: the replay/fresh split (and
+    the journal directory) necessarily differ, and exporting them would
+    break the byte-identity guarantee the whole subsystem exists for.
+    They stay in-memory diagnostics (``result.checkpoint.summary()``).
+    """
+    return {
+        "journal_format": JOURNAL_FORMAT,
+        "boundaries": report.boundaries,
+    }
+
+
 def observability_to_dict(obs: Observability) -> Dict[str, Any]:
     """The run's trace and metrics, ready for byte-stable JSON.
 
@@ -201,8 +225,10 @@ def run_result_to_dict(result: WebIQRunResult) -> Dict[str, Any]:
     provenance = (
         result.obs.provenance if result.obs is not None else None
     )
-    return {
-        "format": RUN_RESULT_FORMAT,
+    payload = {
+        # The lowest representable format: a run without checkpointing
+        # dumps as format 2, byte-identical to earlier revisions.
+        "format": 2 if result.checkpoint is None else RUN_RESULT_FORMAT,
         "domain": result.domain,
         "seed": result.seed,
         "config": {
@@ -250,18 +276,19 @@ def run_result_to_dict(result: WebIQRunResult) -> Dict[str, Any]:
             provenance.to_dict() if provenance is not None else None
         ),
     }
+    if result.checkpoint is not None:
+        payload["checkpoint"] = checkpoint_report_to_dict(result.checkpoint)
+    return payload
 
 
 def dump_dataset(dataset: DomainDataset, path: str) -> None:
-    """Write a dataset snapshot as JSON to ``path``."""
-    with open(path, "w") as handle:
-        json.dump(dataset_to_dict(dataset), handle, indent=2, sort_keys=True)
+    """Write a dataset snapshot as JSON to ``path`` (atomically)."""
+    atomic_write_json(path, dataset_to_dict(dataset))
 
 
 def dump_run_result(result: WebIQRunResult, path: str) -> None:
-    """Write a pipeline run as JSON to ``path``."""
-    with open(path, "w") as handle:
-        json.dump(run_result_to_dict(result), handle, indent=2, sort_keys=True)
+    """Write a pipeline run as JSON to ``path`` (atomically)."""
+    atomic_write_json(path, run_result_to_dict(result))
 
 
 def load_run_result(path: str) -> Dict[str, Any]:
@@ -273,9 +300,10 @@ def load_run_result(path: str) -> Dict[str, Any]:
 
     Format-1 payloads (written before the schema carried a version) are
     upgraded in place: ``"format"`` becomes 1 and the format-2 keys
-    (``"seed"``, ``"provenance"``) default to ``None``. Payloads newer
-    than :data:`RUN_RESULT_FORMAT` raise ``ValueError`` rather than being
-    silently misread."""
+    (``"seed"``, ``"provenance"``) default to ``None``, as does the
+    format-3 ``"checkpoint"`` section for format-1/2 payloads. Payloads
+    newer than :data:`RUN_RESULT_FORMAT` raise ``ValueError`` rather than
+    being silently misread."""
     with open(path) as handle:
         payload = json.load(handle)
     version = payload.setdefault("format", 1)
@@ -288,4 +316,5 @@ def load_run_result(path: str) -> Dict[str, Any]:
         )
     payload.setdefault("seed", None)
     payload.setdefault("provenance", None)
+    payload.setdefault("checkpoint", None)
     return payload

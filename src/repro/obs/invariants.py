@@ -132,6 +132,11 @@ class InvariantChecker:
             self._check_lineage_conservation(report, provenance, result)
             self._check_prune_conservation(report, provenance)
             self._check_match_conservation(report, provenance, result)
+        checkpoint = getattr(result, "checkpoint", None)
+        if checkpoint is not None and result.acquisition is not None:
+            self._check_checkpoint_spend_conservation(report, checkpoint,
+                                                      result)
+            self._check_checkpoint_replay_isolation(report, checkpoint)
         return report
 
     # ------------------------------------------------------------ the laws
@@ -480,6 +485,52 @@ class InvariantChecker:
                     f"merge step {merge.step} committed at linkage "
                     f"{merge.linkage_value} <= threshold {merge.threshold}",
                 )
+
+    def _check_checkpoint_spend_conservation(self, report: InvariantReport,
+                                             checkpoint, result) -> None:
+        """Replayed + fresh spend per component equals the stopwatch's.
+
+        The checkpoint layer accounts each unit's round trips exactly
+        once — either from the journal (replayed) or from live substrate
+        counters (fresh). Their per-component sum must land on the same
+        totals the stopwatch charged; a gap means a unit was journaled
+        with the wrong cost or double-consumed on replay.
+        """
+        name = "checkpoint-spend-conservation"
+        report.checked.append(name)
+        stopwatch = result.stopwatch
+        for component in COMPONENTS:
+            replayed = checkpoint.replayed_queries_by_component.get(
+                component, 0)
+            fresh = checkpoint.fresh_queries_by_component.get(component, 0)
+            self._equal(
+                report, name, replayed + fresh, stopwatch.queries(component),
+                f"checkpoint replayed+fresh[{component}]",
+                f"stopwatch queries[{component}]",
+            )
+
+    def _check_checkpoint_replay_isolation(self, report: InvariantReport,
+                                           checkpoint) -> None:
+        """Replayed units consume zero transport calls.
+
+        The raw substrate counters see only what *this* process sent over
+        the wire — which must be exactly the fresh units' spend. Any
+        excess means a replayed unit leaked a real engine query or source
+        probe, breaking the zero-respend guarantee of resume.
+        """
+        name = "checkpoint-replay-isolation"
+        report.checked.append(name)
+        fresh = checkpoint.fresh_queries_by_component
+        self._equal(
+            report, name, checkpoint.engine_round_trips,
+            fresh.get("surface", 0) + fresh.get("attr_surface", 0),
+            "raw engine round trips", "fresh surface + attr_surface spend",
+        )
+        self._equal(
+            report, name, checkpoint.source_round_trips,
+            fresh.get("attr_deep", 0),
+            "raw source round trips", "fresh attr_deep spend",
+        )
 
     # ------------------------------------------------------------ plumbing
     def _fail(self, report: InvariantReport, invariant: str,

@@ -108,6 +108,30 @@ class CacheStats:
             f"{self.uncacheable} uncacheable"
         )
 
+    # --------------------------------------------------- checkpoint support
+    def state_payload(self) -> Dict[str, Any]:
+        """The counters as of now, JSON-ready (``max_entries`` is config,
+        not state — it travels with the run, not the journal)."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "stores": self.stores,
+            "uncacheable": self.uncacheable,
+            "hits_by_kind": dict(self.hits_by_kind),
+            "misses_by_kind": dict(self.misses_by_kind),
+        }
+
+    def restore_state(self, payload: Dict[str, Any]) -> None:
+        """Inverse of :meth:`state_payload`."""
+        self.hits = payload["hits"]
+        self.misses = payload["misses"]
+        self.evictions = payload["evictions"]
+        self.stores = payload["stores"]
+        self.uncacheable = payload["uncacheable"]
+        self.hits_by_kind = dict(payload["hits_by_kind"])
+        self.misses_by_kind = dict(payload["misses_by_kind"])
+
 
 class LRUCache:
     """A bounded mapping evicting the least-recently-used entry.
@@ -148,6 +172,26 @@ class LRUCache:
         """Keys from least- to most-recently used (for tests/inspection)."""
         return list(self._data)
 
+    # --------------------------------------------------- checkpoint support
+    def touch(self, key: Hashable) -> None:
+        """Replay a historical hit: refresh recency without stats.
+
+        The counters were already accounted when the hit happened in the
+        killed process (and come back via the journaled stats snapshot);
+        replay must only reproduce the recency ordering.
+        """
+        if key not in self._data:
+            raise KeyError(key)
+        self._data.move_to_end(key)
+
+    def seed(self, key: Hashable, value: Any) -> None:
+        """Replay a historical store: insert (evicting if full), no stats."""
+        if key in self._data:
+            self._data.move_to_end(key)
+        self._data[key] = value
+        while len(self._data) > self.max_entries:
+            self._data.popitem(last=False)
+
 
 @dataclass(frozen=True)
 class CacheConfig:
@@ -187,6 +231,12 @@ class CachingSearchEngine:
         self.stats = stats if stats is not None else CacheStats(max_entries)
         self._cache = LRUCache(max_entries, self.stats)
         self.obs = obs
+        #: optional callable receiving one op per cache mutation or
+        #: recency touch — ``("h", key)`` for a hit, ``("s", key, value)``
+        #: for a store. The checkpoint layer records these per unit so a
+        #: resumed run can rebuild the exact LRU content *and ordering*
+        #: without re-fetching. Purely observational.
+        self.oplog: Optional[Any] = None
 
     # ------------------------------------------------------- engine facade
     @property
@@ -233,6 +283,8 @@ class CachingSearchEngine:
         if value is not sentinel:
             self.stats.note_hit(kind)
             self._note_obs("lookups", kind, "hit")
+            if self.oplog is not None:
+                self.oplog(("h", key))
             return value
         self.stats.note_miss(kind)
         self._note_obs("lookups", kind, "miss")
@@ -241,10 +293,21 @@ class CachingSearchEngine:
         if self._answer_is_clean(garbled_before):
             self._cache.put(key, value)
             self._note_obs("stores", kind, "stored")
+            if self.oplog is not None:
+                self.oplog(("s", key, value))
         else:
             self.stats.uncacheable += 1
             self._note_obs("stores", kind, "refused")
         return value
+
+    # --------------------------------------------------- checkpoint support
+    def replay_hit(self, key: Tuple) -> None:
+        """Re-apply a journaled hit: recency only, no stats, no oplog."""
+        self._cache.touch(key)
+
+    def replay_store(self, key: Tuple, value: Any) -> None:
+        """Re-apply a journaled store: content only, no stats, no oplog."""
+        self._cache.seed(key, value)
 
     def _note_obs(self, counter: str, kind: str, outcome: str) -> None:
         if self.obs is not None:
@@ -292,3 +355,42 @@ class ValidationCache:
             + len(self.candidate_hits)
             + len(self.joint_hits)
         )
+
+    # --------------------------------------------------- checkpoint support
+    #
+    # Entries are memo-style (written once, never overwritten), so the
+    # counts added by one unit of work are exactly the insertion-order
+    # tail of each dict past a pre-unit length mark. The checkpoint layer
+    # journals that tail and merges it back on replay.
+
+    def mark(self) -> Tuple[int, int, int]:
+        """Position marker: the three dict lengths as of now."""
+        return (
+            len(self.phrase_hits),
+            len(self.candidate_hits),
+            len(self.joint_hits),
+        )
+
+    def delta_since(self, mark: Tuple[int, int, int]) -> Dict[str, list]:
+        """Entries added after ``mark``, JSON-ready (joint keys as lists)."""
+        p, c, j = mark
+        return {
+            "phrase_hits": [
+                [k, v] for k, v in list(self.phrase_hits.items())[p:]
+            ],
+            "candidate_hits": [
+                [k, v] for k, v in list(self.candidate_hits.items())[c:]
+            ],
+            "joint_hits": [
+                [list(k), v] for k, v in list(self.joint_hits.items())[j:]
+            ],
+        }
+
+    def merge_delta(self, payload: Dict[str, list]) -> None:
+        """Inverse of :func:`delta_since`: re-insert a journaled tail."""
+        for key, value in payload["phrase_hits"]:
+            self.phrase_hits[key] = value
+        for key, value in payload["candidate_hits"]:
+            self.candidate_hits[key] = value
+        for (phrase, candidate, window), value in payload["joint_hits"]:
+            self.joint_hits[(phrase, candidate, window)] = value

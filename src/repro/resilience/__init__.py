@@ -34,6 +34,8 @@ from repro.resilience.faults import (
     FaultProfile,
     FlakyDeepWebSource,
     FlakySearchEngine,
+    KillSwitch,
+    PreemptionPoint,
 )
 
 __all__ = [
@@ -41,6 +43,8 @@ __all__ = [
     "FaultProfile",
     "FlakySearchEngine",
     "FlakyDeepWebSource",
+    "KillSwitch",
+    "PreemptionPoint",
     "RetryPolicy",
     "BreakerPolicy",
     "CircuitBreaker",

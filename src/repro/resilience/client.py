@@ -175,6 +175,25 @@ class CircuitBreaker:
             self._cooldown_left = self.policy.cooldown_rejections
         return trip
 
+    # --------------------------------------------------- checkpoint support
+    def state_payload(self) -> Dict[str, object]:
+        """The full state-machine position, JSON-ready (for the journal)."""
+        return {
+            "state": self.state,
+            "consecutive_failures": self.consecutive_failures,
+            "times_opened": self.times_opened,
+            "rejections": self.rejections,
+            "cooldown_left": self._cooldown_left,
+        }
+
+    def restore_state(self, payload: Mapping[str, object]) -> None:
+        """Inverse of :meth:`state_payload` (policy comes from config)."""
+        self.state = payload["state"]
+        self.consecutive_failures = payload["consecutive_failures"]
+        self.times_opened = payload["times_opened"]
+        self.rejections = payload["rejections"]
+        self._cooldown_left = payload["cooldown_left"]
+
 
 @dataclass
 class Budget:
@@ -329,6 +348,9 @@ class ResilientClient:
         self._budgets = config.budgets()
         self._breakers: Dict[str, CircuitBreaker] = {}
         self._rng = derive_rng(config.profile.seed, "resilience", "backoff")
+        #: backoff delays computed so far — the position of the shared
+        #: jitter stream, journaled so a resumed run can fast-forward it.
+        self.backoff_draws = 0
         self._active_component: Optional[str] = None
         #: 0-based attempt index of the in-flight :meth:`call`; flaky
         #: wrappers read it (via ``attempt_provider``) to key per-attempt
@@ -372,6 +394,84 @@ class ResilientClient:
     def note_injected_fault(self, kind: FaultKind) -> None:
         """Hook for the flaky wrappers' ``on_fault`` callback."""
         self._bump(self.report.faults_by_kind, kind.value)
+
+    # --------------------------------------------------- checkpoint support
+    def state_payload(self) -> Dict[str, object]:
+        """Everything a resumed process must restore to continue this
+        client's policy decisions bit-identically: the degradation
+        report, per-component budget spend, per-source breaker positions
+        and the backoff jitter stream's position. JSON-ready."""
+        r = self.report
+        return {
+            "report": {
+                "faults_by_kind": dict(r.faults_by_kind),
+                "faults_by_component": dict(r.faults_by_component),
+                "retries_by_component": dict(r.retries_by_component),
+                "backoff_seconds_by_component": dict(
+                    r.backoff_seconds_by_component
+                ),
+                "giveups_by_component": dict(r.giveups_by_component),
+                "breaker_trips": dict(r.breaker_trips),
+                "breaker_rejections": dict(r.breaker_rejections),
+                "budgets_exhausted": list(r.budgets_exhausted),
+                "attributes_skipped": [
+                    list(pair) for pair in r.attributes_skipped
+                ],
+                "budget_spent_by_component": dict(
+                    r.budget_spent_by_component
+                ),
+            },
+            "budgets": {
+                name: budget.spent
+                for name, budget in sorted(self._budgets.items())
+            },
+            "breakers": {
+                source_id: breaker.state_payload()
+                for source_id, breaker in sorted(self._breakers.items())
+            },
+            "backoff_draws": self.backoff_draws,
+        }
+
+    def restore_state(self, payload: Mapping[str, object]) -> None:
+        """Inverse of :meth:`state_payload`, on a freshly-built client.
+
+        The backoff stream is re-positioned by drawing and discarding the
+        journaled number of delays — the jitter consumption per draw is
+        deterministic, so the stream lands exactly where the killed
+        process left it.
+        """
+        if self.backoff_draws:
+            raise ValueError(
+                "restore_state needs a fresh client "
+                f"(already drew {self.backoff_draws} backoffs)"
+            )
+        snapshot = payload["report"]
+        r = self.report
+        r.faults_by_kind = dict(snapshot["faults_by_kind"])
+        r.faults_by_component = dict(snapshot["faults_by_component"])
+        r.retries_by_component = dict(snapshot["retries_by_component"])
+        r.backoff_seconds_by_component = dict(
+            snapshot["backoff_seconds_by_component"]
+        )
+        r.giveups_by_component = dict(snapshot["giveups_by_component"])
+        r.breaker_trips = dict(snapshot["breaker_trips"])
+        r.breaker_rejections = dict(snapshot["breaker_rejections"])
+        r.budgets_exhausted = list(snapshot["budgets_exhausted"])
+        r.attributes_skipped = [
+            tuple(pair) for pair in snapshot["attributes_skipped"]
+        ]
+        r.budget_spent_by_component = dict(
+            snapshot["budget_spent_by_component"]
+        )
+        for name, spent in payload["budgets"].items():
+            if name not in self._budgets:
+                self._budgets[name] = Budget()
+            self._budgets[name].spent = spent
+        for source_id, state in payload["breakers"].items():
+            self.breaker_for(source_id).restore_state(state)
+        for _ in range(payload["backoff_draws"]):
+            self.config.retry.delay(0, self._rng)
+        self.backoff_draws = payload["backoff_draws"]
 
     # ----------------------------------------------------------- the loop
     def call(
@@ -427,6 +527,7 @@ class ResilientClient:
                     self._observe("giveup", component=component,
                                   attempts=retry.max_attempts)
                     raise
+                self.backoff_draws += 1
                 seconds = retry.delay(
                     attempt, self._rng,
                     rate_limited=isinstance(exc, RateLimitError),

@@ -51,6 +51,7 @@ from repro.surfaceweb.engine import (
     SearchResult,
 )
 from repro.util.errors import (
+    PreemptionError,
     RateLimitError,
     TransientWebError,
     WebAccessError,
@@ -63,6 +64,8 @@ __all__ = [
     "FaultProfile",
     "FlakySearchEngine",
     "FlakyDeepWebSource",
+    "KillSwitch",
+    "PreemptionPoint",
     "error_for_fault",
     "garble_text",
 ]
@@ -104,6 +107,12 @@ class FaultProfile:
     rate_limit_weight: float = 1.0
     garbled_weight: float = 1.0
     seed: int = 0
+    #: deterministic process death: abort the run right after journal
+    #: boundary N (requires checkpointing; see :class:`KillSwitch`).
+    #: ``None`` (default) never preempts. Like fault fates, the kill point
+    #: is part of the *injected hostility*, not of the run's identity —
+    #: a resumed run deliberately drops it.
+    preempt_at: Optional[int] = None
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.fault_rate <= 1.0:
@@ -113,6 +122,14 @@ class FaultProfile:
             raise ValueError("fault weights must be non-negative")
         if self.fault_rate > 0 and not sum(weights):
             raise ValueError("a positive fault_rate needs a positive weight")
+        if self.preempt_at is not None and self.preempt_at < 0:
+            raise ValueError("preempt_at must be non-negative")
+
+    def kill_switch(self) -> Optional["KillSwitch"]:
+        """The profile's :class:`KillSwitch`, or ``None`` if it never kills."""
+        if self.preempt_at is None:
+            return None
+        return KillSwitch(self.preempt_at)
 
     def _weights(self) -> List[float]:
         return [
@@ -136,6 +153,50 @@ class FaultProfile:
             if pick < cumulative:
                 return kind
         return _KIND_ORDER[-1]  # guard against float round-off
+
+
+class KillSwitch:
+    """Deterministic preemption at a chosen journal boundary.
+
+    The checkpoint layer calls :meth:`check` with each journal record's
+    index immediately *after* the record is durably on disk; when the
+    index matches ``kill_at`` the switch raises
+    :class:`~repro.util.errors.PreemptionError`, simulating the process
+    dying at exactly that boundary — the worst-case crash the journal's
+    write-ahead discipline is designed to survive. Use
+    :meth:`sweep_point` to pick a boundary pseudo-randomly from a seed,
+    the same derived-stream style as fault fates.
+    """
+
+    def __init__(self, kill_at: int) -> None:
+        if kill_at < 0:
+            raise ValueError("kill_at must be non-negative")
+        self.kill_at = kill_at
+        #: True once the switch has fired (a fired switch stays quiet, so
+        #: a resumed run re-armed by mistake cannot kill itself twice at
+        #: a boundary that no longer exists).
+        self.fired = False
+
+    @staticmethod
+    def sweep_point(seed: int, n_boundaries: int) -> int:
+        """A seeded kill point in ``[0, n_boundaries)`` for sweep tests."""
+        if n_boundaries < 1:
+            raise ValueError("n_boundaries must be at least 1")
+        return derive_rng(seed, "preemption").randrange(n_boundaries)
+
+    def check(self, boundary: int) -> None:
+        """Raise :class:`PreemptionError` when ``boundary`` is the kill point."""
+        if self.fired or boundary != self.kill_at:
+            return
+        self.fired = True
+        raise PreemptionError(
+            f"run preempted at journal boundary {boundary}"
+        )
+
+
+#: The ISSUE-facing alias: a *preemption point* is the arming side of the
+#: same mechanism (where may the run die?), the kill switch the firing side.
+PreemptionPoint = KillSwitch
 
 
 def error_for_fault(kind: FaultKind, where: str) -> WebAccessError:
@@ -274,6 +335,11 @@ class FlakyDeepWebSource:
         self._rng = derive_rng(
             profile.seed, "faults", "source", inner.interface.interface_id
         )
+        #: fate draws consumed from this source's sequential stream. Not
+        #: the same as ``probe_count`` (a submission rejected for an
+        #: unknown attribute name draws a fate but counts no probe), which
+        #: is why resume journals this counter explicitly.
+        self.draws = 0
 
     # ------------------------------------------------------- source facade
     @property
@@ -303,7 +369,26 @@ class FlakyDeepWebSource:
     def recognizes(self, attribute_name: str, value: str) -> bool:
         return self.inner.recognizes(attribute_name, value)
 
+    def fast_forward(self, draws: int) -> None:
+        """Advance a *fresh* stream to where it stood after ``draws`` fates.
+
+        Deep-Web fates come from a sequential per-source stream (module
+        docs), so a resumed process must re-position the stream before
+        issuing new probes: each historical fate is re-drawn and
+        discarded. ``draw`` consumes a deterministic number of randoms per
+        call, which is what makes this exact.
+        """
+        if self.draws:
+            raise ValueError(
+                "fast_forward needs a fresh fault stream "
+                f"(already drew {self.draws})"
+            )
+        for _ in range(draws):
+            self.profile.draw(self._rng)
+        self.draws = draws
+
     def submit(self, values: Mapping[str, str]) -> ResponsePage:
+        self.draws += 1
         kind = self.profile.draw(self._rng)
         if kind is not None and self.on_fault is not None:
             self.on_fault(kind)

@@ -1,0 +1,49 @@
+"""Atomic file writes: temp file + ``os.replace``, never a torn target.
+
+Every JSON artifact the library persists — dataset snapshots, run
+archives, journal records — goes through :func:`atomic_write_text` /
+:func:`atomic_write_json`. The content is fully serialised in memory
+first, written to a temporary file *in the target's directory* (so the
+rename cannot cross filesystems), flushed and fsynced, and only then
+renamed over the target. A crash at any point leaves either the old
+complete file or the new complete file — never a truncated hybrid.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from typing import Any
+
+__all__ = ["atomic_write_text", "atomic_write_json"]
+
+
+def atomic_write_text(path: str, text: str) -> None:
+    """Write ``text`` to ``path`` so a crash never leaves a torn file."""
+    directory = os.path.dirname(os.path.abspath(path))
+    fd, temp_path = tempfile.mkstemp(
+        prefix=os.path.basename(path) + ".", suffix=".tmp", dir=directory
+    )
+    try:
+        with os.fdopen(fd, "w") as handle:
+            handle.write(text)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(temp_path, path)
+    except BaseException:
+        try:
+            os.unlink(temp_path)
+        except OSError:
+            pass
+        raise
+
+
+def atomic_write_json(path: str, payload: Any, *, indent: int = 2) -> None:
+    """Serialise ``payload`` fully in memory, then write it atomically.
+
+    Serialising first means an unserialisable payload raises before the
+    filesystem is touched at all; the byte format (``indent=2``,
+    ``sort_keys=True``) matches the library's historical dumps exactly.
+    """
+    atomic_write_text(path, json.dumps(payload, indent=indent, sort_keys=True))

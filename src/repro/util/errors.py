@@ -60,3 +60,38 @@ class CircuitOpenError(ReproError):
 
 class BudgetExhaustedError(ReproError):
     """A component's query/probe budget is spent; the call was not sent."""
+
+
+class PreemptionError(ReproError):
+    """The run was deterministically preempted at a journal boundary.
+
+    Raised by :class:`repro.resilience.faults.KillSwitch` immediately
+    *after* a journal record reached disk, simulating process death at
+    that exact point. Deliberately **not** a :class:`WebAccessError`:
+    preemption must never enter the retry loop — a killed process does
+    not get retried, it gets resumed.
+    """
+
+
+class JournalError(ReproError):
+    """Base class for run-journal failures (:mod:`repro.checkpoint`)."""
+
+
+class JournalCorruptionError(JournalError):
+    """A journal record is torn, CRC-mismatched, out of sequence or
+    duplicated. The message names the offending record index; resuming
+    from such a journal is refused rather than risking silent divergence."""
+
+
+class JournalFormatError(JournalError):
+    """A journal record carries a schema version newer than this reader."""
+
+
+class JournalMismatchError(JournalError):
+    """The journal on disk belongs to a different run configuration, or
+    its replay diverged from the unit sequence the resumed run produces."""
+
+
+class ResumeError(JournalError):
+    """Resume was requested in a configuration that cannot honour the
+    byte-identical replay guarantee (e.g. with observability attached)."""

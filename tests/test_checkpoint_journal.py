@@ -1,0 +1,228 @@
+"""The run journal's crash-safety contract, attacked directly.
+
+The journal's promise is that whatever is on disk is a *complete prefix*
+of the run: every record present is whole, CRC-verified, gap-free and
+unique per unit of work. These tests fuzz that promise — truncating
+tails, flipping CRC bits, forging future formats, duplicating records —
+and require every violation to surface as a typed :class:`JournalError`
+subclass naming the offending record, never a crash and never a silent
+(mis-)resume.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.checkpoint import JOURNAL_FORMAT, RunJournal, record_crc
+from repro.resilience import KillSwitch, PreemptionPoint
+from repro.util.errors import (
+    JournalCorruptionError,
+    JournalFormatError,
+    JournalMismatchError,
+    PreemptionError,
+    WebAccessError,
+)
+
+META = {"domain": "book", "seed": 1, "n_interfaces": 3}
+
+
+def body_for(index):
+    return {
+        "unit": ["surface", f"book-{index:02d}", "title"],
+        "skipped": False,
+        "added": [f"value-{index}"],
+        "record": {"n_after_surface": index},
+        "queries": index,
+        "probes": 0,
+        "stores": {},
+        "probe_memo": [],
+        "cache_ops": [],
+        "state": {},
+    }
+
+
+def make_journal(directory, n=3):
+    journal = RunJournal.create(str(directory), dict(META))
+    for index in range(n):
+        journal.append(body_for(index))
+    return journal
+
+
+def record_path(directory, index):
+    return os.path.join(str(directory), f"record-{index:06d}.json")
+
+
+class TestJournalRoundTrip:
+    def test_append_then_open_round_trips(self, tmp_path):
+        make_journal(tmp_path, n=4)
+        reopened = RunJournal.open(str(tmp_path))
+        assert reopened.meta == META
+        assert len(reopened) == 4
+        for index, body in enumerate(reopened.records):
+            assert body["index"] == index
+            assert body["added"] == [f"value-{index}"]
+
+    def test_append_returns_boundary_indices(self, tmp_path):
+        journal = RunJournal.create(str(tmp_path), dict(META))
+        assert journal.append(body_for(0)) == 0
+        assert journal.append(body_for(1)) == 1
+
+    def test_create_wipes_stale_journal(self, tmp_path):
+        make_journal(tmp_path, n=5)
+        fresh = RunJournal.create(str(tmp_path), dict(META))
+        assert len(fresh) == 0
+        assert not os.path.exists(record_path(tmp_path, 0))
+
+    def test_record_files_are_envelope_sealed(self, tmp_path):
+        make_journal(tmp_path, n=1)
+        with open(record_path(tmp_path, 0)) as handle:
+            envelope = json.load(handle)
+        assert envelope["format"] == JOURNAL_FORMAT
+        assert envelope["crc"] == record_crc(envelope["body"])
+
+    def test_empty_journal_opens(self, tmp_path):
+        RunJournal.create(str(tmp_path), dict(META))
+        assert len(RunJournal.open(str(tmp_path))) == 0
+
+
+class TestJournalCorruption:
+    """Every damaged journal is refused loudly, naming the record."""
+
+    def test_truncated_tail_record(self, tmp_path):
+        make_journal(tmp_path, n=3)
+        path = record_path(tmp_path, 2)
+        with open(path) as handle:
+            content = handle.read()
+        with open(path, "w") as handle:
+            handle.write(content[: len(content) // 2])
+        with pytest.raises(JournalCorruptionError, match="record 2"):
+            RunJournal.open(str(tmp_path))
+
+    def test_bit_flipped_payload_fails_crc(self, tmp_path):
+        make_journal(tmp_path, n=3)
+        path = record_path(tmp_path, 1)
+        with open(path) as handle:
+            envelope = json.load(handle)
+        envelope["body"]["added"] = ["tampered"]
+        with open(path, "w") as handle:
+            json.dump(envelope, handle)
+        with pytest.raises(JournalCorruptionError,
+                           match="record 1: CRC mismatch"):
+            RunJournal.open(str(tmp_path))
+
+    def test_flipped_crc_field(self, tmp_path):
+        make_journal(tmp_path, n=2)
+        path = record_path(tmp_path, 0)
+        with open(path) as handle:
+            envelope = json.load(handle)
+        envelope["crc"] ^= 1
+        with open(path, "w") as handle:
+            json.dump(envelope, handle)
+        with pytest.raises(JournalCorruptionError,
+                           match="record 0: CRC mismatch"):
+            RunJournal.open(str(tmp_path))
+
+    def test_future_format_record_is_rejected(self, tmp_path):
+        make_journal(tmp_path, n=2)
+        path = record_path(tmp_path, 1)
+        with open(path) as handle:
+            envelope = json.load(handle)
+        envelope["format"] = 99
+        with open(path, "w") as handle:
+            json.dump(envelope, handle)
+        with pytest.raises(JournalFormatError, match="newer"):
+            RunJournal.open(str(tmp_path))
+
+    def test_future_format_meta_is_rejected(self, tmp_path):
+        make_journal(tmp_path, n=1)
+        meta_path = os.path.join(str(tmp_path), "meta.json")
+        with open(meta_path) as handle:
+            envelope = json.load(handle)
+        envelope["format"] = JOURNAL_FORMAT + 1
+        with open(meta_path, "w") as handle:
+            json.dump(envelope, handle)
+        with pytest.raises(JournalFormatError, match="journal meta"):
+            RunJournal.open(str(tmp_path))
+
+    def test_duplicate_unit_names_both_records(self, tmp_path):
+        journal = make_journal(tmp_path, n=2)
+        duplicate = body_for(0)  # same unit as record 0
+        journal.append(duplicate)
+        with pytest.raises(JournalCorruptionError,
+                           match=r"record 2: duplicate .*first at record 0"):
+            RunJournal.open(str(tmp_path))
+
+    def test_sequence_gap(self, tmp_path):
+        make_journal(tmp_path, n=4)
+        os.unlink(record_path(tmp_path, 1))
+        with pytest.raises(JournalCorruptionError, match="sequence gap"):
+            RunJournal.open(str(tmp_path))
+
+    def test_body_index_disagrees_with_filename(self, tmp_path):
+        make_journal(tmp_path, n=2)
+        path = record_path(tmp_path, 1)
+        with open(path) as handle:
+            envelope = json.load(handle)
+        envelope["body"]["index"] = 7
+        envelope["crc"] = record_crc(envelope["body"])
+        with open(path, "w") as handle:
+            json.dump(envelope, handle)
+        with pytest.raises(JournalCorruptionError, match="claims index 7"):
+            RunJournal.open(str(tmp_path))
+
+    def test_missing_unit_key(self, tmp_path):
+        make_journal(tmp_path, n=1)
+        path = record_path(tmp_path, 0)
+        with open(path) as handle:
+            envelope = json.load(handle)
+        del envelope["body"]["unit"]
+        envelope["crc"] = record_crc(envelope["body"])
+        with open(path, "w") as handle:
+            json.dump(envelope, handle)
+        with pytest.raises(JournalCorruptionError, match="missing unit"):
+            RunJournal.open(str(tmp_path))
+
+    def test_missing_directory(self, tmp_path):
+        with pytest.raises(JournalMismatchError, match="no journal"):
+            RunJournal.open(str(tmp_path / "nowhere"))
+
+    def test_missing_meta(self, tmp_path):
+        make_journal(tmp_path, n=1)
+        os.unlink(os.path.join(str(tmp_path), "meta.json"))
+        with pytest.raises(JournalMismatchError, match="meta"):
+            RunJournal.open(str(tmp_path))
+
+
+class TestKillSwitch:
+    def test_fires_exactly_at_boundary(self):
+        switch = KillSwitch(2)
+        switch.check(0)
+        switch.check(1)
+        with pytest.raises(PreemptionError, match="boundary 2"):
+            switch.check(2)
+        assert switch.fired
+
+    def test_fires_only_once(self):
+        switch = KillSwitch(0)
+        with pytest.raises(PreemptionError):
+            switch.check(0)
+        switch.check(0)  # already fired: no second death
+
+    def test_preemption_is_not_a_web_fault(self):
+        # A preemption must never enter the resilience retry loop — it is
+        # process death, not a flaky round trip.
+        assert not issubclass(PreemptionError, WebAccessError)
+
+    def test_negative_boundary_rejected(self):
+        with pytest.raises(ValueError):
+            KillSwitch(-1)
+
+    def test_sweep_point_is_seed_deterministic(self):
+        points = {KillSwitch.sweep_point(seed, 40) for seed in range(30)}
+        assert KillSwitch.sweep_point(7, 40) == KillSwitch.sweep_point(7, 40)
+        assert all(0 <= p < 40 for p in points)
+        assert len(points) > 1  # the sweep actually varies the kill point
+
+    def test_preemption_point_alias(self):
+        assert PreemptionPoint is KillSwitch

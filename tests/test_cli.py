@@ -159,3 +159,87 @@ class TestProvenanceCommands:
         assert main(["diff", str(a), str(b)]) == 1
         out = capsys.readouterr().out
         assert "accuracy" in out
+
+
+class TestCheckpointCommands:
+    RUN = ["run", "--domain", "book", "--interfaces", "3", "--seed", "1"]
+
+    def test_checkpoint_flags_parse(self):
+        args = build_parser().parse_args(
+            ["run", "--checkpoint", "dir", "--resume", "--kill-at", "4",
+             "--strict"])
+        assert args.checkpoint == "dir" and args.resume
+        assert args.kill_at == 4 and args.strict
+
+    def test_resume_requires_checkpoint(self):
+        with pytest.raises(SystemExit, match="--resume requires"):
+            main(self.RUN + ["--resume"])
+
+    def test_kill_at_requires_checkpoint(self):
+        with pytest.raises(SystemExit, match="--kill-at requires"):
+            main(self.RUN + ["--kill-at", "3"])
+
+    def test_checkpoint_rejects_all_domains(self, tmp_path):
+        with pytest.raises(SystemExit, match="single --domain"):
+            main(["run", "--domain", "all", "--interfaces", "3",
+                  "--checkpoint", str(tmp_path / "j")])
+
+    def test_resume_conflicts_with_observability_flags(self, tmp_path):
+        with pytest.raises(SystemExit, match="--resume cannot"):
+            main(self.RUN + ["--checkpoint", str(tmp_path / "j"),
+                             "--resume", "--metrics"])
+
+    def test_kill_exits_3_then_resume_succeeds(self, capsys, tmp_path):
+        journal = str(tmp_path / "journal")
+        assert main(self.RUN + ["--checkpoint", journal,
+                                "--kill-at", "5"]) == 3
+        err = capsys.readouterr().err
+        assert "preempted at journal boundary 5" in err
+        assert "--resume" in err
+        assert main(self.RUN + ["--checkpoint", journal, "--resume"]) == 0
+        out = capsys.readouterr().out
+        assert "checkpoint: resumed" in out
+        assert "units replayed" in out
+
+    def test_checkpointed_run_prints_summary(self, capsys, tmp_path):
+        assert main(self.RUN + ["--checkpoint",
+                                str(tmp_path / "journal")]) == 0
+        out = capsys.readouterr().out
+        assert "checkpoint: journaled" in out
+
+    def test_resumed_json_matches_uninterrupted_json(self, capsys, tmp_path):
+        a, b = tmp_path / "a.json", tmp_path / "b.json"
+        assert main(self.RUN + ["--checkpoint", str(tmp_path / "j1"),
+                                "--json", str(a)]) == 0
+        journal = str(tmp_path / "j2")
+        assert main(self.RUN + ["--checkpoint", journal,
+                                "--kill-at", "4"]) == 3
+        assert main(self.RUN + ["--checkpoint", journal, "--resume",
+                                "--json", str(b)]) == 0
+        assert a.read_bytes() == b.read_bytes()
+
+
+class TestStrictMode:
+    RUN = ["run", "--domain", "book", "--interfaces", "3", "--seed", "1"]
+
+    def test_strict_passes_on_healthy_run(self, capsys):
+        assert main(self.RUN + ["--strict"]) == 0
+        out = capsys.readouterr().out
+        assert "invariants:" in out and "all hold" in out
+
+    def test_strict_exits_1_on_violation(self, capsys, monkeypatch):
+        from repro.obs.invariants import InvariantReport, InvariantViolation
+        import repro.obs
+
+        def broken(result):
+            report = InvariantReport()
+            report.checked.append("fabricated-law")
+            report.violations.append(
+                InvariantViolation("fabricated-law", "deliberately broken"))
+            return report
+
+        monkeypatch.setattr(repro.obs, "check_run", broken)
+        assert main(self.RUN + ["--strict"]) == 1
+        captured = capsys.readouterr()
+        assert "VIOLATED" in captured.out
+        assert "invariant violations detected" in captured.err

@@ -219,8 +219,12 @@ class TestRunResultFormatVersioning:
         path = tmp_path / "run.json"
         dump_run_result(instrumented_result, str(path))
         payload = load_run_result(str(path))
-        assert payload["format"] == RUN_RESULT_FORMAT
+        # The writer emits the LOWEST format that represents the run: a
+        # non-checkpointed run dumps as format 2, byte-identical to what
+        # pre-checkpoint revisions wrote.
+        assert payload["format"] == 2
         assert payload["seed"] == 2
+        assert payload["checkpoint"] is None
 
     def test_format_1_blob_upgrades_in_place(self, tmp_path):
         payload = load_run_result(self.write_blob(tmp_path, self.FORMAT_1_BLOB))
@@ -241,3 +245,97 @@ class TestRunResultFormatVersioning:
             blob = dict(self.FORMAT_1_BLOB, format=bad)
             with pytest.raises(ValueError):
                 load_run_result(self.write_blob(tmp_path, blob))
+
+
+class TestAtomicDumps:
+    """A crash (or serialisation failure) mid-dump never tears the target."""
+
+    def test_failed_dump_leaves_existing_file_intact(
+            self, dataset, tmp_path, monkeypatch):
+        """The fails-pre-fix test for atomic writes.
+
+        Before dumps went through the atomic helper, a payload that blew
+        up mid-serialisation left the target truncated: ``json.dump``
+        streams into an already-opened ``open(path, "w")``, which has
+        wiped the file before the error surfaces. With serialise-first +
+        temp-file + ``os.replace``, the old artifact survives any
+        failure byte-for-byte.
+        """
+        import repro.io as io_module
+
+        result = WebIQMatcher(WebIQConfig()).run(dataset)
+        path = tmp_path / "run.json"
+        dump_run_result(result, str(path))
+        before = path.read_bytes()
+
+        monkeypatch.setattr(
+            io_module, "run_result_to_dict",
+            lambda _result: {"payload": object()},  # not JSON-serialisable
+        )
+        with pytest.raises(TypeError):
+            io_module.dump_run_result(result, str(path))
+        assert path.read_bytes() == before
+
+    def test_failed_write_leaves_no_temp_files(self, tmp_path):
+        from repro.util.atomicio import atomic_write_json
+
+        target = tmp_path / "artifact.json"
+        with pytest.raises(TypeError):
+            atomic_write_json(str(target), {"bad": object()})
+        assert list(tmp_path.iterdir()) == []
+
+    def test_atomic_json_bytes_match_historical_dump(self, tmp_path):
+        from repro.util.atomicio import atomic_write_json
+
+        payload = {"b": [1, 2], "a": {"nested": True}}
+        atomic_path = tmp_path / "atomic.json"
+        atomic_write_json(str(atomic_path), payload)
+        legacy_path = tmp_path / "legacy.json"
+        with open(legacy_path, "w") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+        assert atomic_path.read_bytes() == legacy_path.read_bytes()
+
+    def test_dataset_dump_is_atomic_and_loadable(self, dataset, tmp_path):
+        path = tmp_path / "dataset.json"
+        dump_dataset(dataset, str(path))
+        payload = json.loads(path.read_text())
+        assert payload["domain"] == dataset.domain
+        assert list(tmp_path.iterdir()) == [path]
+
+
+class TestCheckpointExport:
+    """Format 3: the thin, resume-invariant checkpoint section."""
+
+    def test_format_3_round_trip(self, tmp_path):
+        from repro.checkpoint import JOURNAL_FORMAT, CheckpointConfig
+
+        run_dataset = build_domain_dataset("book", n_interfaces=3, seed=1)
+        config = WebIQConfig(checkpoint=CheckpointConfig(
+            directory=str(tmp_path / "journal")))
+        result = WebIQMatcher(config).run(run_dataset)
+        path = tmp_path / "run.json"
+        dump_run_result(result, str(path))
+        payload = load_run_result(str(path))
+        assert payload["format"] == RUN_RESULT_FORMAT == 3
+        assert payload["checkpoint"] == {
+            "journal_format": JOURNAL_FORMAT,
+            "boundaries": result.checkpoint.boundaries,
+        }
+
+    def test_format_2_payload_upgrades_with_null_checkpoint(self, tmp_path):
+        blob = dict(
+            TestRunResultFormatVersioning.FORMAT_1_BLOB,
+            format=2, seed=4, provenance=None,
+        )
+        path = tmp_path / "old.json"
+        path.write_text(json.dumps(blob))
+        payload = load_run_result(str(path))
+        assert payload["format"] == 2
+        assert payload["checkpoint"] is None
+
+    def test_format_4_is_rejected(self, tmp_path):
+        blob = dict(TestRunResultFormatVersioning.FORMAT_1_BLOB, format=4)
+        path = tmp_path / "future.json"
+        path.write_text(json.dumps(blob))
+        with pytest.raises(ValueError, match="newer"):
+            load_run_result(str(path))
