@@ -1,0 +1,148 @@
+"""Supervisor benchmark: what self-healing recovery saves and costs.
+
+One domain's pipeline runs under the :class:`RunSupervisor` against a
+deterministic chaos schedule — killed twice at journal boundaries, with
+the journal's tail record torn between the second death and its resume.
+The supervisor must absorb every failure without intervention and finish
+with an export byte-identical to the uninterrupted run; the measured
+numbers quantify the recovery economics: per-attempt round trips restored
+by resume (what a cold restart would have re-paid), round trips wasted in
+crashes, and records salvaged from the torn journal.
+
+The numbers are exported as ``BENCH_supervisor.json`` (path override:
+``BENCH_SUPERVISOR_JSON``) so CI can archive self-healing trends.
+"""
+
+import json
+import os
+import tempfile
+import time
+
+import pytest
+
+from repro.checkpoint import CheckpointConfig
+from repro.core.pipeline import WebIQConfig, WebIQMatcher
+from repro.datasets import build_domain_dataset
+from repro.io import run_result_to_dict
+from repro.supervisor import RunSupervisor
+
+from .conftest import BENCH_SEED, print_table
+
+DOMAIN = "book"
+N_INTERFACES = 8
+
+
+def comparable(result):
+    payload = run_result_to_dict(result)
+    for key in ("checkpoint", "format", "supervisor"):
+        payload.pop(key, None)
+    return payload
+
+
+def corrupt_tail_record(directory):
+    records = sorted(
+        name for name in os.listdir(directory)
+        if name.startswith("record-") and name.endswith(".json"))
+    with open(os.path.join(directory, records[-1]), "w") as handle:
+        handle.write('{"format": 1, "crc": 0, "body"')
+
+
+@pytest.mark.benchmark(group="supervisor-sweep")
+def test_supervisor_sweep(benchmark):
+    workdir = tempfile.mkdtemp(prefix="bench-supervisor-")
+
+    dataset = build_domain_dataset(DOMAIN, N_INTERFACES, BENCH_SEED)
+    started = time.perf_counter()
+    full_result = WebIQMatcher(WebIQConfig(checkpoint=CheckpointConfig(
+        directory=os.path.join(workdir, "uninterrupted")))).run(dataset)
+    full_secs = time.perf_counter() - started
+    boundaries = full_result.checkpoint.boundaries
+    kill_schedule = (boundaries // 3, 2 * boundaries // 3, None)
+
+    def chaos(attempt_index, directory):
+        if attempt_index == 1:
+            corrupt_tail_record(directory)
+
+    def supervised_run():
+        config = WebIQConfig(checkpoint=CheckpointConfig(
+            directory=os.path.join(workdir, "journal")))
+        chaos_dataset = build_domain_dataset(DOMAIN, N_INTERFACES,
+                                             BENCH_SEED)
+        started = time.perf_counter()
+        result = RunSupervisor(
+            config, kill_schedule=kill_schedule, chaos=chaos).run(
+                chaos_dataset)
+        return result, time.perf_counter() - started
+
+    result, supervised_secs = benchmark.pedantic(
+        supervised_run, rounds=1, iterations=1)
+    report = result.supervisor
+
+    # The contract the subsystem exists for: any kill/corruption schedule
+    # heals to the uninterrupted run's bytes, with the books balanced.
+    assert comparable(result) == comparable(full_result)
+    # Two kills + one corruption discovered at the next open = 3 restarts.
+    assert report.completed and report.restarts == 3
+    assert [a.outcome for a in report.attempts] == [
+        "preemption", "preemption", "corruption", "completed"]
+    assert report.salvages == 1 and report.salvaged_records == 1
+    assert report.total_round_trips == (
+        result.checkpoint.replayed_round_trips
+        + result.checkpoint.fresh_round_trips
+        + report.wasted_round_trips
+        + report.salvage_trimmed_round_trips)
+
+    attempts = [
+        {
+            "index": a.index,
+            "outcome": a.outcome,
+            "round_trips": a.round_trips,
+            "committed_round_trips": a.committed_round_trips,
+            # what resume restored at attempt start = the round trips a
+            # cold restart would have re-paid before reaching new work
+            "round_trips_saved_vs_cold_restart": a.restored_round_trips,
+            "salvaged_records": (
+                a.salvage.quarantined_records if a.salvage else 0),
+        }
+        for a in report.attempts
+    ]
+    rows = [
+        (a["index"], a["outcome"], a["round_trips"],
+         a["round_trips_saved_vs_cold_restart"], a["salvaged_records"])
+        for a in attempts
+    ]
+    print_table(
+        f"Supervisor sweep — {DOMAIN}, {N_INTERFACES} interfaces "
+        f"(kills at {kill_schedule[0]}/{kill_schedule[1]} of "
+        f"{boundaries} boundaries + torn tail record: "
+        f"{report.restarts} restarts, {report.salvaged_records} records "
+        f"salvaged, {report.wasted_round_trips} round trips wasted)",
+        ("attempt", "outcome", "round trips", "restored", "salvaged"),
+        rows,
+    )
+
+    out_path = os.environ.get(
+        "BENCH_SUPERVISOR_JSON", "BENCH_supervisor.json")
+    with open(out_path, "w") as handle:
+        json.dump({
+            "domain": DOMAIN,
+            "n_interfaces": N_INTERFACES,
+            "seed": BENCH_SEED,
+            "boundaries": boundaries,
+            "kill_schedule": [k for k in kill_schedule if k is not None],
+            "restarts": report.restarts,
+            "salvages": report.salvages,
+            "salvaged_records": report.salvaged_records,
+            "salvage_trimmed_round_trips":
+                report.salvage_trimmed_round_trips,
+            "wasted_round_trips": report.wasted_round_trips,
+            "total_round_trips": report.total_round_trips,
+            "uninterrupted_round_trips": full_result.checkpoint
+                .fresh_round_trips,
+            "backoff_seconds": report.backoff_seconds,
+            "attempts": attempts,
+            "uninterrupted_wall_seconds": full_secs,
+            "supervised_wall_seconds": supervised_secs,
+            "f1": result.metrics.f1,
+        }, handle, indent=2)
+    print(f"wrote {out_path}")

@@ -38,6 +38,14 @@ from repro.resilience import (
     FaultProfile,
     ResilienceConfig,
 )
+from repro.supervisor import (
+    QuarantinedUnit,
+    RestartPolicy,
+    RunSupervisor,
+    SupervisorConfig,
+    SupervisorReport,
+    UnitFaultInjector,
+)
 
 __version__ = "1.0.0"
 
@@ -65,5 +73,11 @@ __all__ = [
     "InvariantChecker",
     "InvariantReport",
     "check_run",
+    "QuarantinedUnit",
+    "RestartPolicy",
+    "RunSupervisor",
+    "SupervisorConfig",
+    "SupervisorReport",
+    "UnitFaultInjector",
     "__version__",
 ]

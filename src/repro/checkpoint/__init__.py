@@ -21,7 +21,14 @@ re-spent on replayed units. ``WebIQConfig(checkpoint=None)`` (the
 default) leaves the pipeline bit-identical to pre-checkpoint behaviour.
 """
 
-from repro.checkpoint.journal import JOURNAL_FORMAT, RunJournal, record_crc
+from repro.checkpoint.journal import (
+    JOURNAL_FORMAT,
+    QUARANTINE_DIRNAME,
+    QuarantinedRecord,
+    RunJournal,
+    SalvageReport,
+    record_crc,
+)
 from repro.checkpoint.session import (
     CheckpointConfig,
     CheckpointReport,
@@ -32,7 +39,10 @@ from repro.checkpoint.session import (
 
 __all__ = [
     "JOURNAL_FORMAT",
+    "QUARANTINE_DIRNAME",
+    "QuarantinedRecord",
     "RunJournal",
+    "SalvageReport",
     "record_crc",
     "CheckpointConfig",
     "CheckpointReport",

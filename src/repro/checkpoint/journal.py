@@ -26,6 +26,15 @@ is what makes resume sound; the loader therefore enforces it militantly:
   :class:`JournalFormatError` — old readers must refuse loudly, not
   misread silently.
 
+The enforcement has an escape hatch for supervised recovery:
+:meth:`RunJournal.salvage` truncates a damaged journal to its longest
+valid prefix instead of refusing it — the damaged suffix is moved (never
+deleted) into ``<dir>/quarantine/`` and described by a typed
+:class:`SalvageReport`, after which :meth:`RunJournal.open` accepts the
+journal again and resume re-runs the trimmed units fresh. Only the meta
+file is beyond salvage: without a verified run identity the journal
+cannot say whose prefix it is.
+
 Record bodies are opaque to this module; their content is defined by
 :mod:`repro.checkpoint.session`. The ``unit`` key (a
 ``[phase, interface_id, attribute]`` triple) is the only field the loader
@@ -38,22 +47,74 @@ import json
 import os
 import re
 import zlib
+from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Tuple
 
-from repro.util.atomicio import atomic_write_json
+from repro.util.atomicio import _fsync_directory, atomic_write_json
 from repro.util.errors import (
     JournalCorruptionError,
     JournalFormatError,
     JournalMismatchError,
 )
 
-__all__ = ["JOURNAL_FORMAT", "RunJournal", "record_crc"]
+__all__ = [
+    "JOURNAL_FORMAT",
+    "QUARANTINE_DIRNAME",
+    "QuarantinedRecord",
+    "RunJournal",
+    "SalvageReport",
+    "record_crc",
+]
 
 #: Schema version of journal envelopes (records and meta alike).
 JOURNAL_FORMAT = 1
 
 META_FILENAME = "meta.json"
+#: Subdirectory (inside the journal) that salvage moves damaged records to.
+QUARANTINE_DIRNAME = "quarantine"
 _RECORD_PATTERN = re.compile(r"^record-(\d{6})\.json$")
+
+
+@dataclass(frozen=True)
+class QuarantinedRecord:
+    """One record file moved aside by :meth:`RunJournal.salvage`."""
+
+    filename: str
+    reason: str
+
+
+@dataclass(frozen=True)
+class SalvageReport:
+    """What :meth:`RunJournal.salvage` kept, and what it moved aside."""
+
+    directory: str
+    #: records in the surviving valid prefix
+    kept_records: int
+    #: damaged/unreachable records moved to ``quarantine/``, in index order
+    quarantined: Tuple[QuarantinedRecord, ...] = ()
+
+    @property
+    def quarantined_records(self) -> int:
+        return len(self.quarantined)
+
+    @property
+    def salvaged_anything(self) -> bool:
+        """True when salvage actually had to trim the journal."""
+        return bool(self.quarantined)
+
+    def summary(self) -> str:
+        if not self.quarantined:
+            return (
+                f"journal intact: {self.kept_records} records, "
+                "nothing to salvage"
+            )
+        first = self.quarantined[0]
+        return (
+            f"salvaged journal to {self.kept_records}-record prefix; "
+            f"quarantined {self.quarantined_records} "
+            f"record{'s' if self.quarantined_records != 1 else ''} "
+            f"(first: {first.filename}: {first.reason})"
+        )
 
 
 def _canonical(body: Any) -> str:
@@ -68,6 +129,75 @@ def record_crc(body: Any) -> int:
 
 def _record_filename(index: int) -> str:
     return f"record-{index:06d}.json"
+
+
+def _scan_valid_prefix(
+    directory: str,
+) -> Tuple[List[Dict[str, Any]], List[Tuple[int, str]], Optional[str]]:
+    """Walk the record chain, stopping (not raising) at the first damage.
+
+    Returns ``(prefix_bodies, ordered_files, reason)`` where
+    ``ordered_files`` is every on-disk record as ``(index, filename)`` in
+    index order and ``reason`` describes why the walk stopped (``None``
+    when the whole chain is valid). The prefix property means everything
+    past the first damaged record is unusable regardless of its own
+    integrity. Shared by :meth:`RunJournal.salvage` (which moves the
+    damaged suffix aside) and the supervisor's spend accounting (which
+    must count a torn journal's surviving prefix without mutating it).
+
+    Raises :class:`JournalMismatchError` for a missing journal/meta and
+    :class:`JournalFormatError` for newer-format files — neither is
+    damage a prefix walk may paper over.
+    """
+    if not os.path.isdir(directory):
+        raise JournalMismatchError(
+            f"no journal at {directory} (not a directory)"
+        )
+    meta_path = os.path.join(directory, META_FILENAME)
+    if not os.path.exists(meta_path):
+        raise JournalMismatchError(
+            f"no journal at {directory} (missing {META_FILENAME})"
+        )
+    _load_envelope(meta_path, "journal meta")
+
+    by_index: Dict[int, str] = {}
+    for name in sorted(os.listdir(directory)):
+        match = _RECORD_PATTERN.match(name)
+        if match:
+            by_index[int(match.group(1))] = name
+    ordered = [(index, by_index[index]) for index in sorted(by_index)]
+
+    bodies: List[Dict[str, Any]] = []
+    reason: Optional[str] = None
+    seen_units: Dict[Tuple[str, ...], int] = {}
+    for position, (index, name) in enumerate(ordered):
+        if index != position:
+            reason = f"sequence gap (expected record {position} next)"
+            break
+        try:
+            body = _load_envelope(
+                os.path.join(directory, name), f"record {index}"
+            )
+        except JournalFormatError:
+            raise
+        except JournalCorruptionError as exc:
+            reason = str(exc)
+            break
+        unit = tuple(body.get("unit", ()))
+        if body.get("index") != index:
+            reason = f"body claims index {body.get('index')!r}"
+        elif not unit:
+            reason = "missing unit key"
+        elif unit in seen_units:
+            reason = (
+                f"duplicate record for unit {list(unit)} "
+                f"(first at record {seen_units[unit]})"
+            )
+        if reason is not None:
+            break
+        seen_units[unit] = index
+        bodies.append(body)
+    return bodies, ordered, reason
 
 
 def _load_envelope(path: str, what: str) -> Dict[str, Any]:
@@ -114,6 +244,10 @@ class RunJournal:
         for name in os.listdir(directory):
             if _RECORD_PATTERN.match(name) or name == META_FILENAME:
                 os.unlink(os.path.join(directory, name))
+        quarantine_dir = os.path.join(directory, QUARANTINE_DIRNAME)
+        if os.path.isdir(quarantine_dir):
+            for name in os.listdir(quarantine_dir):
+                os.unlink(os.path.join(quarantine_dir, name))
         atomic_write_json(
             os.path.join(directory, META_FILENAME),
             {"format": JOURNAL_FORMAT, "crc": record_crc(meta), "body": meta},
@@ -171,6 +305,56 @@ class RunJournal:
             seen_units[unit] = index
             records.append(body)
         return cls(directory, meta, records)
+
+    @classmethod
+    def salvage(cls, directory: str) -> SalvageReport:
+        """Truncate a damaged journal to its longest valid prefix.
+
+        Walks the record chain exactly as :meth:`open` does, but where
+        ``open`` raises, ``salvage`` *stops*: the first record that is
+        torn, CRC-mismatched, out of sequence, mis-indexed or duplicated
+        marks the end of the salvageable prefix, and every record file
+        from that point on is moved into ``<dir>/quarantine/`` (moved,
+        not deleted — the damage stays inspectable). After salvage,
+        :meth:`open` accepts the journal and resume re-runs the trimmed
+        units fresh.
+
+        Two damages remain fatal: a torn/missing ``meta.json`` (the
+        journal cannot prove whose prefix it is —
+        :class:`JournalCorruptionError` / :class:`JournalMismatchError`),
+        and a record written by a newer schema
+        (:class:`JournalFormatError` — a new-format journal must not be
+        truncated by an old reader that cannot understand it).
+        """
+        bodies, ordered, reason = _scan_valid_prefix(directory)
+        kept = len(bodies)
+
+        if reason is None:
+            return SalvageReport(directory=directory, kept_records=kept)
+
+        quarantine_dir = os.path.join(directory, QUARANTINE_DIRNAME)
+        os.makedirs(quarantine_dir, exist_ok=True)
+        quarantined: List[QuarantinedRecord] = []
+        for index, name in ordered[kept:]:
+            record_reason = reason if not quarantined else (
+                f"follows truncation at record {kept}"
+            )
+            destination = os.path.join(quarantine_dir, name)
+            suffix = 0
+            while os.path.exists(destination):
+                suffix += 1
+                destination = os.path.join(
+                    quarantine_dir, f"{name}.{suffix}"
+                )
+            os.replace(os.path.join(directory, name), destination)
+            quarantined.append(QuarantinedRecord(name, record_reason))
+        _fsync_directory(quarantine_dir)
+        _fsync_directory(directory)
+        return SalvageReport(
+            directory=directory,
+            kept_records=kept,
+            quarantined=tuple(quarantined),
+        )
 
     # ---------------------------------------------------------------- append
     def append(self, body: Dict[str, Any]) -> int:

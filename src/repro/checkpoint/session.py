@@ -41,7 +41,11 @@ from repro.perf.cache import CachingSearchEngine, ValidationCache
 from repro.resilience.client import ResilientClient
 from repro.resilience.faults import FlakyDeepWebSource, KillSwitch
 from repro.surfaceweb.engine import SearchResult
-from repro.util.errors import JournalCorruptionError, JournalMismatchError
+from repro.util.errors import (
+    DeadlineExceededError,
+    JournalCorruptionError,
+    JournalMismatchError,
+)
 
 __all__ = [
     "CheckpointConfig",
@@ -97,6 +101,9 @@ class CheckpointReport:
     #: really sent over the (simulated) wire
     engine_round_trips: int = 0
     source_round_trips: int = 0
+    #: unit keys skipped because the supervisor quarantined them (both
+    #: replayed and fresh quarantine records land here, in run order)
+    quarantine_skips: List[Tuple[str, str, str]] = field(default_factory=list)
 
     @property
     def boundaries(self) -> int:
@@ -114,11 +121,14 @@ class CheckpointReport:
     def summary(self) -> str:
         """One CLI-ready line, mirroring the cache summary's tone."""
         verb = "resumed" if self.resumed else "journaled"
-        return (
+        line = (
             f"checkpoint: {verb} — {self.replayed_records} units replayed "
             f"({self.replayed_round_trips} round trips saved), "
             f"{self.fresh_records} units written"
         )
+        if self.quarantine_skips:
+            line += f", {len(self.quarantine_skips)} units quarantined"
+        return line
 
 
 @dataclass(frozen=True)
@@ -140,6 +150,9 @@ class UnitCapture:
     store_marks: Dict[str, Tuple[int, int, int]]
     memo_mark: int
     ops_mark: int
+    #: resilience backoff seconds already accrued when the unit began —
+    #: the unit's wall-clock deadline charge includes its backoff delta
+    backoff_before: float = 0.0
 
 
 def _encode_value(kind: str, value: Any) -> Any:
@@ -185,6 +198,13 @@ class CheckpointSession:
         self._probe_memo: Optional[Dict[tuple, bool]] = None
         # Live cache op-log (fresh units only; replay bypasses it).
         self._ops: List[Tuple] = []
+        # Supervision hooks (attached via supervise(); all inert without).
+        self._quarantine: frozenset = frozenset()
+        self._unit_faults: Any = None
+        self._unit_deadline: Optional[float] = None
+        self._run_deadline: Optional[float] = None
+        self._clock: Any = None
+        self._fresh_seconds = 0.0
 
     # --------------------------------------------------------------- wiring
     def attach_substrates(
@@ -217,6 +237,28 @@ class CheckpointSession:
     def register_probe_memo(self, memo: Dict[tuple, bool]) -> None:
         """Declare the Attr-Deep probe memo (the live dict)."""
         self._probe_memo = memo
+
+    def supervise(self, supervisor_config: Any, clock: Any) -> None:
+        """Attach supervision hooks (:class:`repro.supervisor.SupervisorConfig`).
+
+        Installs the quarantine set (units the acquirer must skip), the
+        unit/run wall-clock deadlines charged against ``clock``'s rates,
+        and the unit-fault saboteur for chaos testing. Deadline budgets
+        count only the *fresh* work of this attempt — replayed units
+        spent their seconds in an earlier attempt, and charging them
+        again would make every resume instantly over budget.
+        """
+        self._quarantine = frozenset(
+            tuple(unit) for unit in supervisor_config.quarantine
+        )
+        self._unit_faults = supervisor_config.unit_faults
+        self._unit_deadline = supervisor_config.unit_deadline_seconds
+        self._run_deadline = supervisor_config.run_deadline_seconds
+        self._clock = clock
+
+    def is_quarantined(self, unit_key: Tuple[str, str, str]) -> bool:
+        """True when the supervisor ordered this unit skipped."""
+        return tuple(unit_key) in self._quarantine
 
     # --------------------------------------------------------------- replay
     def replay_unit(self, unit_key: Tuple[str, str, str], attribute,
@@ -268,6 +310,8 @@ class CheckpointSession:
 
         self.report.replayed_records += 1
         self._tally(self.report.replayed_queries_by_component, body)
+        if body.get("quarantined"):
+            self.report.quarantine_skips.append(tuple(body["unit"]))
         if self._cursor == self._replay_limit:
             # The killed process stopped right after this record: restore
             # its substrate state before any fresh unit (or the end-of-run
@@ -295,9 +339,17 @@ class CheckpointSession:
                 ) from exc
 
     # ---------------------------------------------------------- fresh units
-    def begin_unit(self, unit_key: Tuple[str, str, str],
-                   attribute) -> UnitCapture:
-        """Mark every counter a fresh unit's deltas are measured against."""
+    def begin_unit(self, unit_key: Tuple[str, str, str], attribute,
+                   sabotage: bool = True) -> UnitCapture:
+        """Mark every counter a fresh unit's deltas are measured against.
+
+        With supervision attached, this is also where the unit-fault
+        saboteur fires (``sabotage=False`` suppresses it — used for
+        quarantine-skip commits, which must not re-trip the very fault
+        that got the unit quarantined).
+        """
+        if sabotage and self._unit_faults is not None:
+            self._unit_faults.check(tuple(unit_key))
         return UnitCapture(
             unit_key=tuple(unit_key),
             engine_before=self._engine_count(),
@@ -311,15 +363,21 @@ class CheckpointSession:
                 len(self._probe_memo) if self._probe_memo is not None else 0
             ),
             ops_mark=len(self._ops),
+            backoff_before=self._client_backoff(),
         )
 
     def commit_unit(self, capture: UnitCapture, attribute, record,
-                    skipped: bool = False) -> int:
+                    skipped: bool = False, quarantined: bool = False) -> int:
         """Durably journal a completed fresh unit; then maybe die.
 
         The armed kill switch is checked *after* the append returns — the
         record is on disk before the simulated crash, which is exactly
-        the write-ahead guarantee resume relies on.
+        the write-ahead guarantee resume relies on. Supervision deadlines
+        are checked after the kill switch for the same reason: a
+        deadline kill with the record already durable loses nothing, and
+        because every attempt replays the journaled prefix for free, each
+        attempt commits at least one new unit before a deadline can fire
+        again — deadlines preempt, they cannot livelock.
         """
         stores: Dict[str, Any] = {}
         for name, store in self._validation_stores.items():
@@ -337,6 +395,7 @@ class CheckpointSession:
         body = {
             "unit": list(capture.unit_key),
             "skipped": skipped,
+            "quarantined": quarantined,
             "added": list(attribute.acquired[capture.acquired_before:]),
             "record": {
                 field_name: getattr(record, field_name)
@@ -352,9 +411,46 @@ class CheckpointSession:
         index = self.journal.append(body)
         self.report.fresh_records += 1
         self._tally(self.report.fresh_queries_by_component, body)
+        if quarantined:
+            self.report.quarantine_skips.append(capture.unit_key)
         if self._kill_switch is not None:
             self._kill_switch.check(index)
+        self._check_deadlines(capture, body)
         return index
+
+    def _check_deadlines(self, capture: UnitCapture,
+                         body: Dict[str, Any]) -> None:
+        """Charge the committed unit against its wall-clock budgets."""
+        if self._unit_deadline is None and self._run_deadline is None:
+            return
+        unit_seconds = self._unit_seconds(body)
+        unit_seconds += self._client_backoff() - capture.backoff_before
+        self._fresh_seconds += unit_seconds
+        if (self._unit_deadline is not None
+                and unit_seconds > self._unit_deadline):
+            raise DeadlineExceededError(
+                f"unit {list(capture.unit_key)} spent {unit_seconds:.1f}s "
+                f"(simulated) against a {self._unit_deadline:.1f}s unit "
+                "deadline — preempting (journal durable, resume eligible)",
+                scope="unit", seconds=unit_seconds,
+                deadline=self._unit_deadline,
+            )
+        if (self._run_deadline is not None
+                and self._fresh_seconds > self._run_deadline):
+            raise DeadlineExceededError(
+                f"run spent {self._fresh_seconds:.1f}s (simulated, this "
+                f"attempt) against a {self._run_deadline:.1f}s run deadline "
+                "— preempting (journal durable, resume eligible)",
+                scope="run", seconds=self._fresh_seconds,
+                deadline=self._run_deadline,
+            )
+
+    def _unit_seconds(self, body: Dict[str, Any]) -> float:
+        """Simulated wall-clock of one unit, at the clock's nominal rates."""
+        if self._clock is None:
+            return 0.0
+        return (body["queries"] * self._clock.search_query_seconds
+                + body["probes"] * self._clock.deep_probe_seconds)
 
     # ------------------------------------------------------------ finishing
     def finalize(self) -> CheckpointReport:
@@ -364,6 +460,11 @@ class CheckpointSession:
         return self.report
 
     # ------------------------------------------------------------ internals
+    def _client_backoff(self) -> float:
+        if self._client is None:
+            return 0.0
+        return self._client.report.total_backoff_seconds
+
     def _engine_count(self) -> int:
         return self._engine.query_count if self._engine is not None else 0
 

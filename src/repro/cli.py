@@ -9,15 +9,18 @@ Commands:
   pipeline, verbose)
 - ``export``    — snapshot a generated dataset to JSON
 - ``diff``      — compare two exported runs and classify the drift
+- ``journal``   — inspect or salvage a run's checkpoint journal
 
 ``run --report PATH`` writes a provenance-backed run report (accuracy,
 acquisition yield, hardest match decisions); ``run --explain ATTR``
 prints the match explanations touching one attribute. ``run --checkpoint
 DIR`` journals every completed unit of work so a killed run resumes with
 ``--resume`` (exit code 3 marks a preempted run, ``--kill-at N`` preempts
-deterministically for testing); ``run --strict`` exits non-zero if any
-cross-layer invariant is violated. Everything is deterministic in
-``--seed``.
+deterministically for testing); ``run --supervise`` wraps the run in the
+self-healing supervisor, which auto-resumes after crashes, salvages torn
+journals, and quarantines poisoned units (exit code 4 when the restart
+budget is exhausted); ``run --strict`` exits non-zero if any cross-layer
+invariant is violated. Everything is deterministic in ``--seed``.
 """
 
 from __future__ import annotations
@@ -99,6 +102,25 @@ def build_parser() -> argparse.ArgumentParser:
                      help="deterministically abort the run right after "
                           "journal boundary N (crash-safety testing; "
                           "requires --checkpoint; exit code 3)")
+    run.add_argument("--supervise", action="store_true",
+                     help="run under the self-healing supervisor: crashes "
+                          "and preemptions auto-resume from the journal, "
+                          "torn journals are salvaged, and units that "
+                          "crash repeatedly are quarantined (requires "
+                          "--checkpoint; exit code 4 if the restart "
+                          "budget runs out)")
+    run.add_argument("--max-restarts", type=int, default=None, metavar="K",
+                     help="restarts the supervisor absorbs before giving "
+                          "up (default 8; requires --supervise)")
+    run.add_argument("--unit-deadline", type=float, default=None,
+                     metavar="S",
+                     help="per-unit simulated-seconds budget; a unit "
+                          "exceeding it preempts the run for the "
+                          "supervisor to resume (requires --supervise)")
+    run.add_argument("--run-deadline", type=float, default=None,
+                     metavar="S",
+                     help="per-attempt simulated-seconds budget over "
+                          "fresh work (requires --supervise)")
     run.add_argument("--strict", action="store_true",
                      help="audit every run with the cross-layer invariant "
                           "checker and exit non-zero on any violation")
@@ -117,6 +139,20 @@ def build_parser() -> argparse.ArgumentParser:
                      "provenance drift)")
     diff.add_argument("old", help="reference run JSON (from run --json)")
     diff.add_argument("new", help="candidate run JSON (from run --json)")
+
+    journal = sub.add_parser(
+        "journal", help="inspect or salvage a checkpoint journal")
+    jsub = journal.add_subparsers(dest="journal_command", required=True)
+    jinspect = jsub.add_parser(
+        "inspect", help="verify a journal and print its identity, record "
+                        "count and journaled spend (exit 1 if damaged)")
+    jinspect.add_argument("directory",
+                          help="journal directory (from run --checkpoint)")
+    jsalvage = jsub.add_parser(
+        "salvage", help="truncate a damaged journal to its longest valid "
+                        "prefix, moving torn records to quarantine/")
+    jsalvage.add_argument("directory",
+                          help="journal directory (from run --checkpoint)")
 
     analyze = sub.add_parser(
         "analyze", help="error analysis of a matching run")
@@ -152,6 +188,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "diff": _cmd_diff,
         "figure": _cmd_figure,
         "analyze": _cmd_analyze,
+        "journal": _cmd_journal,
     }
     return handlers[args.command](args)
 
@@ -251,6 +288,45 @@ def _checkpoint_config(args):
         directory=args.checkpoint, resume=args.resume, kill_at=args.kill_at)
 
 
+def _supervisor_config(args):
+    """Build the run's SupervisorConfig from CLI flags, or None."""
+    if not args.supervise:
+        for value, flag in ((args.max_restarts, "--max-restarts"),
+                            (args.unit_deadline, "--unit-deadline"),
+                            (args.run_deadline, "--run-deadline")):
+            if value is not None:
+                raise SystemExit(
+                    f"repro run: error: {flag} requires --supervise")
+        return None
+    if args.checkpoint is None:
+        raise SystemExit(
+            "repro run: error: --supervise requires --checkpoint DIR "
+            "(recovery resumes from the journal)")
+    if args.trace or args.metrics or args.report or args.explain:
+        raise SystemExit(
+            "repro run: error: --supervise cannot be combined with "
+            "--trace/--metrics/--report/--explain (recovery resumes from "
+            "the journal, and resumed units issue no calls for the tracer "
+            "to observe)")
+    max_restarts = 8 if args.max_restarts is None else args.max_restarts
+    if max_restarts < 0:
+        raise SystemExit(
+            f"repro run: error: --max-restarts must be >= 0, "
+            f"got {max_restarts}")
+    for value, flag in ((args.unit_deadline, "--unit-deadline"),
+                        (args.run_deadline, "--run-deadline")):
+        if value is not None and value <= 0:
+            raise SystemExit(
+                f"repro run: error: {flag} must be positive, got {value}")
+    from repro.supervisor import RestartPolicy, SupervisorConfig
+
+    return SupervisorConfig(
+        restart=RestartPolicy(max_restarts=max_restarts, seed=args.seed),
+        unit_deadline_seconds=args.unit_deadline,
+        run_deadline_seconds=args.run_deadline,
+    )
+
+
 def _cmd_run(args) -> int:
     config = WebIQConfig(
         enable_surface=not (args.baseline or args.no_surface),
@@ -261,15 +337,37 @@ def _cmd_run(args) -> int:
         cache=_cache_config(args),
         obs=_obs_config(args),
         checkpoint=_checkpoint_config(args),
+        supervisor=_supervisor_config(args),
     )
-    from repro.util.errors import PreemptionError
+    from repro.util.errors import PreemptionError, SupervisionExhaustedError
 
     results = []
     strict_ok = True
     for domain in _domains(args):
         dataset = build_domain_dataset(domain, args.interfaces, args.seed)
         try:
-            result = WebIQMatcher(config).run(dataset)
+            if args.supervise:
+                from dataclasses import replace
+
+                from repro.supervisor import RunSupervisor
+
+                # The supervisor owns the kill switch: --kill-at arms
+                # attempt 0 only, and recovery attempts run unarmed.
+                kill_schedule = () if args.kill_at is None \
+                    else (args.kill_at,)
+                supervised = replace(
+                    config,
+                    checkpoint=replace(config.checkpoint, kill_at=None))
+                result = RunSupervisor(
+                    supervised, kill_schedule=kill_schedule).run(dataset)
+            else:
+                result = WebIQMatcher(config).run(dataset)
+        except SupervisionExhaustedError as exc:
+            print(f"{domain:11} {exc}", file=sys.stderr)
+            print(f"journal in {args.checkpoint} is durable; inspect it "
+                  f"with `repro journal inspect {args.checkpoint}`",
+                  file=sys.stderr)
+            return 4
         except PreemptionError as exc:
             print(f"{domain:11} {exc}", file=sys.stderr)
             print(f"journal in {args.checkpoint} is durable; continue with "
@@ -297,6 +395,8 @@ def _cmd_run(args) -> int:
             print(f"  {result.cache.summary()}")
         if result.checkpoint is not None:
             print(f"  {result.checkpoint.summary()}")
+        if result.supervisor is not None:
+            print(f"  {result.supervisor.summary()}")
         if result.obs is not None:
             from repro.obs import check_run
             print(f"  {result.obs.summary()}")
@@ -369,6 +469,65 @@ def _cmd_diff(args) -> int:
     diff = diff_runs(load_run_result(args.old), load_run_result(args.new))
     print(diff.summary(), end="")
     return 1 if diff.has_regression else 0
+
+
+def _journal_spend_of(records) -> int:
+    """Journaled round trips, by the checkpoint tally rule."""
+    spend = 0
+    for body in records:
+        if body["unit"][0] == "attr_deep":
+            spend += body["probes"]
+        else:
+            spend += body["queries"]
+    return spend
+
+
+def _cmd_journal(args) -> int:
+    import os
+
+    from repro.checkpoint import QUARANTINE_DIRNAME, RunJournal
+    from repro.util.errors import (
+        JournalCorruptionError,
+        JournalFormatError,
+        JournalMismatchError,
+    )
+
+    if args.journal_command == "salvage":
+        try:
+            report = RunJournal.salvage(args.directory)
+        except (JournalCorruptionError, JournalFormatError,
+                JournalMismatchError) as exc:
+            print(f"cannot salvage {args.directory}: {exc}", file=sys.stderr)
+            return 1
+        print(report.summary())
+        return 0
+
+    try:
+        journal = RunJournal.open(args.directory)
+    except (JournalFormatError, JournalMismatchError) as exc:
+        print(f"journal {args.directory}: {exc}", file=sys.stderr)
+        return 1
+    except JournalCorruptionError as exc:
+        print(f"journal {args.directory} is damaged: {exc}", file=sys.stderr)
+        print(f"recover the valid prefix with "
+              f"`repro journal salvage {args.directory}`", file=sys.stderr)
+        return 1
+    print(f"journal {args.directory}: intact")
+    for key in sorted(journal.meta):
+        print(f"  {key}: {journal.meta[key]}")
+    skipped = sum(1 for body in journal.records if body.get("skipped"))
+    quarantined = sum(
+        1 for body in journal.records if body.get("quarantined"))
+    line = (f"  records: {len(journal.records)} "
+            f"({_journal_spend_of(journal.records)} round trips journaled)")
+    if skipped:
+        line += f"; {skipped} skipped, {quarantined} of those quarantined"
+    print(line)
+    quarantine_dir = os.path.join(args.directory, QUARANTINE_DIRNAME)
+    if os.path.isdir(quarantine_dir) and os.listdir(quarantine_dir):
+        print(f"  quarantine/: {len(os.listdir(quarantine_dir))} damaged "
+              f"record files from earlier salvages")
+    return 0
 
 
 def _cmd_discover(args) -> int:

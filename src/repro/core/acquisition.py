@@ -188,6 +188,11 @@ class InstanceAcquirer:
         self.obs = obs
         self.checkpoint = checkpoint
         self._interfaces: List[QueryInterface] = []
+        # The unit bracket currently open — exceptions escaping acquire()
+        # are stamped with it so the supervisor can attribute the crash
+        # to a (phase, interface, attribute) and quarantine repeat
+        # offenders.
+        self._current_unit: Optional[Tuple[str, str, str]] = None
         self.validation_cache = validation_cache
         self._discoverer = SurfaceDiscoverer(
             engine, config.surface, validation_cache=validation_cache,
@@ -225,7 +230,35 @@ class InstanceAcquirer:
         enable_attr_deep: bool = True,
         enable_attr_surface: bool = True,
     ) -> AcquisitionReport:
-        """Acquire instances for every attribute; mutates ``attr.acquired``."""
+        """Acquire instances for every attribute; mutates ``attr.acquired``.
+
+        Any exception escaping a unit bracket is stamped with the unit's
+        ``(phase, interface, attribute)`` key (as ``exc.webiq_unit``) so a
+        supervisor can attribute the crash without parsing messages.
+        """
+        try:
+            return self._acquire(
+                interfaces, domain_keywords, object_name,
+                enable_surface, enable_attr_deep, enable_attr_surface,
+            )
+        except Exception as exc:
+            if self._current_unit is not None \
+                    and not hasattr(exc, "webiq_unit"):
+                try:
+                    exc.webiq_unit = self._current_unit
+                except AttributeError:
+                    pass  # exceptions with __slots__: crash stays unattributed
+            raise
+
+    def _acquire(
+        self,
+        interfaces: Sequence[QueryInterface],
+        domain_keywords: Sequence[str],
+        object_name: str,
+        enable_surface: bool,
+        enable_attr_deep: bool,
+        enable_attr_surface: bool,
+    ) -> AcquisitionReport:
         self._interfaces = list(interfaces)
         report = AcquisitionReport(k=self.config.k)
         for interface in interfaces:
@@ -279,6 +312,9 @@ class InstanceAcquirer:
                     if replayed is not None:
                         phase_queries += replayed.queries
                         continue
+                    if self._skip_quarantined("surface", interface,
+                                              attribute, record):
+                        continue
                     capture = self._begin("surface", interface, attribute)
                     before = self.engine.query_count
                     if self._skip_exhausted("surface", interface, attribute):
@@ -312,6 +348,9 @@ class InstanceAcquirer:
                                               attribute, record)
                     if replayed is not None:
                         phase_probes += replayed.probes
+                        continue
+                    if self._skip_quarantined("attr_deep", interface,
+                                              attribute, record):
                         continue
                     capture = self._begin("attr_deep", interface, attribute)
                     probes_before = self._total_probes()
@@ -420,6 +459,9 @@ class InstanceAcquirer:
                     if replayed is not None:
                         phase_queries += replayed.queries
                         continue
+                    if self._skip_quarantined("attr_surface", interface,
+                                              attribute, record):
+                        continue
                     capture = self._begin("attr_surface", interface, attribute)
                     before = self.engine.query_count
                     if self._skip_exhausted(
@@ -515,12 +557,34 @@ class InstanceAcquirer:
             attribute, record,
         )
 
+    def _skip_quarantined(self, phase: str, interface: QueryInterface,
+                          attribute: Attribute,
+                          record: AcquisitionRecord) -> bool:
+        """Skip a unit the supervisor quarantined after repeated crashes.
+
+        The skip is itself journaled (``quarantined=True``, zero cost, no
+        saboteur) so replay enumerates the same boundaries and the
+        degradation report can account for every attempted unit.
+        """
+        unit_key = (phase, interface.interface_id, attribute.name)
+        if self.checkpoint is None \
+                or not self.checkpoint.is_quarantined(unit_key):
+            return False
+        capture = self.checkpoint.begin_unit(
+            unit_key, attribute, sabotage=False
+        )
+        self.checkpoint.commit_unit(
+            capture, attribute, record, skipped=True, quarantined=True
+        )
+        return True
+
     def _begin(self, phase: str, interface: QueryInterface,
                attribute: Attribute) -> Optional[UnitCapture]:
         if self.checkpoint is None:
             return None
+        self._current_unit = (phase, interface.interface_id, attribute.name)
         return self.checkpoint.begin_unit(
-            (phase, interface.interface_id, attribute.name), attribute
+            self._current_unit, attribute
         )
 
     def _commit(self, capture: Optional[UnitCapture], attribute: Attribute,
@@ -529,6 +593,7 @@ class InstanceAcquirer:
             self.checkpoint.commit_unit(
                 capture, attribute, record, skipped=skipped
             )
+        self._current_unit = None
 
     # ------------------------------------------------------------- helpers
     @property

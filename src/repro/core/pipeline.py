@@ -85,8 +85,9 @@ from repro.resilience.faults import (
     FlakySearchEngine,
     KillSwitch,
 )
+from repro.supervisor import SupervisorConfig, SupervisorReport
 from repro.util.clock import SimulatedClock, StopwatchReport
-from repro.util.errors import ResumeError
+from repro.util.errors import ResumeError, ValidationError
 
 __all__ = ["WebIQConfig", "WebIQRunResult", "WebIQMatcher"]
 
@@ -126,6 +127,13 @@ class WebIQConfig:
     #: journaled, and ``resume=True`` replays a prior journal without
     #: re-spending a single engine query or source probe on it.
     checkpoint: Optional[CheckpointConfig] = None
+    #: supervision hooks — quarantined units, wall-clock deadlines and the
+    #: chaos saboteur (see :mod:`repro.supervisor`). Requires a checkpoint
+    #: journal: quarantine skips and deadline preemptions are only sound
+    #: at journal boundaries. Like ``kill_at``, this is recovery policy,
+    #: not run identity — it never enters the journal meta, because the
+    #: supervisor legitimately varies it between attempts of one run.
+    supervisor: Optional[SupervisorConfig] = None
 
     @property
     def webiq_enabled(self) -> bool:
@@ -154,6 +162,9 @@ class WebIQRunResult:
     obs: Optional[Observability] = None
     #: present iff the run executed with checkpointing enabled
     checkpoint: Optional[CheckpointReport] = None
+    #: present iff the run completed under a :class:`repro.supervisor.RunSupervisor`
+    #: (attached by the supervisor, not by the pipeline itself)
+    supervisor: Optional[SupervisorReport] = None
     #: the dataset seed the run executed against (attributable diagnostics)
     seed: Optional[int] = None
 
@@ -180,6 +191,13 @@ class WebIQMatcher:
                 clock_seconds=lambda: clock.now_seconds,
             )
         session: Optional[CheckpointSession] = None
+        if self.config.supervisor is not None and self.config.webiq_enabled \
+                and self.config.checkpoint is None:
+            raise ValidationError(
+                "supervision requires a checkpoint journal: quarantine "
+                "skips and deadline preemptions are only sound at journal "
+                "boundaries — attach a CheckpointConfig"
+            )
         if self.config.checkpoint is not None and self.config.webiq_enabled:
             if self.config.checkpoint.resume and obs is not None:
                 raise ResumeError(
@@ -193,6 +211,8 @@ class WebIQMatcher:
                 self._journal_meta(dataset),
                 kill_switch=self._kill_switch(),
             )
+            if self.config.supervisor is not None:
+                session.supervise(self.config.supervisor, clock)
 
         acquisition: Optional[AcquisitionReport] = None
         degradation: Optional[DegradationReport] = None

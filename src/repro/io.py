@@ -9,16 +9,20 @@ dataset payload) rather than stored.
 
 Run payloads carry a schema version (:data:`RUN_RESULT_FORMAT`, under the
 ``"format"`` key). Format 2 added ``"format"``, ``"seed"`` and
-``"provenance"``; format 3 added ``"checkpoint"``. The writer emits the
-*lowest* format that can represent the run — a run without checkpointing
-still dumps as format 2, byte-identical to what earlier revisions wrote.
-:func:`load_run_result` upgrades older payloads in place (the new keys
-default to absent values) and rejects formats newer than it knows, so old
-archives stay readable and future ones fail loudly instead of silently
-misreading. All dumps use ``sort_keys=True`` — byte equality between two
-dumps then means payload equality — and every dump is written atomically
-(:mod:`repro.util.atomicio`): a crash mid-dump leaves the previous file
-intact, never a torn half-payload.
+``"provenance"``; format 3 added ``"checkpoint"``; format 4 added
+``"supervisor"``. The writer emits the *lowest* format that can represent
+the run — a run without checkpointing still dumps as format 2,
+byte-identical to what earlier revisions wrote, and a checkpointed but
+unsupervised run still dumps as format 3. :func:`load_run_result`
+upgrades older payloads in place (the new keys default to absent values)
+and rejects formats newer than it knows, so old archives stay readable
+and future ones fail loudly instead of silently misreading. A payload
+that does not parse at all raises a typed
+:class:`~repro.util.errors.ExportCorruptionError` naming the path and
+byte offset of the damage. All dumps use ``sort_keys=True`` — byte
+equality between two dumps then means payload equality — and every dump
+is written atomically (:mod:`repro.util.atomicio`): a crash mid-dump
+leaves the previous file intact, never a torn half-payload.
 """
 
 from __future__ import annotations
@@ -27,7 +31,7 @@ import json
 from typing import Any, Dict, List
 
 #: Schema version written into run-result payloads (highest known).
-RUN_RESULT_FORMAT = 3
+RUN_RESULT_FORMAT = 4
 
 from repro.checkpoint.journal import JOURNAL_FORMAT
 from repro.checkpoint.session import CheckpointReport
@@ -39,7 +43,9 @@ from repro.deepweb.models import Attribute, AttributeKind, QueryInterface
 from repro.obs.instrument import Observability
 from repro.perf.cache import CacheStats
 from repro.resilience.client import DegradationReport
+from repro.supervisor import SupervisorReport
 from repro.util.atomicio import atomic_write_json
+from repro.util.errors import ExportCorruptionError
 
 __all__ = [
     "RUN_RESULT_FORMAT",
@@ -52,6 +58,7 @@ __all__ = [
     "degradation_report_to_dict",
     "cache_stats_to_dict",
     "checkpoint_report_to_dict",
+    "supervisor_report_to_dict",
     "observability_to_dict",
     "run_result_to_dict",
     "dump_dataset",
@@ -207,6 +214,56 @@ def checkpoint_report_to_dict(report: CheckpointReport) -> Dict[str, Any]:
     }
 
 
+def supervisor_report_to_dict(report: SupervisorReport) -> Dict[str, Any]:
+    """What supervision did: attempts, quarantine provenance, spend ledger.
+
+    Unlike the checkpoint section, this *is* the full failure history —
+    the supervisor section is the one part of a supervised export that
+    legitimately differs from the uninterrupted reference run, and the
+    byte-identity oracle strips it before comparing.
+    """
+    return {
+        "completed": report.completed,
+        "restarts": report.restarts,
+        "attempts": [
+            {
+                "index": a.index,
+                "outcome": a.outcome,
+                "unit": list(a.unit) if a.unit is not None else None,
+                "error": a.error,
+                "round_trips": a.round_trips,
+                "committed_round_trips": a.committed_round_trips,
+                "restored_round_trips": a.restored_round_trips,
+                "backoff_seconds": a.backoff_seconds,
+                "salvage": (
+                    {
+                        "kept_records": a.salvage.kept_records,
+                        "quarantined_records": [
+                            {"filename": q.filename, "reason": q.reason}
+                            for q in a.salvage.quarantined
+                        ],
+                    }
+                    if a.salvage is not None
+                    else None
+                ),
+            }
+            for a in report.attempts
+        ],
+        "quarantined_units": [
+            {
+                "unit": list(q.unit),
+                "crashes": q.crashes,
+                "restart_indices": list(q.restart_indices),
+                "error_chain": list(q.error_chain),
+            }
+            for q in report.quarantined_units
+        ],
+        "wasted_round_trips": report.wasted_round_trips,
+        "salvage_trimmed_round_trips": report.salvage_trimmed_round_trips,
+        "backoff_seconds": report.backoff_seconds,
+    }
+
+
 def observability_to_dict(obs: Observability) -> Dict[str, Any]:
     """The run's trace and metrics, ready for byte-stable JSON.
 
@@ -225,10 +282,16 @@ def run_result_to_dict(result: WebIQRunResult) -> Dict[str, Any]:
     provenance = (
         result.obs.provenance if result.obs is not None else None
     )
+    # The lowest representable format: a run without checkpointing dumps
+    # as format 2, a checkpointed but unsupervised run as format 3 —
+    # byte-identical to what earlier revisions wrote.
+    version = 2
+    if result.checkpoint is not None:
+        version = 3
+    if result.supervisor is not None:
+        version = RUN_RESULT_FORMAT
     payload = {
-        # The lowest representable format: a run without checkpointing
-        # dumps as format 2, byte-identical to earlier revisions.
-        "format": 2 if result.checkpoint is None else RUN_RESULT_FORMAT,
+        "format": version,
         "domain": result.domain,
         "seed": result.seed,
         "config": {
@@ -278,6 +341,8 @@ def run_result_to_dict(result: WebIQRunResult) -> Dict[str, Any]:
     }
     if result.checkpoint is not None:
         payload["checkpoint"] = checkpoint_report_to_dict(result.checkpoint)
+    if result.supervisor is not None:
+        payload["supervisor"] = supervisor_report_to_dict(result.supervisor)
     return payload
 
 
@@ -300,12 +365,22 @@ def load_run_result(path: str) -> Dict[str, Any]:
 
     Format-1 payloads (written before the schema carried a version) are
     upgraded in place: ``"format"`` becomes 1 and the format-2 keys
-    (``"seed"``, ``"provenance"``) default to ``None``, as does the
-    format-3 ``"checkpoint"`` section for format-1/2 payloads. Payloads
-    newer than :data:`RUN_RESULT_FORMAT` raise ``ValueError`` rather than
-    being silently misread."""
+    (``"seed"``, ``"provenance"``) default to ``None``, as do the
+    format-3 ``"checkpoint"`` and format-4 ``"supervisor"`` sections for
+    older payloads. Payloads newer than :data:`RUN_RESULT_FORMAT` raise
+    ``ValueError`` rather than being silently misread; a file that does
+    not parse as JSON at all (truncated export, bit-rot) raises
+    :class:`~repro.util.errors.ExportCorruptionError` naming the path
+    and byte offset of the damage."""
     with open(path) as handle:
-        payload = json.load(handle)
+        try:
+            payload = json.load(handle)
+        except json.JSONDecodeError as exc:
+            raise ExportCorruptionError(
+                f"run export {path} is corrupt at byte {exc.pos}: "
+                f"{exc.msg}",
+                path=path, offset=exc.pos,
+            ) from exc
     version = payload.setdefault("format", 1)
     if not isinstance(version, int) or version < 1:
         raise ValueError(f"unrecognised run-result format: {version!r}")
@@ -317,4 +392,5 @@ def load_run_result(path: str) -> Dict[str, Any]:
     payload.setdefault("seed", None)
     payload.setdefault("provenance", None)
     payload.setdefault("checkpoint", None)
+    payload.setdefault("supervisor", None)
     return payload

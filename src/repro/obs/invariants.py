@@ -137,6 +137,13 @@ class InvariantChecker:
             self._check_checkpoint_spend_conservation(report, checkpoint,
                                                       result)
             self._check_checkpoint_replay_isolation(report, checkpoint)
+        supervisor = getattr(result, "supervisor", None)
+        if supervisor is not None and checkpoint is not None:
+            self._check_restart_spend_conservation(report, supervisor,
+                                                   checkpoint)
+            if result.acquisition is not None:
+                self._check_quarantine_accounting(report, supervisor,
+                                                  checkpoint, result)
         return report
 
     # ------------------------------------------------------------ the laws
@@ -530,6 +537,68 @@ class InvariantChecker:
             report, name, checkpoint.source_round_trips,
             fresh.get("attr_deep", 0),
             "raw source round trips", "fresh attr_deep spend",
+        )
+
+    def _check_restart_spend_conservation(self, report: InvariantReport,
+                                          supervisor, checkpoint) -> None:
+        """Every round trip of every attempt is accounted exactly once.
+
+        The supervisor's raw spend across all attempts must decompose
+        into the final run's journal (replayed + fresh), the spend failed
+        attempts paid but never journaled (``wasted_round_trips`` — lost
+        to the unit in flight), and journaled spend that salvage/chaos
+        trimmed back out (``salvage_trimmed_round_trips``, re-paid by a
+        later attempt and so counted on both sides). A gap means an
+        attempt's traffic escaped the ledger — restarts would be
+        silently re-billing (or comping) Web round trips.
+        """
+        name = "restart-spend-conservation"
+        report.checked.append(name)
+        self._equal(
+            report, name,
+            supervisor.total_round_trips,
+            checkpoint.replayed_round_trips + checkpoint.fresh_round_trips
+            + supervisor.wasted_round_trips
+            + supervisor.salvage_trimmed_round_trips,
+            "raw round trips across all attempts",
+            "journaled (replayed+fresh) + wasted + salvage-trimmed",
+        )
+
+    def _check_quarantine_accounting(self, report: InvariantReport,
+                                     supervisor, checkpoint, result) -> None:
+        """Attempted units == completed + quarantined, with agreement on
+        *which* units: the journal's quarantine skips must be exactly the
+        units the supervisor reports as quarantined, and together with
+        the completed units they must cover every unit the acquisition
+        policy attempts for this configuration — a quarantined unit may
+        be skipped, never silently dropped from the run's shape.
+        """
+        name = "quarantine-accounting"
+        report.checked.append(name)
+        config = result.config
+        attempted = 0
+        for record in result.acquisition.records:
+            if record.had_instances:
+                attempted += 1 if config.enable_attr_surface else 0
+            else:
+                attempted += 1 if config.enable_surface else 0
+                attempted += 1 if config.enable_attr_deep else 0
+        self._equal(
+            report, name, checkpoint.boundaries, attempted,
+            "journal boundaries", "attempted units (from acquisition shape)",
+        )
+        skipped = sorted(tuple(unit) for unit in checkpoint.quarantine_skips)
+        reported = sorted(tuple(q.unit) for q in supervisor.quarantined_units)
+        if skipped != reported:
+            self._fail(
+                report, name,
+                f"journal quarantine skips {skipped} != supervisor-reported "
+                f"quarantined units {reported}",
+            )
+        completed = checkpoint.boundaries - len(checkpoint.quarantine_skips)
+        self._equal(
+            report, name, completed + len(reported), attempted,
+            "completed + quarantined units", "attempted units",
         )
 
     # ------------------------------------------------------------ plumbing

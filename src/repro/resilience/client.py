@@ -33,7 +33,17 @@ from __future__ import annotations
 
 from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterator, List, Mapping, Optional, Tuple, TypeVar
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Tuple,
+    TypeVar,
+)
 
 from repro.deepweb.source import ResponsePage
 from repro.surfaceweb.engine import DEFAULT_PROXIMITY_WINDOW, SearchResult
@@ -244,6 +254,14 @@ class DegradationReport:
     #: budget is unbounded, so observability invariants can reconcile it
     #: against the stopwatch's per-account query counts)
     budget_spent_by_component: Dict[str, int] = field(default_factory=dict)
+    #: units the supervisor quarantined after repeated crashes, with full
+    #: provenance (:class:`repro.supervisor.QuarantinedUnit`). Mirrored
+    #: here by :class:`repro.supervisor.RunSupervisor` *after* the run
+    #: completes; deliberately in-memory only — the JSON export keeps its
+    #: quarantine provenance in the ``supervisor`` section so the
+    #: ``degradation`` section stays byte-identical to an unsupervised
+    #: reference run.
+    quarantined_units: List[Any] = field(default_factory=list)
 
     # ------------------------------------------------------------ queries
     @property
@@ -312,6 +330,12 @@ class DegradationReport:
         if self.attributes_skipped:
             lines.append(
                 f"  attributes skipped: {len(self.attributes_skipped)}"
+            )
+        for unit in self.quarantined_units:
+            lines.append(
+                f"  quarantined[{'/'.join(unit.unit)}]: "
+                f"{unit.crashes} crashes "
+                f"(restarts {list(unit.restart_indices)})"
             )
         if self.empty:
             lines.append("  (no faults observed)")

@@ -7,6 +7,13 @@ first, written to a temporary file *in the target's directory* (so the
 rename cannot cross filesystems), flushed and fsynced, and only then
 renamed over the target. A crash at any point leaves either the old
 complete file or the new complete file — never a truncated hybrid.
+
+After the rename the *parent directory* is fsynced too: ``os.replace``
+updates a directory entry, and on a power loss the entry itself can be
+lost even though the file's blocks are safe — leaving a journal whose
+newest record silently vanished. The directory fsync makes the rename
+durable, which is what lets the run journal promise "a crash loses at
+most the unit in flight".
 """
 
 from __future__ import annotations
@@ -31,12 +38,33 @@ def atomic_write_text(path: str, text: str) -> None:
             handle.flush()
             os.fsync(handle.fileno())
         os.replace(temp_path, path)
+        _fsync_directory(directory)
     except BaseException:
         try:
             os.unlink(temp_path)
         except OSError:
             pass
         raise
+
+
+def _fsync_directory(directory: str) -> None:
+    """Make a just-completed rename in ``directory`` durable.
+
+    Best-effort on platforms/filesystems where directories cannot be
+    opened or fsynced (e.g. Windows): the write itself already succeeded,
+    so an unsupported directory fsync degrades durability, not
+    correctness.
+    """
+    try:
+        dir_fd = os.open(directory, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(dir_fd)
+    except OSError:
+        pass
+    finally:
+        os.close(dir_fd)
 
 
 def atomic_write_json(path: str, payload: Any, *, indent: int = 2) -> None:

@@ -73,6 +73,60 @@ class PreemptionError(ReproError):
     """
 
 
+class DeadlineExceededError(PreemptionError):
+    """A supervised unit (or the whole run) overran its wall-clock budget.
+
+    Charged against :class:`repro.util.clock.SimulatedClock` rates, raised
+    only *after* the offending unit's journal record is durable — so a
+    deadline kill, like any preemption, is resume-eligible and loses no
+    paid-for work. Subclasses :class:`PreemptionError` deliberately: the
+    supervisor treats both identically (journal durable, restart, resume).
+    """
+
+    def __init__(self, message: str, *, scope: str = "unit",
+                 seconds: float = 0.0, deadline: float = 0.0) -> None:
+        super().__init__(message)
+        #: ``"unit"`` or ``"run"`` — which budget was overrun
+        self.scope = scope
+        #: simulated seconds actually spent when the deadline fired
+        self.seconds = seconds
+        #: the configured budget, in simulated seconds
+        self.deadline = deadline
+
+
+class InjectedCrashError(ReproError):
+    """A deterministic crash injected into a unit by a test/chaos schedule.
+
+    Raised by :class:`repro.supervisor.UnitFaultInjector` inside the unit
+    bracket. Deliberately **not** a :class:`WebAccessError` — it models an
+    arbitrary in-process fault (segfault stand-in), not a remote failure,
+    so the resilience retry loop must never see it.
+    """
+
+
+class SupervisionExhaustedError(ReproError):
+    """The supervisor spent its restart budget without completing the run.
+
+    Carries the final attempt's failure as ``__cause__`` so callers see
+    the real reason the run kept dying.
+    """
+
+
+class ExportCorruptionError(ReproError):
+    """A persisted run export could not be parsed (truncated or bit-rotten).
+
+    Wraps the raw ``json.JSONDecodeError`` from :func:`repro.io.load_run_result`
+    into a typed error naming the file path and byte offset of the damage.
+    """
+
+    def __init__(self, message: str, *, path: str, offset: int) -> None:
+        super().__init__(message)
+        #: filesystem path of the corrupt export
+        self.path = path
+        #: byte offset at which decoding failed
+        self.offset = offset
+
+
 class JournalError(ReproError):
     """Base class for run-journal failures (:mod:`repro.checkpoint`)."""
 

@@ -219,6 +219,151 @@ class TestCheckpointCommands:
         assert a.read_bytes() == b.read_bytes()
 
 
+class TestSupervisorCommands:
+    RUN = ["run", "--domain", "book", "--interfaces", "3", "--seed", "1"]
+
+    def test_supervise_flags_parse(self):
+        args = build_parser().parse_args(
+            ["run", "--checkpoint", "dir", "--supervise",
+             "--max-restarts", "4", "--unit-deadline", "2.5",
+             "--run-deadline", "60"])
+        assert args.supervise and args.max_restarts == 4
+        assert args.unit_deadline == 2.5 and args.run_deadline == 60.0
+
+    def test_supervise_requires_checkpoint(self):
+        with pytest.raises(SystemExit, match="--supervise requires"):
+            main(self.RUN + ["--supervise"])
+
+    def test_supervisor_knobs_require_supervise(self, tmp_path):
+        journal = str(tmp_path / "j")
+        for flag in (["--max-restarts", "2"], ["--unit-deadline", "5"],
+                     ["--run-deadline", "50"]):
+            with pytest.raises(SystemExit, match="requires --supervise"):
+                main(self.RUN + ["--checkpoint", journal] + flag)
+
+    def test_supervise_conflicts_with_observability_flags(self, tmp_path):
+        with pytest.raises(SystemExit, match="--supervise cannot"):
+            main(self.RUN + ["--checkpoint", str(tmp_path / "j"),
+                             "--supervise", "--metrics"])
+
+    def test_supervised_kill_heals_to_exit_0(self, capsys, tmp_path):
+        """The chaos smoke: a kill that exits 3 unsupervised exits 0
+        supervised, and the export matches the clean run's bytes."""
+        a, b = tmp_path / "a.json", tmp_path / "b.json"
+        assert main(self.RUN + ["--checkpoint", str(tmp_path / "j1"),
+                                "--json", str(a)]) == 0
+        capsys.readouterr()
+        assert main(self.RUN + ["--checkpoint", str(tmp_path / "j2"),
+                                "--supervise", "--kill-at", "4",
+                                "--json", str(b)]) == 0
+        out = capsys.readouterr().out
+        assert "supervisor: 2 attempts (1 restarts)" in out
+        payload_a = json.loads(a.read_text())
+        payload_b = json.loads(b.read_text())
+        assert payload_b["format"] == 4
+        assert payload_b["supervisor"]["restarts"] == 1
+        for payload in (payload_a, payload_b):
+            for key in ("checkpoint", "format", "supervisor"):
+                payload.pop(key, None)
+        assert payload_a == payload_b
+
+    def test_supervised_run_deadline_completes(self, capsys, tmp_path):
+        assert main(self.RUN + ["--checkpoint", str(tmp_path / "j"),
+                                "--supervise", "--run-deadline", "40",
+                                "--strict"]) == 0
+        out = capsys.readouterr().out
+        assert "supervisor:" in out and "all hold" in out
+
+    def test_exhausted_restart_budget_exits_4(self, capsys, tmp_path):
+        # --max-restarts 0 grants a single attempt, so the armed kill
+        # switch is fatal.
+        journal = str(tmp_path / "j")
+        assert main(self.RUN + ["--checkpoint", journal, "--supervise",
+                                "--max-restarts", "0",
+                                "--kill-at", "2"]) == 4
+        err = capsys.readouterr().err
+        assert "still failing after 1 attempts" in err
+        assert f"journal inspect {journal}" in err
+
+    def test_max_restarts_rejects_negative(self, tmp_path):
+        with pytest.raises(SystemExit, match="--max-restarts must be"):
+            main(self.RUN + ["--checkpoint", str(tmp_path / "j"),
+                             "--supervise", "--max-restarts", "-1"])
+
+    def test_deadline_rejects_nonpositive(self, tmp_path):
+        with pytest.raises(SystemExit, match="--unit-deadline must be"):
+            main(self.RUN + ["--checkpoint", str(tmp_path / "j"),
+                             "--supervise", "--unit-deadline", "0"])
+
+
+class TestJournalCommands:
+    RUN = ["run", "--domain", "book", "--interfaces", "3", "--seed", "1"]
+
+    def _journal(self, tmp_path):
+        journal = str(tmp_path / "journal")
+        assert main(self.RUN + ["--checkpoint", journal]) == 0
+        return journal
+
+    def _corrupt_tail(self, journal):
+        import os
+        records = sorted(name for name in os.listdir(journal)
+                         if name.startswith("record-"))
+        path = os.path.join(journal, records[-1])
+        with open(path, "w") as handle:
+            handle.write('{"torn')
+        return records[-1]
+
+    def test_inspect_intact_journal(self, capsys, tmp_path):
+        journal = self._journal(tmp_path)
+        capsys.readouterr()
+        assert main(["journal", "inspect", journal]) == 0
+        out = capsys.readouterr().out
+        assert "intact" in out
+        assert "domain: book" in out and "seed: 1" in out
+        assert "records:" in out and "round trips journaled" in out
+
+    def test_inspect_damaged_journal_exits_1(self, capsys, tmp_path):
+        journal = self._journal(tmp_path)
+        torn = self._corrupt_tail(journal)
+        capsys.readouterr()
+        assert main(["journal", "inspect", journal]) == 1
+        err = capsys.readouterr().err
+        assert "damaged" in err
+        assert f"journal salvage {journal}" in err
+        assert torn.split("-")[1].lstrip("0").rstrip(".json") in err
+
+    def test_salvage_then_inspect_round_trip(self, capsys, tmp_path):
+        journal = self._journal(tmp_path)
+        self._corrupt_tail(journal)
+        capsys.readouterr()
+        assert main(["journal", "salvage", journal]) == 0
+        out = capsys.readouterr().out
+        assert "salvaged journal" in out and "quarantined 1 record" in out
+        assert main(["journal", "inspect", journal]) == 0
+        out = capsys.readouterr().out
+        assert "intact" in out
+        assert "quarantine/: 1 damaged record" in out
+
+    def test_salvage_intact_journal_is_a_no_op(self, capsys, tmp_path):
+        journal = self._journal(tmp_path)
+        capsys.readouterr()
+        assert main(["journal", "salvage", journal]) == 0
+        assert "nothing to salvage" in capsys.readouterr().out
+
+    def test_inspect_missing_journal_exits_1(self, capsys, tmp_path):
+        assert main(["journal", "inspect", str(tmp_path / "missing")]) == 1
+        assert "no journal" in capsys.readouterr().err
+
+    def test_salvage_refuses_torn_meta(self, capsys, tmp_path):
+        import os
+        journal = self._journal(tmp_path)
+        with open(os.path.join(journal, "meta.json"), "w") as handle:
+            handle.write('{"torn')
+        capsys.readouterr()
+        assert main(["journal", "salvage", journal]) == 1
+        assert "cannot salvage" in capsys.readouterr().err
+
+
 class TestStrictMode:
     RUN = ["run", "--domain", "book", "--interfaces", "3", "--seed", "1"]
 

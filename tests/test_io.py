@@ -1,6 +1,8 @@
 """Tests for repro.io: JSON serialisation round trips."""
 
 import json
+import os
+import stat
 
 import pytest
 
@@ -295,6 +297,51 @@ class TestAtomicDumps:
             json.dump(payload, handle, indent=2, sort_keys=True)
         assert atomic_path.read_bytes() == legacy_path.read_bytes()
 
+    def test_rename_is_made_durable_with_directory_fsync(
+            self, tmp_path, monkeypatch):
+        """The fails-pre-fix test for the directory-fsync bug.
+
+        ``os.replace`` updates a directory entry; on a power loss the
+        entry can vanish even though the file's blocks are safe — a
+        journal whose newest record silently disappears. The writer must
+        therefore fsync the *parent directory* after the rename, not
+        just the temp file before it.
+        """
+        from repro.util.atomicio import atomic_write_json
+
+        synced_dirs, synced_files = [], []
+        real_fsync = os.fsync
+
+        def spy(fd):
+            if stat.S_ISDIR(os.fstat(fd).st_mode):
+                synced_dirs.append(fd)
+            else:
+                synced_files.append(fd)
+            real_fsync(fd)
+
+        monkeypatch.setattr(os, "fsync", spy)
+        atomic_write_json(str(tmp_path / "artifact.json"), {"x": 1})
+        assert len(synced_files) == 1  # the temp file, pre-rename
+        assert len(synced_dirs) == 1  # the parent entry, post-rename
+
+    def test_directory_fsync_failure_degrades_gracefully(
+            self, tmp_path, monkeypatch):
+        """Platforms that cannot fsync a directory lose durability of the
+        rename, never the write itself."""
+        from repro.util.atomicio import atomic_write_json
+
+        real_fsync = os.fsync
+
+        def hostile(fd):
+            if stat.S_ISDIR(os.fstat(fd).st_mode):
+                raise OSError("directory fsync unsupported")
+            real_fsync(fd)
+
+        monkeypatch.setattr(os, "fsync", hostile)
+        path = tmp_path / "artifact.json"
+        atomic_write_json(str(path), {"x": 1})  # must not raise
+        assert json.loads(path.read_text()) == {"x": 1}
+
     def test_dataset_dump_is_atomic_and_loadable(self, dataset, tmp_path):
         path = tmp_path / "dataset.json"
         dump_dataset(dataset, str(path))
@@ -316,11 +363,14 @@ class TestCheckpointExport:
         path = tmp_path / "run.json"
         dump_run_result(result, str(path))
         payload = load_run_result(str(path))
-        assert payload["format"] == RUN_RESULT_FORMAT == 3
+        # Lowest representable format: checkpointed but unsupervised
+        # runs still dump as format 3.
+        assert payload["format"] == 3
         assert payload["checkpoint"] == {
             "journal_format": JOURNAL_FORMAT,
             "boundaries": result.checkpoint.boundaries,
         }
+        assert payload["supervisor"] is None
 
     def test_format_2_payload_upgrades_with_null_checkpoint(self, tmp_path):
         blob = dict(
@@ -333,9 +383,77 @@ class TestCheckpointExport:
         assert payload["format"] == 2
         assert payload["checkpoint"] is None
 
-    def test_format_4_is_rejected(self, tmp_path):
-        blob = dict(TestRunResultFormatVersioning.FORMAT_1_BLOB, format=4)
+    def test_format_3_payload_upgrades_with_null_supervisor(self, tmp_path):
+        blob = dict(
+            TestRunResultFormatVersioning.FORMAT_1_BLOB,
+            format=3, seed=4, provenance=None, checkpoint=None,
+        )
+        path = tmp_path / "old.json"
+        path.write_text(json.dumps(blob))
+        payload = load_run_result(str(path))
+        assert payload["format"] == 3
+        assert payload["supervisor"] is None
+
+
+class TestSupervisorExport:
+    """Format 4: supervised runs carry their full recovery provenance."""
+
+    def _supervised_result(self, tmp_path):
+        from repro.checkpoint import CheckpointConfig
+        from repro.supervisor import RunSupervisor
+
+        run_dataset = build_domain_dataset("book", n_interfaces=3, seed=1)
+        config = WebIQConfig(checkpoint=CheckpointConfig(
+            directory=str(tmp_path / "journal")))
+        return RunSupervisor(config, kill_schedule=(3, None)).run(
+            run_dataset)
+
+    def test_format_4_round_trip(self, tmp_path):
+        result = self._supervised_result(tmp_path)
+        path = tmp_path / "run.json"
+        dump_run_result(result, str(path))
+        payload = load_run_result(str(path))
+        assert payload["format"] == RUN_RESULT_FORMAT == 4
+        section = payload["supervisor"]
+        assert section["completed"] is True
+        assert section["restarts"] == 1
+        assert [a["outcome"] for a in section["attempts"]] == \
+            ["preemption", "completed"]
+        assert section["attempts"][0]["error"].startswith("PreemptionError")
+        assert section["quarantined_units"] == []
+        assert section["wasted_round_trips"] == \
+            result.supervisor.wasted_round_trips
+
+    def test_format_5_is_rejected(self, tmp_path):
+        blob = dict(TestRunResultFormatVersioning.FORMAT_1_BLOB, format=5)
         path = tmp_path / "future.json"
         path.write_text(json.dumps(blob))
         with pytest.raises(ValueError, match="newer"):
             load_run_result(str(path))
+
+
+class TestExportCorruption:
+    """A torn run export fails as a typed error naming path and offset."""
+
+    def test_truncated_export_raises_typed_error(self, dataset, tmp_path):
+        from repro.util.errors import ExportCorruptionError
+
+        result = WebIQMatcher(WebIQConfig()).run(dataset)
+        path = tmp_path / "run.json"
+        dump_run_result(result, str(path))
+        content = path.read_bytes()
+        path.write_bytes(content[: len(content) // 2])
+
+        with pytest.raises(ExportCorruptionError) as excinfo:
+            load_run_result(str(path))
+        error = excinfo.value
+        assert error.path == str(path)
+        assert 0 <= error.offset <= len(content) // 2
+        assert str(path) in str(error)
+        assert "byte" in str(error)
+
+    def test_corruption_error_is_reproerror(self):
+        from repro.util.errors import ExportCorruptionError, ReproError
+
+        assert issubclass(ExportCorruptionError, ReproError)
+        assert not issubclass(ExportCorruptionError, ValueError)
