@@ -1,0 +1,133 @@
+"""Parallel sweep: the speculative executor's wall-clock payoff.
+
+Every domain's full 20-interface pipeline runs at worker-pool sizes 1, 4
+and 8 under a *calibrated* simulated I/O latency: a dry serial run at
+latency 0 measures the domain's pure CPU cost ``C`` and its raw round-trip
+count ``Q``, then the sweep charges ``8·C/Q`` real seconds per round trip
+— i.e. an I/O budget ~8× the compute budget, the regime the paper's
+0.1–0.5 s-per-query Web costs put the real system in. The ISSUE's floor:
+**≥ 1.5× aggregate wall-clock speedup at 4 workers**, with every pool
+size exporting byte-identical payloads (the executor's core contract —
+asserted here too, on the full evaluation set).
+
+Checkpointing and fault injection are off: this benchmark isolates the
+overlap the executor wins, not the resilience machinery (the metamorphic
+suite covers those interactions at tier 1).
+
+The measured numbers are exported as ``BENCH_parallel.json`` (path
+override: ``BENCH_PARALLEL_JSON``) so CI can archive speedup trends.
+"""
+
+import json
+import os
+import statistics
+import time
+
+import pytest
+
+from repro.core.pipeline import WebIQConfig, WebIQMatcher
+from repro.datasets import DOMAINS, build_domain_dataset
+from repro.io import run_result_to_dict
+
+from .conftest import BENCH_SEED, print_table
+
+N_INTERFACES = 20
+POOL_SIZES = (1, 4, 8)
+#: simulated I/O budget as a multiple of the domain's pure CPU budget
+LATENCY_FACTOR = 8.0
+#: the ISSUE's floor: aggregate wall-clock speedup at 4 workers
+MIN_SPEEDUP_AT_4 = 1.5
+
+
+def run_once(domain, workers, latency):
+    dataset = build_domain_dataset(domain, N_INTERFACES, BENCH_SEED)
+    started = time.perf_counter()
+    result = WebIQMatcher(
+        WebIQConfig(workers=workers, io_latency=latency)).run(dataset)
+    elapsed = time.perf_counter() - started
+    round_trips = dataset.engine.query_count + sum(
+        source.probe_count for source in dataset.sources.values())
+    payload = json.dumps(run_result_to_dict(result), sort_keys=True)
+    return payload, result, round_trips, elapsed
+
+
+def calibrate(domain):
+    """Measure pure CPU cost and round trips; derive the per-call latency."""
+    _, _, round_trips, cpu_seconds = run_once(domain, workers=1, latency=0.0)
+    return cpu_seconds, round_trips, LATENCY_FACTOR * cpu_seconds / round_trips
+
+
+@pytest.mark.benchmark(group="parallel-sweep")
+def test_parallel_sweep(benchmark):
+    per_domain = {}
+    rows = []
+    for domain in DOMAINS:
+        cpu_seconds, round_trips, latency = calibrate(domain)
+        timings = {}
+        stats_by_pool = {}
+        baseline_payload = None
+        for workers in POOL_SIZES:
+            payload, result, _, elapsed = run_once(domain, workers, latency)
+            timings[workers] = elapsed
+            stats_by_pool[workers] = result.exec_stats
+            if baseline_payload is None:
+                baseline_payload = payload
+            else:
+                # the contract the speedup must not buy its way out of
+                assert payload == baseline_payload, (
+                    f"{domain}: workers={workers} diverged from serial")
+        speedup4 = timings[1] / timings[4]
+        speedup8 = timings[1] / timings[8]
+        stats4 = stats_by_pool[4]
+        per_domain[domain] = {
+            "cpu_seconds": cpu_seconds,
+            "round_trips": round_trips,
+            "io_latency": latency,
+            "wall_seconds": {str(w): timings[w] for w in POOL_SIZES},
+            "speedup_at_4": speedup4,
+            "speedup_at_8": speedup8,
+            "prefetch_hit_rate_at_4": (
+                stats4.credits_consumed / stats4.credits_recorded
+                if stats4.credits_recorded else 0.0),
+            "sleeps_skipped_at_4": stats4.sleeps_skipped,
+            "sleeps_paid_at_4": stats4.sleeps_paid,
+        }
+        rows.append((
+            domain, round_trips, f"{latency * 1000:.2f}",
+            f"{timings[1]:.2f}", f"{timings[4]:.2f}", f"{timings[8]:.2f}",
+            f"{speedup4:.2f}x", f"{speedup8:.2f}x",
+        ))
+
+    benchmark.pedantic(
+        lambda: run_once(DOMAINS[0], 4, per_domain[DOMAINS[0]]["io_latency"]),
+        rounds=1, iterations=1)
+
+    mean_speedup4 = statistics.mean(
+        d["speedup_at_4"] for d in per_domain.values())
+    mean_speedup8 = statistics.mean(
+        d["speedup_at_8"] for d in per_domain.values())
+    print_table(
+        f"Parallel sweep — {N_INTERFACES} interfaces/domain, latency "
+        f"{LATENCY_FACTOR:.0f}x CPU (mean {mean_speedup4:.2f}x @4, "
+        f"{mean_speedup8:.2f}x @8)",
+        ("domain", "round trips", "lat ms", "T1 s", "T4 s", "T8 s",
+         "speedup@4", "speedup@8"),
+        rows,
+    )
+
+    assert mean_speedup4 >= MIN_SPEEDUP_AT_4, (
+        f"4-worker pool sped up wall-clock only {mean_speedup4:.2f}x "
+        f"(floor {MIN_SPEEDUP_AT_4}x)")
+
+    out_path = os.environ.get("BENCH_PARALLEL_JSON", "BENCH_parallel.json")
+    with open(out_path, "w") as handle:
+        json.dump({
+            "n_interfaces": N_INTERFACES,
+            "seed": BENCH_SEED,
+            "pool_sizes": list(POOL_SIZES),
+            "latency_factor": LATENCY_FACTOR,
+            "mean_speedup_at_4": mean_speedup4,
+            "mean_speedup_at_8": mean_speedup8,
+            "domains": per_domain,
+        }, handle, indent=2)
+    print(f"wrote {out_path}")

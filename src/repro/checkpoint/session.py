@@ -260,6 +260,15 @@ class CheckpointSession:
         """True when the supervisor ordered this unit skipped."""
         return tuple(unit_key) in self._quarantine
 
+    @property
+    def pending_replays(self) -> int:
+        """Journal records not yet consumed by :meth:`replay_unit`.
+
+        The parallel executor reads this to suppress speculation while a
+        resumed run is still replaying: replayed units issue no calls, so
+        there is no latency to prefetch."""
+        return max(0, self._replay_limit - self._cursor)
+
     # --------------------------------------------------------------- replay
     def replay_unit(self, unit_key: Tuple[str, str, str], attribute,
                     record) -> Optional[ReplayedUnit]:
@@ -513,7 +522,10 @@ class CheckpointSession:
                     f"journal carries fault-stream state for source "
                     f"{source_id!r} this run does not wrap"
                 )
-            flaky.fast_forward(draws)
+            # Fault streams are partitioned per unit and start at position
+            # 0 whenever their unit runs, so there is nothing to
+            # fast-forward — only the accounting counter is restored.
+            flaky.draws = draws
 
 
 def open_session(config: CheckpointConfig, meta: Dict[str, Any],

@@ -124,6 +124,15 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--strict", action="store_true",
                      help="audit every run with the cross-layer invariant "
                           "checker and exit non-zero on any violation")
+    run.add_argument("--workers", type=int, default=1, metavar="N",
+                     help="execute acquisition units with N speculative "
+                          "prefetch workers (default 1 = serial; any N "
+                          "produces byte-identical results — workers only "
+                          "overlap simulated I/O latency)")
+    run.add_argument("--io-latency", type=float, default=0.0, metavar="S",
+                     help="sleep S real seconds per raw web round trip "
+                          "(simulated network latency; the quantity "
+                          "--workers overlaps)")
 
     discover = sub.add_parser(
         "discover", help="Surface instance discovery for one label")
@@ -328,6 +337,14 @@ def _supervisor_config(args):
 
 
 def _cmd_run(args) -> int:
+    if args.workers < 1:
+        raise SystemExit(
+            f"repro run: error: --workers must be at least 1, "
+            f"got {args.workers}")
+    if args.io_latency < 0:
+        raise SystemExit(
+            f"repro run: error: --io-latency must be non-negative, "
+            f"got {args.io_latency}")
     config = WebIQConfig(
         enable_surface=not (args.baseline or args.no_surface),
         enable_attr_deep=not (args.baseline or args.no_attr_deep),
@@ -338,6 +355,8 @@ def _cmd_run(args) -> int:
         obs=_obs_config(args),
         checkpoint=_checkpoint_config(args),
         supervisor=_supervisor_config(args),
+        workers=args.workers,
+        io_latency=args.io_latency,
     )
     from repro.util.errors import PreemptionError, SupervisionExhaustedError
 
@@ -393,6 +412,11 @@ def _cmd_run(args) -> int:
                       f"use --degradation for details")
         if result.cache is not None:
             print(f"  {result.cache.summary()}")
+        if result.exec_stats is not None and (
+                result.exec_stats.workers > 1
+                or result.exec_stats.sleeps_paid
+                or result.exec_stats.sleeps_skipped):
+            print(f"  {result.exec_stats.summary()}")
         if result.checkpoint is not None:
             print(f"  {result.checkpoint.summary()}")
         if result.supervisor is not None:

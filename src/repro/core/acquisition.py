@@ -20,6 +20,15 @@ Surface step for *all* attributes before any borrowing, so that every
 Surface-acquired instance set is available as a donor regardless of
 iteration order. This keeps results order-independent and matches the
 paper's intent (donors in its examples already have instances).
+
+The three phase loops are planned as an explicit
+:class:`~repro.exec.dag.ExecutionDAG` — one :class:`~repro.exec.dag.WorkUnit`
+per checkpoint unit, phases as barrier stages — and driven by a pluggable
+executor (:mod:`repro.exec.executors`). The default
+:class:`~repro.exec.executors.SerialExecutor` reproduces the classic
+loops exactly; the speculating pool overlaps simulated I/O latency while
+committing every unit on the calling thread in canonical order, so both
+produce bit-identical results.
 """
 
 from __future__ import annotations
@@ -34,6 +43,9 @@ from repro.core.attr_surface import AttrSurfaceValidator, ClassifierConfig
 from repro.core.surface import SurfaceConfig, SurfaceDiscoverer, WebValidator
 from repro.deepweb.models import Attribute, QueryInterface
 from repro.deepweb.source import DeepWebSource
+from repro.exec.context import unit_scope
+from repro.exec.dag import ExecutionDAG, WorkUnit
+from repro.exec.executors import SerialExecutor
 from repro.matching.similarity import label_similarity, value_similarity, values_similar
 from repro.obs.instrument import Observability
 from repro.obs.provenance import (
@@ -158,6 +170,7 @@ class InstanceAcquirer:
         clock: Optional[SimulatedClock] = None,
         obs: Optional[Observability] = None,
         checkpoint: Optional[CheckpointSession] = None,
+        executor=None,
     ) -> None:
         """``engine`` and ``sources`` may be the raw substrates or the
         drop-in resilient proxies from :mod:`repro.resilience`; pass the
@@ -179,7 +192,13 @@ class InstanceAcquirer:
         ``checkpoint``, when given, brackets every per-attribute unit of
         work: completed units are journaled durably, and on resume the
         journaled ones are replayed without issuing a single engine query
-        or source probe (see :mod:`repro.checkpoint`)."""
+        or source probe (see :mod:`repro.checkpoint`).
+
+        ``executor``, when given, drives the planned unit DAG (see
+        :mod:`repro.exec.executors`); ``None`` uses a fresh
+        :class:`~repro.exec.executors.SerialExecutor`, the classic loop.
+        Whatever the executor, every unit's authoritative effects happen
+        on the calling thread in canonical order."""
         self.engine = engine
         self.sources = sources
         self.config = config
@@ -187,7 +206,10 @@ class InstanceAcquirer:
         self.clock = clock
         self.obs = obs
         self.checkpoint = checkpoint
+        self.executor = executor if executor is not None else SerialExecutor()
         self._interfaces: List[QueryInterface] = []
+        self._domain_keywords: List[str] = []
+        self._object_name: str = "object"
         # The unit bracket currently open — exceptions escaping acquire()
         # are stamped with it so the supervisor can attribute the crash
         # to a (phase, interface, attribute) and quarantine repeat
@@ -260,6 +282,8 @@ class InstanceAcquirer:
         enable_attr_surface: bool,
     ) -> AcquisitionReport:
         self._interfaces = list(interfaces)
+        self._domain_keywords = list(domain_keywords)
+        self._object_name = object_name
         report = AcquisitionReport(k=self.config.k)
         for interface in interfaces:
             for attribute in interface.attributes:
@@ -272,15 +296,17 @@ class InstanceAcquirer:
                     )
                 )
 
-        if enable_surface:
-            self._surface_phase(interfaces, domain_keywords, object_name, report)
-        else:
+        if not enable_surface:
             for record in report.records:
                 record.n_after_surface = 0
-        if enable_attr_deep:
-            self._borrow_deep_phase(interfaces, report)
-        if enable_attr_surface:
-            self._borrow_surface_phase(interfaces, report)
+        dag = self.plan(
+            interfaces, report,
+            enable_surface=enable_surface,
+            enable_attr_deep=enable_attr_deep,
+            enable_attr_surface=enable_attr_surface,
+        )
+        for phase in dag.phases:
+            self._run_phase(phase, report)
 
         # Final instance counts for attributes no borrowing phase touched.
         for interface in interfaces:
@@ -291,86 +317,141 @@ class InstanceAcquirer:
                 )
         return report
 
-    # ------------------------------------------------------------ phase 1
-    def _surface_phase(self, interfaces, domain_keywords, object_name,
-                       report: AcquisitionReport) -> None:
-        # Accounting is accumulated per unit (not as one phase-wide
-        # counter delta): every query happens inside some unit, so the
-        # sum is identical — but per-unit deltas are what the checkpoint
-        # journal records and what replay re-charges.
-        phase_queries = 0
-        with self._phase("surface"):
-            for interface in interfaces:
-                for attribute in interface.attributes:
-                    if attribute.has_instances:
-                        continue
-                    record = report.record_for(
-                        interface.interface_id, attribute.name
-                    )
-                    replayed = self._replayed("surface", interface,
-                                              attribute, record)
-                    if replayed is not None:
-                        phase_queries += replayed.queries
-                        continue
-                    if self._skip_quarantined("surface", interface,
-                                              attribute, record):
-                        continue
-                    capture = self._begin("surface", interface, attribute)
-                    before = self.engine.query_count
-                    if self._skip_exhausted("surface", interface, attribute):
-                        self._commit(capture, attribute, record, skipped=True)
-                        continue
-                    record.surface_attempted = True
-                    with self._subject(interface.interface_id, attribute.name):
-                        result = self._discoverer.discover(
-                            attribute, domain_keywords, object_name
-                        )
-                    attribute.acquired.extend(result.instances)
-                    record.n_after_surface = self._acquired_count(attribute)
-                    phase_queries += self.engine.query_count - before
-                    self._commit(capture, attribute, record)
-            report.surface_queries += phase_queries
-            if self.clock is not None:
-                self.clock.charge_search_query("surface", phase_queries)
+    # ----------------------------------------------------------- planning
+    def plan(self, interfaces, report: AcquisitionReport,
+             enable_surface: bool = True, enable_attr_deep: bool = True,
+             enable_attr_surface: bool = True) -> ExecutionDAG:
+        """Enumerate the run's checkpoint units into an explicit DAG.
 
-    # ------------------------------------------------------------ phase 2
-    def _borrow_deep_phase(self, interfaces, report: AcquisitionReport) -> None:
-        phase_probes = 0
-        with self._phase("attr_deep"):
-            for interface in interfaces:
-                for attribute in interface.attributes:
-                    if attribute.has_instances:
-                        continue  # pre-defined values: handled by Attr-Surface
-                    record = report.record_for(
-                        interface.interface_id, attribute.name
-                    )
-                    replayed = self._replayed("attr_deep", interface,
-                                              attribute, record)
-                    if replayed is not None:
-                        phase_probes += replayed.probes
-                        continue
-                    if self._skip_quarantined("attr_deep", interface,
-                                              attribute, record):
-                        continue
-                    capture = self._begin("attr_deep", interface, attribute)
-                    probes_before = self._total_probes()
-                    if record.n_after_surface >= self.config.k:
-                        record.n_after_borrow = record.n_after_surface
-                        # step 1.a succeeded — still a (zero-cost) journal
-                        # boundary, so replay enumerates the same units
-                        self._commit(capture, attribute, record)
-                        continue
-                    if self._skip_exhausted("attr_deep", interface, attribute):
-                        self._commit(capture, attribute, record, skipped=True)
-                        continue
-                    record.borrow_deep_attempted = True
-                    self._borrow_via_deep(interface, attribute)
-                    record.n_after_borrow = self._acquired_count(attribute)
-                    phase_probes += self._total_probes() - probes_before
-                    self._commit(capture, attribute, record)
-            report.attr_deep_probes += phase_probes
-            if self.clock is not None:
-                self.clock.charge_deep_probe("attr_deep", phase_probes)
+        Enumeration is state-independent: which units exist depends only
+        on the interfaces and the enabled phases, never on what earlier
+        units produced (per-unit gates like "Surface already reached k"
+        stay *inside* the unit, preserving the journal-boundary layout).
+        That is what lets an executor dispatch speculation for units
+        whose predecessors have not committed yet.
+        """
+        dag = ExecutionDAG()
+        if enable_surface:
+            dag.add_phase("surface", [
+                WorkUnit("surface", interface, attribute,
+                         report.record_for(interface.interface_id,
+                                           attribute.name))
+                for interface in interfaces
+                for attribute in interface.attributes
+                if not attribute.has_instances
+            ])
+        if enable_attr_deep:
+            dag.add_phase("attr_deep", [
+                WorkUnit("attr_deep", interface, attribute,
+                         report.record_for(interface.interface_id,
+                                           attribute.name))
+                for interface in interfaces
+                for attribute in interface.attributes
+                # pre-defined values: handled by Attr-Surface
+                if not attribute.has_instances
+            ])
+        if enable_attr_surface:
+            dag.add_phase("attr_surface", [
+                WorkUnit("attr_surface", interface, attribute,
+                         report.record_for(interface.interface_id,
+                                           attribute.name))
+                for interface in interfaces
+                for attribute in interface.attributes
+                if attribute.has_instances
+            ])
+        return dag
+
+    # ----------------------------------------------------------- execution
+    def _run_phase(self, phase, report: AcquisitionReport) -> None:
+        """Drive one phase's units through the executor.
+
+        Accounting is accumulated per unit (not as one phase-wide counter
+        delta): every query happens inside some unit, so the sum is
+        identical — but per-unit deltas are what the checkpoint journal
+        records and what replay re-charges. The cost tally and the
+        phase-end clock charge run on the calling thread, like every
+        other authoritative effect.
+        """
+        cost = 0
+
+        def commit(unit: WorkUnit) -> None:
+            nonlocal cost
+            cost += self._execute_unit(unit)
+
+        with self._phase(phase.name):
+            self.executor.run_phase(phase.units, commit)
+            if phase.name == "surface":
+                report.surface_queries += cost
+                if self.clock is not None:
+                    self.clock.charge_search_query("surface", cost)
+            elif phase.name == "attr_deep":
+                report.attr_deep_probes += cost
+                if self.clock is not None:
+                    self.clock.charge_deep_probe("attr_deep", cost)
+            else:
+                report.attr_surface_queries += cost
+                if self.clock is not None:
+                    self.clock.charge_search_query("attr_surface", cost)
+
+    def _execute_unit(self, unit: WorkUnit) -> int:
+        """The authoritative serial body of one unit: replay it from the
+        journal if a record is pending, honour quarantine, else run it
+        fresh. Returns the unit's round-trip cost (queries, or probes for
+        ``attr_deep``). This is the ONE place a unit's observable effects
+        happen, whatever executor drives the DAG."""
+        replayed = self._replayed(unit.phase, unit.interface, unit.attribute,
+                                  unit.record)
+        if replayed is not None:
+            return (replayed.probes if unit.phase == "attr_deep"
+                    else replayed.queries)
+        if self._skip_quarantined(unit.phase, unit.interface, unit.attribute,
+                                  unit.record):
+            return 0
+        # The unit scope partitions every sequential random stream
+        # (backoff jitter, source fault fates) by unit key, making the
+        # unit's draws independent of execution order and resume point.
+        with unit_scope(unit.key):
+            return self._fresh_unit(unit)
+
+    def _fresh_unit(self, unit: WorkUnit) -> int:
+        interface, attribute, record = unit.interface, unit.attribute, unit.record
+        capture = self._begin(unit.phase, interface, attribute)
+        before = self._cost_mark(unit.phase)
+        if unit.phase == "attr_deep" \
+                and record.n_after_surface >= self.config.k:
+            record.n_after_borrow = record.n_after_surface
+            # step 1.a succeeded — still a (zero-cost) journal
+            # boundary, so replay enumerates the same units
+            self._commit(capture, attribute, record)
+            return 0
+        if self._skip_exhausted(unit.phase, interface, attribute):
+            self._commit(capture, attribute, record, skipped=True)
+            return 0
+        if unit.phase == "surface":
+            record.surface_attempted = True
+            with self._subject(interface.interface_id, attribute.name):
+                result = self._discoverer.discover(
+                    attribute, self._domain_keywords, self._object_name
+                )
+            attribute.acquired.extend(result.instances)
+            record.n_after_surface = self._acquired_count(attribute)
+        elif unit.phase == "attr_deep":
+            record.borrow_deep_attempted = True
+            self._borrow_via_deep(interface, attribute)
+            record.n_after_borrow = self._acquired_count(attribute)
+        else:
+            record.borrow_surface_attempted = True
+            self._borrow_via_surface(interface, attribute)
+            record.n_after_borrow = self._acquired_count(attribute)
+        cost = self._cost_mark(unit.phase) - before
+        self._commit(capture, attribute, record)
+        return cost
+
+    def _cost_mark(self, phase: str) -> int:
+        """The round-trip counter a phase's unit costs are measured on."""
+        if phase == "attr_deep":
+            return self._total_probes()
+        return self.engine.query_count
 
     def _borrow_via_deep(self, interface: QueryInterface,
                          attribute: Attribute) -> None:
@@ -442,41 +523,6 @@ class InstanceAcquirer:
             scored.append((sim, other_interface.interface_id, donor))
         scored.sort(key=lambda item: (-item[0], item[2].label.lower()))
         return [(interface_id, donor) for _, interface_id, donor in scored]
-
-    # ------------------------------------------------------------ phase 3
-    def _borrow_surface_phase(self, interfaces, report: AcquisitionReport) -> None:
-        phase_queries = 0
-        with self._phase("attr_surface"):
-            for interface in interfaces:
-                for attribute in interface.attributes:
-                    if not attribute.has_instances:
-                        continue
-                    record = report.record_for(
-                        interface.interface_id, attribute.name
-                    )
-                    replayed = self._replayed("attr_surface", interface,
-                                              attribute, record)
-                    if replayed is not None:
-                        phase_queries += replayed.queries
-                        continue
-                    if self._skip_quarantined("attr_surface", interface,
-                                              attribute, record):
-                        continue
-                    capture = self._begin("attr_surface", interface, attribute)
-                    before = self.engine.query_count
-                    if self._skip_exhausted(
-                        "attr_surface", interface, attribute
-                    ):
-                        self._commit(capture, attribute, record, skipped=True)
-                        continue
-                    record.borrow_surface_attempted = True
-                    self._borrow_via_surface(interface, attribute)
-                    record.n_after_borrow = self._acquired_count(attribute)
-                    phase_queries += self.engine.query_count - before
-                    self._commit(capture, attribute, record)
-            report.attr_surface_queries += phase_queries
-            if self.clock is not None:
-                self.clock.charge_search_query("attr_surface", phase_queries)
 
     def _borrow_via_surface(self, interface: QueryInterface,
                             attribute: Attribute) -> None:

@@ -1,0 +1,45 @@
+"""repro.exec — the parallel unit-DAG execution engine.
+
+The acquisition pipeline's work is an explicit DAG of checkpoint units
+(:mod:`repro.exec.dag`) driven by a pluggable executor
+(:mod:`repro.exec.executors`): :class:`SerialExecutor` is the classic
+loop, :class:`ThreadPoolExecutor` overlaps the units' simulated I/O
+latency with speculative prefetch while committing every observable
+effect serially, in canonical order — which is why any worker count
+produces byte-identical runs.
+
+Supporting pieces: the thread-local unit context that partitions random
+streams per unit (:mod:`repro.exec.context`), the latency gateway and
+prefetch ledger at the substrate boundary (:mod:`repro.exec.gateway`),
+and the snapshot-world speculator (:mod:`repro.exec.spec` — imported
+directly by the pipeline, not re-exported here, because it reaches into
+the core layers).
+"""
+
+from repro.exec.context import UnitKey, current_unit, unit_scope
+from repro.exec.dag import ExecutionDAG, PhaseNode, WorkUnit
+from repro.exec.executors import ExecStats, SerialExecutor, ThreadPoolExecutor
+from repro.exec.gateway import (
+    GatewayStats,
+    LatencyDeepWebSource,
+    LatencySearchEngine,
+    PrefetchLedger,
+    SpeculationCancelled,
+)
+
+__all__ = [
+    "ExecStats",
+    "ExecutionDAG",
+    "GatewayStats",
+    "LatencyDeepWebSource",
+    "LatencySearchEngine",
+    "PhaseNode",
+    "PrefetchLedger",
+    "SerialExecutor",
+    "SpeculationCancelled",
+    "ThreadPoolExecutor",
+    "UnitKey",
+    "WorkUnit",
+    "current_unit",
+    "unit_scope",
+]

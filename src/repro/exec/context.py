@@ -1,0 +1,48 @@
+"""Ambient *unit context*: which checkpoint unit this thread is executing.
+
+The parallel execution engine (:mod:`repro.exec`) partitions every
+sequential random stream — Deep-Web fault streams, backoff jitter — by
+checkpoint unit ``(phase, interface_id, attribute)``. A stream keyed by
+unit starts at position 0 whenever that unit runs, so its draws cannot
+depend on which units ran before it, on another thread's interleaving, or
+on how much of the run was replayed from a journal. That is what makes
+"no draw interleaving can differ from serial" a structural property
+instead of a scheduling accident, and it removes the need to fast-forward
+streams on resume.
+
+The context is thread-local: the serial commit path and every speculative
+worker each bracket their unit's work with :func:`unit_scope`, and the
+substrates ask :func:`current_unit` which per-unit stream to draw from.
+Code running outside any unit (direct substrate use in tests, the
+``discover`` CLI) sees ``None`` and falls back to the legacy shared
+streams, so standalone behaviour is unchanged.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from typing import Iterator, Optional, Tuple
+
+__all__ = ["UnitKey", "unit_scope", "current_unit"]
+
+#: (phase, interface_id, attribute_name) — the checkpoint unit identity.
+UnitKey = Tuple[str, str, str]
+
+_state = threading.local()
+
+
+@contextmanager
+def unit_scope(unit: UnitKey) -> Iterator[None]:
+    """Mark this thread as executing ``unit`` for the duration of the block."""
+    previous = getattr(_state, "unit", None)
+    _state.unit = tuple(unit)
+    try:
+        yield
+    finally:
+        _state.unit = previous
+
+
+def current_unit() -> Optional[UnitKey]:
+    """The unit this thread is executing, or ``None`` outside any unit."""
+    return getattr(_state, "unit", None)

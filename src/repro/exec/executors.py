@@ -1,0 +1,205 @@
+"""Pluggable executors driving the acquisition DAG's units.
+
+Both executors make the same promise: **authoritative effects happen on
+the calling thread, in the DAG's canonical unit order**. Journal records
+append in serial order, cache op-logs and validation-store growth commit
+in unit order, stopwatch accounts accumulate per unit — because the one
+code path that produces all of those is the same serial commit body,
+executed by the caller, unit by unit.
+
+:class:`SerialExecutor` (the default) is exactly the pre-DAG loop.
+
+:class:`ThreadPoolExecutor` adds *speculative prefetch*: a sliding window
+of upcoming units is dispatched to worker threads, each running the unit
+against an isolated snapshot world purely to pay its simulated I/O
+latency early (see :mod:`repro.exec.spec`). The worker's receipt — a
+multiset of raw call keys — is installed into the
+:class:`~repro.exec.gateway.PrefetchLedger` just before the unit's real
+commit, which then skips the sleeps the worker already served. A wrong
+speculation loses overlap, never correctness: the commit path recomputes
+every answer live and remains bit-identical to :class:`SerialExecutor`
+by construction.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import Counter, deque
+from concurrent import futures
+from dataclasses import dataclass
+from typing import Callable, Optional, Sequence
+
+from repro.exec.dag import WorkUnit
+from repro.exec.gateway import GatewayStats, PrefetchLedger
+
+__all__ = ["ExecStats", "SerialExecutor", "ThreadPoolExecutor"]
+
+#: A speculation thunk: runs on a worker, returns the multiset of raw call
+#: keys whose latency it paid — or ``None`` when speculation failed/was
+#: skipped (the commit then simply pays its own latency).
+SpeculationThunk = Callable[[], Optional[Counter]]
+
+#: Prepares a speculation for one unit *on the commit thread* (snapshots
+#: mutable state) and returns the worker-side thunk, or ``None`` to skip.
+SpeculationPrepare = Callable[[WorkUnit], Optional[SpeculationThunk]]
+
+
+@dataclass
+class ExecStats:
+    """What the execution engine did for one run (diagnostics only —
+    deliberately excluded from run exports, which must stay byte-identical
+    across worker counts)."""
+
+    workers: int = 1
+    units_total: int = 0
+    units_speculated: int = 0
+    speculation_failures: int = 0
+    credits_recorded: int = 0
+    credits_consumed: int = 0
+    sleeps_paid: int = 0
+    sleeps_skipped: int = 0
+    seconds_paid: float = 0.0
+
+    def absorb(self, ledger: Optional[PrefetchLedger],
+               gateway: Optional[GatewayStats]) -> None:
+        """Pull the final counters out of the ledger and gateway stats."""
+        if ledger is not None:
+            self.credits_recorded = ledger.installed
+            self.credits_consumed = ledger.consumed
+        if gateway is not None:
+            self.sleeps_paid = gateway.sleeps_paid
+            self.sleeps_skipped = gateway.sleeps_skipped
+            self.seconds_paid = gateway.seconds_paid
+
+    def summary(self) -> str:
+        """One CLI-ready line, mirroring the cache summary's tone."""
+        line = (
+            f"exec: {self.workers} worker(s) — {self.units_total} units"
+        )
+        if self.workers > 1:
+            hit = (
+                self.credits_consumed / self.credits_recorded
+                if self.credits_recorded else 0.0
+            )
+            line += (
+                f", {self.units_speculated} speculated "
+                f"({self.speculation_failures} failed), "
+                f"prefetch {self.credits_consumed}/{self.credits_recorded} "
+                f"credits redeemed ({hit:.1%})"
+            )
+        if self.sleeps_paid or self.sleeps_skipped:
+            line += (
+                f", {self.sleeps_skipped} sleeps skipped / "
+                f"{self.sleeps_paid} paid ({self.seconds_paid:.1f}s)"
+            )
+        return line
+
+
+class SerialExecutor:
+    """The default executor: commit every unit inline, in order."""
+
+    workers = 1
+
+    def __init__(self, stats: Optional[ExecStats] = None) -> None:
+        self.stats = stats if stats is not None else ExecStats()
+
+    def run_phase(self, units: Sequence[WorkUnit],
+                  commit: Callable[[WorkUnit], None]) -> None:
+        for unit in units:
+            self.stats.units_total += 1
+            commit(unit)
+
+    def close(self) -> None:
+        pass
+
+
+class ThreadPoolExecutor:
+    """Speculating executor: workers prefetch latency, commits stay serial.
+
+    ``workers`` threads serve a sliding window (``2 × workers``) of
+    speculation thunks prepared by ``speculate`` (see
+    :class:`~repro.exec.spec.Speculator`). The commit loop runs on the
+    calling thread: for each unit in canonical order it collects the
+    unit's speculation receipt, installs it into ``ledger``, executes the
+    authoritative commit body, and clears the receipt. An exception
+    escaping a commit (preemption, deadline, crash) sets the cancel event
+    — interruptible speculative sleeps abort instead of draining — and
+    propagates unchanged.
+    """
+
+    def __init__(
+        self,
+        workers: int,
+        speculate: Optional[SpeculationPrepare] = None,
+        ledger: Optional[PrefetchLedger] = None,
+        stats: Optional[ExecStats] = None,
+        cancel: Optional[threading.Event] = None,
+    ) -> None:
+        if workers < 2:
+            raise ValueError(
+                "ThreadPoolExecutor needs at least 2 workers; "
+                "use SerialExecutor for serial runs"
+            )
+        self.workers = workers
+        self.stats = stats if stats is not None else ExecStats(workers=workers)
+        self.stats.workers = workers
+        self._speculate = speculate
+        self._ledger = ledger
+        #: shared with every speculative gateway's interruptible sleep
+        self.cancel = cancel if cancel is not None else threading.Event()
+        self._pool = futures.ThreadPoolExecutor(
+            max_workers=workers, thread_name_prefix="webiq-spec"
+        )
+
+    def run_phase(self, units: Sequence[WorkUnit],
+                  commit: Callable[[WorkUnit], None]) -> None:
+        window = self.workers * 2
+        pending: deque = deque()
+        upcoming = deque(units)
+
+        def refill() -> None:
+            while upcoming and len(pending) < window:
+                unit = upcoming.popleft()
+                future = None
+                if self._speculate is not None and not self.cancel.is_set():
+                    # Snapshotting happens here, on the commit thread, so
+                    # the worker sees a frozen pre-unit world.
+                    thunk = self._speculate(unit)
+                    if thunk is not None:
+                        future = self._pool.submit(thunk)
+                        self.stats.units_speculated += 1
+                pending.append(future)
+
+        try:
+            refill()
+            for unit in units:
+                future = pending.popleft()
+                credits: Optional[Counter] = None
+                if future is not None:
+                    try:
+                        credits = future.result()
+                    except Exception:
+                        # A speculation's crash is never the run's crash:
+                        # the commit below recomputes everything live.
+                        # (Speculator already catches its own exceptions;
+                        # this guards custom speculate hooks too.)
+                        credits = None
+                    if credits is None:
+                        self.stats.speculation_failures += 1
+                if self._ledger is not None:
+                    self._ledger.install(credits)
+                try:
+                    self.stats.units_total += 1
+                    commit(unit)
+                finally:
+                    if self._ledger is not None:
+                        self._ledger.clear()
+                refill()
+        except BaseException:
+            self.cancel.set()
+            raise
+
+    def close(self) -> None:
+        """Stop speculating; in-flight sleeps abort via the cancel event."""
+        self.cancel.set()
+        self._pool.shutdown(wait=True, cancel_futures=True)

@@ -1,0 +1,229 @@
+"""The I/O latency gateway: where simulated round trips cost real time.
+
+The substrates answer instantly, so there is nothing for a parallel
+executor to overlap. This module restores the missing physics at the very
+bottom of the layer stack — directly around the raw
+:class:`~repro.surfaceweb.engine.SearchEngine` and each raw
+:class:`~repro.deepweb.source.DeepWebSource` — with an opt-in per-round-trip
+wall-clock sleep (``WebIQConfig.io_latency``).
+
+Two modes, one class each side of the speculation bargain:
+
+- **recording** (speculative workers): every raw call sleeps and its call
+  key is tallied into a local :class:`collections.Counter` — the worker's
+  receipt for latency already paid;
+- **redeeming** (the serial commit thread): before sleeping, the gateway
+  asks the :class:`PrefetchLedger` whether the installed receipt still has
+  a credit for this key; if so the sleep is skipped — the speculative
+  worker already waited it out, concurrently with other units.
+
+Only the *sleep* is ever skipped. The answer is always computed live by
+the wrapped raw substrate (a pure function of its immutable corpus), so a
+stale speculation can waste a sleep but can never leak a stale answer:
+commit-side results are byte-identical to a serial run by construction.
+
+Faulted round trips that never reach the raw substrate (the flaky layer
+raises without calling ``inner``) pay no latency on either side, keeping
+the two sides' receipts consistent.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Any, List, Mapping, Optional, Tuple
+
+from repro.util.errors import PreemptionError
+
+__all__ = [
+    "GatewayStats",
+    "LatencyDeepWebSource",
+    "LatencySearchEngine",
+    "PrefetchLedger",
+    "SpeculationCancelled",
+]
+
+
+class SpeculationCancelled(PreemptionError):
+    """A speculative sleep was interrupted by executor shutdown."""
+
+
+@dataclass
+class GatewayStats:
+    """Sleep accounting across every gateway of one run (thread-safe)."""
+
+    sleeps_paid: int = 0
+    sleeps_skipped: int = 0
+    seconds_paid: float = 0.0
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
+
+    def note_paid(self, seconds: float) -> None:
+        with self._lock:
+            self.sleeps_paid += 1
+            self.seconds_paid += seconds
+
+    def note_skipped(self) -> None:
+        with self._lock:
+            self.sleeps_skipped += 1
+
+
+class PrefetchLedger:
+    """The commit thread's receipt for latency a speculation already paid.
+
+    A multiset of raw call keys: :meth:`install` loads one unit's receipt
+    just before its authoritative commit, :meth:`consume` spends one
+    credit per matching commit-side call, :meth:`clear` drops whatever the
+    speculation over-predicted. Thread-safe, though in the current design
+    only the commit thread touches it.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._credits: Counter = Counter()
+        self.installed = 0
+        self.consumed = 0
+
+    def install(self, credits: Optional[Mapping[Tuple, int]]) -> None:
+        with self._lock:
+            self._credits = Counter(credits or {})
+            self.installed += sum(self._credits.values())
+
+    def clear(self) -> None:
+        with self._lock:
+            self._credits = Counter()
+
+    def consume(self, key: Tuple) -> bool:
+        """Spend one credit for ``key`` if the receipt has one."""
+        with self._lock:
+            if self._credits.get(key, 0) > 0:
+                self._credits[key] -= 1
+                self.consumed += 1
+                return True
+            return False
+
+
+class _GatewayBase:
+    """Shared sleep/record/redeem mechanics of both gateway shapes."""
+
+    def __init__(
+        self,
+        inner: Any,
+        latency: float,
+        ledger: Optional[PrefetchLedger] = None,
+        recorder: Optional[Counter] = None,
+        cancel: Optional[threading.Event] = None,
+        stats: Optional[GatewayStats] = None,
+    ) -> None:
+        if latency < 0:
+            raise ValueError("latency must be non-negative")
+        if ledger is not None and recorder is not None:
+            raise ValueError("a gateway either records or redeems, not both")
+        self.inner = inner
+        self.latency = latency
+        self.ledger = ledger
+        self.recorder = recorder
+        self.cancel = cancel
+        self.stats = stats
+
+    def _pay(self, key: Tuple) -> None:
+        """Charge one raw round trip: record-and-sleep, or redeem-or-sleep."""
+        if self.recorder is not None:
+            self.recorder[key] += 1
+        elif self.ledger is not None and self.ledger.consume(key):
+            if self.stats is not None:
+                self.stats.note_skipped()
+            return
+        if self.latency <= 0.0:
+            return
+        if self.cancel is not None:
+            # Interruptible sleep: executor shutdown must not wait out the
+            # backlog of speculative round trips one by one.
+            if self.cancel.wait(self.latency):
+                raise SpeculationCancelled("speculation cancelled mid-sleep")
+        else:
+            time.sleep(self.latency)
+        if self.stats is not None:
+            self.stats.note_paid(self.latency)
+
+
+class LatencySearchEngine(_GatewayBase):
+    """Engine-shaped gateway; wraps the *raw* search engine."""
+
+    # ------------------------------------------------------- engine facade
+    @property
+    def query_count(self) -> int:
+        return self.inner.query_count
+
+    @query_count.setter
+    def query_count(self, value: int) -> None:
+        # The flaky layer charges faulted round trips straight onto its
+        # inner counter; that charge must reach the raw engine.
+        self.inner.query_count = value
+
+    def reset_query_count(self) -> None:
+        self.inner.reset_query_count()
+
+    @property
+    def n_documents(self) -> int:
+        return self.inner.n_documents
+
+    @property
+    def index(self):
+        return self.inner.index
+
+    def search(self, query: str, max_results: int = 10) -> List[Any]:
+        self._pay(("search", query, max_results))
+        return self.inner.search(query, max_results)
+
+    def num_hits(self, query: str) -> int:
+        self._pay(("num_hits", query))
+        return self.inner.num_hits(query)
+
+    def num_hits_proximity(self, phrase_a: str, phrase_b: str,
+                           window: Optional[int] = None) -> int:
+        if window is None:
+            self._pay(("proximity", phrase_a, phrase_b))
+            return self.inner.num_hits_proximity(phrase_a, phrase_b)
+        self._pay(("proximity", phrase_a, phrase_b, window))
+        return self.inner.num_hits_proximity(phrase_a, phrase_b, window)
+
+
+class LatencyDeepWebSource(_GatewayBase):
+    """Source-shaped gateway; wraps one *raw* Deep-Web source."""
+
+    # ------------------------------------------------------- source facade
+    @property
+    def interface(self):
+        return self.inner.interface
+
+    @property
+    def interface_id(self) -> str:
+        return self.inner.interface.interface_id
+
+    @property
+    def records(self):
+        return self.inner.records
+
+    @property
+    def required_attributes(self):
+        return self.inner.required_attributes
+
+    @property
+    def probe_count(self) -> int:
+        return self.inner.probe_count
+
+    @probe_count.setter
+    def probe_count(self, value: int) -> None:
+        self.inner.probe_count = value
+
+    def recognizes(self, attribute_name: str, value: str) -> bool:
+        return self.inner.recognizes(attribute_name, value)
+
+    def submit(self, values: Mapping[str, str]) -> Any:
+        key = ("submit", self.interface_id, tuple(sorted(values.items())))
+        self._pay(key)
+        return self.inner.submit(values)

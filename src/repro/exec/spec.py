@@ -1,0 +1,306 @@
+"""Speculative snapshot worlds for the parallel executor.
+
+A speculation's only job is to *pay a unit's simulated I/O latency early*,
+on a worker thread, so the serial commit can skip those sleeps. It does so
+by running the unit's exact work body against an **isolated clone of the
+run's layer stack**, built over a snapshot taken on the commit thread at
+dispatch time:
+
+- the raw substrates are cheaply cloned (the inverted index and record
+  databases are immutable and shared; counters and memos are private);
+- the clone's stack mirrors the live one layer for layer — latency
+  gateway, flaky fault injection, resilient client (restored from the
+  live client's checkpoint payload), query cache seeded with the live
+  cache's entries, validation memos and the probe memo copied — except
+  that observability and checkpointing are absent (both are read-only /
+  commit-thread concerns);
+- the unit runs through the *same* :meth:`InstanceAcquirer._execute_unit`
+  code as the commit will, inside the same per-unit RNG scope, so its
+  fault fates, retries and budget decisions replay identically whenever
+  the snapshot matches the eventual pre-commit state.
+
+The worker returns the multiset of raw call keys whose latency it served
+(recorded by its gateways); nothing else escapes the clone world. If the
+snapshot was stale — an earlier in-flight unit changed a donor set or the
+cache — the receipt simply redeems fewer sleeps. Misprediction costs
+overlap, never correctness.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import Counter
+from dataclasses import replace
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.deepweb.models import Attribute, QueryInterface
+from repro.deepweb.source import DeepWebSource
+from repro.exec.dag import WorkUnit
+from repro.exec.executors import ExecStats
+from repro.exec.gateway import (
+    GatewayStats,
+    LatencyDeepWebSource,
+    LatencySearchEngine,
+)
+from repro.perf.cache import CachingSearchEngine, ValidationCache
+from repro.resilience.client import (
+    ResilienceConfig,
+    ResilientClient,
+    ResilientDeepWebSource,
+    ResilientSearchEngine,
+)
+from repro.resilience.faults import FlakyDeepWebSource, FlakySearchEngine
+from repro.surfaceweb.engine import SearchEngine
+
+__all__ = ["Speculator", "WorldSnapshot"]
+
+
+class WorldSnapshot:
+    """Frozen pre-unit state, captured on the commit thread at dispatch."""
+
+    __slots__ = (
+        "interfaces",
+        "record",
+        "client_payload",
+        "cache_entries",
+        "validation_stores",
+        "probe_memo",
+    )
+
+    def __init__(
+        self,
+        interfaces: List[QueryInterface],
+        record: Any,
+        client_payload: Optional[Dict[str, Any]],
+        cache_entries: Optional[List[Tuple[Tuple, Any]]],
+        validation_stores: Dict[str, ValidationCache],
+        probe_memo: Dict[tuple, bool],
+    ) -> None:
+        self.interfaces = interfaces
+        self.record = record
+        self.client_payload = client_payload
+        self.cache_entries = cache_entries
+        self.validation_stores = validation_stores
+        self.probe_memo = probe_memo
+
+
+def _clone_attribute(attribute: Attribute) -> Attribute:
+    clone = Attribute(
+        name=attribute.name,
+        label=attribute.label,
+        kind=attribute.kind,
+        instances=attribute.instances,
+    )
+    clone.acquired = list(attribute.acquired)
+    return clone
+
+
+def _clone_interface(interface: QueryInterface) -> QueryInterface:
+    return QueryInterface(
+        interface_id=interface.interface_id,
+        domain=interface.domain,
+        object_name=interface.object_name,
+        attributes=[_clone_attribute(a) for a in interface.attributes],
+    )
+
+
+def _clone_engine(raw: SearchEngine) -> SearchEngine:
+    """A raw-engine clone sharing the immutable index, owning its counter."""
+    clone = SearchEngine.__new__(SearchEngine)
+    clone.index = raw.index
+    clone._parser = raw._parser
+    clone.query_count = 0
+    return clone
+
+
+def _clone_source(raw: DeepWebSource) -> DeepWebSource:
+    """A raw-source clone sharing records/recognizers, owning its counter.
+
+    The interface reference is shared too: recognition reads only the
+    immutable pre-defined ``instances`` — speculative acquisition mutates
+    the *cloned* interface set the spec acquirer iterates, never this one.
+    """
+    return DeepWebSource(
+        interface=raw.interface,
+        recognizers=raw.recognizers,
+        records=raw.records,
+        required_attributes=raw.required_attributes,
+        failure_style=raw.failure_style,
+    )
+
+
+class Speculator:
+    """Builds snapshot worlds and runs units in them, one per dispatch.
+
+    Constructed by the pipeline alongside the :class:`ThreadPoolExecutor`;
+    its :meth:`prepare` is the executor's ``speculate`` hook. All live
+    references (acquirer, substrates, client, caches) are only ever read
+    on the commit thread, inside :meth:`prepare`.
+    """
+
+    def __init__(
+        self,
+        acquirer,  # repro.core.acquisition.InstanceAcquirer (untyped: layering)
+        raw_engine: SearchEngine,
+        raw_sources: Dict[str, DeepWebSource],
+        resilience: Optional[ResilienceConfig] = None,
+        cache_max_entries: Optional[int] = None,
+        cache_engine: Optional[CachingSearchEngine] = None,
+        client: Optional[ResilientClient] = None,
+        session=None,  # CheckpointSession (untyped: layering)
+        latency: float = 0.0,
+        cancel: Optional[threading.Event] = None,
+        stats: Optional[ExecStats] = None,
+    ) -> None:
+        self._acquirer = acquirer
+        self._raw_engine = raw_engine
+        self._raw_sources = dict(raw_sources)
+        self._resilience = resilience
+        self._cache_max_entries = cache_max_entries
+        self._cache_engine = cache_engine
+        self._client = client
+        self._session = session
+        self._latency = latency
+        self._cancel = cancel
+        self._stats = stats
+        #: sleep accounting for the speculative side only (the commit-side
+        #: gateways report into the run-wide GatewayStats instead)
+        self.spec_gateway_stats = GatewayStats()
+
+    # ------------------------------------------------------- commit thread
+    def prepare(self, unit: WorkUnit) -> Optional[Callable[[], Optional[Counter]]]:
+        """Snapshot the pre-unit world; return the worker-side thunk.
+
+        Returns ``None`` (skip speculation) while a resumed run is still
+        replaying journal records: replayed units issue no calls, so
+        there is nothing to prefetch.
+        """
+        if self._session is not None and self._session.pending_replays > 0:
+            return None
+        snapshot = self._snapshot(unit)
+        unit_key = unit.key
+        return lambda: self._speculate(unit_key, unit.phase, snapshot)
+
+    def _snapshot(self, unit: WorkUnit) -> WorldSnapshot:
+        acquirer = self._acquirer
+        stores: Dict[str, ValidationCache] = {}
+        if acquirer.validation_cache is not None:
+            stores["shared"] = acquirer.validation_cache.clone()
+        else:
+            stores["surface"] = acquirer._discoverer.validator.cache.clone()
+            stores["attr_surface"] = acquirer._web_validator.cache.clone()
+        return WorldSnapshot(
+            interfaces=[_clone_interface(i) for i in acquirer._interfaces],
+            record=replace(unit.record),
+            client_payload=(
+                self._client.state_payload()
+                if self._client is not None else None
+            ),
+            cache_entries=(
+                self._cache_engine.snapshot_entries()
+                if self._cache_engine is not None else None
+            ),
+            validation_stores=stores,
+            probe_memo=dict(acquirer._attr_deep.probe_memo),
+        )
+
+    # ------------------------------------------------------- worker thread
+    def _speculate(self, unit_key, phase: str,
+                   snapshot: WorldSnapshot) -> Optional[Counter]:
+        try:
+            recorder: Counter = Counter()
+            world = self._build_world(snapshot, recorder)
+            by_id = {i.interface_id: i for i in snapshot.interfaces}
+            interface = by_id[unit_key[1]]
+            unit = WorkUnit(
+                phase, interface, interface.attribute(unit_key[2]),
+                snapshot.record,
+            )
+            with world._phase(phase):
+                world._execute_unit(unit)
+            return recorder
+        except Exception:
+            # Any failure — cancellation, a stale snapshot tripping an
+            # invariant, a genuine bug surfacing early — just means no
+            # prefetch receipt: the commit pays its own latency.
+            return None
+
+    def _build_world(self, snapshot: WorldSnapshot, recorder: Counter):
+        """Mirror the live layer stack over cloned substrates.
+
+        Layer order matches :meth:`repro.core.pipeline.WebIQMatcher.run`
+        exactly (gateway → flaky → resilient → cache), minus the
+        observability layers (read-only) and the checkpoint session
+        (commits are not ours to write).
+        """
+        # Imported here: repro.exec must stay importable by repro.core
+        # without a cycle, and only this worker-side factory needs it.
+        from repro.core.acquisition import InstanceAcquirer
+
+        engine: Any = LatencySearchEngine(
+            _clone_engine(self._raw_engine), self._latency,
+            recorder=recorder, cancel=self._cancel,
+            stats=self.spec_gateway_stats,
+        )
+        sources: Dict[str, Any] = {
+            source_id: LatencyDeepWebSource(
+                _clone_source(raw), self._latency,
+                recorder=recorder, cancel=self._cancel,
+                stats=self.spec_gateway_stats,
+            )
+            for source_id, raw in self._raw_sources.items()
+        }
+        client: Optional[ResilientClient] = None
+        if self._resilience is not None:
+            client = ResilientClient(self._resilience)
+            if snapshot.client_payload is not None:
+                client.restore_state(snapshot.client_payload)
+            profile = self._resilience.profile
+            attempt_client = client
+            engine = ResilientSearchEngine(
+                FlakySearchEngine(
+                    engine, profile,
+                    on_fault=client.note_injected_fault,
+                    attempt_provider=lambda: attempt_client.current_attempt,
+                ),
+                client,
+            )
+            sources = {
+                source_id: ResilientDeepWebSource(
+                    FlakyDeepWebSource(
+                        source, profile,
+                        on_fault=client.note_injected_fault,
+                    ),
+                    client,
+                )
+                for source_id, source in sources.items()
+            }
+        validation_cache: Optional[ValidationCache] = None
+        if self._cache_engine is not None:
+            caching = CachingSearchEngine(
+                engine, self._cache_max_entries
+            )
+            for key, value in snapshot.cache_entries or []:
+                caching.replay_store(key, value)
+            engine = caching
+            validation_cache = snapshot.validation_stores["shared"]
+        world = InstanceAcquirer(
+            engine, sources, self._acquirer.config,
+            resilience=client, validation_cache=validation_cache,
+        )
+        if validation_cache is None:
+            _seed(world._discoverer.validator.cache,
+                  snapshot.validation_stores["surface"])
+            _seed(world._web_validator.cache,
+                  snapshot.validation_stores["attr_surface"])
+        world._attr_deep.probe_memo.update(snapshot.probe_memo)
+        world._interfaces = snapshot.interfaces
+        world._domain_keywords = list(self._acquirer._domain_keywords)
+        world._object_name = self._acquirer._object_name
+        return world
+
+
+def _seed(target: ValidationCache, source: ValidationCache) -> None:
+    target.phrase_hits.update(source.phrase_hits)
+    target.candidate_hits.update(source.candidate_hits)
+    target.joint_hits.update(source.joint_hits)

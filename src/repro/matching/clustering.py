@@ -177,13 +177,24 @@ class IceQMatcher:
         merge_step = 0
 
         while len(active) > 1:
+            # Tie-breaking is explicit: highest linkage value wins, and
+            # equal values break toward the lowest (i, j). The scan must
+            # not depend on set/dict iteration order — CPython happens to
+            # iterate small-int sets ascending, which masked ties until a
+            # schedule (or another interpreter) ordered them differently.
             best_pair: Optional[Tuple[int, int]] = None
             best_value = threshold
-            for i in active:
-                for j, value in avg[i].items():
+            for i in sorted(active):
+                for j in sorted(avg[i]):
                     if j <= i or j not in active:
                         continue
-                    if value > best_value and not (ifaces[i] & ifaces[j]):
+                    value = avg[i][j]
+                    better = value > best_value or (
+                        value == best_value
+                        and best_pair is not None
+                        and (i, j) < best_pair
+                    )
+                    if better and not (ifaces[i] & ifaces[j]):
                         best_value = value
                         best_pair = (i, j)
             if best_pair is None:

@@ -54,7 +54,12 @@ def search_threshold(
             result = matcher.match_views(views, threshold=tau)
             metrics = evaluate_matches(result.match_pairs(), truth)
             f1_by_threshold.append(metrics.f1)
-            if metrics.f1 > best_f1:
+            # True min-τ F-1 maximiser: a strictly better F-1 always wins,
+            # and an equal F-1 wins only with a smaller τ — the contract
+            # must hold for unsorted grids too, where "first encountered"
+            # is not "smallest".
+            if metrics.f1 > best_f1 or (metrics.f1 == best_f1
+                                        and tau < best_tau):
                 best_f1 = metrics.f1
                 best_tau = tau
     if matcher.provenance is not None:

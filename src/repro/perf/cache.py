@@ -172,6 +172,10 @@ class LRUCache:
         """Keys from least- to most-recently used (for tests/inspection)."""
         return list(self._data)
 
+    def items(self) -> List[Tuple[Hashable, Any]]:
+        """Entries from least- to most-recently used (snapshot support)."""
+        return list(self._data.items())
+
     # --------------------------------------------------- checkpoint support
     def touch(self, key: Hashable) -> None:
         """Replay a historical hit: refresh recency without stats.
@@ -300,7 +304,16 @@ class CachingSearchEngine:
             self._note_obs("stores", kind, "refused")
         return value
 
-    # --------------------------------------------------- checkpoint support
+    # ----------------------------------------- checkpoint/snapshot support
+    def snapshot_entries(self) -> List[Tuple[Tuple, Any]]:
+        """The cache's content in recency order (cold to hot).
+
+        The speculative executor copies this into each worker's isolated
+        cache clone so a speculation predicts the same hit/miss pattern —
+        and therefore the same raw round trips — as the upcoming commit.
+        """
+        return self._cache.items()
+
     def replay_hit(self, key: Tuple) -> None:
         """Re-apply a journaled hit: recency only, no stats, no oplog."""
         self._cache.touch(key)
@@ -355,6 +368,14 @@ class ValidationCache:
             + len(self.candidate_hits)
             + len(self.joint_hits)
         )
+
+    def clone(self) -> "ValidationCache":
+        """An independent copy (snapshot isolation for speculative runs)."""
+        copy = ValidationCache()
+        copy.phrase_hits = dict(self.phrase_hits)
+        copy.candidate_hits = dict(self.candidate_hits)
+        copy.joint_hits = dict(self.joint_hits)
+        return copy
 
     # --------------------------------------------------- checkpoint support
     #

@@ -31,6 +31,7 @@ therefore never crashes; it yields partial results and reports the damage.
 
 from __future__ import annotations
 
+import threading
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import (
@@ -55,6 +56,7 @@ from repro.util.errors import (
 )
 from repro.util.rng import derive_rng
 
+from repro.exec.context import UnitKey, current_unit
 from repro.resilience.faults import FaultKind, FaultProfile
 
 __all__ = [
@@ -371,15 +373,21 @@ class ResilientClient:
         self.report = DegradationReport()
         self._budgets = config.budgets()
         self._breakers: Dict[str, CircuitBreaker] = {}
+        #: legacy shared jitter stream, used only for calls made outside
+        #: any unit scope (direct client use); pipeline draws come from
+        #: per-unit streams (see :meth:`_backoff_rng`).
         self._rng = derive_rng(config.profile.seed, "resilience", "backoff")
-        #: backoff delays computed so far — the position of the shared
-        #: jitter stream, journaled so a resumed run can fast-forward it.
+        #: per-unit jitter streams, derived lazily from the unit key so a
+        #: unit's draws are identical however the run is scheduled/resumed
+        self._unit_rngs: Dict[UnitKey, Any] = {}
+        #: backoff delays computed so far (an accounting counter; per-unit
+        #: streams need no fast-forward on resume)
         self.backoff_draws = 0
-        self._active_component: Optional[str] = None
-        #: 0-based attempt index of the in-flight :meth:`call`; flaky
-        #: wrappers read it (via ``attempt_provider``) to key per-attempt
-        #: fault fates, so a retry re-rolls where a re-issue replays.
-        self.current_attempt = 0
+        #: per-thread mutable call state (active component, in-flight
+        #: attempt index). Thread-local so concurrent units — e.g. the
+        #: parallel executor's speculative workers — cannot race each
+        #: other's ambient state.
+        self._local = threading.local()
         #: optional :class:`~repro.obs.Observability` bundle; when attached,
         #: every retry-loop decision is traced and counted. Strictly
         #: observational: attaching it changes no behaviour.
@@ -389,16 +397,31 @@ class ResilientClient:
     @contextmanager
     def component(self, name: str) -> Iterator[None]:
         """Attribute calls (budgets, accounting) to component ``name``."""
-        previous = self._active_component
-        self._active_component = name
+        previous = getattr(self._local, "component", None)
+        self._local.component = name
         try:
             yield
         finally:
-            self._active_component = previous
+            self._local.component = previous
 
     @property
     def active_component(self) -> str:
-        return self._active_component or DEFAULT_COMPONENT
+        return getattr(self._local, "component", None) or DEFAULT_COMPONENT
+
+    @property
+    def current_attempt(self) -> int:
+        """0-based attempt index of this *thread's* in-flight :meth:`call`.
+
+        Flaky wrappers read it (via ``attempt_provider``) to key
+        per-attempt fault fates, so a retry re-rolls where a re-issue
+        replays. Thread-local: one worker's retry loop must never leak its
+        attempt index into the fault fates another thread is rolling.
+        """
+        return getattr(self._local, "attempt", 0)
+
+    @current_attempt.setter
+    def current_attempt(self, value: int) -> None:
+        self._local.attempt = value
 
     def budget_exhausted(self, component: str) -> bool:
         budget = self._budgets.get(component)
@@ -424,7 +447,7 @@ class ResilientClient:
         """Everything a resumed process must restore to continue this
         client's policy decisions bit-identically: the degradation
         report, per-component budget spend, per-source breaker positions
-        and the backoff jitter stream's position. JSON-ready."""
+        and the backoff draw counter. JSON-ready."""
         r = self.report
         return {
             "report": {
@@ -459,10 +482,11 @@ class ResilientClient:
     def restore_state(self, payload: Mapping[str, object]) -> None:
         """Inverse of :meth:`state_payload`, on a freshly-built client.
 
-        The backoff stream is re-positioned by drawing and discarding the
-        journaled number of delays — the jitter consumption per draw is
-        deterministic, so the stream lands exactly where the killed
-        process left it.
+        Backoff jitter streams are keyed per unit and start at position 0
+        whenever their unit runs, so nothing needs fast-forwarding: fresh
+        units after the replayed prefix derive exactly the streams the
+        uninterrupted run would have. Only the draw *counter* is restored,
+        for accounting.
         """
         if self.backoff_draws:
             raise ValueError(
@@ -493,8 +517,6 @@ class ResilientClient:
             self._budgets[name].spent = spent
         for source_id, state in payload["breakers"].items():
             self.breaker_for(source_id).restore_state(state)
-        for _ in range(payload["backoff_draws"]):
-            self.config.retry.delay(0, self._rng)
         self.backoff_draws = payload["backoff_draws"]
 
     # ----------------------------------------------------------- the loop
@@ -553,7 +575,7 @@ class ResilientClient:
                     raise
                 self.backoff_draws += 1
                 seconds = retry.delay(
-                    attempt, self._rng,
+                    attempt, self._backoff_rng(),
                     rate_limited=isinstance(exc, RateLimitError),
                 )
                 self._bump(self.report.retries_by_component, component)
@@ -570,6 +592,23 @@ class ResilientClient:
         raise AssertionError("unreachable")  # pragma: no cover
 
     # ---------------------------------------------------------- internals
+    def _backoff_rng(self):
+        """The jitter stream for this thread's unit (legacy shared stream
+        outside any unit scope). A per-unit stream starts at position 0
+        whenever its unit runs, so backoff jitter is a pure function of
+        ``(seed, unit, draw index within the unit)`` — independent of
+        execution order, worker interleaving and resume point."""
+        unit = current_unit()
+        if unit is None:
+            return self._rng
+        rng = self._unit_rngs.get(unit)
+        if rng is None:
+            rng = derive_rng(
+                self.config.profile.seed, "resilience", "backoff", *unit
+            )
+            self._unit_rngs[unit] = rng
+        return rng
+
     def _observe(self, event: str, **attrs) -> None:
         """Trace + count one retry-loop decision (no-op without obs)."""
         if self.obs is None:

@@ -31,18 +31,23 @@ fate sequence. This keeps fault behaviour stable under call reordering and
 composes with the :mod:`repro.perf` cache: answering a repeated query from
 the cache cannot shift the fate of the queries that still reach the
 engine, so cached and uncached runs see the same Web. Deep-Web sources
-keep a sequential per-source stream (probes are stateful submissions, and
-per-source independence — source A's fate never moves with source B's
-traffic — is the property that matters there). With ``fault_rate=0.0``
-the wrappers are exact pass-throughs: results, counters and downstream
-RNG streams are bit-identical to the unwrapped substrates.
+keep sequential streams (probes are stateful submissions), partitioned
+per ``(source, checkpoint unit)``: inside a unit scope (see
+:mod:`repro.exec.context`) the stream is derived from the unit key and
+starts at position 0, so a unit's fates are independent of which units
+ran before it, of worker interleaving under the parallel executor, and
+of where a resumed run picks up — no fast-forwarding needed. Outside any
+unit (direct use in tests) the legacy per-source sequential stream
+applies unchanged. With ``fault_rate=0.0`` the wrappers are exact
+pass-throughs: results, counters and downstream RNG streams are
+bit-identical to the unwrapped substrates.
 """
 
 from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import Callable, List, Mapping, Optional, Sequence
+from typing import Callable, Dict, List, Mapping, Optional, Sequence
 
 from repro.deepweb.source import DeepWebSource, ResponsePage
 from repro.surfaceweb.engine import (
@@ -58,6 +63,8 @@ from repro.util.errors import (
     WebTimeoutError,
 )
 from repro.util.rng import derive_rng
+
+from repro.exec.context import UnitKey, current_unit
 
 __all__ = [
     "FaultKind",
@@ -332,13 +339,18 @@ class FlakyDeepWebSource:
         self.profile = profile
         self.on_fault = on_fault
         self.garbled_count = 0
+        #: legacy sequential stream, used only outside any unit scope
         self._rng = derive_rng(
             profile.seed, "faults", "source", inner.interface.interface_id
         )
-        #: fate draws consumed from this source's sequential stream. Not
-        #: the same as ``probe_count`` (a submission rejected for an
-        #: unknown attribute name draws a fate but counts no probe), which
-        #: is why resume journals this counter explicitly.
+        #: per-unit sequential streams (see module docs): each starts at
+        #: position 0 when its unit first probes this source, making fates
+        #: a pure function of ``(seed, source, unit, draw index)``.
+        self._unit_rngs: Dict[UnitKey, object] = {}
+        #: total fate draws consumed, across all streams. Not the same as
+        #: ``probe_count`` (a submission rejected for an unknown attribute
+        #: name draws a fate but counts no probe); journaled as a counter
+        #: for accounting — per-unit streams need no fast-forward.
         self.draws = 0
 
     # ------------------------------------------------------- source facade
@@ -370,13 +382,13 @@ class FlakyDeepWebSource:
         return self.inner.recognizes(attribute_name, value)
 
     def fast_forward(self, draws: int) -> None:
-        """Advance a *fresh* stream to where it stood after ``draws`` fates.
+        """Advance a fresh *legacy* stream past ``draws`` historical fates.
 
-        Deep-Web fates come from a sequential per-source stream (module
-        docs), so a resumed process must re-position the stream before
-        issuing new probes: each historical fate is re-drawn and
-        discarded. ``draw`` consumes a deterministic number of randoms per
-        call, which is what makes this exact.
+        Only meaningful for standalone (outside-unit-scope) use, where the
+        sequential per-source stream still applies: each historical fate
+        is re-drawn and discarded. Pipeline runs draw from per-unit
+        streams that need no re-positioning, so resume no longer calls
+        this.
         """
         if self.draws:
             raise ValueError(
@@ -387,9 +399,25 @@ class FlakyDeepWebSource:
             self.profile.draw(self._rng)
         self.draws = draws
 
+    def _fate_rng(self):
+        """This thread's fate stream: per-unit inside a unit scope (derived
+        fresh from the unit key on first use), the legacy sequential
+        per-source stream otherwise."""
+        unit = current_unit()
+        if unit is None:
+            return self._rng
+        rng = self._unit_rngs.get(unit)
+        if rng is None:
+            rng = derive_rng(
+                self.profile.seed, "faults", "source",
+                self.inner.interface.interface_id, *unit,
+            )
+            self._unit_rngs[unit] = rng
+        return rng
+
     def submit(self, values: Mapping[str, str]) -> ResponsePage:
         self.draws += 1
-        kind = self.profile.draw(self._rng)
+        kind = self.profile.draw(self._fate_rng())
         if kind is not None and self.on_fault is not None:
             self.on_fault(kind)
         if kind is not None and kind is not FaultKind.GARBLED:

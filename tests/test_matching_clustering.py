@@ -136,6 +136,57 @@ class TestViewsFromInterfaces:
         assert views[0].instances == ("Air Canada", "Aer Lingus")
 
 
+class TestMergeTieBreaking:
+    """Regression: equal-linkage merge candidates must break toward the
+    lowest ``(i, j)`` pair, independent of set/dict iteration order.
+
+    CPython happens to iterate sets of small contiguous ints in ascending
+    order, so the old iteration-order-dependent scan agreed with the
+    contract *by accident*. Shadowing the module-global ``set`` with a
+    descending-iteration subclass exposes the dependence: under the old
+    scan the lexicographically highest of two equal-value pairs was kept
+    (strict ``>`` never replaces an equal value), so this test fails
+    before the fix and passes after it under any iteration order.
+    """
+
+    def _tied_views(self):
+        # sim(0, 3) == sim(1, 2) (identical labels), cross-pairs ~0.
+        return [
+            view("i1", "a", "Price"),
+            view("i2", "a", "Date"),
+            view("i3", "a", "Date"),
+            view("i4", "a", "Price"),
+        ]
+
+    def _first_merge_members(self, provenance):
+        first = provenance.merges[0]
+        return frozenset(first.cluster_a) | frozenset(first.cluster_b)
+
+    def test_tie_breaks_to_lowest_pair_under_hostile_iteration(
+            self, monkeypatch):
+        from repro.matching import clustering as clustering_module
+        from repro.obs.provenance import ProvenanceRecorder
+
+        class DescendingSet(set):
+            def __iter__(self):
+                return iter(sorted(set.__iter__(self), reverse=True))
+
+        monkeypatch.setattr(
+            clustering_module, "set", DescendingSet, raising=False)
+        provenance = ProvenanceRecorder()
+        IceQMatcher(provenance=provenance).match_views(self._tied_views())
+        assert self._first_merge_members(provenance) == \
+            {("i1", "a"), ("i4", "a")}
+
+    def test_tie_breaks_to_lowest_pair_natively(self):
+        from repro.obs.provenance import ProvenanceRecorder
+
+        provenance = ProvenanceRecorder()
+        IceQMatcher(provenance=provenance).match_views(self._tied_views())
+        assert self._first_merge_members(provenance) == \
+            {("i1", "a"), ("i4", "a")}
+
+
 class TestPartitionProperties:
     @settings(deadline=None, max_examples=25)
     @given(st.lists(

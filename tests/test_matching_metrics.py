@@ -101,3 +101,35 @@ class TestSearchThreshold:
                                    grid=(0.0, 0.1, 0.2))
         assert tau == 0.0
         assert f1 == 1.0
+
+    def test_tie_breaks_to_smallest_on_unsorted_grid(self):
+        # Regression: the searcher used to keep the *first-encountered* τ
+        # of an F-1 tie, which is the smallest only when the grid happens
+        # to be sorted ascending. A shuffled grid must still return the
+        # min-τ F-1 maximiser the docstring promises.
+        views = [AttributeView("i1", "a", "City", ()),
+                 AttributeView("i2", "a", "City", ())]
+        truth = {pair(("i1", "a"), ("i2", "a"))}
+        tau, f1 = search_threshold(IceQMatcher(), views, truth,
+                                   grid=(0.2, 0.0, 0.1))
+        assert tau == 0.0
+        assert f1 == 1.0
+
+    def test_strictly_better_f1_beats_smaller_tau(self):
+        # The tie rule must not depose a strictly better F-1: the larger τ
+        # wins when (and only when) its F-1 is actually higher.
+        views = [
+            AttributeView("i1", "a", "City", ()),
+            AttributeView("i2", "a", "City", ()),
+            AttributeView("i1", "b", "City state", ()),
+            AttributeView("i3", "b", "City state", ()),
+        ]
+        truth = {pair(("i1", "a"), ("i2", "a")),
+                 pair(("i1", "b"), ("i3", "b"))}
+        sorted_tau, sorted_f1 = search_threshold(
+            IceQMatcher(), views, truth)
+        shuffled_tau, shuffled_f1 = search_threshold(
+            IceQMatcher(), views, truth,
+            grid=(0.5, 0.3, 0.1, 0.4, 0.0, 0.2, 0.25, 0.35, 0.45, 0.05,
+                  0.15))
+        assert (shuffled_tau, shuffled_f1) == (sorted_tau, sorted_f1)

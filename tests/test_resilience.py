@@ -6,6 +6,8 @@ pass-through; and everything — fault streams, backoff schedules, breaker
 trips — is deterministic in the profile seed.
 """
 
+import threading
+
 import pytest
 
 from repro.core.pipeline import WebIQConfig, WebIQMatcher
@@ -421,6 +423,46 @@ class TestResilientClient:
             return client.report.backoff_seconds_by_component
 
         assert run_once() == run_once()
+
+    def test_current_attempt_is_per_thread(self):
+        """A concurrent call must not clobber another thread's attempt.
+
+        Regression test for the order-dependence bug the parallel
+        executor exposed: ``current_attempt`` was a plain instance
+        attribute, so a speculative worker's fresh ``call`` (attempt 0)
+        reset the attempt index the commit thread's retry loop was
+        mid-way through — re-keying its fault fates from re-roll back to
+        replay. Thread A retries into attempt 1, then parks while thread
+        B completes a call on the *same* client; A must still see its
+        own attempt index afterwards.
+        """
+        client = ResilientClient(
+            ResilienceConfig(retry=RetryPolicy(max_attempts=3)))
+        a_retrying = threading.Event()
+        b_done = threading.Event()
+        seen = {}
+
+        def fn_a():
+            if client.current_attempt == 0:
+                raise TransientWebError("first attempt fails")
+            a_retrying.set()
+            assert b_done.wait(5.0), "thread B never completed"
+            seen["a"] = client.current_attempt
+            return "a"
+
+        def thread_b():
+            assert a_retrying.wait(5.0), "thread A never reached attempt 1"
+            client.call(lambda: "b")
+            b_done.set()
+
+        helper = threading.Thread(target=thread_b)
+        helper.start()
+        try:
+            assert client.call(fn_a) == "a"
+        finally:
+            b_done.set()  # never leave fn_a parked if B died
+            helper.join(5.0)
+        assert seen["a"] == 1
 
 
 class TestResilientProxies:
