@@ -10,6 +10,8 @@ Commands:
 - ``export``    — snapshot a generated dataset to JSON
 - ``diff``      — compare two exported runs and classify the drift
 - ``journal``   — inspect or salvage a run's checkpoint journal
+- ``registry``  — build, extend, inspect or batch-check a canonical
+  attribute registry (incremental matching, see :mod:`repro.registry`)
 
 ``run --report PATH`` writes a provenance-backed run report (accuracy,
 acquisition yield, hardest match decisions); ``run --explain ATTR``
@@ -133,6 +135,12 @@ def build_parser() -> argparse.ArgumentParser:
                      help="sleep S real seconds per raw web round trip "
                           "(simulated network latency; the quantity "
                           "--workers overlaps)")
+    run.add_argument("--registry", metavar="DIR",
+                     help="after matching, assimilate the run's interfaces "
+                          "into a canonical attribute registry persisted "
+                          "at DIR (exports stay byte-identical; the "
+                          "registry's induced matching is audited against "
+                          "the batch clusters)")
 
     discover = sub.add_parser(
         "discover", help="Surface instance discovery for one label")
@@ -163,6 +171,46 @@ def build_parser() -> argparse.ArgumentParser:
     jsalvage.add_argument("directory",
                           help="journal directory (from run --checkpoint)")
 
+    registry = sub.add_parser(
+        "registry", help="build/extend/inspect a canonical attribute "
+                         "registry with incremental matching")
+    rsub = registry.add_subparsers(dest="registry_command", required=True)
+    rbuild = rsub.add_parser(
+        "build", help="assimilate a domain's interfaces one at a time "
+                      "into a fresh registry at DIR")
+    _common(rbuild)
+    _registry_matching_flags(rbuild)
+    rbuild.add_argument("--hold-out", type=int, default=0, metavar="K",
+                        help="leave the last K interfaces out of the "
+                             "build (assimilate them later with "
+                             "`registry add`)")
+    rbuild.add_argument("--induced", metavar="PATH",
+                        help="also write the registry's induced matching "
+                             "as JSON to PATH")
+    rbuild.add_argument("directory", help="registry directory to create")
+    radd = rsub.add_parser(
+        "add", help="assimilate one more interface into an existing "
+                    "registry")
+    _common(radd)
+    radd.add_argument("--index", type=int, required=True, metavar="I",
+                      help="dataset index of the interface to assimilate")
+    radd.add_argument("--induced", metavar="PATH",
+                      help="also write the registry's induced matching "
+                           "as JSON to PATH")
+    radd.add_argument("directory", help="existing registry directory")
+    rshow = rsub.add_parser(
+        "show", help="verify a registry and print its entries and "
+                     "blocking ledger (exit 1 if damaged)")
+    rshow.add_argument("directory", help="registry directory")
+    rbatch = rsub.add_parser(
+        "batch", help="run batch IceQ over the same interfaces and write "
+                      "the induced matching JSON (the oracle `registry "
+                      "build`+`add` must equal byte for byte)")
+    _common(rbatch)
+    _registry_matching_flags(rbatch)
+    rbatch.add_argument("--induced", required=True, metavar="PATH",
+                        help="output JSON path")
+
     analyze = sub.add_parser(
         "analyze", help="error analysis of a matching run")
     _common(analyze)
@@ -187,6 +235,14 @@ def _common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--seed", type=int, default=1)
 
 
+def _registry_matching_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--threshold", type=float, default=0.0,
+                        help="clustering threshold tau (default 0.0)")
+    parser.add_argument("--linkage", default="average",
+                        choices=("average", "single", "complete"),
+                        help="inter-cluster linkage (default average)")
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {
@@ -198,6 +254,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "figure": _cmd_figure,
         "analyze": _cmd_analyze,
         "journal": _cmd_journal,
+        "registry": _cmd_registry,
     }
     return handlers[args.command](args)
 
@@ -345,6 +402,10 @@ def _cmd_run(args) -> int:
         raise SystemExit(
             f"repro run: error: --io-latency must be non-negative, "
             f"got {args.io_latency}")
+    if args.registry is not None and args.domain == "all":
+        raise SystemExit(
+            "repro run: error: --registry needs a single --domain "
+            "(a registry holds exactly one domain)")
     config = WebIQConfig(
         enable_surface=not (args.baseline or args.no_surface),
         enable_attr_deep=not (args.baseline or args.no_attr_deep),
@@ -357,6 +418,7 @@ def _cmd_run(args) -> int:
         supervisor=_supervisor_config(args),
         workers=args.workers,
         io_latency=args.io_latency,
+        registry=args.registry,
     )
     from repro.util.errors import PreemptionError, SupervisionExhaustedError
 
@@ -421,6 +483,14 @@ def _cmd_run(args) -> int:
             print(f"  {result.checkpoint.summary()}")
         if result.supervisor is not None:
             print(f"  {result.supervisor.summary()}")
+        if result.registry is not None:
+            r = result.registry
+            reduction = (100.0 * r.blocked / r.pairs_considered
+                         if r.pairs_considered else 0.0)
+            print(f"  registry: {r.n_entries} entries over {r.n_views} "
+                  f"attributes; blocking skipped {r.blocked}/"
+                  f"{r.pairs_considered} cross pairs "
+                  f"({reduction:.1f}%) -> {r.directory}")
         if result.obs is not None:
             from repro.obs import check_run
             print(f"  {result.obs.summary()}")
@@ -551,6 +621,143 @@ def _cmd_journal(args) -> int:
     if os.path.isdir(quarantine_dir) and os.listdir(quarantine_dir):
         print(f"  quarantine/: {len(os.listdir(quarantine_dir))} damaged "
               f"record files from earlier salvages")
+    return 0
+
+
+def _cmd_registry(args) -> int:
+    from repro.util.errors import (
+        RegistryCorruptionError,
+        RegistryError,
+        RegistryFormatError,
+    )
+
+    try:
+        return _registry_dispatch(args)
+    except RegistryCorruptionError as exc:
+        print(f"registry is damaged: {exc}", file=sys.stderr)
+        return 1
+    except RegistryFormatError as exc:
+        print(f"registry: {exc}", file=sys.stderr)
+        return 1
+    except RegistryError as exc:
+        print(f"registry: {exc}", file=sys.stderr)
+        return 1
+
+
+def _registry_dispatch(args) -> int:
+    if args.registry_command == "show":
+        return _registry_show(args)
+    if args.domain == "all":
+        print(f"registry {args.registry_command} needs a single --domain",
+              file=sys.stderr)
+        return 2
+    dataset = build_domain_dataset(args.domain, args.interfaces, args.seed)
+
+    if args.registry_command == "build":
+        from repro.io import dump_induced_matching
+        from repro.registry import RegistryStore, build_registry
+
+        if not 0 <= args.hold_out < len(dataset.interfaces):
+            print(f"registry build: --hold-out must be within "
+                  f"[0, {len(dataset.interfaces) - 1}], got {args.hold_out}",
+                  file=sys.stderr)
+            return 2
+        interfaces = dataset.interfaces[:len(dataset.interfaces)
+                                        - args.hold_out]
+        store = RegistryStore(domain=args.domain, threshold=args.threshold,
+                              linkage=args.linkage)
+        store, report = build_registry(
+            args.domain, interfaces, store=store,
+            directory=args.directory)
+        _print_registry_summary(report)
+        if args.induced:
+            dump_induced_matching(store, args.induced)
+            print(f"wrote {args.induced}")
+        return 0
+
+    if args.registry_command == "add":
+        from repro.io import dump_induced_matching, load_registry
+        from repro.registry import RegistryAssimilator
+
+        if not 0 <= args.index < len(dataset.interfaces):
+            print(f"registry add: --index must be within "
+                  f"[0, {len(dataset.interfaces) - 1}], got {args.index}",
+                  file=sys.stderr)
+            return 2
+        store = load_registry(args.directory)
+        assimilator = RegistryAssimilator(store)
+        record = assimilator.assimilate(dataset.interfaces[args.index])
+        store.save(args.directory)
+        considered = record.pairs_considered
+        reduction = (100.0 * record.blocked / considered
+                     if considered else 0.0)
+        print(f"assimilated {record.interface_id}: evaluated "
+              f"{record.evaluated}, blocked {record.blocked} of "
+              f"{considered} cross pairs ({reduction:.1f}% skipped)")
+        _print_registry_summary(assimilator.report(args.directory))
+        if args.induced:
+            dump_induced_matching(store, args.induced)
+            print(f"wrote {args.induced}")
+        return 0
+
+    # batch: the independent oracle — straight IceQ over the id-sorted
+    # interfaces, written in the same induced-matching JSON shape.
+    from repro.matching.clustering import IceQMatcher
+    from repro.util.atomicio import atomic_write_json
+
+    interfaces = sorted(dataset.interfaces, key=lambda i: i.interface_id)
+    result = IceQMatcher(linkage=args.linkage).match(
+        interfaces, threshold=args.threshold)
+    atomic_write_json(args.induced, {
+        "domain": args.domain,
+        "threshold": args.threshold,
+        "linkage": args.linkage,
+        "n_interfaces": len(interfaces),
+        "clusters": [
+            [list(key) for key in sorted(cluster.keys)]
+            for cluster in result.clusters
+        ],
+    })
+    print(f"batch IceQ: {len(result.clusters)} clusters from "
+          f"{result.similarity_evaluations} pair evaluations; "
+          f"wrote {args.induced}")
+    return 0
+
+
+def _print_registry_summary(report) -> None:
+    considered = report.pairs_considered
+    reduction = (100.0 * report.blocked / considered if considered else 0.0)
+    print(f"registry: {report.n_entries} entries over {report.n_views} "
+          f"attributes from {report.n_interfaces} interfaces")
+    print(f"blocking: evaluated {report.evaluated}, skipped "
+          f"{report.blocked} of {considered} cross pairs "
+          f"({reduction:.1f}%)")
+    if report.directory:
+        print(f"persisted at {report.directory}")
+
+
+def _registry_show(args) -> int:
+    from repro.io import load_registry
+
+    store = load_registry(args.directory)
+    print(f"registry {args.directory}: intact")
+    print(f"  domain: {store.domain}  threshold: {store.threshold}  "
+          f"linkage: {store.linkage}")
+    print(f"  interfaces: {len(store.interfaces)} "
+          f"({store.n_views} attributes, arrival order "
+          f"{', '.join(store.interface_ids()[:6])}"
+          f"{', ...' if len(store.interfaces) > 6 else ''})")
+    stats = store.stats
+    reduction = 100.0 * stats.reduction
+    print(f"  blocking ledger: evaluated {stats.evaluated}, skipped "
+          f"{stats.blocked} of {stats.pairs_considered} cross pairs "
+          f"({reduction:.1f}%) over {len(stats.adds)} assimilations")
+    print(f"  entries: {len(store.entries)}")
+    for entry in store.entries:
+        print(f"    {entry.cluster_id} {entry.label!r}: "
+              f"{len(entry.members)} attributes across {entry.coverage} "
+              f"interfaces, {len(entry.instances)} unified values, "
+              f"{len(entry.merges)} merges")
     return 0
 
 

@@ -68,6 +68,8 @@ from repro.exec.spec import Speculator
 from repro.matching.clustering import IceQMatcher, MatchResult
 from repro.matching.metrics import MatchMetrics, evaluate_matches
 from repro.matching.similarity import SimilarityConfig
+from repro.registry.assimilate import RegistryReport, build_registry
+from repro.registry.store import RegistryStore
 from repro.obs.instrument import (
     LAYER_ENTRY,
     LAYER_TRANSPORT,
@@ -156,6 +158,16 @@ class WebIQConfig:
     #: so the parallel executor has latency to overlap. Results are
     #: identical for any value — only wall-clock time changes.
     io_latency: float = 0.0
+    #: directory to persist a canonical attribute registry to
+    #: (:mod:`repro.registry`). ``None`` (default) builds none. When set,
+    #: the run's post-acquisition interfaces are assimilated one at a
+    #: time after matching and the registry's induced matching is audited
+    #: against the batch clusters by the InvariantChecker. Registry
+    #: construction is bookkeeping outside the run proper: it touches no
+    #: clock account, no observability span and no export byte, so runs
+    #: with and without it are payload-identical (and like ``workers``
+    #: it never enters the journal meta).
+    registry: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.workers < 1:
@@ -199,6 +211,10 @@ class WebIQRunResult:
     #: In-memory only — deliberately excluded from JSON exports, which
     #: must stay byte-identical across worker counts and latencies.
     exec_stats: Optional[ExecStats] = None
+    #: present iff the run persisted a registry (``config.registry``).
+    #: In-memory only — excluded from JSON exports, which must stay
+    #: byte-identical with and without a registry attached.
+    registry: Optional["RegistryReport"] = None
 
     def overhead_minutes(self, account: str) -> float:
         return self.stopwatch.minutes(account)
@@ -416,6 +432,24 @@ class WebIQMatcher:
         metrics = evaluate_matches(
             match_result.match_pairs(), dataset.ground_truth.match_pairs()
         )
+        registry_report: Optional[RegistryReport] = None
+        if self.config.registry is not None:
+            # Registry construction happens strictly after the run proper:
+            # it reads the post-acquisition interfaces, charges no clock
+            # account and records no span, so exports stay byte-identical
+            # with and without it. The InvariantChecker audits that its
+            # induced matching equals the batch clusters above.
+            _, registry_report = build_registry(
+                dataset.domain,
+                dataset.interfaces,
+                store=RegistryStore(
+                    domain=dataset.domain,
+                    threshold=self.config.threshold,
+                    linkage=self.config.linkage,
+                    similarity=self.config.similarity,
+                ),
+                directory=self.config.registry,
+            )
         return WebIQRunResult(
             domain=dataset.domain,
             config=self.config,
@@ -429,6 +463,7 @@ class WebIQMatcher:
             checkpoint=checkpoint_report,
             seed=dataset.seed,
             exec_stats=exec_stats,
+            registry=registry_report,
         )
 
     # ----------------------------------------------------------- checkpoint
@@ -452,10 +487,11 @@ class WebIQMatcher:
         a ``book`` journal into an ``airfare`` run, or a cached journal
         into an uncached one, would silently corrupt the result.
         Deliberately excluded: ``kill_at`` / ``preempt_at`` (injected
-        hostility), observability (read-only), and ``workers`` /
+        hostility), observability (read-only), ``workers`` /
         ``io_latency`` (scheduling knobs — by design they cannot change
         a single journal byte, so a serial run may resume a parallel
-        journal and vice versa).
+        journal and vice versa), and ``registry`` (post-run bookkeeping
+        that cannot change a run byte either).
         """
         cfg = self.config
         meta: Dict[str, object] = {

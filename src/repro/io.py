@@ -64,6 +64,11 @@ __all__ = [
     "dump_dataset",
     "dump_run_result",
     "load_run_result",
+    "registry_to_dict",
+    "dump_registry",
+    "load_registry",
+    "induced_matching_to_dict",
+    "dump_induced_matching",
 ]
 
 
@@ -362,6 +367,56 @@ def dump_dataset(dataset: DomainDataset, path: str) -> None:
 def dump_run_result(result: WebIQRunResult, path: str) -> None:
     """Write a pipeline run as JSON to ``path`` (atomically)."""
     atomic_write_json(path, run_result_to_dict(result))
+
+
+def registry_to_dict(store: "RegistryStore") -> Dict[str, Any]:
+    """The registry's archival body (the envelope's ``"body"`` section)."""
+    return store.to_body()
+
+
+def dump_registry(store: "RegistryStore", directory: str) -> str:
+    """Persist a registry store to ``directory`` (atomic, CRC-guarded,
+    format-versioned — see :mod:`repro.registry.store`); returns the
+    path written."""
+    return store.save(directory)
+
+
+def load_registry(directory: str) -> "RegistryStore":
+    """Load and verify a registry store persisted by :func:`dump_registry`.
+
+    Raises the typed :class:`~repro.util.errors.RegistryError` family on
+    damage: :class:`~repro.util.errors.RegistryCorruptionError` naming the
+    damaged entry, :class:`~repro.util.errors.RegistryFormatError` for a
+    newer schema, :class:`~repro.util.errors.RegistryMismatchError` for a
+    missing store."""
+    from repro.registry.store import RegistryStore
+
+    return RegistryStore.load(directory)
+
+
+def induced_matching_to_dict(store: "RegistryStore") -> Dict[str, Any]:
+    """The registry's induced matching in the run export's cluster shape.
+
+    Identical bytes to what batch IceQ over the same (id-sorted)
+    interfaces exports — the equality CI's registry smoke ``cmp``-checks.
+    """
+    from repro.registry.assimilate import induced_clusters
+
+    clusters, _ = induced_clusters(store)
+    return {
+        "domain": store.domain,
+        "threshold": store.threshold,
+        "linkage": store.linkage,
+        "n_interfaces": len(store.interfaces),
+        "clusters": [
+            [list(key) for key in cluster] for cluster in clusters
+        ],
+    }
+
+
+def dump_induced_matching(store: "RegistryStore", path: str) -> None:
+    """Write the induced matching as JSON to ``path`` (atomically)."""
+    atomic_write_json(path, induced_matching_to_dict(store))
 
 
 def load_run_result(path: str) -> Dict[str, Any]:

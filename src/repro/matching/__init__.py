@@ -28,7 +28,17 @@ from repro.matching.similarity import (
     value_similarity,
 )
 from repro.matching.baselines import ExactLabelMatcher, label_only_matcher
-from repro.matching.clustering import Cluster, IceQMatcher, MatchResult
+from repro.matching.clustering import (
+    Cluster,
+    IceQMatcher,
+    MatchResult,
+    agglomerate,
+)
+from repro.matching.unify import (
+    UnifiedAttribute,
+    build_unified_interface,
+    unify_cluster,
+)
 from repro.matching.interactive import (
     InteractiveThresholdLearner,
     truth_oracle,
@@ -48,6 +58,10 @@ __all__ = [
     "Cluster",
     "IceQMatcher",
     "MatchResult",
+    "agglomerate",
+    "UnifiedAttribute",
+    "build_unified_interface",
+    "unify_cluster",
     "MatchMetrics",
     "evaluate_matches",
     "search_threshold",

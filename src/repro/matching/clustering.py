@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+from typing import Callable, Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
 
 from repro.deepweb.models import QueryInterface
 from repro.matching.similarity import (
@@ -30,9 +30,17 @@ from repro.obs.provenance import (
     ProvenanceRecorder,
 )
 
-__all__ = ["Cluster", "MatchResult", "IceQMatcher", "views_from_interfaces"]
+__all__ = [
+    "Cluster",
+    "MatchResult",
+    "IceQMatcher",
+    "agglomerate",
+    "views_from_interfaces",
+]
 
 AttrKey = Tuple[str, str]
+
+LINKAGES = ("single", "average", "complete")
 
 
 @dataclass
@@ -71,6 +79,105 @@ class MatchResult:
             for a, b in itertools.combinations(sorted(cluster.keys), 2):
                 pairs.add(frozenset((a, b)))
         return pairs
+
+
+def agglomerate(
+    views: Sequence[AttributeView],
+    sim_of: Callable[[int, int], float],
+    threshold: float,
+    linkage: str = "average",
+    provenance: Optional[ProvenanceRecorder] = None,
+) -> Tuple[List[List[int]], List[MergeStep]]:
+    """The one agglomerative merge loop — batch IceQ and the incremental
+    registry assimilator (:mod:`repro.registry`) both call exactly this
+    function, so the tie-break order ("highest linkage value wins, equal
+    values break toward the lowest ``(i, j)``") cannot drift between the
+    two code paths.
+
+    ``sim_of(i, j)`` (called with ``i < j``) supplies the singleton
+    similarity for a view pair; the caller decides whether that is a dense
+    precomputed matrix (batch) or a sparse cache that returns 0.0 for pairs
+    a blocking stage never evaluated (incremental). Returns the final
+    clusters as sorted member-index lists (ordered by smallest member
+    index) plus the committed :class:`~repro.obs.provenance.MergeStep`
+    sequence. When ``provenance`` is given, each step is also recorded.
+    """
+    if linkage not in LINKAGES:
+        raise ValueError(f"unknown linkage {linkage!r}")
+    n = len(views)
+
+    # Active clusters: id -> (member indices, interface-id set).
+    members: Dict[int, List[int]] = {i: [i] for i in range(n)}
+    ifaces: Dict[int, Set[str]] = {i: {views[i].interface_id} for i in range(n)}
+    # avg[i][j]: average linkage between active clusters (dict of dicts).
+    avg: Dict[int, Dict[int, float]] = {
+        i: {j: (sim_of(i, j) if i < j else sim_of(j, i)) for j in range(n) if j != i}
+        for i in range(n)
+    }
+    active: Set[int] = set(range(n))
+    merge_step = 0
+    steps: List[MergeStep] = []
+
+    while len(active) > 1:
+        # Tie-breaking is explicit: highest linkage value wins, and
+        # equal values break toward the lowest (i, j). The scan must
+        # not depend on set/dict iteration order — CPython happens to
+        # iterate small-int sets ascending, which masked ties until a
+        # schedule (or another interpreter) ordered them differently.
+        best_pair: Optional[Tuple[int, int]] = None
+        best_value = threshold
+        for i in sorted(active):
+            for j in sorted(avg[i]):
+                if j <= i or j not in active:
+                    continue
+                value = avg[i][j]
+                better = value > best_value or (
+                    value == best_value
+                    and best_pair is not None
+                    and (i, j) < best_pair
+                )
+                if better and not (ifaces[i] & ifaces[j]):
+                    best_value = value
+                    best_pair = (i, j)
+        if best_pair is None:
+            break
+        i, j = best_pair
+        step = MergeStep(
+            step=merge_step,
+            linkage_value=best_value,
+            threshold=threshold,
+            cluster_a=tuple(views[idx].key for idx in members[i]),
+            cluster_b=tuple(views[idx].key for idx in members[j]),
+        )
+        if provenance is not None:
+            provenance.record_merge(step)
+        steps.append(step)
+        merge_step += 1
+        size_i, size_j = len(members[i]), len(members[j])
+        # Lance-Williams updates: the merged cluster's similarity to k.
+        for k in active:
+            if k in (i, j):
+                continue
+            sim_ik = avg[i].get(k, 0.0)
+            sim_jk = avg[j].get(k, 0.0)
+            if linkage == "single":
+                merged = max(sim_ik, sim_jk)
+            elif linkage == "complete":
+                merged = min(sim_ik, sim_jk)
+            else:
+                merged = (size_i * sim_ik + size_j * sim_jk) / (
+                    size_i + size_j
+                )
+            avg[i][k] = merged
+            avg[k][i] = merged
+            avg[k].pop(j, None)
+        members[i].extend(members[j])
+        ifaces[i] |= ifaces[j]
+        del members[j], ifaces[j], avg[j]
+        avg[i].pop(j, None)
+        active.discard(j)
+
+    return [sorted(members[i]) for i in sorted(active)], steps
 
 
 def views_from_interfaces(interfaces: Sequence[QueryInterface]) -> List[AttributeView]:
@@ -117,7 +224,7 @@ class IceQMatcher:
         linkage: str = "average",
         provenance: Optional[ProvenanceRecorder] = None,
     ) -> None:
-        if linkage not in ("single", "average", "complete"):
+        if linkage not in LINKAGES:
             raise ValueError(f"unknown linkage {linkage!r}")
         self.config = config
         self.linkage = linkage
@@ -166,75 +273,14 @@ class IceQMatcher:
                         threshold=threshold,
                     ))
 
-        # Active clusters: id -> (member indices, interface-id set).
-        members: Dict[int, List[int]] = {i: [i] for i in range(n)}
-        ifaces: Dict[int, Set[str]] = {i: {views[i].interface_id} for i in range(n)}
-        # avg[i][j]: average linkage between active clusters (dict of dicts).
-        avg: Dict[int, Dict[int, float]] = {
-            i: {j: sim[i][j] for j in range(n) if j != i} for i in range(n)
-        }
-        active: Set[int] = set(range(n))
-        merge_step = 0
-
-        while len(active) > 1:
-            # Tie-breaking is explicit: highest linkage value wins, and
-            # equal values break toward the lowest (i, j). The scan must
-            # not depend on set/dict iteration order — CPython happens to
-            # iterate small-int sets ascending, which masked ties until a
-            # schedule (or another interpreter) ordered them differently.
-            best_pair: Optional[Tuple[int, int]] = None
-            best_value = threshold
-            for i in sorted(active):
-                for j in sorted(avg[i]):
-                    if j <= i or j not in active:
-                        continue
-                    value = avg[i][j]
-                    better = value > best_value or (
-                        value == best_value
-                        and best_pair is not None
-                        and (i, j) < best_pair
-                    )
-                    if better and not (ifaces[i] & ifaces[j]):
-                        best_value = value
-                        best_pair = (i, j)
-            if best_pair is None:
-                break
-            i, j = best_pair
-            if provenance is not None:
-                provenance.record_merge(MergeStep(
-                    step=merge_step,
-                    linkage_value=best_value,
-                    threshold=threshold,
-                    cluster_a=tuple(views[idx].key for idx in members[i]),
-                    cluster_b=tuple(views[idx].key for idx in members[j]),
-                ))
-            merge_step += 1
-            size_i, size_j = len(members[i]), len(members[j])
-            # Lance-Williams updates: the merged cluster's similarity to k.
-            for k in active:
-                if k in (i, j):
-                    continue
-                sim_ik = avg[i].get(k, 0.0)
-                sim_jk = avg[j].get(k, 0.0)
-                if self.linkage == "single":
-                    merged = max(sim_ik, sim_jk)
-                elif self.linkage == "complete":
-                    merged = min(sim_ik, sim_jk)
-                else:
-                    merged = (size_i * sim_ik + size_j * sim_jk) / (
-                        size_i + size_j
-                    )
-                avg[i][k] = merged
-                avg[k][i] = merged
-                avg[k].pop(j, None)
-            members[i].extend(members[j])
-            ifaces[i] |= ifaces[j]
-            del members[j], ifaces[j], avg[j]
-            avg[i].pop(j, None)
-            active.discard(j)
-
+        member_lists, _ = agglomerate(
+            views,
+            lambda i, j: sim[i][j],
+            threshold,
+            linkage=self.linkage,
+            provenance=provenance,
+        )
         clusters = [
-            Cluster([views[idx] for idx in sorted(members[i])])
-            for i in sorted(active)
+            Cluster([views[idx] for idx in indices]) for indices in member_lists
         ]
         return MatchResult(clusters, threshold, evaluations)

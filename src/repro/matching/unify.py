@@ -24,7 +24,7 @@ from typing import Dict, List, Sequence, Tuple
 from repro.deepweb.models import Attribute, AttributeKind, QueryInterface
 from repro.matching.clustering import Cluster, MatchResult
 
-__all__ = ["UnifiedAttribute", "build_unified_interface"]
+__all__ = ["UnifiedAttribute", "build_unified_interface", "unify_cluster"]
 
 
 @dataclass(frozen=True)
@@ -63,7 +63,7 @@ def build_unified_interface(
         coverage = len(cluster.interfaces)
         if coverage < min_coverage:
             continue
-        unified.append(_unify_cluster(cluster, coverage, max_instances))
+        unified.append(unify_cluster(cluster, coverage, max_instances))
 
     # Highest-coverage attributes first; deterministic tie-breaks.
     unified.sort(key=lambda u: (-u.coverage, u.label.lower()))
@@ -94,8 +94,14 @@ def build_unified_interface(
     return interface, unified
 
 
-def _unify_cluster(cluster: Cluster, coverage: int,
-                   max_instances: int) -> UnifiedAttribute:
+def unify_cluster(cluster: Cluster, coverage: int,
+                  max_instances: int = 25) -> UnifiedAttribute:
+    """Collapse one cluster into its canonical label and value domain.
+
+    Shared by the unified-interface builder above and the attribute
+    registry (:mod:`repro.registry`), whose entries carry exactly this
+    unified form.
+    """
     label_votes = Counter(m.label for m in cluster.members)
     # most frequent; ties -> shortest label -> lexicographic
     label = min(

@@ -144,6 +144,10 @@ class InvariantChecker:
             if result.acquisition is not None:
                 self._check_quarantine_accounting(report, supervisor,
                                                   checkpoint, result)
+        registry = getattr(result, "registry", None)
+        if registry is not None:
+            self._check_registry_blocking_conservation(report, registry)
+            self._check_registry_batch_equivalence(report, registry, result)
         return report
 
     # ------------------------------------------------------------ the laws
@@ -602,6 +606,70 @@ class InvariantChecker:
         )
 
     # ------------------------------------------------------------ plumbing
+    def _check_registry_blocking_conservation(self, report: InvariantReport,
+                                              registry) -> None:
+        """Every cross pair an assimilation was accountable for was either
+        fully evaluated or charged to the blocking ledger — per add,
+        ``evaluated + blocked == new_views · existing_views`` — and the
+        registry's totals are exactly the ledger's column sums."""
+        name = "registry-blocking-conservation"
+        report.checked.append(name)
+        for record in registry.adds:
+            self._equal(
+                report, name,
+                record.evaluated + record.blocked,
+                record.new_views * record.existing_views,
+                f"add[{record.interface_id}] evaluated+blocked",
+                "new_views*existing_views",
+            )
+            if record.evaluated < 0 or record.blocked < 0:
+                self._fail(
+                    report, name,
+                    f"add[{record.interface_id}] has a negative ledger "
+                    f"line (evaluated={record.evaluated}, "
+                    f"blocked={record.blocked})",
+                )
+        self._equal(
+            report, name,
+            registry.evaluated + registry.blocked,
+            registry.pairs_considered,
+            "registry evaluated+blocked", "registry pairs_considered",
+        )
+        expected_views = sum(
+            record.new_views for record in registry.adds)
+        self._equal(
+            report, name, registry.n_views, expected_views,
+            "registry views", "sum of assimilated views",
+        )
+
+    def _check_registry_batch_equivalence(self, report: InvariantReport,
+                                          registry, result) -> None:
+        """The registry's induced matching (built incrementally, under
+        blocking) must equal the run's batch IceQ clusters exactly —
+        same clusters, same order, same members."""
+        name = "registry-batch-equivalence"
+        report.checked.append(name)
+        batch = tuple(
+            tuple(sorted(cluster.keys))
+            for cluster in result.match_result.clusters
+        )
+        if registry.induced != batch:
+            induced_only = set(registry.induced) - set(batch)
+            batch_only = set(batch) - set(registry.induced)
+            self._fail(
+                report, name,
+                f"registry induced matching diverged from batch IceQ: "
+                f"{len(induced_only)} cluster(s) only in registry, "
+                f"{len(batch_only)} only in batch "
+                f"(first registry-only: "
+                f"{sorted(induced_only)[:1]!r}, first batch-only: "
+                f"{sorted(batch_only)[:1]!r})",
+            )
+        self._equal(
+            report, name, registry.n_entries, len(batch),
+            "registry entries", "batch clusters",
+        )
+
     def _fail(self, report: InvariantReport, invariant: str,
               message: str) -> None:
         report.violations.append(

@@ -1,0 +1,248 @@
+"""Incremental assimilation: one interface joins the registry at a time.
+
+The flow per :meth:`RegistryAssimilator.assimilate` call:
+
+1. **Block** — the new interface's views query the
+   :class:`~repro.registry.blocking.BlockingIndex` over all registered
+   views; only the candidate pairs get
+   :func:`~repro.matching.similarity.similarity_components`. Skipped
+   pairs are charged to the :class:`~repro.registry.blocking.BlockingStats`
+   ledger. Pairs *within* the new interface are never evaluated at all:
+   the cannot-link constraint makes same-interface similarities
+   unreachable by any merge decision (DESIGN.md §15 gives the induction).
+2. **Cache** — nonzero similarities join the store's sparse cache, keyed
+   by canonical attr-key pair, so they are never recomputed.
+3. **Induce** — the registry's matching is recomputed over the canonical
+   view order (interfaces sorted by id) by the *same*
+   :func:`repro.matching.clustering.agglomerate` the batch IceQ matcher
+   runs, reading similarities from the sparse cache (absent = 0.0). One
+   shared merge loop means one tie-break order — incremental assimilation
+   cannot drift from batch.
+4. **Unify** — each induced cluster becomes a
+   :class:`~repro.registry.store.RegistryEntry` via
+   :func:`repro.matching.unify.unify_cluster`, carrying the
+   :class:`~repro.obs.provenance.MergeStep` links that assembled it.
+
+Because the canonical order and the cached similarities are independent
+of arrival order, the induced matching after assimilating any permutation
+of an interface set equals batch IceQ over that set, byte for byte — the
+headline guarantee ``tests/test_registry_equivalence.py`` enforces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.deepweb.models import QueryInterface
+from repro.matching.clustering import (
+    Cluster,
+    IceQMatcher,
+    LINKAGES,
+    agglomerate,
+    views_from_interfaces,
+)
+from repro.matching.similarity import AttributeView, similarity_components
+from repro.matching.unify import unify_cluster
+from repro.registry.blocking import AddRecord, BlockingIndex
+from repro.registry.store import RegistryEntry, RegistryStore
+from repro.util.errors import RegistryMismatchError, ValidationError
+
+__all__ = [
+    "RegistryAssimilator",
+    "RegistryReport",
+    "batch_induced_clusters",
+    "build_registry",
+]
+
+AttrKey = Tuple[str, str]
+
+
+@dataclass(frozen=True)
+class RegistryReport:
+    """Summary of a registry attached to a pipeline run (never exported —
+    run payloads are byte-identical with and without a registry)."""
+
+    domain: str
+    n_interfaces: int
+    n_views: int
+    n_entries: int
+    #: the induced matching: clusters in merge-loop order, member keys sorted
+    induced: Tuple[Tuple[AttrKey, ...], ...]
+    #: the cumulative blocking ledger (one AddRecord per assimilation)
+    adds: Tuple[AddRecord, ...]
+    directory: Optional[str] = None
+
+    @property
+    def evaluated(self) -> int:
+        return sum(record.evaluated for record in self.adds)
+
+    @property
+    def blocked(self) -> int:
+        return sum(record.blocked for record in self.adds)
+
+    @property
+    def pairs_considered(self) -> int:
+        return sum(record.pairs_considered for record in self.adds)
+
+
+def induced_clusters(store: RegistryStore) -> Tuple[Tuple[Tuple[AttrKey, ...], ...], list]:
+    """The registry's induced matching over the canonical view order.
+
+    Returns ``(clusters, merge_steps)`` where clusters are tuples of
+    sorted member keys, ordered by smallest member index — exactly the
+    shape (and order) batch IceQ produces over id-sorted interfaces.
+    """
+    views = store.canonical_views()
+    member_lists, steps = agglomerate(
+        views,
+        lambda i, j: store.sim_between(views[i].key, views[j].key),
+        store.threshold,
+        linkage=store.linkage,
+    )
+    clusters = tuple(
+        tuple(sorted(views[idx].key for idx in indices))
+        for indices in member_lists
+    )
+    return clusters, steps
+
+
+def batch_induced_clusters(
+    store: RegistryStore,
+) -> Tuple[Tuple[AttrKey, ...], ...]:
+    """The batch-IceQ oracle: full O(n²) evaluation over the same views.
+
+    Used by the equivalence suite and the ``registry batch`` CLI path;
+    must equal :func:`induced_clusters` on every store the assimilator
+    can produce.
+    """
+    matcher = IceQMatcher(config=store.similarity, linkage=store.linkage)
+    result = matcher.match_views(store.canonical_views(), store.threshold)
+    return tuple(
+        tuple(sorted(cluster.keys)) for cluster in result.clusters
+    )
+
+
+class RegistryAssimilator:
+    """Feeds interfaces into a :class:`RegistryStore` one at a time."""
+
+    def __init__(self, store: RegistryStore) -> None:
+        if store.linkage not in LINKAGES:
+            raise ValidationError(f"unknown linkage {store.linkage!r}")
+        self.store = store
+        self._index = BlockingIndex()
+        self._registered: List[AttributeView] = []
+        for view in store.registered_views():
+            self._index.add(view)
+            self._registered.append(view)
+
+    def assimilate(self, interface: QueryInterface) -> AddRecord:
+        """Absorb one interface; returns its blocking-ledger line."""
+        store = self.store
+        if interface.domain != store.domain:
+            raise RegistryMismatchError(
+                f"registry holds domain {store.domain!r}; interface "
+                f"{interface.interface_id!r} is domain {interface.domain!r}"
+            )
+        if store.has_interface(interface.interface_id):
+            raise RegistryMismatchError(
+                f"interface {interface.interface_id!r} is already "
+                "assimilated"
+            )
+        new_views = views_from_interfaces([interface])
+
+        evaluated = 0
+        existing = len(self._registered)
+        for view in new_views:
+            candidate_ids = self._index.candidates(view)
+            for view_id in candidate_ids:
+                other = self._registered[view_id]
+                _, _, value = similarity_components(
+                    other, view, store.similarity)
+                evaluated += 1
+                if value != 0.0:
+                    a, b = view.key, other.key
+                    store.sims[(a, b) if a < b else (b, a)] = value
+
+        record = AddRecord(
+            interface_id=interface.interface_id,
+            new_views=len(new_views),
+            existing_views=existing,
+            evaluated=evaluated,
+            blocked=len(new_views) * existing - evaluated,
+        )
+        store.stats.record(record)
+        store.interfaces.append((interface.interface_id, new_views))
+        for view in new_views:
+            self._index.add(view)
+            self._registered.append(view)
+        self._rebuild_entries()
+        return record
+
+    def _rebuild_entries(self) -> None:
+        store = self.store
+        views = store.canonical_views()
+        member_lists, steps = agglomerate(
+            views,
+            lambda i, j: store.sim_between(views[i].key, views[j].key),
+            store.threshold,
+            linkage=store.linkage,
+        )
+        entries: List[RegistryEntry] = []
+        for position, indices in enumerate(member_lists):
+            cluster = Cluster([views[idx] for idx in indices])
+            member_keys = set(cluster.keys)
+            unified = unify_cluster(cluster, len(cluster.interfaces))
+            entries.append(RegistryEntry(
+                cluster_id=f"c{position:04d}",
+                label=unified.label,
+                instances=unified.instances,
+                coverage=unified.coverage,
+                members=unified.members,
+                interfaces=tuple(sorted(cluster.interfaces)),
+                label_votes=unified.label_votes,
+                merges=tuple(
+                    step for step in steps
+                    if set(step.cluster_a) | set(step.cluster_b)
+                    <= member_keys
+                ),
+            ))
+        store.entries = entries
+
+    def report(self, directory: Optional[str] = None) -> RegistryReport:
+        store = self.store
+        clusters, _ = induced_clusters(store)
+        return RegistryReport(
+            domain=store.domain,
+            n_interfaces=len(store.interfaces),
+            n_views=store.n_views,
+            n_entries=len(store.entries),
+            induced=clusters,
+            adds=tuple(store.stats.adds),
+            directory=directory,
+        )
+
+
+def build_registry(
+    domain: str,
+    interfaces: Sequence[QueryInterface],
+    *,
+    threshold: float = 0.0,
+    linkage: str = "average",
+    store: Optional[RegistryStore] = None,
+    directory: Optional[str] = None,
+) -> Tuple[RegistryStore, RegistryReport]:
+    """Assimilate ``interfaces`` one at a time (in the given arrival
+    order) into a fresh or existing store; optionally persist after every
+    add so a crash loses at most the in-flight interface."""
+    if store is None:
+        store = RegistryStore(domain=domain, threshold=threshold,
+                              linkage=linkage)
+    assimilator = RegistryAssimilator(store)
+    for interface in interfaces:
+        assimilator.assimilate(interface)
+        if directory is not None:
+            store.save(directory)
+    if directory is not None and not interfaces:
+        store.save(directory)
+    return store, assimilator.report(directory)

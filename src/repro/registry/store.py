@@ -1,0 +1,357 @@
+"""The registry store: one domain's canonical attributes, durable on disk.
+
+A registry is a directory holding ``registry.json``, written with the
+same envelope the run journal uses (:mod:`repro.checkpoint.journal`)::
+
+    {"format": 2, "crc": <crc32 of canonical body JSON>, "body": {...}}
+
+via :func:`repro.util.atomicio.atomic_write_json` — temp file, fsync,
+``os.replace`` — so every assimilation either lands whole or not at all;
+a crash mid-save leaves the previous registry intact. The loader verifies
+the CRC and the body's internal consistency before trusting anything:
+
+- a torn/unparseable file, a CRC mismatch, a duplicate interface, a
+  duplicate cluster id, a member claimed by two entries (or none), or a
+  malformed similarity cache is :class:`RegistryCorruptionError` naming
+  the damaged entry;
+- a store written by a newer schema is :class:`RegistryFormatError`;
+- a missing store, or one whose domain/configuration does not match the
+  requested operation, is :class:`RegistryMismatchError`.
+
+Format history: format **1** predates the blocking ledger and carries no
+``stats`` section; the loader upgrades it in place with an empty ledger
+(zero defaults). The writer always emits the current format.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.checkpoint.journal import record_crc
+from repro.matching.similarity import AttributeView, SimilarityConfig
+from repro.obs.provenance import MergeStep
+from repro.registry.blocking import BlockingStats
+from repro.util.atomicio import atomic_write_json
+from repro.util.errors import (
+    RegistryCorruptionError,
+    RegistryFormatError,
+    RegistryMismatchError,
+)
+
+__all__ = [
+    "REGISTRY_FILENAME",
+    "REGISTRY_FORMAT",
+    "RegistryEntry",
+    "RegistryStore",
+]
+
+AttrKey = Tuple[str, str]
+
+#: Schema version of the registry envelope.
+REGISTRY_FORMAT = 2
+#: Oldest schema the loader still understands (upgraded on load).
+MIN_REGISTRY_FORMAT = 1
+REGISTRY_FILENAME = "registry.json"
+
+
+@dataclass(frozen=True)
+class RegistryEntry:
+    """One canonical attribute: a cluster with its unified form attached.
+
+    ``merges`` are the :class:`~repro.obs.provenance.MergeStep` links that
+    built this cluster in the registry's induced matching — the provenance
+    trail back to every contributing interface.
+    """
+
+    cluster_id: str
+    #: canonical label (most frequent variant; ties break short-then-lex)
+    label: str
+    #: unified value domain, consensus values first
+    instances: Tuple[str, ...]
+    #: number of distinct contributing interfaces
+    coverage: int
+    #: every (interface_id, attribute_name) in the cluster, sorted
+    members: Tuple[AttrKey, ...]
+    #: contributing interface ids, sorted
+    interfaces: Tuple[str, ...]
+    #: label variant -> vote count
+    label_votes: Dict[str, int]
+    #: merge steps that assembled this cluster, in commit order
+    merges: Tuple[MergeStep, ...]
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "cluster_id": self.cluster_id,
+            "label": self.label,
+            "instances": list(self.instances),
+            "coverage": self.coverage,
+            "members": [list(key) for key in self.members],
+            "interfaces": list(self.interfaces),
+            "label_votes": dict(self.label_votes),
+            "merges": [
+                {
+                    "step": step.step,
+                    "linkage_value": step.linkage_value,
+                    "threshold": step.threshold,
+                    "cluster_a": [list(key) for key in step.cluster_a],
+                    "cluster_b": [list(key) for key in step.cluster_b],
+                }
+                for step in self.merges
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "RegistryEntry":
+        return cls(
+            cluster_id=payload["cluster_id"],
+            label=payload["label"],
+            instances=tuple(payload["instances"]),
+            coverage=payload["coverage"],
+            members=tuple((iid, name) for iid, name in payload["members"]),
+            interfaces=tuple(payload["interfaces"]),
+            label_votes=dict(payload["label_votes"]),
+            merges=tuple(
+                MergeStep(
+                    step=m["step"],
+                    linkage_value=m["linkage_value"],
+                    threshold=m["threshold"],
+                    cluster_a=tuple((i, n) for i, n in m["cluster_a"]),
+                    cluster_b=tuple((i, n) for i, n in m["cluster_b"]),
+                )
+                for m in payload["merges"]
+            ),
+        )
+
+
+@dataclass
+class RegistryStore:
+    """In-memory registry state; :meth:`save`/:meth:`load` round-trip it.
+
+    ``interfaces`` keeps **arrival order** (the audit trail of who joined
+    when); everything the induced matching depends on uses
+    :meth:`canonical_views` — interfaces sorted by id — which is what
+    makes the registry arrival-permutation-invariant. ``sims`` caches
+    only the *nonzero* evaluated similarities, keyed by the canonical
+    (lexicographically sorted) attr-key pair; every absent cross pair is
+    0.0 by the blocking soundness argument.
+    """
+
+    domain: str
+    threshold: float = 0.0
+    linkage: str = "average"
+    similarity: SimilarityConfig = field(default_factory=SimilarityConfig)
+    #: arrival-ordered (interface_id, views) — the assimilation history
+    interfaces: List[Tuple[str, List[AttributeView]]] = field(default_factory=list)
+    #: canonical-key-pair -> evaluated nonzero similarity
+    sims: Dict[Tuple[AttrKey, AttrKey], float] = field(default_factory=dict)
+    entries: List[RegistryEntry] = field(default_factory=list)
+    stats: BlockingStats = field(default_factory=BlockingStats)
+
+    # -- views ---------------------------------------------------------
+
+    def interface_ids(self) -> List[str]:
+        return [interface_id for interface_id, _ in self.interfaces]
+
+    def has_interface(self, interface_id: str) -> bool:
+        return any(interface_id == iid for iid, _ in self.interfaces)
+
+    def registered_views(self) -> List[AttributeView]:
+        """All views in arrival order (the blocking index order)."""
+        return [view for _, views in self.interfaces for view in views]
+
+    def canonical_views(self) -> List[AttributeView]:
+        """All views in canonical order: interfaces sorted by id,
+        attributes in their interface's original order. The induced
+        matching is computed over exactly this ordering, so it cannot
+        depend on arrival order."""
+        return [
+            view
+            for _, views in sorted(self.interfaces, key=lambda item: item[0])
+            for view in views
+        ]
+
+    @property
+    def n_views(self) -> int:
+        return sum(len(views) for _, views in self.interfaces)
+
+    def sim_between(self, a: AttrKey, b: AttrKey) -> float:
+        return self.sims.get((a, b) if a < b else (b, a), 0.0)
+
+    # -- serialisation -------------------------------------------------
+
+    def to_body(self) -> Dict[str, Any]:
+        return {
+            "domain": self.domain,
+            "threshold": self.threshold,
+            "linkage": self.linkage,
+            "similarity": {
+                "alpha": self.similarity.alpha,
+                "beta": self.similarity.beta,
+                "numeric_family_factor": self.similarity.numeric_family_factor,
+            },
+            "interfaces": [
+                {
+                    "interface_id": interface_id,
+                    "attributes": [
+                        {
+                            "name": view.name,
+                            "label": view.label,
+                            "instances": list(view.instances),
+                        }
+                        for view in views
+                    ],
+                }
+                for interface_id, views in self.interfaces
+            ],
+            "sims": [
+                [list(a), list(b), value]
+                for (a, b), value in sorted(self.sims.items())
+            ],
+            "entries": [entry.to_dict() for entry in self.entries],
+            "stats": self.stats.to_dict(),
+        }
+
+    @classmethod
+    def from_body(cls, body: Dict[str, Any], *, source: str = "registry") -> "RegistryStore":
+        try:
+            similarity = SimilarityConfig(**body["similarity"])
+            store = cls(
+                domain=body["domain"],
+                threshold=body["threshold"],
+                linkage=body["linkage"],
+                similarity=similarity,
+            )
+            seen_keys: Dict[AttrKey, str] = {}
+            for item in body["interfaces"]:
+                interface_id = item["interface_id"]
+                if store.has_interface(interface_id):
+                    raise RegistryCorruptionError(
+                        f"{source}: duplicate interface {interface_id!r}"
+                    )
+                views = []
+                for attribute in item["attributes"]:
+                    view = AttributeView(
+                        interface_id=interface_id,
+                        name=attribute["name"],
+                        label=attribute["label"],
+                        instances=tuple(attribute["instances"]),
+                    )
+                    if view.key in seen_keys:
+                        raise RegistryCorruptionError(
+                            f"{source}: duplicate attribute {view.key!r}"
+                        )
+                    seen_keys[view.key] = interface_id
+                    views.append(view)
+                store.interfaces.append((interface_id, views))
+            for a_raw, b_raw, value in body["sims"]:
+                a: AttrKey = (a_raw[0], a_raw[1])
+                b: AttrKey = (b_raw[0], b_raw[1])
+                if a not in seen_keys or b not in seen_keys:
+                    raise RegistryCorruptionError(
+                        f"{source}: similarity cache references unknown "
+                        f"attribute pair {a!r} / {b!r}"
+                    )
+                if not a < b:
+                    raise RegistryCorruptionError(
+                        f"{source}: similarity cache pair {a!r} / {b!r} "
+                        "is not in canonical order"
+                    )
+                if (a, b) in store.sims:
+                    raise RegistryCorruptionError(
+                        f"{source}: duplicate similarity cache pair "
+                        f"{a!r} / {b!r}"
+                    )
+                store.sims[(a, b)] = value
+            claimed: Dict[AttrKey, str] = {}
+            cluster_ids: Dict[str, int] = {}
+            for entry_payload in body["entries"]:
+                entry = RegistryEntry.from_dict(entry_payload)
+                if entry.cluster_id in cluster_ids:
+                    raise RegistryCorruptionError(
+                        f"{source}: duplicate entry {entry.cluster_id!r}"
+                    )
+                cluster_ids[entry.cluster_id] = 1
+                for member in entry.members:
+                    if member not in seen_keys:
+                        raise RegistryCorruptionError(
+                            f"{source}: entry {entry.cluster_id!r} claims "
+                            f"unknown attribute {member!r}"
+                        )
+                    if member in claimed:
+                        raise RegistryCorruptionError(
+                            f"{source}: attribute {member!r} claimed by "
+                            f"both {claimed[member]!r} and "
+                            f"{entry.cluster_id!r}"
+                        )
+                    claimed[member] = entry.cluster_id
+                store.entries.append(entry)
+            unclaimed = sorted(set(seen_keys) - set(claimed))
+            if unclaimed:
+                raise RegistryCorruptionError(
+                    f"{source}: attribute {unclaimed[0]!r} is not claimed "
+                    "by any entry"
+                )
+            store.stats = BlockingStats.from_dict(body["stats"])
+        except (KeyError, TypeError, ValueError) as exc:
+            raise RegistryCorruptionError(
+                f"{source}: malformed registry body ({exc})"
+            ) from exc
+        return store
+
+    # -- persistence ---------------------------------------------------
+
+    def save(self, directory: str) -> str:
+        """Atomically persist the store; returns the file path written."""
+        os.makedirs(directory, exist_ok=True)
+        body = self.to_body()
+        path = os.path.join(directory, REGISTRY_FILENAME)
+        atomic_write_json(path, {
+            "format": REGISTRY_FORMAT,
+            "crc": record_crc(body),
+            "body": body,
+        })
+        return path
+
+    @classmethod
+    def load(cls, directory: str) -> "RegistryStore":
+        path = os.path.join(directory, REGISTRY_FILENAME)
+        if not os.path.exists(path):
+            raise RegistryMismatchError(f"no registry store at {path}")
+        with open(path, "r", encoding="utf-8") as handle:
+            raw = handle.read()
+        try:
+            envelope = json.loads(raw)
+        except json.JSONDecodeError as exc:
+            raise RegistryCorruptionError(
+                f"{path}: torn or unparseable registry store "
+                f"(char {exc.pos})"
+            ) from exc
+        if not isinstance(envelope, dict) or not {
+            "format", "crc", "body"
+        } <= set(envelope):
+            raise RegistryCorruptionError(
+                f"{path}: registry envelope is missing format/crc/body"
+            )
+        fmt = envelope["format"]
+        if not isinstance(fmt, int) or fmt < MIN_REGISTRY_FORMAT:
+            raise RegistryCorruptionError(
+                f"{path}: unusable registry format {fmt!r}"
+            )
+        if fmt > REGISTRY_FORMAT:
+            raise RegistryFormatError(
+                f"{path}: registry format {fmt} is newer than this "
+                f"reader (max {REGISTRY_FORMAT})"
+            )
+        body = envelope["body"]
+        if record_crc(body) != envelope["crc"]:
+            raise RegistryCorruptionError(
+                f"{path}: CRC mismatch — registry body is corrupt"
+            )
+        if fmt < 2:
+            # format 1 predates the blocking ledger: zero defaults.
+            body = dict(body)
+            body.setdefault("stats", {"adds": []})
+        return cls.from_body(body, source=path)

@@ -149,3 +149,25 @@ class JournalMismatchError(JournalError):
 class ResumeError(JournalError):
     """Resume was requested in a configuration that cannot honour the
     byte-identical replay guarantee (e.g. with observability attached)."""
+
+
+class RegistryError(ReproError):
+    """Base class for attribute-registry failures (:mod:`repro.registry`)."""
+
+
+class RegistryCorruptionError(RegistryError):
+    """The registry store is torn, CRC-mismatched, or internally
+    inconsistent (duplicate interface, duplicate cluster id, a member
+    claimed by two entries, ...). The message names the damaged entry;
+    loading such a store is refused rather than risking silent drift
+    between the registry and the batch oracle."""
+
+
+class RegistryFormatError(RegistryError):
+    """The registry store carries a schema version newer than this reader."""
+
+
+class RegistryMismatchError(RegistryError):
+    """The registry on disk does not fit the requested operation: missing
+    store, wrong domain, different similarity/threshold/linkage
+    configuration, or an interface assimilated twice."""

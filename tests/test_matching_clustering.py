@@ -225,3 +225,90 @@ class TestPartitionProperties:
         pairs_lo = matcher.match_views(views, lo).match_pairs()
         pairs_hi = matcher.match_views(views, hi).match_pairs()
         assert len(pairs_hi) <= len(pairs_lo)
+
+
+class TestSharedMergeStep:
+    """The merge loop is ONE function — ``agglomerate`` — shared by batch
+    IceQ and the registry's incremental assimilator. Before the refactor
+    the loop lived inline in ``match_views``; any second copy (as the
+    registry would have needed) could drift in tie-break order and break
+    the incremental == batch guarantee silently. These tests pin the
+    shared code path and its behaviour under a sparse similarity view.
+    """
+
+    def test_registry_and_batch_share_the_same_function_object(self):
+        from repro.matching import clustering
+        from repro.registry import assimilate
+
+        assert assimilate.agglomerate is clustering.agglomerate
+
+    def test_agglomerate_tie_breaks_lowest_pair_with_sparse_sims(self):
+        from repro.matching.clustering import agglomerate
+
+        views = [
+            view("i1", "a", "Price"),
+            view("i2", "a", "Date"),
+            view("i3", "a", "Date"),
+            view("i4", "a", "Price"),
+        ]
+        # identical labels: sim(0,3) == sim(1,2) == 1·alpha; the equal-
+        # value tie must resolve to the lowest (i, j) — (0, 3) — exactly
+        # as the dense matcher does.
+        sims = {(0, 3): 0.6, (1, 2): 0.6}
+
+        _, steps = agglomerate(
+            views, lambda i, j: sims.get((i, j), 0.0), 0.0)
+        first = frozenset(steps[0].cluster_a) | frozenset(steps[0].cluster_b)
+        assert first == {("i1", "a"), ("i4", "a")}
+
+    def test_sparse_same_interface_skip_equals_dense(self):
+        """The assimilator never evaluates same-interface pairs (the
+        cannot-link constraint makes them unreachable); feeding the merge
+        loop 0.0 for them must reproduce the dense matcher's clusters."""
+        from repro.matching.clustering import agglomerate
+        from repro.matching.similarity import attribute_similarity
+        from repro.datasets import build_domain_dataset
+
+        views = views_from_interfaces(
+            build_domain_dataset("auto", 4, 2).interfaces)
+
+        def sparse(i, j):
+            if views[i].interface_id == views[j].interface_id:
+                return 0.0
+            return attribute_similarity(views[i], views[j])
+
+        for threshold in (0.0, 0.1, 0.3):
+            dense = [
+                sorted(m.key for m in c.members)
+                for c in IceQMatcher().match_views(views, threshold).clusters
+            ]
+            sparse_clusters = [
+                sorted(views[idx].key for idx in indices)
+                for indices in agglomerate(views, sparse, threshold)[0]
+            ]
+            assert sparse_clusters == dense
+
+    @pytest.mark.parametrize("linkage", ["single", "average", "complete"])
+    def test_skip_holds_for_every_linkage(self, linkage):
+        from repro.matching.clustering import agglomerate
+        from repro.matching.similarity import attribute_similarity
+        from repro.datasets import build_domain_dataset
+
+        views = views_from_interfaces(
+            build_domain_dataset("book", 3, 4).interfaces)
+
+        def sparse(i, j):
+            if views[i].interface_id == views[j].interface_id:
+                return 0.0
+            return attribute_similarity(views[i], views[j])
+
+        dense = [
+            sorted(m.key for m in c.members)
+            for c in IceQMatcher(linkage=linkage)
+            .match_views(views, 0.05).clusters
+        ]
+        assert [
+            sorted(views[idx].key for idx in indices)
+            for indices in agglomerate(
+                views, sparse, 0.05, linkage=linkage)[0]
+        ] == dense

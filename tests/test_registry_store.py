@@ -1,0 +1,399 @@
+"""Registry store durability: corruption fuzzing and format migration.
+
+Mirrors ``tests/test_checkpoint_journal.py`` for the registry's on-disk
+envelope: every way the store can be damaged — torn writes, bit flips
+under a stale CRC, flipped CRC fields, future formats, duplicate or
+dangling entries — must surface as a typed ``RegistryError`` subclass
+naming the damaged entity, never a crash and never silently-wrong
+clusters. The format-1 migration path is pinned by a checked-in blob.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.checkpoint.journal import record_crc
+from repro.datasets import build_domain_dataset
+from repro.registry import (
+    REGISTRY_FILENAME,
+    REGISTRY_FORMAT,
+    RegistryAssimilator,
+    RegistryStore,
+    build_registry,
+)
+from repro.registry.assimilate import induced_clusters
+from repro.util.errors import (
+    RegistryCorruptionError,
+    RegistryError,
+    RegistryFormatError,
+    RegistryMismatchError,
+)
+
+DOMAIN = "book"
+
+#: A registry written by the format-1 code (before the blocking ledger
+#: existed — no "stats" section). Checked in verbatim: if the upgrade
+#: path regresses, this blob stops loading. The CRC is the real
+#: ``record_crc`` of the body; do not regenerate it casually.
+FORMAT_1_BLOB = {
+    "format": 1,
+    "crc": 2613280460,
+    "body": {
+        "domain": "book",
+        "threshold": 0.0,
+        "linkage": "average",
+        "similarity": {"alpha": 0.6, "beta": 0.4,
+                       "numeric_family_factor": 0.6},
+        "interfaces": [
+            {
+                "interface_id": "book-00",
+                "attributes": [
+                    {"name": "title", "label": "Title", "instances": []},
+                    {"name": "author", "label": "Author", "instances": []},
+                ],
+            },
+            {
+                "interface_id": "book-01",
+                "attributes": [
+                    {"name": "title", "label": "Book title",
+                     "instances": []},
+                ],
+            },
+        ],
+        "sims": [[["book-00", "title"], ["book-01", "title"],
+                  0.42426406871192845]],
+        "entries": [
+            {
+                "cluster_id": "c0000",
+                "label": "Title",
+                "instances": [],
+                "coverage": 2,
+                "members": [["book-00", "title"], ["book-01", "title"]],
+                "interfaces": ["book-00", "book-01"],
+                "label_votes": {"Title": 1, "Book title": 1},
+                "merges": [
+                    {
+                        "step": 0,
+                        "linkage_value": 0.42426406871192845,
+                        "threshold": 0.0,
+                        "cluster_a": [["book-00", "title"]],
+                        "cluster_b": [["book-01", "title"]],
+                    }
+                ],
+            },
+            {
+                "cluster_id": "c0001",
+                "label": "Author",
+                "instances": [],
+                "coverage": 1,
+                "members": [["book-00", "author"]],
+                "interfaces": ["book-00"],
+                "label_votes": {"Author": 1},
+                "merges": [],
+            },
+        ],
+    },
+}
+
+
+def saved_registry(tmp_path, n=3):
+    """Build and persist a small real registry; returns its directory."""
+    directory = str(tmp_path / "registry")
+    interfaces = list(build_domain_dataset(DOMAIN, n, 1).interfaces)
+    build_registry(DOMAIN, interfaces, directory=directory)
+    return directory
+
+
+def store_path(directory):
+    return os.path.join(directory, REGISTRY_FILENAME)
+
+
+def rewrite(directory, mutate):
+    """Load the envelope, apply ``mutate(envelope)``, write it back raw."""
+    path = store_path(directory)
+    with open(path, "r", encoding="utf-8") as handle:
+        envelope = json.load(handle)
+    mutate(envelope)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(envelope, handle)
+    return path
+
+
+def reseal(envelope):
+    """Recompute the CRC so body tampering survives the checksum and has
+    to be caught by the semantic validation instead."""
+    envelope["crc"] = record_crc(envelope["body"])
+
+
+class TestRoundTrip:
+    def test_save_load_round_trips_bytes(self, tmp_path):
+        directory = saved_registry(tmp_path)
+        with open(store_path(directory), "rb") as handle:
+            first = handle.read()
+        RegistryStore.load(directory).save(directory)
+        with open(store_path(directory), "rb") as handle:
+            assert handle.read() == first
+
+    def test_loaded_store_continues_assimilating(self, tmp_path):
+        interfaces = list(build_domain_dataset(DOMAIN, 4, 1).interfaces)
+        directory = str(tmp_path / "registry")
+        build_registry(DOMAIN, interfaces[:3], directory=directory)
+        store = RegistryStore.load(directory)
+        RegistryAssimilator(store).assimilate(interfaces[3])
+        assert store.n_views == sum(
+            len(i.attributes) for i in interfaces)
+
+    def test_writer_emits_current_format(self, tmp_path):
+        directory = saved_registry(tmp_path)
+        with open(store_path(directory), "r", encoding="utf-8") as handle:
+            envelope = json.load(handle)
+        assert envelope["format"] == REGISTRY_FORMAT
+        assert envelope["crc"] == record_crc(envelope["body"])
+
+    def test_missing_store_is_a_mismatch_not_corruption(self, tmp_path):
+        with pytest.raises(RegistryMismatchError, match="no registry store"):
+            RegistryStore.load(str(tmp_path / "nowhere"))
+
+
+class TestEnvelopeCorruption:
+    def test_torn_file_names_the_position(self, tmp_path):
+        directory = saved_registry(tmp_path)
+        path = store_path(directory)
+        with open(path, "r", encoding="utf-8") as handle:
+            raw = handle.read()
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(raw[: len(raw) // 2])
+        with pytest.raises(RegistryCorruptionError, match="torn or unparseable"):
+            RegistryStore.load(directory)
+
+    def test_body_tamper_with_stale_crc_fails_checksum(self, tmp_path):
+        directory = saved_registry(tmp_path)
+        rewrite(directory,
+                lambda env: env["body"].__setitem__("threshold", 0.99))
+        with pytest.raises(RegistryCorruptionError, match="CRC mismatch"):
+            RegistryStore.load(directory)
+
+    def test_flipped_crc_field(self, tmp_path):
+        directory = saved_registry(tmp_path)
+        rewrite(directory,
+                lambda env: env.__setitem__("crc", env["crc"] ^ 0x1))
+        with pytest.raises(RegistryCorruptionError, match="CRC mismatch"):
+            RegistryStore.load(directory)
+
+    def test_future_format_is_rejected_typed(self, tmp_path):
+        directory = saved_registry(tmp_path)
+
+        def bump(env):
+            env["format"] = REGISTRY_FORMAT + 1
+
+        rewrite(directory, bump)
+        with pytest.raises(RegistryFormatError, match="newer than this reader"):
+            RegistryStore.load(directory)
+
+    @pytest.mark.parametrize("bad_format", ["2", 0, None])
+    def test_unusable_format_values(self, tmp_path, bad_format):
+        directory = saved_registry(tmp_path)
+        rewrite(directory,
+                lambda env: env.__setitem__("format", bad_format))
+        with pytest.raises(RegistryCorruptionError, match="unusable registry format"):
+            RegistryStore.load(directory)
+
+    @pytest.mark.parametrize("dropped", ["format", "crc", "body"])
+    def test_missing_envelope_key(self, tmp_path, dropped):
+        directory = saved_registry(tmp_path)
+        rewrite(directory, lambda env: env.pop(dropped))
+        with pytest.raises(RegistryCorruptionError, match="missing format/crc/body"):
+            RegistryStore.load(directory)
+
+    def test_non_object_envelope(self, tmp_path):
+        directory = saved_registry(tmp_path)
+        with open(store_path(directory), "w", encoding="utf-8") as handle:
+            json.dump([1, 2, 3], handle)
+        with pytest.raises(RegistryCorruptionError, match="missing format/crc/body"):
+            RegistryStore.load(directory)
+
+
+class TestBodyCorruption:
+    """Tampering that survives the CRC (resealed) must be caught by the
+    semantic validation, naming the damaged entry."""
+
+    def test_duplicate_interface_names_it(self, tmp_path):
+        directory = saved_registry(tmp_path)
+
+        def dup(env):
+            env["body"]["interfaces"].append(
+                dict(env["body"]["interfaces"][0]))
+            reseal(env)
+
+        rewrite(directory, dup)
+        with pytest.raises(RegistryCorruptionError,
+                           match="duplicate interface 'book-00'"):
+            RegistryStore.load(directory)
+
+    def test_duplicate_cluster_id_names_it(self, tmp_path):
+        directory = saved_registry(tmp_path)
+
+        def dup(env):
+            entries = env["body"]["entries"]
+            clone = json.loads(json.dumps(entries[0]))
+            clone["members"] = []
+            entries.append(clone)
+            reseal(env)
+
+        rewrite(directory, dup)
+        with pytest.raises(RegistryCorruptionError,
+                           match="duplicate entry 'c0000'"):
+            RegistryStore.load(directory)
+
+    def test_member_claimed_by_two_entries_names_both(self, tmp_path):
+        directory = saved_registry(tmp_path)
+
+        def steal(env):
+            entries = env["body"]["entries"]
+            entries[1]["members"].append(entries[0]["members"][0])
+            reseal(env)
+
+        rewrite(directory, steal)
+        with pytest.raises(RegistryCorruptionError,
+                           match="claimed by both 'c0000' and 'c0001'"):
+            RegistryStore.load(directory)
+
+    def test_unknown_member_names_entry_and_attribute(self, tmp_path):
+        directory = saved_registry(tmp_path)
+
+        def dangle(env):
+            env["body"]["entries"][0]["members"].append(
+                ["ghost-99", "phantom"])
+            reseal(env)
+
+        rewrite(directory, dangle)
+        with pytest.raises(
+                RegistryCorruptionError,
+                match=r"entry 'c0000' claims unknown attribute "
+                      r"\('ghost-99', 'phantom'\)"):
+            RegistryStore.load(directory)
+
+    def test_unclaimed_view_names_it(self, tmp_path):
+        directory = saved_registry(tmp_path)
+
+        def orphan(env):
+            for entry in env["body"]["entries"]:
+                if entry["members"]:
+                    entry["members"].pop()
+                    break
+            reseal(env)
+
+        rewrite(directory, orphan)
+        with pytest.raises(RegistryCorruptionError,
+                           match="is not claimed by any entry"):
+            RegistryStore.load(directory)
+
+    def test_sim_cache_unknown_pair(self, tmp_path):
+        directory = saved_registry(tmp_path)
+
+        def dangle(env):
+            env["body"]["sims"].append(
+                [["ghost-99", "phantom"], ["ghost-99", "wraith"], 0.5])
+            reseal(env)
+
+        rewrite(directory, dangle)
+        with pytest.raises(RegistryCorruptionError,
+                           match="references unknown attribute pair"):
+            RegistryStore.load(directory)
+
+    def test_sim_cache_non_canonical_pair(self, tmp_path):
+        directory = saved_registry(tmp_path)
+
+        def flip(env):
+            sims = env["body"]["sims"]
+            a, b, value = sims[0]
+            sims[0] = [b, a, value]
+            reseal(env)
+
+        rewrite(directory, flip)
+        with pytest.raises(RegistryCorruptionError,
+                           match="not in canonical order"):
+            RegistryStore.load(directory)
+
+    def test_sim_cache_duplicate_pair(self, tmp_path):
+        directory = saved_registry(tmp_path)
+
+        def dup(env):
+            env["body"]["sims"].append(list(env["body"]["sims"][0]))
+            reseal(env)
+
+        rewrite(directory, dup)
+        with pytest.raises(RegistryCorruptionError,
+                           match="duplicate similarity cache pair"):
+            RegistryStore.load(directory)
+
+    def test_malformed_body_is_wrapped_not_raised_raw(self, tmp_path):
+        directory = saved_registry(tmp_path)
+
+        def gut(env):
+            del env["body"]["entries"]
+            reseal(env)
+
+        rewrite(directory, gut)
+        with pytest.raises(RegistryCorruptionError,
+                           match="malformed registry body"):
+            RegistryStore.load(directory)
+
+    def test_every_corruption_error_is_a_registry_error(self):
+        assert issubclass(RegistryCorruptionError, RegistryError)
+        assert issubclass(RegistryFormatError, RegistryError)
+        assert issubclass(RegistryMismatchError, RegistryError)
+
+
+class TestFormatMigration:
+    def write_blob(self, tmp_path, blob=FORMAT_1_BLOB):
+        directory = str(tmp_path / "v1")
+        os.makedirs(directory)
+        with open(store_path(directory), "w", encoding="utf-8") as handle:
+            json.dump(blob, handle)
+        return directory
+
+    def test_format_1_blob_loads_with_empty_ledger(self, tmp_path):
+        store = RegistryStore.load(self.write_blob(tmp_path))
+        assert store.domain == DOMAIN
+        assert [e.cluster_id for e in store.entries] == ["c0000", "c0001"]
+        assert store.stats.adds == []
+        assert store.stats.reduction == 0.0
+
+    def test_format_1_blob_upgrades_to_current_on_save(self, tmp_path):
+        directory = self.write_blob(tmp_path)
+        RegistryStore.load(directory).save(directory)
+        with open(store_path(directory), "r", encoding="utf-8") as handle:
+            envelope = json.load(handle)
+        assert envelope["format"] == REGISTRY_FORMAT
+        assert envelope["body"]["stats"] == {"adds": []}
+        # and it still loads — with the intact induced matching
+        clusters, _ = induced_clusters(RegistryStore.load(directory))
+        assert (("book-00", "title"), ("book-01", "title")) in clusters
+
+    def test_format_1_blob_crc_is_authentic(self, tmp_path):
+        assert record_crc(FORMAT_1_BLOB["body"]) == FORMAT_1_BLOB["crc"]
+
+    def test_upgraded_store_keeps_assimilating(self, tmp_path):
+        directory = self.write_blob(tmp_path)
+        store = RegistryStore.load(directory)
+        extra = list(build_domain_dataset(DOMAIN, 3, 1).interfaces)[2]
+        RegistryAssimilator(store).assimilate(extra)
+        assert store.has_interface(extra.interface_id)
+        assert len(store.stats.adds) == 1
+
+
+class TestAssimilationMismatch:
+    def test_duplicate_interface_assimilation_is_rejected(self, tmp_path):
+        interfaces = list(build_domain_dataset(DOMAIN, 2, 1).interfaces)
+        store, _ = build_registry(DOMAIN, interfaces)
+        with pytest.raises(RegistryMismatchError, match="already assimilated"):
+            RegistryAssimilator(store).assimilate(interfaces[0])
+
+    def test_wrong_domain_interface_is_rejected(self):
+        store, _ = build_registry(
+            DOMAIN, list(build_domain_dataset(DOMAIN, 2, 1).interfaces))
+        alien = list(build_domain_dataset("airfare", 1, 1).interfaces)[0]
+        with pytest.raises(RegistryMismatchError, match="domain"):
+            RegistryAssimilator(store).assimilate(alien)
