@@ -13,10 +13,12 @@ Run with::
 
 from __future__ import annotations
 
-from typing import Dict, Tuple
+import os
+from typing import Any, Dict, Mapping, Optional, Tuple
 
 import pytest
 
+from repro.bench import make_envelope, write_bench
 from repro.core.pipeline import WebIQConfig, WebIQMatcher, WebIQRunResult
 from repro.datasets import DOMAINS, DomainDataset, build_domain_dataset
 
@@ -60,6 +62,50 @@ class RunCache:
 @pytest.fixture(scope="session")
 def cache() -> RunCache:
     return RunCache()
+
+
+def emit_bench(
+    env_var: str,
+    name: str,
+    workload: Mapping[str, Any],
+    metrics: Mapping[str, Any],
+    tolerances: Mapping[str, Mapping[str, Any]],
+    *,
+    detail: Optional[Mapping[str, Any]] = None,
+    profile_digest: Optional[int] = None,
+    default: Optional[str] = None,
+) -> Optional[str]:
+    """Write a versioned bench envelope if ``env_var`` names a path.
+
+    Every sweep benchmark funnels its artifact through here, so each
+    ``BENCH_*.json`` carries the same schema (format + CRC + workload
+    fingerprint + tolerance bands) and ``repro bench diff`` can gate any
+    of them against a committed baseline. Returns the path written, or
+    ``None`` when the env var is unset (local runs that only print).
+    """
+    path = os.environ.get(env_var) or default
+    if not path:
+        return None
+    envelope = make_envelope(
+        name, workload, metrics, tolerances,
+        detail=detail, profile_digest=profile_digest,
+    )
+    write_bench(path, envelope)
+    print(f"\nwrote {path} (bench={name}, {len(metrics)} gated metrics)")
+    return path
+
+
+#: Tolerance shorthands shared by the sweep benchmarks. Deterministic
+#: metrics gate tightly; wall-clock metrics gate very loosely, because a
+#: loaded CI runner can easily be several times slower without any code
+#: change — real slowdowns surface in the deterministic work metrics.
+TOL_EXACT = {"rel": 0.0, "direction": "two_sided"}
+TOL_TIGHT = {"rel": 0.02, "direction": "two_sided"}
+TOL_COUNT = {"rel": 0.02, "direction": "lower_is_better"}
+TOL_SCORE = {"rel": 0.02, "direction": "higher_is_better"}
+TOL_WALL = {"rel": 10.0, "direction": "lower_is_better"}
+TOL_SPEEDUP = {"rel": 10.0, "direction": "higher_is_better"}
+TOL_INFO = {"rel": 0.0, "direction": "info"}
 
 
 def print_table(title: str, header, rows) -> None:

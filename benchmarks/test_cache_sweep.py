@@ -9,11 +9,10 @@ dominated by simulation work, so only the query reduction is asserted
 hard.
 
 The measured numbers are exported as ``BENCH_cache.json`` (path override:
-``BENCH_CACHE_JSON``) so CI can archive query-reduction trends.
+``BENCH_CACHE_JSON``) as a versioned bench envelope (:mod:`repro.bench`)
+so CI gates query-reduction trends with ``repro bench diff``.
 """
 
-import json
-import os
 import time
 
 import pytest
@@ -21,10 +20,23 @@ import pytest
 from repro.core.pipeline import WebIQConfig, WebIQMatcher
 from repro.datasets import build_domain_dataset
 from repro.io import run_result_to_dict
-from repro.obs import NO_PROVENANCE_DIVERGENCE, ObsConfig, diff_runs
+from repro.obs import (
+    NO_PROVENANCE_DIVERGENCE,
+    ObsConfig,
+    build_profile,
+    diff_runs,
+)
 from repro.perf import CacheConfig
 
-from .conftest import BENCH_SEED, print_table
+from .conftest import (
+    BENCH_SEED,
+    TOL_COUNT,
+    TOL_SCORE,
+    TOL_TIGHT,
+    TOL_WALL,
+    emit_bench,
+    print_table,
+)
 
 #: the full 20-interface evaluation set of the domain with the paper's
 #: most label-redundant interfaces — repeated labels re-ask the same
@@ -110,23 +122,43 @@ def test_cache_sweep(benchmark):
     assert cached_result.stopwatch.total_seconds <= \
         uncached_result.stopwatch.total_seconds
 
-    out_path = os.environ.get("BENCH_CACHE_JSON", "BENCH_cache.json")
-    with open(out_path, "w") as handle:
-        json.dump({
+    emit_bench(
+        "BENCH_CACHE_JSON",
+        "cache-sweep",
+        workload={
             "domain": DOMAIN,
             "n_interfaces": N_INTERFACES,
             "seed": BENCH_SEED,
+        },
+        metrics={
             "uncached_queries": uncached_queries,
             "cached_queries": cached_queries,
             "query_reduction": reduction,
             "cache_hits": stats.hits,
             "cache_misses": stats.misses,
             "hit_rate": stats.hit_rate,
-            "uncached_wall_seconds": uncached_secs,
-            "cached_wall_seconds": cached_secs,
             "uncached_overhead_minutes":
                 uncached_result.stopwatch.total_minutes,
             "cached_overhead_minutes": cached_result.stopwatch.total_minutes,
             "f1": cached_result.metrics.f1,
-        }, handle, indent=2)
-    print(f"wrote {out_path}")
+            "uncached_wall_seconds": uncached_secs,
+            "cached_wall_seconds": cached_secs,
+        },
+        tolerances={
+            "uncached_queries": TOL_COUNT,
+            "cached_queries": TOL_COUNT,
+            "query_reduction": TOL_SCORE,
+            "cache_hits": TOL_TIGHT,
+            "cache_misses": TOL_COUNT,
+            "hit_rate": TOL_SCORE,
+            "uncached_overhead_minutes": TOL_COUNT,
+            "cached_overhead_minutes": TOL_COUNT,
+            "f1": TOL_SCORE,
+            "uncached_wall_seconds": TOL_WALL,
+            "cached_wall_seconds": TOL_WALL,
+        },
+        # the deterministic run fingerprint: a digest drift between two
+        # artifacts with equal metrics means the workload itself changed
+        profile_digest=build_profile(cached_result)["digest"],
+        default="BENCH_cache.json",
+    )

@@ -9,6 +9,11 @@ doubles as a regression guard: it must be bit-identical to a run without
 the resilience layer at all. Every sweep run is instrumented and audited
 by the invariant checker — the conservation laws must hold at every
 fault rate, not just the friendly ones.
+
+The measured numbers are exported as ``BENCH_fault.json`` (path
+override: ``BENCH_FAULT_JSON``) as a versioned bench envelope
+(:mod:`repro.bench`) so CI can gate degradation trends with ``repro
+bench diff``.
 """
 
 import pytest
@@ -19,7 +24,13 @@ from repro.io import run_result_to_dict
 from repro.obs import NO_PROVENANCE_DIVERGENCE, ObsConfig, check_run, diff_runs
 from repro.resilience import FaultProfile, ResilienceConfig
 
-from .conftest import BENCH_SEED, print_table
+from .conftest import (
+    BENCH_SEED,
+    TOL_COUNT,
+    TOL_SCORE,
+    emit_bench,
+    print_table,
+)
 
 DOMAIN = "book"
 N_INTERFACES = 10
@@ -94,3 +105,38 @@ def test_fault_rate_sweep(benchmark):
     # a flakier Web can only cost more simulated wall time
     totals = [results[rate].stopwatch.total_seconds for rate in FAULT_RATES]
     assert totals == sorted(totals)
+
+    worst = results[FAULT_RATES[-1]]
+    emit_bench(
+        "BENCH_FAULT_JSON",
+        "fault-sweep",
+        workload={
+            "domain": DOMAIN,
+            "n_interfaces": N_INTERFACES,
+            "seed": BENCH_SEED,
+            "fault_rates": list(FAULT_RATES),
+        },
+        metrics={
+            "f1_at_0": zero.metrics.f1,
+            "f1_at_worst": worst.metrics.f1,
+            "faults_at_worst": worst.degradation.total_faults,
+            "retries_at_worst": worst.degradation.total_retries,
+            "overhead_minutes_at_0": zero.stopwatch.total_minutes,
+            "overhead_minutes_at_worst": worst.stopwatch.total_minutes,
+        },
+        tolerances={
+            "f1_at_0": TOL_SCORE,
+            "f1_at_worst": TOL_SCORE,
+            "faults_at_worst": TOL_COUNT,
+            "retries_at_worst": TOL_COUNT,
+            "overhead_minutes_at_0": TOL_COUNT,
+            "overhead_minutes_at_worst": TOL_COUNT,
+        },
+        detail={
+            "f1_by_rate": {
+                f"{rate:.2f}": results[rate].metrics.f1
+                for rate in FAULT_RATES
+            },
+        },
+        default="BENCH_fault.json",
+    )

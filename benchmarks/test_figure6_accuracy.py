@@ -7,19 +7,17 @@ clustering threshold τ = 0.1. Paper averages: 89.5 → 95.8 → 97.5.
 The benchmark times one full WebIQ pipeline run (acquisition + matching).
 
 The measured bars are exported as ``BENCH_accuracy.json`` (path override:
-``BENCH_ACCURACY_JSON``) so CI can archive accuracy trends next to the
-cache sweep's query-reduction numbers.
+``BENCH_ACCURACY_JSON``) as a versioned bench envelope
+(:mod:`repro.bench`) so CI can gate accuracy trends with ``repro bench
+diff`` next to the cache sweep's query-reduction numbers.
 """
-
-import json
-import os
 
 import pytest
 
 from repro.core.pipeline import WebIQConfig, WebIQMatcher
 from repro.datasets import DOMAINS
 
-from .conftest import print_table
+from .conftest import TOL_SCORE, emit_bench, print_table
 
 #: Figure 6 bars read off the paper's chart (approximate, in F-1 %).
 PAPER = {
@@ -80,17 +78,28 @@ def test_figure6_matching_accuracy(benchmark, cache):
         # thresholding must not materially degrade precision anywhere
         assert strict.precision >= loose.precision - 0.005, domain
 
-    out_path = os.environ.get("BENCH_ACCURACY_JSON", "BENCH_accuracy.json")
-    with open(out_path, "w") as handle:
-        json.dump({
+    emit_bench(
+        "BENCH_ACCURACY_JSON",
+        "figure6-accuracy",
+        workload={
+            "domains": list(DOMAINS),
             "bars": list(BARS),
+            "n_interfaces": 20,
+        },
+        metrics={
+            f"f1_avg_{bar}": avg[i] for i, bar in enumerate(BARS)
+        },
+        tolerances={
+            f"f1_avg_{bar}": TOL_SCORE for bar in BARS
+        },
+        detail={
             "f1_by_domain": {
                 domain: dict(zip(BARS, f1[domain])) for domain in DOMAINS
             },
-            "f1_average": dict(zip(BARS, avg)),
             "paper_f1_by_domain": {
                 domain: dict(zip(BARS, PAPER[domain])) for domain in DOMAINS
             },
             "paper_f1_average": dict(zip(BARS, PAPER_AVG)),
-        }, handle, indent=2, sort_keys=True)
-    print(f"wrote {out_path}")
+        },
+        default="BENCH_accuracy.json",
+    )

@@ -15,11 +15,12 @@ overlap the executor wins, not the resilience machinery (the metamorphic
 suite covers those interactions at tier 1).
 
 The measured numbers are exported as ``BENCH_parallel.json`` (path
-override: ``BENCH_PARALLEL_JSON``) so CI can archive speedup trends.
+override: ``BENCH_PARALLEL_JSON``) as a versioned bench envelope
+(:mod:`repro.bench`) so CI can gate speedup trends with ``repro bench
+diff``.
 """
 
 import json
-import os
 import statistics
 import time
 
@@ -29,7 +30,14 @@ from repro.core.pipeline import WebIQConfig, WebIQMatcher
 from repro.datasets import DOMAINS, build_domain_dataset
 from repro.io import run_result_to_dict
 
-from .conftest import BENCH_SEED, print_table
+from .conftest import (
+    BENCH_SEED,
+    TOL_COUNT,
+    TOL_SCORE,
+    TOL_SPEEDUP,
+    emit_bench,
+    print_table,
+)
 
 N_INTERFACES = 20
 POOL_SIZES = (1, 4, 8)
@@ -119,15 +127,34 @@ def test_parallel_sweep(benchmark):
         f"4-worker pool sped up wall-clock only {mean_speedup4:.2f}x "
         f"(floor {MIN_SPEEDUP_AT_4}x)")
 
-    out_path = os.environ.get("BENCH_PARALLEL_JSON", "BENCH_parallel.json")
-    with open(out_path, "w") as handle:
-        json.dump({
+    mean_prefetch_hit_rate = statistics.mean(
+        d["prefetch_hit_rate_at_4"] for d in per_domain.values())
+    emit_bench(
+        "BENCH_PARALLEL_JSON",
+        "parallel-sweep",
+        workload={
+            "domains": list(DOMAINS),
             "n_interfaces": N_INTERFACES,
             "seed": BENCH_SEED,
             "pool_sizes": list(POOL_SIZES),
             "latency_factor": LATENCY_FACTOR,
+        },
+        metrics={
+            "total_round_trips": sum(
+                d["round_trips"] for d in per_domain.values()),
+            "mean_prefetch_hit_rate_at_4": mean_prefetch_hit_rate,
+            "total_sleeps_skipped_at_4": sum(
+                d["sleeps_skipped_at_4"] for d in per_domain.values()),
             "mean_speedup_at_4": mean_speedup4,
             "mean_speedup_at_8": mean_speedup8,
-            "domains": per_domain,
-        }, handle, indent=2)
-    print(f"wrote {out_path}")
+        },
+        tolerances={
+            "total_round_trips": TOL_COUNT,
+            "mean_prefetch_hit_rate_at_4": TOL_SCORE,
+            "total_sleeps_skipped_at_4": TOL_SCORE,
+            "mean_speedup_at_4": TOL_SPEEDUP,
+            "mean_speedup_at_8": TOL_SPEEDUP,
+        },
+        detail={"domains": per_domain},
+        default="BENCH_parallel.json",
+    )

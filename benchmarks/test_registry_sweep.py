@@ -11,11 +11,11 @@ Also measured: the marginal cost of assimilating interface #20 into a
 re-evaluating everything.
 
 The measured numbers are exported as ``BENCH_registry.json`` (path
-override: ``BENCH_REGISTRY_JSON``) so CI can archive reduction trends.
+override: ``BENCH_REGISTRY_JSON``) as a versioned bench envelope
+(:mod:`repro.bench`) so CI gates reduction trends with ``repro bench
+diff``.
 """
 
-import json
-import os
 import statistics
 import time
 
@@ -27,7 +27,15 @@ from repro.matching.clustering import IceQMatcher
 from repro.registry import RegistryAssimilator, build_registry
 from repro.registry.assimilate import batch_induced_clusters, induced_clusters
 
-from .conftest import BENCH_SEED, print_table
+from .conftest import (
+    BENCH_SEED,
+    TOL_COUNT,
+    TOL_EXACT,
+    TOL_SCORE,
+    TOL_WALL,
+    emit_bench,
+    print_table,
+)
 
 N_INTERFACES = 20
 #: the ISSUE's floor: fraction of cross pairs blocking must skip
@@ -121,14 +129,37 @@ def test_registry_sweep(benchmark):
         rows,
     )
 
-    out_path = os.environ.get("BENCH_REGISTRY_JSON", "BENCH_registry.json")
-    with open(out_path, "w") as handle:
-        json.dump({
+    emit_bench(
+        "BENCH_REGISTRY_JSON",
+        "registry-sweep",
+        workload={
+            "domains": list(DOMAINS),
             "n_interfaces": N_INTERFACES,
             "seed": BENCH_SEED,
             "min_reduction": MIN_REDUCTION,
+        },
+        metrics={
             "mean_reduction": mean_reduction,
+            "total_batch_evaluations": sum(
+                d["batch_evaluations"] for d in per_domain.values()),
+            "total_incremental_evaluations": sum(
+                d["incremental_evaluations"] for d in per_domain.values()),
+            "total_blocked": sum(d["blocked"] for d in per_domain.values()),
             "equivalent_to_batch": True,
-            "domains": per_domain,
-        }, handle, indent=2)
-    print(f"wrote {out_path}")
+            "total_batch_seconds": sum(
+                d["batch_seconds"] for d in per_domain.values()),
+            "total_incremental_seconds": sum(
+                d["incremental_build_seconds"] for d in per_domain.values()),
+        },
+        tolerances={
+            "mean_reduction": TOL_SCORE,
+            "total_batch_evaluations": TOL_COUNT,
+            "total_incremental_evaluations": TOL_COUNT,
+            "total_blocked": TOL_SCORE,
+            "equivalent_to_batch": TOL_EXACT,
+            "total_batch_seconds": TOL_WALL,
+            "total_incremental_seconds": TOL_WALL,
+        },
+        detail={"domains": per_domain},
+        default="BENCH_registry.json",
+    )

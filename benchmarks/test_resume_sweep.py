@@ -7,10 +7,11 @@ them — its real engine/source traffic covers only the fresh half — while
 producing an export byte-identical to the uninterrupted run.
 
 The measured numbers are exported as ``BENCH_resume.json`` (path
-override: ``BENCH_RESUME_JSON``) so CI can archive resume-savings trends.
+override: ``BENCH_RESUME_JSON``) as a versioned bench envelope
+(:mod:`repro.bench`) so CI can gate resume-savings trends with
+``repro bench diff``.
 """
 
-import json
 import os
 import tempfile
 import time
@@ -23,7 +24,15 @@ from repro.datasets import build_domain_dataset
 from repro.io import run_result_to_dict
 from repro.util.errors import PreemptionError
 
-from .conftest import BENCH_SEED, print_table
+from .conftest import (
+    BENCH_SEED,
+    TOL_COUNT,
+    TOL_EXACT,
+    TOL_SCORE,
+    TOL_WALL,
+    emit_bench,
+    print_table,
+)
 
 #: a mid-size slice keeps the three runs (uninterrupted, killed, resumed)
 #: honest without tripling the suite's dominant 20-interface cost
@@ -100,12 +109,15 @@ def test_resume_sweep(benchmark):
     assert killed_trips[0] + resumed_trips == full_trips
     assert saved > 0
 
-    out_path = os.environ.get("BENCH_RESUME_JSON", "BENCH_resume.json")
-    with open(out_path, "w") as handle:
-        json.dump({
+    emit_bench(
+        "BENCH_RESUME_JSON",
+        "resume-sweep",
+        workload={
             "domain": DOMAIN,
             "n_interfaces": N_INTERFACES,
             "seed": BENCH_SEED,
+        },
+        metrics={
             "boundaries": boundaries,
             "kill_at": kill_at,
             "uninterrupted_round_trips": full_trips,
@@ -114,8 +126,22 @@ def test_resume_sweep(benchmark):
             "replayed_round_trips_saved": saved,
             "cold_restart_round_trips": cold_restart_trips,
             "round_trip_reduction_vs_cold_restart": reduction,
+            "f1": resumed_result.metrics.f1,
             "uninterrupted_wall_seconds": full_secs,
             "resumed_wall_seconds": resumed_secs,
-            "f1": resumed_result.metrics.f1,
-        }, handle, indent=2)
-    print(f"wrote {out_path}")
+        },
+        tolerances={
+            "boundaries": TOL_EXACT,
+            "kill_at": TOL_EXACT,
+            "uninterrupted_round_trips": TOL_COUNT,
+            "killed_round_trips": TOL_COUNT,
+            "resumed_round_trips": TOL_COUNT,
+            "replayed_round_trips_saved": TOL_SCORE,
+            "cold_restart_round_trips": TOL_COUNT,
+            "round_trip_reduction_vs_cold_restart": TOL_SCORE,
+            "f1": TOL_SCORE,
+            "uninterrupted_wall_seconds": TOL_WALL,
+            "resumed_wall_seconds": TOL_WALL,
+        },
+        default="BENCH_resume.json",
+    )

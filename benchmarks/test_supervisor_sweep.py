@@ -10,10 +10,11 @@ by resume (what a cold restart would have re-paid), round trips wasted in
 crashes, and records salvaged from the torn journal.
 
 The numbers are exported as ``BENCH_supervisor.json`` (path override:
-``BENCH_SUPERVISOR_JSON``) so CI can archive self-healing trends.
+``BENCH_SUPERVISOR_JSON``) as a versioned bench envelope
+(:mod:`repro.bench`) so CI can gate self-healing trends with ``repro
+bench diff``.
 """
 
-import json
 import os
 import tempfile
 import time
@@ -26,7 +27,15 @@ from repro.datasets import build_domain_dataset
 from repro.io import run_result_to_dict
 from repro.supervisor import RunSupervisor
 
-from .conftest import BENCH_SEED, print_table
+from .conftest import (
+    BENCH_SEED,
+    TOL_COUNT,
+    TOL_EXACT,
+    TOL_SCORE,
+    TOL_WALL,
+    emit_bench,
+    print_table,
+)
 
 DOMAIN = "book"
 N_INTERFACES = 8
@@ -121,15 +130,17 @@ def test_supervisor_sweep(benchmark):
         rows,
     )
 
-    out_path = os.environ.get(
-        "BENCH_SUPERVISOR_JSON", "BENCH_supervisor.json")
-    with open(out_path, "w") as handle:
-        json.dump({
+    emit_bench(
+        "BENCH_SUPERVISOR_JSON",
+        "supervisor-sweep",
+        workload={
             "domain": DOMAIN,
             "n_interfaces": N_INTERFACES,
             "seed": BENCH_SEED,
-            "boundaries": boundaries,
             "kill_schedule": [k for k in kill_schedule if k is not None],
+        },
+        metrics={
+            "boundaries": boundaries,
             "restarts": report.restarts,
             "salvages": report.salvages,
             "salvaged_records": report.salvaged_records,
@@ -137,12 +148,27 @@ def test_supervisor_sweep(benchmark):
                 report.salvage_trimmed_round_trips,
             "wasted_round_trips": report.wasted_round_trips,
             "total_round_trips": report.total_round_trips,
-            "uninterrupted_round_trips": full_result.checkpoint
-                .fresh_round_trips,
+            "uninterrupted_round_trips":
+                full_result.checkpoint.fresh_round_trips,
             "backoff_seconds": report.backoff_seconds,
-            "attempts": attempts,
+            "f1": result.metrics.f1,
             "uninterrupted_wall_seconds": full_secs,
             "supervised_wall_seconds": supervised_secs,
-            "f1": result.metrics.f1,
-        }, handle, indent=2)
-    print(f"wrote {out_path}")
+        },
+        tolerances={
+            "boundaries": TOL_EXACT,
+            "restarts": TOL_EXACT,
+            "salvages": TOL_EXACT,
+            "salvaged_records": TOL_EXACT,
+            "salvage_trimmed_round_trips": TOL_COUNT,
+            "wasted_round_trips": TOL_COUNT,
+            "total_round_trips": TOL_COUNT,
+            "uninterrupted_round_trips": TOL_COUNT,
+            "backoff_seconds": TOL_COUNT,
+            "f1": TOL_SCORE,
+            "uninterrupted_wall_seconds": TOL_WALL,
+            "supervised_wall_seconds": TOL_WALL,
+        },
+        detail={"attempts": attempts},
+        default="BENCH_supervisor.json",
+    )

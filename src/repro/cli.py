@@ -12,6 +12,14 @@ Commands:
 - ``journal``   — inspect or salvage a run's checkpoint journal
 - ``registry``  — build, extend, inspect or batch-check a canonical
   attribute registry (incremental matching, see :mod:`repro.registry`)
+- ``bench``     — compare versioned benchmark artifacts; ``bench diff
+  BASELINE CURRENT`` classifies per-metric drift against the baseline's
+  declared tolerances (exit 1 on regression, 2 on workload mismatch)
+
+``run --profile PATH`` profiles the run with the deterministic span
+profiler (:mod:`repro.obs.profile`): hot-path work counters plus
+self/cumulative time per span path, written as sorted JSON to PATH and
+as collapsed-stack lines to ``PATH.folded`` for flamegraph tooling.
 
 ``run --report PATH`` writes a provenance-backed run report (accuracy,
 acquisition yield, hardest match decisions); ``run --explain ATTR``
@@ -82,6 +90,12 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--trace", metavar="PATH",
                      help="trace the run and write the trace + metrics "
                           "as deterministic JSON")
+    run.add_argument("--profile", metavar="PATH",
+                     help="profile the run: write span self/cumulative "
+                          "times, hot-path work counters and per-phase "
+                          "rollups as JSON to PATH, plus collapsed "
+                          "stacks to PATH.folded (flamegraph input); "
+                          "strictly read-only — results are unchanged")
     run.add_argument("--metrics", action="store_true",
                      help="trace the run and print the observability and "
                           "invariant-check summaries")
@@ -211,6 +225,17 @@ def build_parser() -> argparse.ArgumentParser:
     rbatch.add_argument("--induced", required=True, metavar="PATH",
                         help="output JSON path")
 
+    bench = sub.add_parser(
+        "bench", help="compare versioned benchmark artifacts")
+    bsub = bench.add_subparsers(dest="bench_command", required=True)
+    bdiff = bsub.add_parser(
+        "diff", help="classify per-metric drift of CURRENT against "
+                     "BASELINE using the baseline's declared tolerance "
+                     "bands (exit 1 on regression, 2 on workload "
+                     "mismatch or a damaged artifact)")
+    bdiff.add_argument("baseline", help="committed baseline BENCH_*.json")
+    bdiff.add_argument("current", help="freshly produced BENCH_*.json")
+
     analyze = sub.add_parser(
         "analyze", help="error analysis of a matching run")
     _common(analyze)
@@ -255,6 +280,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "analyze": _cmd_analyze,
         "journal": _cmd_journal,
         "registry": _cmd_registry,
+        "bench": _cmd_bench,
     }
     return handlers[args.command](args)
 
@@ -318,11 +344,12 @@ def _cache_config(args):
 
 def _obs_config(args):
     """Build the run's ObsConfig from CLI flags, or None."""
-    if not (args.trace or args.metrics or args.report or args.explain):
+    if not (args.trace or args.metrics or args.report or args.explain
+            or args.profile):
         return None
     from repro.obs import ObsConfig
 
-    return ObsConfig()
+    return ObsConfig(profile=bool(args.profile))
 
 
 def _checkpoint_config(args):
@@ -340,11 +367,11 @@ def _checkpoint_config(args):
             "repro run: error: --checkpoint needs a single --domain "
             "(a journal belongs to exactly one run)")
     if args.resume and (args.trace or args.metrics or args.report
-                        or args.explain):
+                        or args.explain or args.profile):
         raise SystemExit(
             "repro run: error: --resume cannot be combined with "
-            "--trace/--metrics/--report/--explain (replayed units issue "
-            "no calls for the tracer to observe)")
+            "--trace/--metrics/--report/--explain/--profile (replayed "
+            "units issue no calls for the tracer to observe)")
     if args.kill_at is not None and args.kill_at < 0:
         raise SystemExit(
             f"repro run: error: --kill-at must be >= 0, got {args.kill_at}")
@@ -368,12 +395,13 @@ def _supervisor_config(args):
         raise SystemExit(
             "repro run: error: --supervise requires --checkpoint DIR "
             "(recovery resumes from the journal)")
-    if args.trace or args.metrics or args.report or args.explain:
+    if args.trace or args.metrics or args.report or args.explain \
+            or args.profile:
         raise SystemExit(
             "repro run: error: --supervise cannot be combined with "
-            "--trace/--metrics/--report/--explain (recovery resumes from "
-            "the journal, and resumed units issue no calls for the tracer "
-            "to observe)")
+            "--trace/--metrics/--report/--explain/--profile (recovery "
+            "resumes from the journal, and resumed units issue no calls "
+            "for the tracer to observe)")
     max_restarts = 8 if args.max_restarts is None else args.max_restarts
     if max_restarts < 0:
         raise SystemExit(
@@ -512,6 +540,20 @@ def _cmd_run(args) -> int:
                 _json.dump(observability_to_dict(result.obs), handle,
                            indent=2, sort_keys=True)
             print(f"  wrote {path}")
+        if args.profile:
+            from repro.obs import build_profile, hottest_paths, write_profile
+            profile = build_profile(result)
+            path = args.profile if args.domain != "all" else \
+                f"{args.profile}.{domain}.json"
+            folded = write_profile(path, profile)
+            hottest = hottest_paths(profile, limit=3)
+            if hottest:
+                top = hottest[0]
+                print(f"  profile: hottest span {top['path']} "
+                      f"(self {top['t_self']:.1f}s simulated over "
+                      f"{top['count']} call(s)); digest "
+                      f"{profile['digest']}")
+            print(f"  wrote {path} and {folded}")
         if args.json:
             from repro.io import dump_run_result
             path = args.json if args.domain != "all" else \
@@ -562,6 +604,27 @@ def _cmd_diff(args) -> int:
 
     diff = diff_runs(load_run_result(args.old), load_run_result(args.new))
     print(diff.summary(), end="")
+    return 1 if diff.has_regression else 0
+
+
+def _cmd_bench(args) -> int:
+    from repro.bench import (
+        BenchArtifactError,
+        BenchWorkloadMismatch,
+        diff_benches,
+        load_bench,
+    )
+
+    try:
+        baseline = load_bench(args.baseline)
+        current = load_bench(args.current)
+        diff = diff_benches(baseline, current)
+    except (BenchArtifactError, BenchWorkloadMismatch) as exc:
+        print(f"bench diff: {exc}", file=sys.stderr)
+        return 2
+    for drift in diff.drifts:
+        print(f"  {drift.describe()}")
+    print(diff.summary())
     return 1 if diff.has_regression else 0
 
 

@@ -98,6 +98,7 @@ from repro.resilience.faults import (
 )
 from repro.supervisor import SupervisorConfig, SupervisorReport
 from repro.util.clock import SimulatedClock, StopwatchReport
+from repro.util.counters import collecting as collecting_counters
 from repro.util.errors import ResumeError, ValidationError
 
 __all__ = ["WebIQConfig", "WebIQRunResult", "WebIQMatcher"]
@@ -272,6 +273,13 @@ class WebIQMatcher:
                 run_scope.enter_context(
                     obs.tracer.span("run", domain=dataset.domain)
                 )
+                if obs.counters is not None:
+                    # Profiling: collect hot-path work counters for the
+                    # whole run scope. Strictly read-only — the counters
+                    # live outside the export payload, and only bumps
+                    # from this (serial commit) thread are accepted, so
+                    # speculative workers never skew the counts.
+                    run_scope.enter_context(collecting_counters(obs.counters))
             if self.config.webiq_enabled:
                 engine = dataset.engine
                 sources = dataset.sources
@@ -439,17 +447,25 @@ class WebIQMatcher:
             # account and records no span, so exports stay byte-identical
             # with and without it. The InvariantChecker audits that its
             # induced matching equals the batch clusters above.
-            _, registry_report = build_registry(
-                dataset.domain,
-                dataset.interfaces,
-                store=RegistryStore(
-                    domain=dataset.domain,
-                    threshold=self.config.threshold,
-                    linkage=self.config.linkage,
-                    similarity=self.config.similarity,
-                ),
-                directory=self.config.registry,
-            )
+            with ExitStack() as registry_scope:
+                if obs is not None and obs.counters is not None:
+                    # Blocking-index probes and registry similarity
+                    # evaluations belong to the run's work profile even
+                    # though the registry lives outside the run proper.
+                    registry_scope.enter_context(
+                        collecting_counters(obs.counters)
+                    )
+                _, registry_report = build_registry(
+                    dataset.domain,
+                    dataset.interfaces,
+                    store=RegistryStore(
+                        domain=dataset.domain,
+                        threshold=self.config.threshold,
+                        linkage=self.config.linkage,
+                        similarity=self.config.similarity,
+                    ),
+                    directory=self.config.registry,
+                )
         return WebIQRunResult(
             domain=dataset.domain,
             config=self.config,

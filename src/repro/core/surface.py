@@ -37,6 +37,7 @@ from repro.stats.pmi import mean_pmi, pmi
 from repro.surfaceweb.engine import SearchEngine
 from repro.text.labels import LabelAnalysis, NounPhrase, analyze_label, clean_label
 from repro.text.postag import BrillTagger, TaggedToken, default_tagger
+from repro.util import counters as work
 
 __all__ = [
     "SurfaceConfig",
@@ -355,6 +356,8 @@ class WebValidator:
         key = (phrase, candidate.lower(), int(proximity))
         joints = self._cache.joint_hits
         if key not in joints:
+            if work.ACTIVE is not None:
+                work.ACTIVE.bump("pmi.phrase_queries")
             if proximity:
                 count = self._engine.num_hits_proximity(
                     phrase, candidate, window=self.CUE_WINDOW)
@@ -370,6 +373,8 @@ class WebValidator:
     def _hits_phrase(self, phrase: str) -> int:
         hits = self._cache.phrase_hits
         if phrase not in hits:
+            if work.ACTIVE is not None:
+                work.ACTIVE.bump("pmi.phrase_queries")
             hits[phrase] = self._engine.num_hits(f'"{phrase}"')
         return hits[phrase]
 
@@ -378,6 +383,8 @@ class WebValidator:
         low = candidate.lower()
         hits = self._cache.candidate_hits
         if low not in hits:
+            if work.ACTIVE is not None:
+                work.ACTIVE.bump("pmi.phrase_queries")
             hits[low] = self._engine.num_hits(f'"{low}"')
         return hits[low]
 

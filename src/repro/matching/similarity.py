@@ -21,6 +21,7 @@ from repro.matching.types import DomainType, infer_type
 from repro.stats.outliers import parse_numeric
 from repro.text.morphology import singularize
 from repro.text.tokenizer import words as word_tokens
+from repro.util import counters as work
 
 __all__ = [
     "AttributeView",
@@ -195,6 +196,8 @@ def similarity_components(
     :func:`attribute_similarity` computes it — provenance records built
     from these components recompute to the matcher's ``Sim`` bit for bit.
     """
+    if work.ACTIVE is not None:
+        work.ACTIVE.bump("similarity.evaluations")
     label_sim = label_similarity(a.label, b.label)
     dom_sim = domain_similarity(a.instances, b.instances, config)
     return label_sim, dom_sim, config.alpha * label_sim + config.beta * dom_sim

@@ -17,7 +17,12 @@ what it sees into three artifacts:
   (:class:`~repro.obs.provenance.ProvenanceRecorder`) — the full lineage
   of every acquired instance and an explanation of every match decision,
   digestible into a :class:`~repro.obs.report.RunReport` and diffable
-  across runs with :func:`~repro.obs.report.diff_runs`.
+  across runs with :func:`~repro.obs.report.diff_runs`;
+- a **span profile** (:mod:`repro.obs.profile`) — self/cumulative time
+  attribution per span path plus hot-path work counters, split into a
+  deterministic digestible section and an advisory wall-clock section,
+  exportable as collapsed stacks for flamegraph tooling. Enable the work
+  counters with ``ObsConfig(profile=True)``.
 
 Attach an :class:`ObsConfig` to ``WebIQConfig.obs`` to enable; the
 default (``None``) leaves the pipeline bit-identical to an uninstrumented
@@ -38,7 +43,23 @@ from repro.obs.invariants import (
     InvariantViolation,
     check_run,
 )
-from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.metrics import (
+    HISTOGRAM_SAMPLE_CAP,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.profile import (
+    PROFILE_FORMAT,
+    PathStats,
+    aggregate_spans,
+    build_profile,
+    collapsed_stacks,
+    hottest_paths,
+    span_time_violations,
+    write_profile,
+)
 from repro.obs.provenance import (
     DEFAULT_PROVENANCE_CAPACITY,
     DiscoverySummary,
@@ -77,6 +98,15 @@ __all__ = [
     "Counter",
     "Gauge",
     "Histogram",
+    "HISTOGRAM_SAMPLE_CAP",
+    "PROFILE_FORMAT",
+    "PathStats",
+    "aggregate_spans",
+    "build_profile",
+    "collapsed_stacks",
+    "hottest_paths",
+    "span_time_violations",
+    "write_profile",
     "InvariantChecker",
     "InvariantReport",
     "InvariantViolation",

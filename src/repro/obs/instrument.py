@@ -42,6 +42,7 @@ from repro.obs.provenance import (
     ProvenanceRecorder,
 )
 from repro.obs.trace import Tracer
+from repro.util.counters import WorkCounters
 
 __all__ = [
     "ObsConfig",
@@ -70,12 +71,16 @@ class ObsConfig:
     of a trace); metrics counters and phase spans are always recorded.
     ``provenance`` turns the decision-provenance recorder on (default) or
     off; ``provenance_capacity`` bounds each of its ring buffers so an
-    arbitrarily large run cannot exhaust memory.
+    arbitrarily large run cannot exhaust memory. ``profile`` additionally
+    collects hot-path work counters (:mod:`repro.util.counters`) for the
+    span profiler (:mod:`repro.obs.profile`); it is strictly read-only —
+    run exports are bit-identical with it on or off.
     """
 
     trace_calls: bool = True
     provenance: bool = True
     provenance_capacity: int = DEFAULT_PROVENANCE_CAPACITY
+    profile: bool = False
 
 
 class Observability:
@@ -92,6 +97,12 @@ class Observability:
         self.provenance: Optional[ProvenanceRecorder] = (
             ProvenanceRecorder(config.provenance_capacity)
             if config.provenance else None
+        )
+        #: Hot-path work counters, collected only when profiling: the
+        #: pipeline installs these via ``repro.util.counters.collecting``
+        #: around the profiled region.
+        self.counters: Optional[WorkCounters] = (
+            WorkCounters() if config.profile else None
         )
         self._components: List[str] = []
 

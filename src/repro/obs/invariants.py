@@ -111,6 +111,7 @@ class InvariantChecker:
         if obs is not None:
             self._check_trace_well_formed(report, obs)
             self._check_phase_spans(report, obs, result)
+            self._check_profile_time_conservation(report, obs)
         if cache is not None:
             self._check_cache_store_accounting(report, cache)
         if obs is not None:
@@ -192,6 +193,25 @@ class InvariantChecker:
                     report, name,
                     f"expected exactly one '{phase}' span, found {len(spans)}",
                 )
+
+    def _check_profile_time_conservation(self, report: InvariantReport,
+                                         obs: Observability) -> None:
+        """The span tree's time attribution is sound: every span closed,
+        no span's children cumulatively exceed it (self time ≥ 0 within
+        float epsilon), and summed self times reproduce the root spans'
+        cumulative time exactly — so the profiler's flame graph neither
+        invents nor loses a single simulated second."""
+        name = "profile-time-conservation"
+        report.checked.append(name)
+        # Imported here: profile sits above instrument in the module
+        # graph, and the checker is imported by the obs package root.
+        from repro.obs.profile import span_time_violations
+
+        for message in span_time_violations(obs.tracer):
+            self._fail(
+                report, name,
+                message.replace("profile-time-conservation: ", ""),
+            )
 
     def _check_cache_store_accounting(self, report: InvariantReport,
                                       cache) -> None:

@@ -20,7 +20,13 @@ import math
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterator, List, Optional, Tuple
 
-__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "HISTOGRAM_SAMPLE_CAP",
+    "MetricsRegistry",
+]
 
 LabelKey = Tuple[Tuple[str, str], ...]
 
@@ -51,13 +57,30 @@ class Gauge:
         self.value = value
 
 
+#: Raw samples a :class:`Histogram` retains before decimating. Below the
+#: cap percentiles are exact; above it they are nearest-rank over a
+#: deterministic 1-in-``stride`` subsample (see :meth:`Histogram.observe`).
+HISTOGRAM_SAMPLE_CAP = 4096
+
+
 @dataclass
 class Histogram:
     """Summary of an observed distribution.
 
-    Retains the raw samples so :meth:`percentile` can answer exactly;
-    the JSON export stays summary-only (count/total/min/max) so payload
-    size does not grow with sample count.
+    Retains raw samples — bounded by :data:`HISTOGRAM_SAMPLE_CAP` — so
+    :meth:`percentile` can answer; the JSON export stays summary-only
+    (count/total/min/max) so payload size never grows with sample count.
+
+    Retention is a *deterministic capped reservoir*: observation ``i``
+    (0-based) is kept iff ``i % stride == 0``. Whenever the retained list
+    would exceed the cap, every second retained sample is dropped
+    (``samples[::2]``) and ``stride`` doubles — the kept indices remain
+    exactly the multiples of the new stride, so which samples survive
+    depends only on the observation sequence, never on randomness.
+    Below the cap ``stride == 1`` and percentiles are exact; above it
+    they are nearest-rank over the strided subsample (documented,
+    deterministic approximation). ``count``/``total``/``min``/``max``
+    are always exact regardless of decimation.
     """
 
     count: int = 0
@@ -65,23 +88,36 @@ class Histogram:
     min: Optional[float] = None
     max: Optional[float] = None
     samples: List[float] = field(default_factory=list)
+    #: 1 while under the cap; doubles on every decimation.
+    stride: int = 1
 
     def observe(self, value: float) -> None:
         self.count += 1
         self.total += value
         self.min = value if self.min is None else min(self.min, value)
         self.max = value if self.max is None else max(self.max, value)
-        self.samples.append(value)
+        if (self.count - 1) % self.stride == 0:
+            self.samples.append(value)
+            if len(self.samples) > HISTOGRAM_SAMPLE_CAP:
+                self.samples = self.samples[::2]
+                self.stride *= 2
 
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
+    @property
+    def exact(self) -> bool:
+        """True while every observation is still retained."""
+        return self.stride == 1
+
     def percentile(self, q: float) -> Optional[float]:
-        """Nearest-rank percentile of the observed samples.
+        """Nearest-rank percentile of the retained samples.
 
         ``q`` is in ``[0, 100]``. Returns ``None`` when nothing has been
-        observed; a single sample is every percentile of itself.
+        observed; a single sample is every percentile of itself. Exact
+        below :data:`HISTOGRAM_SAMPLE_CAP` observations; above it,
+        nearest-rank over the deterministic strided subsample.
         """
         if not 0.0 <= q <= 100.0:
             raise ValueError(f"percentile out of range: {q!r}")

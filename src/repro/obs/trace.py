@@ -27,6 +27,7 @@ gap-free and traces byte-identical across worker counts.
 
 from __future__ import annotations
 
+import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterator, List, Optional
@@ -67,6 +68,12 @@ class Span:
     children: List["Span"] = field(default_factory=list)
     seq_end: Optional[int] = None
     t_end: Optional[float] = None
+    #: host wall-clock bounds (``time.perf_counter``), captured for the
+    #: profiler's advisory section only. Deliberately **excluded** from
+    #: :meth:`to_dict`: wall time varies run to run, and the trace export
+    #: must stay byte-identical for equal seeds/configs.
+    wall_start: float = 0.0
+    wall_end: Optional[float] = None
 
     @property
     def closed(self) -> bool:
@@ -120,6 +127,7 @@ class Tracer:
             seq_start=self._next_seq(),
             t_start=self._now(),
             attrs=attrs,
+            wall_start=time.perf_counter(),
         )
         if self._stack:
             self._stack[-1].children.append(span)
@@ -132,6 +140,7 @@ class Tracer:
             self._stack.pop()
             span.seq_end = self._next_seq()
             span.t_end = self._now()
+            span.wall_end = time.perf_counter()
 
     def event(self, name: str, **attrs: Any) -> TraceEvent:
         """Record a typed event on the innermost open span."""

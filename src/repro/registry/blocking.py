@@ -38,6 +38,7 @@ from typing import Any, Dict, List, Sequence, Set, Tuple
 
 from repro.matching.similarity import AttributeView, normalize_label_words
 from repro.matching.types import infer_type
+from repro.util import counters as work
 
 __all__ = ["AddRecord", "BlockingIndex", "BlockingStats"]
 
@@ -128,6 +129,8 @@ class BlockingIndex:
         pair that batch evaluation would score above zero is the bug the
         soundness suite hunts.
         """
+        if work.ACTIVE is not None:
+            work.ACTIVE.bump("blocking.probes")
         signature = Signature.of(view)
         found: Set[int] = set()
         for token in signature.tokens:

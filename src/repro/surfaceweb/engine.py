@@ -23,6 +23,7 @@ from repro.surfaceweb.document import Document
 from repro.surfaceweb.index import InvertedIndex
 from repro.surfaceweb.query import ParsedQuery, QueryParser
 from repro.text.tokenizer import words as word_tokens
+from repro.util import counters as work
 
 __all__ = ["SearchEngine", "SearchResult"]
 
@@ -73,6 +74,8 @@ class SearchEngine:
         completions are visible to the extractor.
         """
         self.query_count += 1
+        if work.ACTIVE is not None:
+            work.ACTIVE.bump("engine.round_trips")
         parsed = self._parser.parse(query)
         ranked = sorted(
             self._matching_docs(parsed),
@@ -98,6 +101,8 @@ class SearchEngine:
     def num_hits(self, query: str) -> int:
         """Number of documents matching ``query`` (the "NumHits" oracle)."""
         self.query_count += 1
+        if work.ACTIVE is not None:
+            work.ACTIVE.bump("engine.round_trips")
         return len(self._matching_docs(self._parser.parse(query)))
 
     def num_hits_proximity(
@@ -112,6 +117,8 @@ class SearchEngine:
         candidate need not be adjacent, only near each other.
         """
         self.query_count += 1
+        if work.ACTIVE is not None:
+            work.ACTIVE.bump("engine.round_trips")
         a = word_tokens(phrase_a.lower())
         b = word_tokens(phrase_b.lower())
         if not a or not b:
@@ -124,7 +131,12 @@ class SearchEngine:
 
         def narrow(docs: Set[int]) -> Set[int]:
             nonlocal candidates
-            candidates = docs if candidates is None else candidates & docs
+            if candidates is None:
+                candidates = docs
+            else:
+                if work.ACTIVE is not None:
+                    work.ACTIVE.bump("index.intersections")
+                candidates = candidates & docs
             return candidates
 
         for phrase in parsed.phrases:

@@ -12,6 +12,7 @@ from __future__ import annotations
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.surfaceweb.document import Document
+from repro.util import counters as work
 
 __all__ = ["InvertedIndex"]
 
@@ -93,7 +94,12 @@ class InvertedIndex:
         candidates: Optional[Set[int]] = None
         for word in phrase:
             docs = set(self._postings.get(word, ()))
-            candidates = docs if candidates is None else candidates & docs
+            if candidates is None:
+                candidates = docs
+            else:
+                if work.ACTIVE is not None:
+                    work.ACTIVE.bump("index.intersections")
+                candidates = candidates & docs
             if not candidates:
                 return set()
         assert candidates is not None
@@ -117,9 +123,13 @@ class InvertedIndex:
         docs_b = self.documents_with_phrase(phrase_b)
         result: Set[int] = set()
         len_a, len_b = len(list(phrase_a)), len(list(phrase_b))
+        if work.ACTIVE is not None:
+            work.ACTIVE.bump("index.intersections")
         for doc_id in docs_a & docs_b:
             pos_a = self.phrase_positions(phrase_a, doc_id)
             pos_b = self.phrase_positions(phrase_b, doc_id)
+            if work.ACTIVE is not None:
+                work.ACTIVE.bump("index.window_checks")
             if _within_window(pos_a, len_a, pos_b, len_b, window):
                 result.add(doc_id)
         return result

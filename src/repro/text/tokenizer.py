@@ -11,6 +11,8 @@ from __future__ import annotations
 import re
 from typing import List
 
+from repro.util import counters as work
+
 __all__ = ["tokenize", "words", "sentences", "normalize"]
 
 # A token is a run of word characters (letters/digits, allowing internal
@@ -41,6 +43,8 @@ def tokenize(text: str) -> List[str]:
     >>> tokenize("price is $15,200")
     ['price', 'is', '$15,200']
     """
+    if work.ACTIVE is not None:
+        work.ACTIVE.bump("tokenizer.calls")
     return _TOKEN_RE.findall(text)
 
 

@@ -11,7 +11,7 @@ import json
 
 import pytest
 
-from repro.obs import Histogram, MetricsRegistry
+from repro.obs import HISTOGRAM_SAMPLE_CAP, Histogram, MetricsRegistry
 
 
 class TestHistogramEdgeCases:
@@ -67,3 +67,66 @@ class TestHistogramEdgeCases:
         assert row["count"] == 3
         assert row["min"] == 1.0
         assert row["max"] == 3.0
+
+
+class TestHistogramSampleCap:
+    def test_million_observations_retain_bounded_samples(self):
+        """The regression the reservoir exists for: a long-lived run used
+        to retain one float per observation, so a million observations
+        held a million floats. Retention must now stay under the cap
+        while count/total/min/max remain exact."""
+        histogram = Histogram()
+        n = 1_000_000
+        for i in range(n):
+            histogram.observe(float(i))
+        assert len(histogram.samples) <= HISTOGRAM_SAMPLE_CAP
+        assert histogram.count == n
+        assert histogram.total == sum(float(i) for i in range(n))
+        assert histogram.min == 0.0
+        assert histogram.max == float(n - 1)
+        assert not histogram.exact
+
+    def test_exact_below_cap(self):
+        """Below the cap the reservoir is invisible: every sample kept,
+        percentiles exact."""
+        histogram = Histogram()
+        values = [float(v) for v in range(HISTOGRAM_SAMPLE_CAP)]
+        for value in values:
+            histogram.observe(value)
+        assert histogram.exact
+        assert histogram.samples == values
+        assert histogram.percentile(100.0) == values[-1]
+
+    def test_stride_doubles_deterministically(self):
+        """The decimation is deterministic: same observations, same
+        retained subsample — no RNG involved."""
+        first, second = Histogram(), Histogram()
+        for i in range(3 * HISTOGRAM_SAMPLE_CAP):
+            first.observe(float(i))
+            second.observe(float(i))
+        assert first.samples == second.samples
+        assert first.stride == second.stride > 1
+        # every retained sample index is a multiple of the stride
+        assert all(v % first.stride == 0 for v in first.samples)
+
+    def test_percentiles_stay_representative_above_cap(self):
+        histogram = Histogram()
+        n = 10 * HISTOGRAM_SAMPLE_CAP
+        for i in range(n):
+            histogram.observe(float(i))
+        median = histogram.percentile(50.0)
+        assert abs(median - n / 2) / n < 0.01
+
+    def test_export_rows_unchanged_above_cap(self):
+        """Capping retention must not change the export schema or the
+        exact summary fields."""
+        registry = MetricsRegistry()
+        histogram = registry.histogram("latency")
+        n = 2 * HISTOGRAM_SAMPLE_CAP
+        for i in range(n):
+            histogram.observe(float(i))
+        (row,) = registry.export()["histograms"]
+        assert set(row) == {"name", "labels", "count", "total", "min", "max"}
+        assert row["count"] == n
+        assert row["min"] == 0.0
+        assert row["max"] == float(n - 1)
