@@ -15,6 +15,13 @@ Commands:
 - ``bench``     — compare versioned benchmark artifacts; ``bench diff
   BASELINE CURRENT`` classifies per-metric drift against the baseline's
   declared tolerances (exit 1 on regression, 2 on workload mismatch)
+- ``serve``     — boot the long-running matching service and drive a JSON
+  request script through it: warm epochs, admission control, per-tenant
+  quotas, deadlines (exit 1 on --strict violations, 2 on a bad script)
+- ``request``   — execute one request through a fresh service instance;
+  exit 0 completed, 3 deadline-expired, 5 admission-rejected, 6 crashed.
+  ``--strip-service --json PATH`` writes the export without its service
+  section, byte-comparable against ``run --json`` output
 
 ``run --profile PATH`` profiles the run with the deterministic span
 profiler (:mod:`repro.obs.profile`): hot-path work counters plus
@@ -236,6 +243,70 @@ def build_parser() -> argparse.ArgumentParser:
     bdiff.add_argument("baseline", help="committed baseline BENCH_*.json")
     bdiff.add_argument("current", help="freshly produced BENCH_*.json")
 
+    serve = sub.add_parser(
+        "serve", help="boot the matching service and drive a request "
+                      "script against warm shared state")
+    serve.add_argument("--script", required=True, metavar="PATH",
+                       help="JSON request script: a list of request "
+                            "objects, or {\"quotas\": {...}, "
+                            "\"requests\": [...]}")
+    serve.add_argument("--spool", metavar="DIR",
+                       help="checkpoint spool directory (required before "
+                            "any scripted request may carry a deadline)")
+    serve.add_argument("--registry", metavar="DIR",
+                       help="persist the service registry at DIR "
+                            "(assimilating requests publish into it)")
+    serve.add_argument("--queue-depth", type=int, default=8, metavar="N",
+                       help="bounded request queue depth (default 8)")
+    serve.add_argument("--export-dir", metavar="DIR",
+                       help="write each completed request's export as "
+                            "DIR/<request-id>.json")
+    serve.add_argument("--stats-json", metavar="PATH",
+                       help="write the deterministic ServiceStats ledger "
+                            "as JSON")
+    serve.add_argument("--strict", action="store_true",
+                       help="audit the service conservation laws and exit "
+                            "1 on any violation")
+
+    request = sub.add_parser(
+        "request", help="execute one request through a fresh service "
+                        "instance (exit 0/3/5/6: completed / "
+                        "deadline-expired / rejected / crashed)")
+    _common(request)
+    request.add_argument("--tenant", default="cli",
+                         help="tenant the request is billed to "
+                              "(default 'cli')")
+    request.add_argument("--deadline", type=float, default=None, metavar="S",
+                         help="simulated-seconds budget for the run "
+                              "(requires --spool; graceful degradation on "
+                              "expiry)")
+    request.add_argument("--spool", metavar="DIR",
+                         help="checkpoint spool directory for deadline "
+                              "requests")
+    request.add_argument("--registry", metavar="DIR",
+                         help="assimilate the run's interfaces into the "
+                              "service registry at DIR")
+    request.add_argument("--threshold", type=float, default=0.0,
+                         help="clustering threshold tau (default 0.0)")
+    request.add_argument("--fault-rate", type=float, default=0.0,
+                         help="inject Web faults at this rate (0..1)")
+    request.add_argument("--fault-seed", type=int, default=0,
+                         help="seed of the fault streams (default 0)")
+    request.add_argument("--probe-budget", type=int, default=None,
+                         help="cap on Attr-Deep form submissions")
+    request.add_argument("--query-budget", type=int, default=None,
+                         help="cap on engine round trips per component")
+    request.add_argument("--workers", type=int, default=1, metavar="N",
+                         help="speculative prefetch workers (default 1)")
+    request.add_argument("--json", metavar="PATH",
+                         help="write the run export as JSON")
+    request.add_argument("--strip-service", action="store_true",
+                         help="strip the service section from --json "
+                              "output (byte-comparable vs run --json)")
+    request.add_argument("--strict", action="store_true",
+                         help="audit the service conservation laws and "
+                              "exit 1 on any violation")
+
     analyze = sub.add_parser(
         "analyze", help="error analysis of a matching run")
     _common(analyze)
@@ -281,6 +352,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "journal": _cmd_journal,
         "registry": _cmd_registry,
         "bench": _cmd_bench,
+        "serve": _cmd_serve,
+        "request": _cmd_request,
     }
     return handlers[args.command](args)
 
@@ -628,6 +701,215 @@ def _cmd_bench(args) -> int:
     return 1 if diff.has_regression else 0
 
 
+def _scripted_request(entry, position: int):
+    """One script entry -> a MatchRequest (raises ValueError if bad)."""
+    from repro.service import MatchRequest
+
+    if not isinstance(entry, dict):
+        raise ValueError(f"request {position}: not an object")
+    known = {"tenant", "domain", "interfaces", "seed", "deadline",
+             "assimilate", "cost", "threshold", "fault_rate", "fault_seed",
+             "probe_budget", "query_budget", "workers"}
+    unknown = set(entry) - known
+    if unknown:
+        raise ValueError(
+            f"request {position}: unknown keys {sorted(unknown)}")
+    if "domain" not in entry:
+        raise ValueError(f"request {position}: missing 'domain'")
+    config = _service_run_config(
+        threshold=entry.get("threshold", 0.0),
+        fault_rate=entry.get("fault_rate", 0.0),
+        fault_seed=entry.get("fault_seed", 0),
+        probe_budget=entry.get("probe_budget"),
+        query_budget=entry.get("query_budget"),
+        workers=entry.get("workers", 1),
+    )
+    return MatchRequest(
+        tenant=entry.get("tenant", "anon"),
+        domain=entry["domain"],
+        n_interfaces=entry.get("interfaces", 4),
+        seed=entry.get("seed", 7),
+        config=config,
+        deadline_seconds=entry.get("deadline"),
+        assimilate=bool(entry.get("assimilate", False)),
+        cost=float(entry.get("cost", 1.0)),
+    )
+
+
+def _service_run_config(*, threshold=0.0, fault_rate=0.0, fault_seed=0,
+                        probe_budget=None, query_budget=None, workers=1):
+    """A WebIQConfig for a service request (cache is forced on anyway)."""
+    resilience = None
+    if fault_rate > 0.0 or probe_budget is not None \
+            or query_budget is not None:
+        from repro.resilience import FaultProfile, ResilienceConfig
+
+        resilience = ResilienceConfig(
+            profile=FaultProfile(fault_rate=fault_rate, seed=fault_seed),
+            surface_query_budget=query_budget,
+            attr_surface_query_budget=query_budget,
+            attr_deep_probe_budget=probe_budget,
+        )
+    return WebIQConfig(threshold=threshold, resilience=resilience,
+                       workers=workers)
+
+
+def _cmd_serve(args) -> int:
+    import json
+
+    from repro.service import (
+        MatchingService,
+        ServiceConfig,
+        TenantQuota,
+        check_service,
+    )
+
+    try:
+        with open(args.script) as handle:
+            script = json.load(handle)
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"repro serve: bad script: {exc}", file=sys.stderr)
+        return 2
+    if isinstance(script, list):
+        script = {"requests": script}
+    if not isinstance(script, dict) or "requests" not in script:
+        print("repro serve: script must be a list of requests or an "
+              "object with a 'requests' key", file=sys.stderr)
+        return 2
+    quotas = {}
+    for tenant, raw in script.get("quotas", {}).items():
+        try:
+            quotas[tenant] = TenantQuota(**raw)
+        except TypeError as exc:
+            print(f"repro serve: bad quota for {tenant}: {exc}",
+                  file=sys.stderr)
+            return 2
+    try:
+        requests = [
+            _scripted_request(entry, position)
+            for position, entry in enumerate(script["requests"])
+        ]
+    except ValueError as exc:
+        print(f"repro serve: bad script: {exc}", file=sys.stderr)
+        return 2
+
+    service = MatchingService(
+        ServiceConfig(max_queue_depth=args.queue_depth, quotas=quotas,
+                      spool_dir=args.spool, registry_dir=args.registry),
+        on_event=lambda event: print(
+            f"  [{event.kind}] {event.request_id} tenant={event.tenant} "
+            f"{event.detail}"),
+    )
+    service.drive(requests)
+    print(f"{'request':8} {'tenant':10} {'outcome':17} {'warm':5} "
+          f"{'queries':>8} {'probes':>7} {'sim-sec':>9}")
+    for record in service.stats.records:
+        print(f"{record['request_id']:8} {record['tenant']:10} "
+              f"{record['outcome']:17} {str(record['warm']):5} "
+              f"{record['queries']:8d} {record['probes']:7d} "
+              f"{record['seconds']:9.2f}")
+    stats = service.stats
+    print(f"submitted={stats.submitted} admitted={stats.admitted} "
+          f"rejected={sum(stats.rejected.values())} "
+          f"completed={stats.completed} shed={stats.shed} "
+          f"expired={stats.deadline_expired} crashed={stats.crashed}")
+    print(f"warm runs: {stats.warm_runs} "
+          f"(mean {stats.warm_mean_seconds:.2f} sim-sec)  "
+          f"cold runs: {stats.cold_runs} "
+          f"(mean {stats.cold_mean_seconds:.2f} sim-sec)")
+    if args.export_dir is not None:
+        import os
+
+        from repro.util.atomicio import atomic_write_json
+
+        os.makedirs(args.export_dir, exist_ok=True)
+        for request_id, response in sorted(service.responses.items()):
+            if response.export is not None:
+                atomic_write_json(
+                    os.path.join(args.export_dir, f"{request_id}.json"),
+                    response.export)
+    if args.stats_json is not None:
+        from repro.util.atomicio import atomic_write_json
+
+        atomic_write_json(args.stats_json, stats.to_dict())
+    report = check_service(service)
+    print(report.summary())
+    if args.strict and not report.ok:
+        return 1
+    return 0
+
+
+def _cmd_request(args) -> int:
+    from repro.service import (
+        MatchRequest,
+        MatchingService,
+        ServiceConfig,
+        check_service,
+    )
+    from repro.util.errors import AdmissionRejected, ValidationError
+
+    if args.domain == "all":
+        raise SystemExit(
+            "repro request: error: needs a single --domain")
+    if args.workers < 1:
+        raise SystemExit(
+            f"repro request: error: --workers must be at least 1, "
+            f"got {args.workers}")
+    if not 0.0 <= args.fault_rate <= 1.0:
+        raise SystemExit(
+            f"repro request: error: --fault-rate must be within [0, 1], "
+            f"got {args.fault_rate}")
+    service = MatchingService(ServiceConfig(
+        spool_dir=args.spool, registry_dir=args.registry))
+    request = MatchRequest(
+        tenant=args.tenant, domain=args.domain,
+        n_interfaces=args.interfaces, seed=args.seed,
+        config=_service_run_config(
+            threshold=args.threshold, fault_rate=args.fault_rate,
+            fault_seed=args.fault_seed, probe_budget=args.probe_budget,
+            query_budget=args.query_budget, workers=args.workers),
+        deadline_seconds=args.deadline,
+        assimilate=args.registry is not None,
+    )
+    try:
+        service.submit(request)
+    except AdmissionRejected as exc:
+        print(f"rejected ({exc.reason}): {exc}")
+        return 5
+    except ValidationError as exc:
+        raise SystemExit(f"repro request: error: {exc}")
+    responses = service.run_pending()
+    response = responses[0]
+    print(f"{response.request_id} tenant={response.tenant} "
+          f"outcome={response.outcome} warm={response.warm} "
+          f"queries={response.queries} probes={response.probes} "
+          f"sim-seconds={response.seconds:.2f}")
+    if response.outcome == "deadline_expired":
+        print(f"  {response.error}")
+        if response.degradation is not None:
+            spent = response.degradation.get("budget_spent_by_component", {})
+            print(f"  partial degradation report: "
+                  f"{sum(spent.values())} round trips accounted")
+    if response.outcome == "crashed":
+        print(f"  {response.error}")
+    if args.json is not None and response.export is not None:
+        from repro.io import strip_service_section
+        from repro.util.atomicio import atomic_write_json
+
+        payload = response.export
+        if args.strip_service:
+            payload = strip_service_section(payload)
+        atomic_write_json(args.json, payload)
+        print(f"run result written to {args.json}")
+    if args.strict:
+        report = check_service(service)
+        print(report.summary())
+        if not report.ok:
+            return 1
+    return {"completed": 0, "deadline_expired": 3,
+            "shed": 5, "crashed": 6}[response.outcome]
+
+
 def _journal_spend_of(records) -> int:
     """Journaled round trips, by the checkpoint tally rule."""
     spend = 0
@@ -740,17 +1022,20 @@ def _registry_dispatch(args) -> int:
 
     if args.registry_command == "add":
         from repro.io import dump_induced_matching, load_registry
-        from repro.registry import RegistryAssimilator
+        from repro.registry import RegistryAssimilator, RegistryLock
 
         if not 0 <= args.index < len(dataset.interfaces):
             print(f"registry add: --index must be within "
                   f"[0, {len(dataset.interfaces) - 1}], got {args.index}",
                   file=sys.stderr)
             return 2
-        store = load_registry(args.directory)
-        assimilator = RegistryAssimilator(store)
-        record = assimilator.assimilate(dataset.interfaces[args.index])
-        store.save(args.directory)
+        # Load-assimilate-save is a read-modify-write: hold the writer
+        # lock for all of it, or a concurrent add loses an update.
+        with RegistryLock(args.directory, owner="cli registry add"):
+            store = load_registry(args.directory)
+            assimilator = RegistryAssimilator(store)
+            record = assimilator.assimilate(dataset.interfaces[args.index])
+            store.save(args.directory)
         considered = record.pairs_considered
         reduction = (100.0 * record.blocked / considered
                      if considered else 0.0)

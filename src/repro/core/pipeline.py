@@ -80,6 +80,7 @@ from repro.obs.instrument import (
 )
 from repro.perf.cache import (
     CacheConfig,
+    CachePreload,
     CacheStats,
     CachingSearchEngine,
     ValidationCache,
@@ -216,6 +217,17 @@ class WebIQRunResult:
     #: In-memory only — excluded from JSON exports, which must stay
     #: byte-identical with and without a registry attached.
     registry: Optional["RegistryReport"] = None
+    #: present iff the run executed with the query cache enabled: the
+    #: post-run cache content as a :class:`~repro.perf.CachePreload`, for
+    #: warm-starting a later run. In-memory only — the export's ``cache``
+    #: section carries the stats, never the content.
+    cache_content: Optional[CachePreload] = None
+    #: present iff the run was executed by the matching service
+    #: (:mod:`repro.service`), which attaches its per-request coordinates
+    #: (request id, tenant, epoch lineage) after the run. Exported as the
+    #: format-5 ``service`` section; the equivalence oracle strips it
+    #: before byte-comparing against a standalone run.
+    service: Optional[object] = None
 
     def overhead_minutes(self, account: str) -> float:
         return self.stopwatch.minutes(account)
@@ -227,9 +239,30 @@ class WebIQMatcher:
     def __init__(self, config: WebIQConfig = WebIQConfig()) -> None:
         self.config = config
 
-    def run(self, dataset: DomainDataset) -> WebIQRunResult:
+    def run(
+        self,
+        dataset: DomainDataset,
+        *,
+        warm: Optional[CachePreload] = None,
+    ) -> WebIQRunResult:
         """Execute one full run; the dataset is reset first, so runs with
-        different configurations over the same dataset are independent."""
+        different configurations over the same dataset are independent.
+
+        ``warm``, when given, seeds the run's query cache and validation
+        memo with a :class:`~repro.perf.CachePreload` captured from an
+        earlier run *before* any unit executes — the warm run hits where
+        the donor run paid, and its export is byte-identical to any other
+        run of the same configuration given the same preload (the
+        matching service's equivalence oracle). Requires ``config.cache``:
+        warm content without a cache to hold it would silently be ignored,
+        which is exactly the kind of divergence this layer exists to
+        refuse.
+        """
+        if warm is not None and self.config.cache is None:
+            raise ValidationError(
+                "a warm CachePreload requires config.cache: without a "
+                "query cache there is nowhere to seed the warm content"
+            )
         dataset.clear_acquired()
         dataset.reset_counters()
         clock = SimulatedClock()
@@ -257,7 +290,7 @@ class WebIQMatcher:
                 )
             session = open_session(
                 self.config.checkpoint,
-                self._journal_meta(dataset),
+                self._journal_meta(dataset, warm),
                 kill_switch=self._kill_switch(),
             )
             if self.config.supervisor is not None:
@@ -268,6 +301,8 @@ class WebIQMatcher:
         cache_stats: Optional[CacheStats] = None
         checkpoint_report: Optional[CheckpointReport] = None
         exec_stats: Optional[ExecStats] = None
+        cache_engine: Optional[CachingSearchEngine] = None
+        validation_cache: Optional[ValidationCache] = None
         with ExitStack() as run_scope:
             if obs is not None:
                 run_scope.enter_context(
@@ -343,8 +378,6 @@ class WebIQMatcher:
                         source_id: ObservedDeepWebSource(source, obs)
                         for source_id, source in sources.items()
                     }
-                validation_cache = None
-                cache_engine: Optional[CachingSearchEngine] = None
                 if self.config.cache is not None:
                     # The cache sits ABOVE the resilient proxy: a hit is
                     # served before the retry loop runs, so it consumes no
@@ -355,6 +388,14 @@ class WebIQMatcher:
                     engine = cache_engine
                     cache_stats = cache_engine.stats
                     validation_cache = ValidationCache()
+                    if warm is not None:
+                        # Warm start: seed content and recency BEFORE any
+                        # unit runs (and before journal replay, mirroring
+                        # the donor run, where the preload also preceded
+                        # every journaled op). Stats stay at zero — the
+                        # warm run counts its own hits against the
+                        # preloaded content.
+                        warm.apply(cache_engine, validation_cache)
                 if obs is not None:
                     # Entry layer: every call a component issues, whether
                     # the cache answers it or not.
@@ -466,6 +507,13 @@ class WebIQMatcher:
                     ),
                     directory=self.config.registry,
                 )
+        cache_content: Optional[CachePreload] = None
+        if cache_engine is not None:
+            # The post-run cache content, as the warm-start input a later
+            # run (or the matching service's next epoch) can be seeded
+            # with. Captured after everything that can touch the cache.
+            cache_content = CachePreload.capture(cache_engine,
+                                                 validation_cache)
         return WebIQRunResult(
             domain=dataset.domain,
             config=self.config,
@@ -480,6 +528,7 @@ class WebIQMatcher:
             seed=dataset.seed,
             exec_stats=exec_stats,
             registry=registry_report,
+            cache_content=cache_content,
         )
 
     # ----------------------------------------------------------- checkpoint
@@ -496,7 +545,11 @@ class WebIQMatcher:
             kill_at = self.config.resilience.profile.preempt_at
         return KillSwitch(kill_at) if kill_at is not None else None
 
-    def _journal_meta(self, dataset: DomainDataset) -> Dict[str, object]:
+    def _journal_meta(
+        self,
+        dataset: DomainDataset,
+        warm: Optional[CachePreload] = None,
+    ) -> Dict[str, object]:
         """The run-identity coordinates a journal is only valid for.
 
         Resume refuses a journal whose meta differs in any key: replaying
@@ -507,7 +560,10 @@ class WebIQMatcher:
         ``io_latency`` (scheduling knobs — by design they cannot change
         a single journal byte, so a serial run may resume a parallel
         journal and vice versa), and ``registry`` (post-run bookkeeping
-        that cannot change a run byte either).
+        that cannot change a run byte either). A warm preload *is* run
+        identity (it decides which queries hit), so warm runs carry its
+        fingerprint — and cold runs omit the key entirely, keeping their
+        journals byte-compatible with earlier revisions.
         """
         cfg = self.config
         meta: Dict[str, object] = {
@@ -525,6 +581,8 @@ class WebIQMatcher:
             ),
             "resilience": None,
         }
+        if warm is not None:
+            meta["warm"] = warm.fingerprint()
         if cfg.resilience is not None:
             res = cfg.resilience
             meta["resilience"] = {

@@ -10,10 +10,16 @@ dataset payload) rather than stored.
 Run payloads carry a schema version (:data:`RUN_RESULT_FORMAT`, under the
 ``"format"`` key). Format 2 added ``"format"``, ``"seed"`` and
 ``"provenance"``; format 3 added ``"checkpoint"``; format 4 added
-``"supervisor"``. The writer emits the *lowest* format that can represent
-the run — a run without checkpointing still dumps as format 2,
-byte-identical to what earlier revisions wrote, and a checkpointed but
-unsupervised run still dumps as format 3. :func:`load_run_result`
+``"supervisor"``; format 5 added ``"service"`` (the matching service's
+per-request coordinates — request id, tenant, epoch lineage). The writer
+emits the *lowest* format that can represent the run — a run without
+checkpointing still dumps as format 2, byte-identical to what earlier
+revisions wrote, and a checkpointed but unsupervised run still dumps as
+format 3; only a run executed by the service dumps as format 5.
+:func:`strip_service_section` removes the service section again (and
+recomputes the lowest format), which is how the service-equivalence
+oracle byte-compares a service response against the same run executed
+standalone. :func:`load_run_result`
 upgrades older payloads in place (the new keys default to absent values)
 and rejects formats newer than it knows, so old archives stay readable
 and future ones fail loudly instead of silently misreading. A payload
@@ -31,7 +37,7 @@ import json
 from typing import Any, Dict, List
 
 #: Schema version written into run-result payloads (highest known).
-RUN_RESULT_FORMAT = 4
+RUN_RESULT_FORMAT = 5
 
 from repro.checkpoint.journal import JOURNAL_FORMAT
 from repro.checkpoint.session import CheckpointReport
@@ -61,6 +67,7 @@ __all__ = [
     "supervisor_report_to_dict",
     "observability_to_dict",
     "run_result_to_dict",
+    "strip_service_section",
     "dump_dataset",
     "dump_run_result",
     "load_run_result",
@@ -302,6 +309,8 @@ def run_result_to_dict(result: WebIQRunResult) -> Dict[str, Any]:
     if result.checkpoint is not None:
         version = 3
     if result.supervisor is not None:
+        version = 4
+    if result.service is not None:
         version = RUN_RESULT_FORMAT
     payload = {
         "format": version,
@@ -356,7 +365,33 @@ def run_result_to_dict(result: WebIQRunResult) -> Dict[str, Any]:
         payload["checkpoint"] = checkpoint_report_to_dict(result.checkpoint)
     if result.supervisor is not None:
         payload["supervisor"] = supervisor_report_to_dict(result.supervisor)
+    if result.service is not None:
+        # Duck-typed on purpose: the service section is produced by
+        # repro.service (which imports this module), so io cannot import
+        # the concrete type without a cycle.
+        payload["service"] = result.service.to_export_dict()
     return payload
+
+
+def strip_service_section(payload: Dict[str, Any]) -> Dict[str, Any]:
+    """A copy of ``payload`` with the format-5 service section removed.
+
+    The service-equivalence oracle promises that an admitted request's
+    export is byte-identical to the same run executed standalone — *except*
+    for the service section itself, which records coordinates (request id,
+    tenant, epoch lineage) that a standalone run cannot have. This helper
+    removes the section and recomputes the lowest representable format, so
+    the result compares byte-for-byte against a standalone export.
+    """
+    stripped = dict(payload)
+    stripped.pop("service", None)
+    version = 2
+    if stripped.get("checkpoint") is not None:
+        version = 3
+    if stripped.get("supervisor") is not None:
+        version = 4
+    stripped["format"] = version
+    return stripped
 
 
 def dump_dataset(dataset: DomainDataset, path: str) -> None:
@@ -429,7 +464,8 @@ def load_run_result(path: str) -> Dict[str, Any]:
     Format-1 payloads (written before the schema carried a version) are
     upgraded in place: ``"format"`` becomes 1 and the format-2 keys
     (``"seed"``, ``"provenance"``) default to ``None``, as do the
-    format-3 ``"checkpoint"`` and format-4 ``"supervisor"`` sections for
+    format-3 ``"checkpoint"``, format-4 ``"supervisor"`` and format-5
+    ``"service"`` sections for
     older payloads. Payloads newer than :data:`RUN_RESULT_FORMAT` raise
     ``ValueError`` rather than being silently misread; a file that does
     not parse as JSON at all (truncated export, bit-rot) raises
@@ -456,4 +492,5 @@ def load_run_result(path: str) -> Dict[str, Any]:
     payload.setdefault("provenance", None)
     payload.setdefault("checkpoint", None)
     payload.setdefault("supervisor", None)
+    payload.setdefault("service", None)
     return payload

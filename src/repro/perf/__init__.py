@@ -10,6 +10,7 @@ real round trips only.
 from repro.perf.cache import (
     DEFAULT_CACHE_ENTRIES,
     CacheConfig,
+    CachePreload,
     CacheStats,
     CachingSearchEngine,
     LRUCache,
@@ -20,6 +21,7 @@ from repro.perf.cache import (
 __all__ = [
     "DEFAULT_CACHE_ENTRIES",
     "CacheConfig",
+    "CachePreload",
     "CacheStats",
     "CachingSearchEngine",
     "LRUCache",

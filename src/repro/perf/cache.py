@@ -37,6 +37,7 @@ flaky wrapper's ``garbled_count``, and simply declines to store.
 
 from __future__ import annotations
 
+import zlib
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Any, Dict, Hashable, List, Optional, Tuple
@@ -46,6 +47,7 @@ from repro.surfaceweb.engine import DEFAULT_PROXIMITY_WINDOW, SearchResult
 __all__ = [
     "DEFAULT_CACHE_ENTRIES",
     "CacheConfig",
+    "CachePreload",
     "CacheStats",
     "LRUCache",
     "CachingSearchEngine",
@@ -415,3 +417,93 @@ class ValidationCache:
             self.candidate_hits[key] = value
         for (phrase, candidate, window), value in payload["joint_hits"]:
             self.joint_hits[(phrase, candidate, window)] = value
+
+
+class CachePreload:
+    """A first-class warm-start input: one run's cache content, portable.
+
+    Captured from a finished run's :class:`CachingSearchEngine` and
+    :class:`ValidationCache`, and applied to a fresh run *before* any unit
+    executes — the warm run then sees cache hits exactly where the donor
+    run would have, spending no round trips on answers already paid for.
+    This is the unit of state the matching service's copy-on-write epochs
+    hand from one request to the next, and it is deliberately symmetric:
+    a service request and a standalone :meth:`WebIQMatcher.run
+    <repro.core.pipeline.WebIQMatcher.run>` given the same preload follow
+    the same code path, which is what makes their exports byte-identical
+    by construction.
+
+    The snapshot is value-isolated from its donor (entry lists are
+    copied), so a later run can never mutate a published epoch through
+    it. ``fingerprint()`` gives a stable identity that enters the journal
+    meta of warm runs: resuming a warm journal with a *different* preload
+    is refused, because the replayed hit pattern would not match.
+    """
+
+    def __init__(self, engine_entries=None, validation=None) -> None:
+        #: cache entries in recency order (cold to hot), as ``(key, value)``
+        self.engine_entries: List[Tuple[Tuple, Any]] = [
+            (key, list(value) if isinstance(value, list) else value)
+            for key, value in (engine_entries or [])
+        ]
+        #: the donor run's validation memo (marginal/joint hit counts)
+        self.validation: ValidationCache = (
+            validation.clone() if validation is not None else ValidationCache()
+        )
+
+    @classmethod
+    def capture(
+        cls,
+        cache_engine: "CachingSearchEngine",
+        validation_cache: Optional[ValidationCache] = None,
+    ) -> "CachePreload":
+        """Snapshot a run's cache content (recency order preserved)."""
+        return cls(
+            engine_entries=cache_engine.snapshot_entries(),
+            validation=validation_cache,
+        )
+
+    def apply(
+        self,
+        cache_engine: "CachingSearchEngine",
+        validation_cache: Optional[ValidationCache] = None,
+    ) -> None:
+        """Seed a fresh run's caches with this snapshot.
+
+        Seeding uses the replay path (content and recency only, no
+        stats): the warm run's :class:`CacheStats` start at zero and then
+        count *its own* hits against the preloaded content, exactly as a
+        long-lived cache would.
+        """
+        for key, value in self.engine_entries:
+            cache_engine.replay_store(
+                key, list(value) if isinstance(value, list) else value
+            )
+        if validation_cache is not None:
+            validation_cache.phrase_hits.update(self.validation.phrase_hits)
+            validation_cache.candidate_hits.update(
+                self.validation.candidate_hits
+            )
+            validation_cache.joint_hits.update(self.validation.joint_hits)
+
+    @property
+    def n_entries(self) -> int:
+        return len(self.engine_entries)
+
+    @property
+    def is_empty(self) -> bool:
+        return not self.engine_entries and not len(self.validation)
+
+    def fingerprint(self) -> int:
+        """Stable identity of the snapshot (CRC over its canonical repr).
+
+        Enters the journal meta of warm runs, so a journal written under
+        one preload refuses to resume under another.
+        """
+        canon = repr((
+            [(key, value) for key, value in self.engine_entries],
+            sorted(self.validation.phrase_hits.items()),
+            sorted(self.validation.candidate_hits.items()),
+            sorted(self.validation.joint_hits.items()),
+        ))
+        return zlib.crc32(canon.encode("utf-8"))

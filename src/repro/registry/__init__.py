@@ -12,9 +12,11 @@ equivalence argument lives in DESIGN.md §15; the metamorphic suite
 
 from repro.registry.blocking import AddRecord, BlockingIndex, BlockingStats
 from repro.registry.store import (
+    LOCK_FILENAME,
     REGISTRY_FILENAME,
     REGISTRY_FORMAT,
     RegistryEntry,
+    RegistryLock,
     RegistryStore,
 )
 from repro.registry.assimilate import (
@@ -28,9 +30,11 @@ __all__ = [
     "AddRecord",
     "BlockingIndex",
     "BlockingStats",
+    "LOCK_FILENAME",
     "REGISTRY_FILENAME",
     "REGISTRY_FORMAT",
     "RegistryEntry",
+    "RegistryLock",
     "RegistryStore",
     "RegistryAssimilator",
     "RegistryReport",

@@ -45,7 +45,7 @@ from repro.matching.clustering import (
 from repro.matching.similarity import AttributeView, similarity_components
 from repro.matching.unify import unify_cluster
 from repro.registry.blocking import AddRecord, BlockingIndex
-from repro.registry.store import RegistryEntry, RegistryStore
+from repro.registry.store import RegistryEntry, RegistryLock, RegistryStore
 from repro.util.errors import RegistryMismatchError, ValidationError
 
 __all__ = [
@@ -234,15 +234,24 @@ def build_registry(
 ) -> Tuple[RegistryStore, RegistryReport]:
     """Assimilate ``interfaces`` one at a time (in the given arrival
     order) into a fresh or existing store; optionally persist after every
-    add so a crash loses at most the in-flight interface."""
+    add so a crash loses at most the in-flight interface.
+
+    When persisting, the whole build holds the directory's
+    :class:`~repro.registry.store.RegistryLock` — a concurrent writer gets
+    :class:`~repro.util.errors.RegistryLockedError` instead of a lost
+    update."""
     if store is None:
         store = RegistryStore(domain=domain, threshold=threshold,
                               linkage=linkage)
     assimilator = RegistryAssimilator(store)
-    for interface in interfaces:
-        assimilator.assimilate(interface)
-        if directory is not None:
+    if directory is None:
+        for interface in interfaces:
+            assimilator.assimilate(interface)
+        return store, assimilator.report(directory)
+    with RegistryLock(directory, owner="build_registry"):
+        for interface in interfaces:
+            assimilator.assimilate(interface)
             store.save(directory)
-    if directory is not None and not interfaces:
-        store.save(directory)
+        if not interfaces:
+            store.save(directory)
     return store, assimilator.report(directory)

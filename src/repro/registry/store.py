@@ -21,6 +21,15 @@ the CRC and the body's internal consistency before trusting anything:
 Format history: format **1** predates the blocking ledger and carries no
 ``stats`` section; the loader upgrades it in place with an empty ledger
 (zero defaults). The writer always emits the current format.
+
+Atomic replace protects readers from a crashed writer, but not writers
+from each other: two concurrent assimilators would each load, merge and
+replace, silently dropping one writer's additions. :class:`RegistryLock`
+closes that hole with a sentinel file (``registry.lock``) acquired with
+``O_CREAT | O_EXCL`` — the second writer gets a typed
+:class:`~repro.util.errors.RegistryLockedError` naming the holder instead
+of a lost update. An unreadable/garbage lock file still counts as held:
+the safe reading of damage is "someone is mid-write".
 """
 
 from __future__ import annotations
@@ -38,13 +47,16 @@ from repro.util.atomicio import atomic_write_json
 from repro.util.errors import (
     RegistryCorruptionError,
     RegistryFormatError,
+    RegistryLockedError,
     RegistryMismatchError,
 )
 
 __all__ = [
+    "LOCK_FILENAME",
     "REGISTRY_FILENAME",
     "REGISTRY_FORMAT",
     "RegistryEntry",
+    "RegistryLock",
     "RegistryStore",
 ]
 
@@ -55,6 +67,97 @@ REGISTRY_FORMAT = 2
 #: Oldest schema the loader still understands (upgraded on load).
 MIN_REGISTRY_FORMAT = 1
 REGISTRY_FILENAME = "registry.json"
+#: Sentinel file guarding registry writes (see :class:`RegistryLock`).
+LOCK_FILENAME = "registry.lock"
+
+
+class RegistryLock:
+    """Single-writer guard for a registry directory.
+
+    Acquiring creates ``registry.lock`` with ``O_CREAT | O_EXCL`` — an
+    atomic create-or-fail on every platform the test-suite targets — and
+    records the holder's identity as JSON (``{"owner": ..., "pid": ...}``)
+    for the error message the loser sees. Use as a context manager::
+
+        with RegistryLock(directory, owner="cli registry add"):
+            store = RegistryStore.load(directory)
+            ...
+            store.save(directory)
+
+    A second acquirer raises :class:`RegistryLockedError` naming the
+    recorded holder. A lock file whose content is torn or garbage still
+    counts as held ("unknown" owner): damage means someone died mid-write
+    and a human (or :meth:`break_lock`) must adjudicate — guessing
+    "stale, ignore it" is exactly the race this class exists to prevent.
+    """
+
+    def __init__(self, directory: str, *, owner: str = "writer") -> None:
+        self.directory = directory
+        self.owner = owner
+        self.path = os.path.join(directory, LOCK_FILENAME)
+        self._held = False
+
+    def acquire(self) -> "RegistryLock":
+        os.makedirs(self.directory, exist_ok=True)
+        try:
+            fd = os.open(self.path, os.O_WRONLY | os.O_CREAT | os.O_EXCL)
+        except FileExistsError:
+            raise RegistryLockedError(
+                f"registry directory {self.directory} is locked by "
+                f"{self.holder()!r} — refusing a second writer",
+                directory=self.directory, owner=self.holder(),
+            ) from None
+        try:
+            payload = json.dumps(
+                {"owner": self.owner, "pid": os.getpid()}
+            )
+            os.write(fd, payload.encode("utf-8"))
+        finally:
+            os.close(fd)
+        self._held = True
+        return self
+
+    def release(self) -> None:
+        if not self._held:
+            return
+        self._held = False
+        try:
+            os.remove(self.path)
+        except FileNotFoundError:  # already broken by an operator
+            pass
+
+    def holder(self) -> str:
+        """Best-effort identity of the current lock holder."""
+        try:
+            with open(self.path, "r", encoding="utf-8") as handle:
+                recorded = json.load(handle)
+        except (OSError, ValueError):
+            return "unknown"
+        if isinstance(recorded, dict):
+            owner = recorded.get("owner")
+            if isinstance(owner, str) and owner:
+                return owner
+        return "unknown"
+
+    @staticmethod
+    def break_lock(directory: str) -> bool:
+        """Operator escape hatch: remove a dead holder's lock file.
+
+        Returns whether a lock file existed. Never called by library
+        code — deciding a holder is dead is a human judgement.
+        """
+        path = os.path.join(directory, LOCK_FILENAME)
+        try:
+            os.remove(path)
+        except FileNotFoundError:
+            return False
+        return True
+
+    def __enter__(self) -> "RegistryLock":
+        return self.acquire()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.release()
 
 
 @dataclass(frozen=True)

@@ -641,13 +641,30 @@ class ResilientSearchEngine:
     ``last_degraded`` records, per call, whether that neutral substitution
     happened; cache layers above read it to avoid memoising a degraded
     answer as if it were the query's real one.
+
+    ``last_degraded`` is **thread-local** (the same treatment the PR-7
+    audit gave ``ResilientClient.current_attempt``): one proxy may be
+    shared by concurrent tenants with different budgets, and a plain
+    instance attribute would let tenant B's budget-exhausted degradation
+    flip the flag between tenant A's fetch and A's cleanliness check —
+    the cache above then refuses to memoise A's perfectly clean answer
+    and A pays for the same query twice. Each thread sees only its own
+    calls' flag.
     """
 
     def __init__(self, inner, client: ResilientClient) -> None:
         self.inner = inner
         self.client = client
-        #: did the most recent query degrade to a neutral answer?
-        self.last_degraded = False
+        self._local = threading.local()
+
+    @property
+    def last_degraded(self) -> bool:
+        """Did *this thread's* most recent query degrade to neutral?"""
+        return getattr(self._local, "last_degraded", False)
+
+    @last_degraded.setter
+    def last_degraded(self, value: bool) -> None:
+        self._local.last_degraded = value
 
     @property
     def query_count(self) -> int:

@@ -1,0 +1,56 @@
+"""The long-running matching service (DESIGN.md §17).
+
+A :class:`MatchingService` keeps the expensive substrates warm across
+requests — engine answers, validation tallies and the attribute registry
+live behind copy-on-write :class:`~repro.service.state.Epoch` snapshots —
+while admission control (:mod:`repro.service.admission`) keeps misbehaving
+tenants from hurting anyone else: bounded queue, per-tenant quotas with
+deficit-round-robin fairness, deadline feasibility at the door and
+graceful deadline degradation in flight.
+
+The correctness contract is inherited, not invented: every admitted
+request executes through the very same ``WebIQMatcher.run`` as a
+standalone CLI run (warm start is just a ``CachePreload`` argument), so
+its export is byte-identical to that standalone run — the equivalence
+oracle ``tests/test_service_equivalence.py`` enforces — and the
+service-level conservation laws (:func:`repro.service.laws.check_service`)
+audit admission accounting, epoch-publication atomicity and per-tenant
+quota conservation on top.
+"""
+
+from repro.service.admission import (
+    MIN_FEASIBLE_DEADLINE_SECONDS,
+    AdmissionController,
+    TenantLedger,
+    TenantQuota,
+)
+from repro.service.laws import check_service
+from repro.service.server import (
+    MatchRequest,
+    MatchResponse,
+    MatchingService,
+    ServiceConfig,
+    ServiceEvent,
+    ServiceRunInfo,
+    ServiceStats,
+    build_workload,
+)
+from repro.service.state import Epoch, WarmState
+
+__all__ = [
+    "MIN_FEASIBLE_DEADLINE_SECONDS",
+    "AdmissionController",
+    "Epoch",
+    "MatchRequest",
+    "MatchResponse",
+    "MatchingService",
+    "ServiceConfig",
+    "ServiceEvent",
+    "ServiceRunInfo",
+    "ServiceStats",
+    "TenantLedger",
+    "TenantQuota",
+    "WarmState",
+    "build_workload",
+    "check_service",
+]

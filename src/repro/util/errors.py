@@ -151,6 +151,39 @@ class ResumeError(JournalError):
     byte-identical replay guarantee (e.g. with observability attached)."""
 
 
+class ServiceError(ReproError):
+    """Base class for matching-service failures (:mod:`repro.service`)."""
+
+
+class AdmissionRejected(ServiceError):
+    """The service declined to queue a request, with a typed reason.
+
+    ``reason`` is one of ``"queue_full"`` (the bounded request queue is at
+    capacity — overload shedding), ``"tenant_over_quota"`` (the tenant's
+    cumulative spend already exceeds a :class:`repro.service.TenantQuota`
+    limit) or ``"deadline_infeasible"`` (the requested deadline cannot fit
+    even one round trip, so admitting it would only waste queue slots).
+    Rejection happens *before* any warm state is touched: a rejected
+    request costs the service nothing but this exception.
+    """
+
+    def __init__(self, message: str, *, reason: str, tenant: str) -> None:
+        super().__init__(message)
+        #: ``"queue_full"`` / ``"tenant_over_quota"`` / ``"deadline_infeasible"``
+        self.reason = reason
+        #: the tenant whose request was rejected
+        self.tenant = tenant
+
+
+class StaleEpochError(ServiceError):
+    """An epoch publication lost the race: its parent is no longer the
+    current epoch. Under the service's serial commit discipline this can
+    only mean a bug (two executors over one :class:`WarmState`), so the
+    publication is refused rather than silently dropping the other
+    writer's epoch — the epoch-publication invariant law audits that the
+    published chain has no such gaps."""
+
+
 class RegistryError(ReproError):
     """Base class for attribute-registry failures (:mod:`repro.registry`)."""
 
@@ -171,3 +204,23 @@ class RegistryMismatchError(RegistryError):
     """The registry on disk does not fit the requested operation: missing
     store, wrong domain, different similarity/threshold/linkage
     configuration, or an interface assimilated twice."""
+
+
+class RegistryLockedError(RegistryError):
+    """A second writer tried to open a registry directory for writing.
+
+    Registry writes are guarded by a sentinel lock file
+    (``registry.lock``); a writer finding one refuses instead of racing
+    the holder into a torn store. Carries the directory and whatever
+    holder identity the lock file records (``"unknown"`` when the lock
+    file itself is unreadable — a torn lock still counts as held, because
+    the safe reading of damage is "someone is mid-write").
+    """
+
+    def __init__(self, message: str, *, directory: str,
+                 owner: str = "unknown") -> None:
+        super().__init__(message)
+        #: the registry directory that is locked
+        self.directory = directory
+        #: holder identity recorded in the lock file (best effort)
+        self.owner = owner

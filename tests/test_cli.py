@@ -388,3 +388,151 @@ class TestStrictMode:
         captured = capsys.readouterr()
         assert "VIOLATED" in captured.out
         assert "invariant violations detected" in captured.err
+
+
+class TestServiceCommands:
+    """The serve/request subcommands (DESIGN.md §17)."""
+
+    def script(self, tmp_path, payload):
+        path = tmp_path / "script.json"
+        path.write_text(json.dumps(payload))
+        return str(path)
+
+    def test_serve_mixed_script(self, capsys, tmp_path):
+        script = self.script(tmp_path, [
+            {"tenant": "acme", "domain": "book", "interfaces": 3, "seed": 1},
+            {"tenant": "globex", "domain": "book", "interfaces": 3,
+             "seed": 1},
+        ])
+        exports = tmp_path / "exports"
+        stats_path = tmp_path / "stats.json"
+        assert main(["serve", "--script", script, "--export-dir",
+                     str(exports), "--stats-json", str(stats_path),
+                     "--strict"]) == 0
+        out = capsys.readouterr().out
+        assert "[published] r0001" in out and "[published] r0002" in out
+        assert "completed=2" in out
+        assert "warm runs: 1" in out and "cold runs: 1" in out
+        assert "all hold" in out
+        stats = json.loads(stats_path.read_text())
+        assert stats["completed"] == 2
+        assert sorted(stats["tenants"]) == ["acme", "globex"]
+        first = json.loads((exports / "r0001.json").read_text())
+        second = json.loads((exports / "r0002.json").read_text())
+        assert first["format"] == 5
+        assert first["service"]["warm"] is False
+        assert second["service"]["warm"] is True
+
+    def test_serve_quota_sheds_queued_request(self, capsys, tmp_path):
+        script = self.script(tmp_path, {
+            "quotas": {"greedy": {"max_wall_seconds": 10.0}},
+            "requests": [
+                {"tenant": "greedy", "domain": "book", "interfaces": 3,
+                 "seed": 1},
+                {"tenant": "greedy", "domain": "book", "interfaces": 3,
+                 "seed": 1},
+            ],
+        })
+        assert main(["serve", "--script", script]) == 0
+        out = capsys.readouterr().out
+        assert "[shed]" in out
+        assert "shed=1" in out and "completed=1" in out
+
+    def test_serve_bad_script_exits_2(self, capsys, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text("{not json")
+        assert main(["serve", "--script", str(path)]) == 2
+        assert "bad script" in capsys.readouterr().err
+
+        assert main(["serve", "--script",
+                     self.script(tmp_path, {"no": "requests"})]) == 2
+        assert "'requests' key" in capsys.readouterr().err
+
+        assert main(["serve", "--script", self.script(
+            tmp_path, [{"domain": "book", "bogus": 1}])]) == 2
+        assert "unknown keys" in capsys.readouterr().err
+
+        assert main(["serve", "--script", self.script(
+            tmp_path, [{"tenant": "a"}])]) == 2
+        assert "missing 'domain'" in capsys.readouterr().err
+
+        assert main(["serve", "--script", self.script(
+            tmp_path, {"quotas": {"a": {"max_teapots": 1}},
+                       "requests": []})]) == 2
+        assert "bad quota" in capsys.readouterr().err
+
+    def test_request_completed_exits_0(self, capsys, tmp_path):
+        path = tmp_path / "run.json"
+        assert main(["request", "--domain", "book", "--interfaces", "3",
+                     "--seed", "1", "--tenant", "acme", "--json",
+                     str(path), "--strict"]) == 0
+        out = capsys.readouterr().out
+        assert "outcome=completed" in out and "tenant=acme" in out
+        assert "all hold" in out
+        payload = json.loads(path.read_text())
+        assert payload["format"] == 5
+        assert payload["service"]["tenant"] == "acme"
+
+    def test_request_strip_service_matches_run_json(self, tmp_path):
+        served = tmp_path / "served.json"
+        standalone = tmp_path / "standalone.json"
+        common = ["--domain", "book", "--interfaces", "3", "--seed", "1"]
+        assert main(["request"] + common + ["--strip-service", "--json",
+                                            str(served)]) == 0
+        assert main(["run"] + common + ["--json", str(standalone)]) == 0
+        assert served.read_bytes() == standalone.read_bytes()
+
+    def test_request_infeasible_deadline_exits_5(self, capsys, tmp_path):
+        assert main(["request", "--domain", "book", "--interfaces", "3",
+                     "--seed", "1", "--deadline", "0.5", "--spool",
+                     str(tmp_path)]) == 5
+        assert "rejected (deadline_infeasible)" in capsys.readouterr().out
+
+    def test_request_expired_deadline_exits_3(self, capsys, tmp_path):
+        assert main(["request", "--domain", "book", "--interfaces", "3",
+                     "--seed", "1", "--deadline", "20", "--spool",
+                     str(tmp_path)]) == 3
+        out = capsys.readouterr().out
+        assert "outcome=deadline_expired" in out
+        assert "DeadlineExceededError" in out
+
+    def test_request_deadline_without_spool_is_an_error(self):
+        with pytest.raises(SystemExit, match="spool"):
+            main(["request", "--domain", "book", "--deadline", "20"])
+
+    def test_request_validations(self):
+        with pytest.raises(SystemExit, match="single"):
+            main(["request", "--domain", "all"])
+        with pytest.raises(SystemExit, match="workers"):
+            main(["request", "--domain", "book", "--workers", "0"])
+        with pytest.raises(SystemExit, match="fault-rate"):
+            main(["request", "--domain", "book", "--fault-rate", "1.5"])
+
+    def test_serve_parser_requires_script(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve"])
+
+    def test_request_parser_defaults(self):
+        args = build_parser().parse_args(["request", "--domain", "book"])
+        assert args.tenant == "cli"
+        assert args.deadline is None
+        assert args.workers == 1
+        assert args.strip_service is False
+
+    def test_serve_persists_registry_for_assimilating_requests(
+            self, capsys, tmp_path):
+        script = self.script(tmp_path, [
+            {"tenant": "acme", "domain": "book", "interfaces": 3,
+             "seed": 1, "assimilate": True},
+        ])
+        registry_dir = tmp_path / "registry"
+        assert main(["serve", "--script", script, "--registry",
+                     str(registry_dir), "--strict"]) == 0
+        assert (registry_dir / "registry.json").exists()
+        # no lock left behind: the publish-save released it
+        assert not (registry_dir / "registry.lock").exists()
+        from repro.registry import RegistryStore
+
+        store = RegistryStore.load(str(registry_dir))
+        assert store.domain == "book"
+        assert len(store.interfaces) == 3

@@ -413,7 +413,9 @@ class TestSupervisorExport:
         path = tmp_path / "run.json"
         dump_run_result(result, str(path))
         payload = load_run_result(str(path))
-        assert payload["format"] == RUN_RESULT_FORMAT == 4
+        # Supervised but not service-executed: still the lowest
+        # representable format (4), not RUN_RESULT_FORMAT (5).
+        assert payload["format"] == 4
         section = payload["supervisor"]
         assert section["completed"] is True
         assert section["restarts"] == 1
@@ -424,12 +426,68 @@ class TestSupervisorExport:
         assert section["wasted_round_trips"] == \
             result.supervisor.wasted_round_trips
 
-    def test_format_5_is_rejected(self, tmp_path):
-        blob = dict(TestRunResultFormatVersioning.FORMAT_1_BLOB, format=5)
+    def test_format_6_is_rejected(self, tmp_path):
+        blob = dict(TestRunResultFormatVersioning.FORMAT_1_BLOB, format=6)
         path = tmp_path / "future.json"
         path.write_text(json.dumps(blob))
         with pytest.raises(ValueError, match="newer"):
             load_run_result(str(path))
+
+
+class TestServiceExport:
+    """Format 5: service-executed runs carry their service coordinates."""
+
+    def test_format_5_round_trip(self, dataset, tmp_path):
+        from repro.service import ServiceRunInfo
+
+        result = WebIQMatcher(WebIQConfig()).run(dataset)
+        result.service = ServiceRunInfo(
+            request_id="r0001", tenant="acme", epoch_parent=0,
+            epoch_published=1, warm=False, outcome="completed")
+        path = tmp_path / "run.json"
+        dump_run_result(result, str(path))
+        payload = load_run_result(str(path))
+        assert payload["format"] == 5
+        assert payload["service"] == {
+            "request_id": "r0001",
+            "tenant": "acme",
+            "epoch_parent": 0,
+            "epoch_published": 1,
+            "warm": False,
+            "outcome": "completed",
+        }
+
+    def test_format_4_payload_upgrades_with_null_service(self, tmp_path):
+        blob = dict(
+            TestRunResultFormatVersioning.FORMAT_1_BLOB,
+            format=4, seed=4, provenance=None, checkpoint=None,
+            supervisor=None,
+        )
+        path = tmp_path / "old.json"
+        path.write_text(json.dumps(blob))
+        payload = load_run_result(str(path))
+        assert payload["format"] == 4
+        assert payload["service"] is None
+
+    def test_strip_recomputes_lowest_representable_format(self):
+        from repro.io import strip_service_section
+
+        base = {"format": 5, "service": {"tenant": "acme"},
+                "checkpoint": None, "supervisor": None}
+        assert strip_service_section(base)["format"] == 2
+        assert strip_service_section(
+            dict(base, checkpoint={"boundaries": 3}))["format"] == 3
+        assert strip_service_section(
+            dict(base, supervisor={"restarts": 0}))["format"] == 4
+        # the service section is gone, the input is untouched
+        assert "service" not in strip_service_section(base)
+        assert base["format"] == 5 and "service" in base
+
+    def test_strip_is_idempotent_on_plain_payloads(self):
+        from repro.io import strip_service_section
+
+        plain = {"format": 2, "checkpoint": None, "supervisor": None}
+        assert strip_service_section(plain) == plain
 
 
 class TestExportCorruption:

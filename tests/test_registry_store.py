@@ -397,3 +397,86 @@ class TestAssimilationMismatch:
         alien = list(build_domain_dataset("airfare", 1, 1).interfaces)[0]
         with pytest.raises(RegistryMismatchError, match="domain"):
             RegistryAssimilator(store).assimilate(alien)
+
+
+class TestConcurrentOpenProtection:
+    """A second writer must get a typed error, never a torn store.
+
+    The lock is a sentinel file created with ``O_CREAT | O_EXCL``; the
+    fuzz cases reuse the corruption harness's tactic of damaging on-disk
+    state directly and asserting the reader/writer stays typed.
+    """
+
+    def test_second_writer_is_rejected_with_holder_named(self, tmp_path):
+        from repro.registry import RegistryLock
+        from repro.util.errors import RegistryLockedError
+
+        directory = saved_registry(tmp_path)
+        with RegistryLock(directory, owner="first-writer"):
+            with pytest.raises(RegistryLockedError) as excinfo:
+                RegistryLock(directory, owner="second-writer").acquire()
+            assert excinfo.value.owner == "first-writer"
+            assert excinfo.value.directory == directory
+            assert "first-writer" in str(excinfo.value)
+        # released on exit: the next writer gets in
+        with RegistryLock(directory, owner="third-writer"):
+            pass
+
+    def test_locked_error_is_a_registry_error(self):
+        from repro.util.errors import RegistryError, RegistryLockedError
+
+        assert issubclass(RegistryLockedError, RegistryError)
+
+    def test_build_registry_holds_the_lock(self, tmp_path):
+        from repro.registry import LOCK_FILENAME, RegistryLock
+        from repro.util.errors import RegistryLockedError
+
+        directory = str(tmp_path / "registry")
+        interfaces = list(build_domain_dataset(DOMAIN, 2, 1).interfaces)
+        lock = RegistryLock(directory, owner="stuck-writer").acquire()
+        try:
+            with pytest.raises(RegistryLockedError, match="stuck-writer"):
+                build_registry(DOMAIN, interfaces, directory=directory)
+        finally:
+            lock.release()
+        # and the lock never leaks after a successful build
+        build_registry(DOMAIN, interfaces, directory=directory)
+        assert not os.path.exists(os.path.join(directory, LOCK_FILENAME))
+
+    @pytest.mark.parametrize("content", [
+        b"", b"{", b"\x00\xff\xfe garbage", b"[1, 2, 3]",
+        b'{"pid": 123}', b'{"owner": 7}',
+    ])
+    def test_torn_lock_file_still_counts_as_held(self, tmp_path, content):
+        # Fuzz the sentinel itself: whatever garbage a dead writer left,
+        # the safe reading is "someone is mid-write" with unknown holder.
+        from repro.registry import LOCK_FILENAME, RegistryLock
+        from repro.util.errors import RegistryLockedError
+
+        directory = saved_registry(tmp_path)
+        with open(os.path.join(directory, LOCK_FILENAME), "wb") as handle:
+            handle.write(content)
+        with pytest.raises(RegistryLockedError) as excinfo:
+            RegistryLock(directory, owner="late-writer").acquire()
+        assert excinfo.value.owner == "unknown"
+
+    def test_break_lock_is_the_operator_escape_hatch(self, tmp_path):
+        from repro.registry import LOCK_FILENAME, RegistryLock
+
+        directory = saved_registry(tmp_path)
+        with open(os.path.join(directory, LOCK_FILENAME), "w",
+                  encoding="utf-8") as handle:
+            handle.write("dead holder")
+        assert RegistryLock.break_lock(directory) is True
+        assert RegistryLock.break_lock(directory) is False
+        with RegistryLock(directory, owner="next-writer"):
+            pass
+
+    def test_release_is_idempotent_and_tolerates_broken_lock(self, tmp_path):
+        from repro.registry import RegistryLock
+
+        directory = saved_registry(tmp_path)
+        lock = RegistryLock(directory, owner="writer").acquire()
+        RegistryLock.break_lock(directory)  # operator intervened
+        lock.release()  # must not raise
+        lock.release()  # idempotent

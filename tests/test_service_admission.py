@@ -1,0 +1,159 @@
+"""Admission control: typed rejections, quotas, deficit-round-robin."""
+
+import pytest
+
+from repro.service import (
+    MIN_FEASIBLE_DEADLINE_SECONDS,
+    AdmissionController,
+    TenantLedger,
+    TenantQuota,
+)
+from repro.service.server import MatchRequest
+from repro.util.errors import AdmissionRejected, ServiceError
+
+
+def request(tenant, *, cost=1.0, deadline=None, rid=None):
+    return MatchRequest(tenant=tenant, domain="book", cost=cost,
+                        deadline_seconds=deadline, request_id=rid)
+
+
+def admit(controller, req, *, ledger=None, quota=None):
+    controller.offer(
+        req,
+        ledger=ledger or TenantLedger(tenant=req.tenant),
+        quota=quota or TenantQuota(),
+    )
+
+
+class TestTypedRejections:
+    def test_queue_full_sheds_at_the_door(self):
+        controller = AdmissionController(max_queue_depth=2)
+        admit(controller, request("a"))
+        admit(controller, request("b"))
+        with pytest.raises(AdmissionRejected) as excinfo:
+            admit(controller, request("c"))
+        assert excinfo.value.reason == "queue_full"
+        assert excinfo.value.tenant == "c"
+        assert isinstance(excinfo.value, ServiceError)
+
+    def test_over_quota_tenant_is_rejected(self):
+        controller = AdmissionController()
+        ledger = TenantLedger(tenant="a")
+        ledger.charge(queries=100, probes=0, seconds=30.0)
+        with pytest.raises(AdmissionRejected) as excinfo:
+            admit(controller, request("a"), ledger=ledger,
+                  quota=TenantQuota(max_engine_queries=100))
+        assert excinfo.value.reason == "tenant_over_quota"
+        assert "100" in str(excinfo.value)
+
+    def test_infeasible_deadline_is_rejected(self):
+        controller = AdmissionController()
+        with pytest.raises(AdmissionRejected) as excinfo:
+            admit(controller, request(
+                "a", deadline=MIN_FEASIBLE_DEADLINE_SECONDS / 2))
+        assert excinfo.value.reason == "deadline_infeasible"
+
+    def test_feasible_deadline_is_admitted(self):
+        controller = AdmissionController()
+        admit(controller, request("a",
+                                  deadline=MIN_FEASIBLE_DEADLINE_SECONDS))
+        assert len(controller) == 1
+
+    def test_rejection_leaves_queue_untouched(self):
+        controller = AdmissionController(max_queue_depth=1)
+        admit(controller, request("a", rid="r1"))
+        with pytest.raises(AdmissionRejected):
+            admit(controller, request("b"))
+        assert controller.next_request().request_id == "r1"
+        assert controller.next_request() is None
+
+
+class TestQuotaChecks:
+    def test_each_limit_is_reported_by_name(self):
+        ledger = TenantLedger(tenant="a")
+        ledger.charge(queries=5, probes=7, seconds=9.0)
+        assert "queries" in TenantQuota(max_engine_queries=5) \
+            .exceeded_by(ledger)
+        assert "probes" in TenantQuota(max_probes=7).exceeded_by(ledger)
+        assert "wall" in TenantQuota(max_wall_seconds=9.0) \
+            .exceeded_by(ledger)
+        assert TenantQuota(max_engine_queries=6, max_probes=8,
+                           max_wall_seconds=9.5).exceeded_by(ledger) is None
+
+    def test_unbounded_quota_never_trips(self):
+        ledger = TenantLedger(tenant="a")
+        ledger.charge(queries=10**9, probes=10**9, seconds=1e12)
+        assert TenantQuota().exceeded_by(ledger) is None
+
+
+class TestDeficitRoundRobin:
+    def drain(self, controller):
+        order = []
+        while True:
+            req = controller.next_request()
+            if req is None:
+                return order
+            order.append((req.tenant, req.request_id))
+
+    def test_unit_cost_requests_alternate_between_tenants(self):
+        controller = AdmissionController()
+        for index in range(3):
+            admit(controller, request("a", rid=f"a{index}"))
+            admit(controller, request("b", rid=f"b{index}"))
+        assert self.drain(controller) == [
+            ("a", "a0"), ("b", "b0"), ("a", "a1"),
+            ("b", "b1"), ("a", "a2"), ("b", "b2"),
+        ]
+
+    def test_expensive_requests_wait_proportionally(self):
+        # Tenant a posts cost-3 requests; tenant b cost-1. With quantum 1,
+        # a's head needs three rotation visits per dispatch, so b gets
+        # through in between — a cannot starve b.
+        controller = AdmissionController(quantum=1.0)
+        admit(controller, request("a", cost=3.0, rid="a0"))
+        admit(controller, request("a", cost=3.0, rid="a1"))
+        admit(controller, request("b", rid="b0"))
+        admit(controller, request("b", rid="b1"))
+        order = self.drain(controller)
+        assert order.index(("b", "b0")) < order.index(("a", "a0"))
+        assert order.index(("b", "b1")) < order.index(("a", "a1"))
+        assert len(order) == 4
+
+    def test_deficit_resets_when_a_queue_drains(self):
+        # An idle tenant must not bank credit while absent.
+        controller = AdmissionController(quantum=1.0)
+        admit(controller, request("a", cost=2.0, rid="a0"))
+        assert self.drain(controller) == [("a", "a0")]
+        # Re-arrival starts from zero deficit: a cost-2 request again
+        # needs two visits, it does not dispatch on the first.
+        admit(controller, request("a", cost=2.0, rid="a1"))
+        admit(controller, request("b", rid="b0"))
+        order = self.drain(controller)
+        assert order[0] == ("b", "b0")
+
+    def test_dispatch_order_is_deterministic(self):
+        def run():
+            controller = AdmissionController()
+            for index in range(4):
+                admit(controller, request("x", rid=f"x{index}",
+                                          cost=1.0 + index % 2))
+                admit(controller, request("y", rid=f"y{index}"))
+            return self.drain(controller)
+
+        assert run() == run()
+
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError):
+            AdmissionController(max_queue_depth=0)
+        with pytest.raises(ValueError):
+            AdmissionController(quantum=0.0)
+
+    def test_queued_for_counts_per_tenant(self):
+        controller = AdmissionController()
+        admit(controller, request("a"))
+        admit(controller, request("a"))
+        admit(controller, request("b"))
+        assert controller.queued_for("a") == 2
+        assert controller.queued_for("b") == 1
+        assert controller.queued_for("ghost") == 0
+        assert len(controller) == 3

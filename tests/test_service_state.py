@@ -1,0 +1,105 @@
+"""WarmState epoch manager: copy-on-write publication and atomicity."""
+
+import pytest
+
+from repro.datasets import build_domain_dataset
+from repro.perf.cache import CachePreload
+from repro.registry import RegistryStore, build_registry
+from repro.service import Epoch, WarmState
+from repro.util.errors import StaleEpochError
+
+
+def preload_with(entries):
+    return CachePreload(engine_entries=entries)
+
+
+class TestEpochLifecycle:
+    def test_boot_epoch_is_zero_empty_and_unpublished(self):
+        warm = WarmState()
+        assert warm.current.epoch_id == 0
+        assert warm.current.parent_id is None
+        assert warm.current.warm.is_empty
+        assert warm.current.published_by is None
+        assert warm.chain == []
+
+    def test_publish_derives_consecutive_child(self):
+        warm = WarmState()
+        parent = warm.begin("r0001")
+        epoch = warm.publish(
+            parent, warm=preload_with([(("search", "q", 10), [])]),
+            published_by="r0001")
+        assert epoch.epoch_id == 1
+        assert epoch.parent_id == 0
+        assert warm.current is epoch
+        assert warm.chain == [1]
+        assert warm.published == 1 and warm.begun == 1
+
+    def test_abandon_leaves_current_untouched(self):
+        warm = WarmState()
+        parent = warm.begin("r0001")
+        warm.abandon(parent, "r0001")
+        assert warm.current.epoch_id == 0
+        assert warm.abandoned == 1
+        assert warm.abandoned_by == ["r0001"]
+        # the next request still derives from the boot epoch
+        assert warm.begin("r0002").epoch_id == 0
+
+    def test_stale_parent_publication_is_refused(self):
+        warm = WarmState()
+        parent_a = warm.begin("r0001")
+        parent_b = warm.begin("r0002")
+        warm.publish(parent_a, warm=CachePreload(), published_by="r0001")
+        with pytest.raises(StaleEpochError, match="r0002"):
+            warm.publish(parent_b, warm=CachePreload(),
+                         published_by="r0002")
+
+    def test_registry_none_carries_parent_store_forward(self):
+        interfaces = list(build_domain_dataset("book", 2, 1).interfaces)
+        store, _ = build_registry("book", interfaces)
+        warm = WarmState(registry=store)
+        parent = warm.begin("r0001")
+        epoch = warm.publish(parent, warm=CachePreload(),
+                             published_by="r0001")
+        assert epoch.registry is store  # unchanged → inherited
+
+    def test_registry_replacement_publishes_the_new_store(self):
+        warm = WarmState()
+        parent = warm.begin("r0001")
+        replacement = RegistryStore(domain="book")
+        epoch = warm.publish(parent, warm=CachePreload(),
+                             registry=replacement, published_by="r0001")
+        assert epoch.registry is replacement
+        # and the parent epoch still records none — epochs are immutable
+        assert warm.epochs[0].registry is None
+
+
+class TestEpochImmutability:
+    def test_epoch_dataclass_is_frozen(self):
+        warm = WarmState()
+        with pytest.raises(AttributeError):
+            warm.current.epoch_id = 99
+
+    def test_epochs_history_keeps_every_generation(self):
+        warm = WarmState()
+        for index in range(3):
+            parent = warm.begin(f"r{index}")
+            warm.publish(parent, warm=CachePreload(),
+                         published_by=f"r{index}")
+        assert sorted(warm.epochs) == [0, 1, 2, 3]
+        assert [warm.epochs[i].parent_id for i in (1, 2, 3)] == [0, 1, 2]
+
+
+class TestCachePreloadSymmetry:
+    """The warm-start primitive itself: capture == apply, by fingerprint."""
+
+    def test_fingerprint_is_content_addressed(self):
+        a = preload_with([(("num_hits", "x"), 4)])
+        b = preload_with([(("num_hits", "x"), 4)])
+        c = preload_with([(("num_hits", "y"), 4)])
+        assert a.fingerprint() == b.fingerprint()
+        assert a.fingerprint() != c.fingerprint()
+
+    def test_empty_preload_properties(self):
+        empty = CachePreload()
+        assert empty.is_empty
+        assert empty.n_entries == 0
